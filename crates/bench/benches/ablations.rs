@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. interference model on/off — without it, co-location ranking
+//!    collapses;
+//! 2. node-local (DIMES) vs forced-remote staging — locality value;
+//! 3. unbuffered vs double-buffered protocol — σ̄* shift;
+//! 4. mean−std (Eq. 9) vs plain-mean objective — variance penalty.
+
+use bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_core::{
+    aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs,
+};
+use runtime::EnsembleRunner;
+use std::hint::black_box;
+
+fn objective_with(runner: EnsembleRunner, id: ConfigId, agg: Aggregation) -> f64 {
+    let spec = id.build();
+    let report = runner.run().expect("run");
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            let inputs = MemberInputs::from_specs(ms, &spec, mr.efficiency);
+            ensemble_core::indicator(&inputs, &IndicatorPath::uap())
+        })
+        .collect();
+    aggregate(&values, agg)
+}
+
+fn runner(id: ConfigId) -> EnsembleRunner {
+    EnsembleRunner::paper_config(id).steps(experiments::STEPS).jitter(0.0)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // --- 1. Interference ablation. ---
+    let with_interf: Vec<f64> = [ConfigId::C1_1, ConfigId::C1_4, ConfigId::C1_5]
+        .iter()
+        .map(|&id| runner(id).run().unwrap().ensemble_makespan)
+        .collect();
+    let without_interf: Vec<f64> = [ConfigId::C1_1, ConfigId::C1_4, ConfigId::C1_5]
+        .iter()
+        .map(|&id| runner(id).without_interference().run().unwrap().ensemble_makespan)
+        .collect();
+    println!("\nablation 1 — interference model:");
+    println!("  with   : C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s", with_interf[0], with_interf[1], with_interf[2]);
+    println!("  without: C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s", without_interf[0], without_interf[1], without_interf[2]);
+    let spread_with = with_interf.iter().cloned().fold(f64::MIN, f64::max)
+        - with_interf.iter().cloned().fold(f64::MAX, f64::min);
+    let spread_without = without_interf.iter().cloned().fold(f64::MIN, f64::max)
+        - without_interf.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread_with > spread_without,
+        "disabling interference must collapse the co-location spread"
+    );
+
+    // --- 2. Locality ablation. ---
+    let local = runner(ConfigId::C1_5).run().unwrap().ensemble_makespan;
+    let remote = runner(ConfigId::C1_5).force_remote_reads().run().unwrap().ensemble_makespan;
+    println!("ablation 2 — staging locality: local reads {local:.2}s, forced remote {remote:.2}s");
+    assert!(remote >= local, "remote staging cannot be faster than local");
+
+    // --- 3. Buffering ablation. ---
+    let unbuffered = runner(ConfigId::C1_1).run().unwrap();
+    let buffered = runner(ConfigId::C1_1).staging_capacity(2).run().unwrap();
+    println!(
+        "ablation 3 — protocol buffering: capacity 1 sigma* {:.2}s, capacity 2 sigma* {:.2}s",
+        unbuffered.members[0].sigma_star, buffered.members[0].sigma_star
+    );
+
+    // --- 4. Objective ablation. ---
+    let eq9 = objective_with(runner(ConfigId::C1_3), ConfigId::C1_3, Aggregation::MeanMinusStd);
+    let mean = objective_with(runner(ConfigId::C1_3), ConfigId::C1_3, Aggregation::Mean);
+    println!("ablation 4 — objective: Eq.9 {eq9:.3e} vs plain mean {mean:.3e} on C1.3 (uneven members)");
+    assert!(eq9 < mean, "Eq. 9 must penalize C1.3's member imbalance");
+
+    c.bench_function("ablation/interference_toggle", |b| {
+        b.iter(|| {
+            black_box(
+                runner(black_box(ConfigId::C1_5))
+                    .without_interference()
+                    .run()
+                    .unwrap()
+                    .ensemble_makespan,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the substrates: discrete-event engine throughput,
+//! the interference fixed-point solver, and the closed-form predictor —
+//! the hot paths behind every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ensemble_core::ConfigId;
+use hpc_platform::{BindPolicy, InterferenceModel, PlacedWorkload, Platform};
+use sim_des::{Engine, Poll, Process, SimDuration};
+use std::hint::black_box;
+
+/// A process that sleeps a fixed interval `n` times.
+struct Ticker {
+    remaining: u64,
+}
+
+impl Process<u64> for Ticker {
+    fn poll(&mut self, state: &mut u64, _ctx: &mut sim_des::Context) -> Poll {
+        *state += 1;
+        if self.remaining == 0 {
+            return Poll::Done;
+        }
+        self.remaining -= 1;
+        Poll::Sleep(SimDuration::from_micros(10))
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    for events in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new(0u64);
+                // 10 interleaved processes sharing the clock.
+                for _ in 0..10 {
+                    engine.spawn(Box::new(Ticker { remaining: n / 10 }));
+                }
+                engine.run();
+                black_box(engine.events_fired())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interference_solver(c: &mut Criterion) {
+    let spec = hpc_platform::cori::cori_node();
+    let model = InterferenceModel::default();
+    let mut group = c.benchmark_group("interference_solver");
+    for tenants in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                let mut platform =
+                    Platform::new(1, spec.clone(), hpc_platform::cori::aries_network());
+                let placed: Vec<PlacedWorkload> = (0..tenants)
+                    .map(|i| PlacedWorkload {
+                        alloc: platform.allocate(0, 32 / tenants as u32, BindPolicy::Spread).unwrap(),
+                        workload: if i % 2 == 0 {
+                            kernels::profile::simulation_workload(800)
+                        } else {
+                            kernels::profile::analysis_workload()
+                        },
+                    })
+                    .collect();
+                b.iter(|| black_box(model.solve_node(&spec, black_box(&placed), &[]).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let cfg = runtime::SimRunConfig {
+        n_steps: 37,
+        jitter: 0.0,
+        ..runtime::SimRunConfig::paper(ConfigId::C2_8.build())
+    };
+    c.bench_function("predictor/c2_8_paper_scale", |b| {
+        b.iter(|| black_box(runtime::predict(black_box(&cfg)).unwrap().ensemble_makespan))
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_interference_solver, bench_predictor);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 3 bench: regenerates the component-level traditional metrics
+//! for every set-one configuration and measures the cost of one full
+//! configuration evaluation.
+
+use bench::{experiments, render};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_core::ConfigId;
+use runtime::EnsembleRunner;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    // Regenerate and print the figure's rows once.
+    let rows = experiments::fig3_component_metrics().expect("fig3 regeneration");
+    println!("\n{}", render::render_fig3(&rows));
+
+    let mut group = c.benchmark_group("fig3");
+    for id in [ConfigId::Cf, ConfigId::Cc, ConfigId::C1_5] {
+        group.bench_function(format!("run_{}", id.label()), |b| {
+            b.iter(|| {
+                let report = EnsembleRunner::paper_config(black_box(id))
+                    .steps(experiments::STEPS)
+                    .jitter(0.0)
+                    .run()
+                    .expect("run");
+                black_box(report.ensemble_makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

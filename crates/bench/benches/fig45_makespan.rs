@@ -1,0 +1,43 @@
+//! Figures 4/5 bench: regenerates member and ensemble makespans for set
+//! one and measures the makespan pipeline.
+
+use bench::{experiments, render};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_core::ConfigId;
+use runtime::EnsembleRunner;
+use std::hint::black_box;
+
+fn bench_fig45(c: &mut Criterion) {
+    let rows = experiments::fig45_makespans().expect("fig4/5 regeneration");
+    println!("\n{}", render::render_fig45(&rows));
+
+    // Shape assertion: C1.5 has the best ensemble makespan among the
+    // two-member configurations (the paper's headline). C1.3's first
+    // member is co-located exactly like C1.5's, so those two are
+    // statistically tied under trial jitter (max-of-two members vs one);
+    // a 0.5 % tolerance absorbs that while still catching real
+    // regressions against the contended configs.
+    let of = |label: &str| {
+        rows.iter().find(|r| r.config == label).map(|r| r.ensemble_makespan).unwrap()
+    };
+    for other in ["C1.1", "C1.2", "C1.3", "C1.4"] {
+        assert!(
+            of("C1.5") <= of(other) * 1.005,
+            "C1.5 must not lose to {other} on ensemble makespan"
+        );
+    }
+
+    c.bench_function("fig45/member_makespan_pipeline", |b| {
+        let exec = EnsembleRunner::paper_config(ConfigId::C1_4)
+            .steps(experiments::STEPS)
+            .jitter(0.0)
+            .execute()
+            .expect("execution");
+        b.iter(|| {
+            black_box(metrics::ensemble_makespan(black_box(&exec.trace), &[1, 1]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig45);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7 bench: regenerates the analysis-core sweep and measures one
+//! sweep evaluation.
+
+use bench::{experiments, render};
+use criterion::{criterion_group, criterion_main, Criterion};
+use scheduler::{core_sweep, CoreSweepConfig};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let sweep = experiments::fig7_core_sweep().expect("fig7 regeneration");
+    println!("\n{}", render::render_fig7(&sweep));
+    assert_eq!(sweep.recommended_cores, 8, "the paper's heuristic selects 8 cores");
+
+    c.bench_function("fig7/full_sweep", |b| {
+        b.iter(|| {
+            let mut cfg = CoreSweepConfig::paper();
+            cfg.steps = 6;
+            black_box(core_sweep(black_box(&cfg)).expect("sweep").recommended_cores)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figures 8/9 bench: regenerates the multi-stage indicator objectives
+//! over both configuration sets and measures indicator evaluation.
+
+use bench::{experiments, render};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_core::{ConfigId, IndicatorPath};
+use std::hint::black_box;
+
+fn best_at_final(rows: &[bench::experiments::IndicatorRow]) -> String {
+    rows.iter()
+        .filter(|r| r.path == "U,A,P")
+        .max_by(|a, b| a.objective.total_cmp(&b.objective))
+        .map(|r| r.config.clone())
+        .expect("rows")
+}
+
+fn bench_fig89(c: &mut Criterion) {
+    let fig8 = experiments::fig8_indicators().expect("fig8 regeneration");
+    println!("\nFigure 8:\n{}", render::render_indicators(&fig8));
+    assert_eq!(best_at_final(&fig8), "C1.5", "the paper's winner for set one");
+
+    let fig9 = experiments::fig9_indicators().expect("fig9 regeneration");
+    println!("Figure 9:\n{}", render::render_indicators(&fig9));
+    assert_eq!(best_at_final(&fig9), "C2.8", "the paper's winner for set two");
+
+    c.bench_function("fig89/objective_of_config", |b| {
+        b.iter(|| {
+            black_box(
+                experiments::objective_of(black_box(ConfigId::C2_8), &IndicatorPath::uap())
+                    .expect("objective"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig89);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the real kernels: the MD engine's stride
+//! advancement and the bipartite-eigenvalue analysis — the two
+//! components every ensemble member actually runs in threaded mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::analysis::EigenAnalysis;
+use kernels::md::{MdConfig, MdSimulation};
+use std::hint::black_box;
+
+fn bench_md(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md_stride");
+    for atoms_per_side in [4usize, 6, 8] {
+        let n = atoms_per_side.pow(3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &atoms_per_side, |b, &aps| {
+            let cfg = MdConfig { atoms_per_side: aps, stride: 10, ..Default::default() };
+            let mut sim = MdSimulation::new(&cfg);
+            b.iter(|| black_box(sim.advance_stride().step))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen_analysis");
+    let cfg = MdConfig { atoms_per_side: 8, stride: 5, ..Default::default() };
+    let mut sim = MdSimulation::new(&cfg);
+    let frame = sim.advance_stride();
+    for group_size in [32usize, 64, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(group_size),
+            &group_size,
+            |b, &k| {
+                let kernel = EigenAnalysis::interleaved(frame.num_atoms(), k, 1.2);
+                b.iter(|| black_box(kernel.analyze(black_box(&frame)).collective_variable))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let cfg = MdConfig { atoms_per_side: 8, stride: 5, ..Default::default() };
+    let mut sim = MdSimulation::new(&cfg);
+    let frame = sim.advance_stride();
+    c.bench_function("frame/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = black_box(&frame).to_bytes();
+            black_box(kernels::md::Frame::from_bytes(bytes).unwrap().step)
+        })
+    });
+}
+
+criterion_group!(benches, bench_md, bench_analysis, bench_frame_codec);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Sensitivity studies over the model's tunables:
+//!
+//! * socket binding policy (spread vs compact);
+//! * cache miss-curve exponent;
+//! * node power caps (SeeSAw-style power-constrained execution).
+//!
+//! Each prints its sweep and asserts the qualitative direction, then
+//! benchmarks a representative evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ensemble_core::ConfigId;
+use hpc_platform::BindPolicy;
+use runtime::{EnsembleRunner, SimRunConfig, WorkloadMap};
+use std::hint::black_box;
+
+const STEPS: u64 = 20;
+
+fn runner(id: ConfigId) -> EnsembleRunner {
+    EnsembleRunner::paper_config(id).steps(STEPS).jitter(0.0)
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    // --- Binding policy. ---
+    let spread = runner(ConfigId::C1_5).run().unwrap().ensemble_makespan;
+    let mut compact_runner = runner(ConfigId::C1_5);
+    compact_runner.config_mut().bind_policy = BindPolicy::Compact;
+    let compact = compact_runner.run().unwrap().ensemble_makespan;
+    println!("\nsensitivity — bind policy on C1.5: spread {spread:.1}s, compact {compact:.1}s");
+
+    // --- Miss-curve exponent. ---
+    // miss = base + (1−base)(1 − share/ws)^e: for a deficit below 1, a
+    // larger exponent is a *gentler* curve (fewer capacity misses), so
+    // the miss ratio must fall monotonically with e.
+    println!("sensitivity — miss-curve exponent on C1.1 (paired analyses):");
+    let mut prev = f64::INFINITY;
+    for exponent in [0.5f64, 1.0, 2.0] {
+        let mut r = runner(ConfigId::C1_1);
+        r.config_mut().interference.cache.miss_curve_exponent = exponent;
+        let report = r.run().unwrap();
+        let miss = report.members[0].components[1].metrics.llc_miss_ratio;
+        println!("  exponent {exponent}: analysis LLC miss ratio {miss:.4}");
+        assert!(
+            miss <= prev,
+            "a gentler (higher-exponent) curve must not increase misses"
+        );
+        prev = miss;
+    }
+
+    // --- Power capping. ---
+    println!("sensitivity — node power cap on C1.5:");
+    let mut uncapped = 0.0f64;
+    for cap in [None, Some(320.0f64), Some(260.0), (Some(220.0))] {
+        let mut r = runner(ConfigId::C1_5);
+        r.config_mut().power_cap_watts = cap;
+        let report = r.run().unwrap();
+        match cap {
+            None => {
+                uncapped = report.ensemble_makespan;
+                println!("  uncapped: makespan {:.1}s", report.ensemble_makespan);
+            }
+            Some(w) => {
+                println!("  cap {w:>5.0} W: makespan {:.1}s", report.ensemble_makespan);
+                assert!(
+                    report.ensemble_makespan >= uncapped - 1e-9,
+                    "capping cannot speed the run up"
+                );
+            }
+        }
+    }
+    // A hard cap must actually slow the run.
+    let mut hard = runner(ConfigId::C1_5);
+    hard.config_mut().power_cap_watts = Some(200.0);
+    assert!(hard.run().unwrap().ensemble_makespan > uncapped * 1.02);
+
+    c.bench_function("sensitivity/capped_run", |b| {
+        b.iter(|| {
+            let mut r = runner(black_box(ConfigId::C1_5));
+            r.config_mut().power_cap_watts = Some(260.0);
+            black_box(r.run().unwrap().ensemble_makespan)
+        })
+    });
+}
+
+fn bench_predictor_vs_des(c: &mut Criterion) {
+    let spec = ConfigId::C2_8.build();
+    let cfg = SimRunConfig { n_steps: STEPS, jitter: 0.0, ..SimRunConfig::paper(spec) };
+    let mut group = c.benchmark_group("evaluation_path");
+    group.bench_function("closed_form_predictor", |b| {
+        b.iter(|| black_box(runtime::predict(black_box(&cfg)).unwrap().ensemble_makespan))
+    });
+    group.bench_function("discrete_event_run", |b| {
+        b.iter(|| black_box(runtime::run_simulated(black_box(&cfg)).unwrap().trace.len()))
+    });
+    group.finish();
+
+    let mut quick = cfg.clone();
+    quick.workloads = WorkloadMap::small_defaults();
+    let p = runtime::predict(&quick).unwrap();
+    println!(
+        "\npredictor check: C2.8 predicted makespan {:.2}s over {} members",
+        p.ensemble_makespan,
+        p.members.len()
+    );
+}
+
+criterion_group!(benches, bench_sensitivity, bench_predictor_vs_des);
+criterion_main!(benches);

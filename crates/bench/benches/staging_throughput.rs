@@ -1,0 +1,111 @@
+//! DTL staging-tier benchmarks: in-memory (DIMES-like) put/get cycles
+//! versus the parallel-file-system tier, across chunk sizes — the cost
+//! asymmetry that motivates in situ processing.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dtl::protocol::ReaderId;
+use dtl::{Chunk, VariableSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn spec(name: &str) -> VariableSpec {
+    VariableSpec { name: name.into(), expected_readers: 1, home_node: 0 }
+}
+
+fn bench_memory_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staging_memory");
+    for size in [4 * 1024usize, 256 * 1024, 2 * 1024 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let staging = Arc::new(dtl::staging::dimes());
+            let var = staging.register(spec("bench")).unwrap();
+            let payload = Bytes::from(vec![0xA5u8; size]);
+            let mut step = 0u64;
+            b.iter(|| {
+                let chunk = Chunk::new(var, step, 0, "raw", payload.clone());
+                staging.put(chunk).unwrap();
+                let got = staging.get(var, step, ReaderId(0)).unwrap();
+                step += 1;
+                black_box(got.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pfs_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staging_pfs");
+    group.sample_size(20);
+    for size in [4 * 1024usize, 256 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let dir = std::env::temp_dir().join(format!("bench-pfs-{}", std::process::id()));
+            let staging = Arc::new(dtl::staging::pfs(&dir).unwrap());
+            let var = staging.register(spec("bench")).unwrap();
+            let payload = Bytes::from(vec![0x5Au8; size]);
+            let mut step = 0u64;
+            b.iter(|| {
+                let chunk = Chunk::new(var, step, 0, "raw", payload.clone());
+                staging.put(chunk).unwrap();
+                let got = staging.get(var, step, ReaderId(0)).unwrap();
+                step += 1;
+                black_box(got.len())
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_thread_pipeline(c: &mut Criterion) {
+    c.bench_function("staging_memory/cross_thread_64x256KiB", |b| {
+        b.iter(|| {
+            let staging = Arc::new(dtl::staging::dimes());
+            let var = staging.register(spec("pipe")).unwrap();
+            let producer = {
+                let staging = Arc::clone(&staging);
+                std::thread::spawn(move || {
+                    let payload = Bytes::from(vec![1u8; 256 * 1024]);
+                    for step in 0..64u64 {
+                        staging.put(Chunk::new(var, step, 0, "raw", payload.clone())).unwrap();
+                    }
+                })
+            };
+            let mut total = 0usize;
+            for step in 0..64u64 {
+                total += staging.get(var, step, ReaderId(0)).unwrap().len();
+            }
+            producer.join().unwrap();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_async_staging(c: &mut Criterion) {
+    use dtl::staging::AsyncStaging;
+    c.bench_function("staging_async/put_next_256KiB", |b| {
+        let staging = AsyncStaging::new(4);
+        let var = staging.register(spec("async")).unwrap();
+        let payload = Bytes::from(vec![3u8; 256 * 1024]);
+        let mut step = 0u64;
+        b.iter(|| {
+            staging.put(Chunk::new(var, step, 0, "raw", payload.clone())).unwrap();
+            let got = staging
+                .next(var, ReaderId(0), std::time::Duration::from_secs(5))
+                .unwrap()
+                .expect("frame present");
+            step += 1;
+            black_box(got.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_memory_staging,
+    bench_pfs_staging,
+    bench_cross_thread_pipeline,
+    bench_async_staging
+);
+criterion_main!(benches);

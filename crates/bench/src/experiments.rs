@@ -1,0 +1,277 @@
+//! One function per paper artifact: each returns the rows/series the
+//! paper reports, computed by running the configurations on the
+//! simulated platform at paper scale.
+
+use ensemble_core::{
+    aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs,
+};
+use metrics::EnsembleReport;
+use runtime::{EnsembleRunner, RuntimeResult};
+use serde::{Deserialize, Serialize};
+
+/// Trials per configuration (the paper averages over 5).
+pub const TRIALS: u64 = 5;
+/// In situ steps per run (30 000 MD steps / stride 800, as in the
+/// paper).
+pub const STEPS: u64 = 37;
+
+/// Runs one configuration at paper scale, averaged over [`TRIALS`]
+/// seeds, returning all trial reports.
+pub fn run_config(id: ConfigId) -> RuntimeResult<Vec<EnsembleReport>> {
+    EnsembleRunner::paper_config(id).steps(STEPS).jitter(0.01).run_trials(TRIALS)
+}
+
+/// A component row of Figure 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Configuration label.
+    pub config: String,
+    /// Component name ("Sim1", "Ana2.1", …).
+    pub component: String,
+    /// Mean execution time across trials, seconds.
+    pub execution_time: f64,
+    /// Mean LLC miss ratio.
+    pub llc_miss_ratio: f64,
+    /// Mean memory intensity (misses/instruction).
+    pub memory_intensity: f64,
+    /// Mean instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Figure 3: component-level traditional metrics for the set-one
+/// configurations.
+pub fn fig3_component_metrics() -> RuntimeResult<Vec<Fig3Row>> {
+    let mut rows = Vec::new();
+    for id in ConfigId::set_one() {
+        let reports = run_config(id)?;
+        // Average each component across trials.
+        let component_count: Vec<usize> =
+            reports[0].members.iter().map(|m| m.components.len()).collect();
+        for (mi, &n_components) in component_count.iter().enumerate() {
+            for ci in 0..n_components {
+                let mut exec = 0.0;
+                let mut miss = 0.0;
+                let mut intensity = 0.0;
+                let mut ipc = 0.0;
+                for r in &reports {
+                    let c = &r.members[mi].components[ci];
+                    exec += c.metrics.execution_time;
+                    miss += c.metrics.llc_miss_ratio;
+                    intensity += c.metrics.memory_intensity;
+                    ipc += c.metrics.ipc;
+                }
+                let n = reports.len() as f64;
+                rows.push(Fig3Row {
+                    config: id.label().to_string(),
+                    component: reports[0].members[mi].components[ci].name.clone(),
+                    execution_time: exec / n,
+                    llc_miss_ratio: miss / n,
+                    memory_intensity: intensity / n,
+                    ipc: ipc / n,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// A makespan row of Figures 4 and 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MakespanRow {
+    /// Configuration label.
+    pub config: String,
+    /// Mean member makespans, seconds, in member order (Figure 4).
+    pub member_makespans: Vec<f64>,
+    /// Mean ensemble makespan, seconds (Figure 5).
+    pub ensemble_makespan: f64,
+}
+
+/// Figures 4 and 5: member and ensemble makespans for set one.
+pub fn fig45_makespans() -> RuntimeResult<Vec<MakespanRow>> {
+    let mut rows = Vec::new();
+    for id in ConfigId::set_one() {
+        let reports = run_config(id)?;
+        let n_members = reports[0].members.len();
+        let n = reports.len() as f64;
+        let member_makespans = (0..n_members)
+            .map(|mi| reports.iter().map(|r| r.members[mi].makespan).sum::<f64>() / n)
+            .collect();
+        let ensemble_makespan =
+            reports.iter().map(|r| r.ensemble_makespan).sum::<f64>() / n;
+        rows.push(MakespanRow {
+            config: id.label().to_string(),
+            member_makespans,
+            ensemble_makespan,
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 7: the analysis-core sweep (σ̄*, S*+W*, R*+A*, E vs cores).
+pub fn fig7_core_sweep() -> RuntimeResult<scheduler::SweepResult> {
+    let mut cfg = scheduler::CoreSweepConfig::paper();
+    cfg.candidate_cores = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32];
+    cfg.steps = 8;
+    scheduler::core_sweep(&cfg)
+}
+
+/// One bar of Figures 8/9: `F(P)` for one configuration at one
+/// indicator stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndicatorRow {
+    /// Configuration label.
+    pub config: String,
+    /// Stage-path label ("U", "U,P", "U,A", "U,P,A", "U,A,P").
+    pub path: String,
+    /// Mean `F(P)` across trials.
+    pub objective: f64,
+}
+
+/// The five stage paths of §5.2 (both concatenation orders).
+pub fn stage_paths() -> Vec<IndicatorPath> {
+    vec![
+        IndicatorPath::u(),
+        IndicatorPath::up(),
+        IndicatorPath::ua(),
+        IndicatorPath::upa(),
+        IndicatorPath::uap(),
+    ]
+}
+
+/// Computes `F(P)` for every stage path over the given configurations —
+/// Figure 8 with [`ConfigId::set_one_pairs`], Figure 9 with
+/// [`ConfigId::set_two`].
+pub fn indicator_objectives(configs: &[ConfigId]) -> RuntimeResult<Vec<IndicatorRow>> {
+    let mut rows = Vec::new();
+    for &id in configs {
+        let spec = id.build();
+        let reports = run_config(id)?;
+        for path in stage_paths() {
+            let mut acc = 0.0;
+            for report in &reports {
+                let values: Vec<f64> = report
+                    .members
+                    .iter()
+                    .zip(&spec.members)
+                    .map(|(mr, ms)| {
+                        let inputs = MemberInputs::from_specs(ms, &spec, mr.efficiency);
+                        ensemble_core::indicator(&inputs, &path)
+                    })
+                    .collect();
+                acc += aggregate(&values, Aggregation::MeanMinusStd);
+            }
+            rows.push(IndicatorRow {
+                config: id.label().to_string(),
+                path: path.label(),
+                objective: acc / reports.len() as f64,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 8: set one (C1.1–C1.5).
+pub fn fig8_indicators() -> RuntimeResult<Vec<IndicatorRow>> {
+    indicator_objectives(&ConfigId::set_one_pairs())
+}
+
+/// Figure 9: set two (C2.1–C2.8).
+pub fn fig9_indicators() -> RuntimeResult<Vec<IndicatorRow>> {
+    indicator_objectives(&ConfigId::set_two())
+}
+
+/// One row of the in-transit extension experiment: lost frames and
+/// simulation stall as functions of queue depth and analysis load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LostFramesRow {
+    /// In-transit queue depth (0 = the paper's synchronous protocol).
+    pub queue_capacity: usize,
+    /// Analysis work multiplier relative to the paper's kernel.
+    pub analysis_scale: f64,
+    /// Frames produced.
+    pub produced: u64,
+    /// Frames lost.
+    pub lost: u64,
+    /// Simulation idle seconds over the whole run.
+    pub sim_idle_seconds: f64,
+    /// Simulation completion time, seconds.
+    pub sim_finish_seconds: f64,
+}
+
+/// Extension experiment (after Taufer et al. \[26\]): sweep queue depths
+/// and analysis loads under in-transit coupling; the synchronous
+/// protocol appears as the zero row of each load.
+pub fn ext_lost_frames() -> RuntimeResult<Vec<LostFramesRow>> {
+    use ensemble_core::{ComponentRef, StageKind};
+    use runtime::{run_simulated, CouplingMode, SimRunConfig};
+    let mut rows = Vec::new();
+    for &scale in &[1.0f64, 1.5, 2.5] {
+        for &capacity in &[0usize, 1, 2, 4] {
+            let mut cfg = SimRunConfig::paper(ConfigId::Cf.build());
+            cfg.n_steps = STEPS;
+            cfg.jitter = 0.0;
+            let mut heavy = cfg.workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
+            heavy.instructions_per_step *= scale;
+            cfg.workloads.set_override(ComponentRef::analysis(0, 1), heavy);
+            cfg.coupling = if capacity == 0 {
+                CouplingMode::Synchronous
+            } else {
+                CouplingMode::Asynchronous { queue_capacity: capacity }
+            };
+            let exec = run_simulated(&cfg)?;
+            let sim = ComponentRef::simulation(0);
+            rows.push(LostFramesRow {
+                queue_capacity: capacity,
+                analysis_scale: scale,
+                produced: STEPS,
+                lost: exec.lost_frames[0],
+                sim_idle_seconds: exec.trace.total_in_stage(sim, StageKind::SimIdle),
+                sim_finish_seconds: exec
+                    .trace
+                    .component_span(sim)
+                    .map(|(_, e)| e)
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Helper: the `F` value of one config under one path, from fresh runs.
+pub fn objective_of(id: ConfigId, path: &IndicatorPath) -> RuntimeResult<f64> {
+    let spec = id.build();
+    let report = EnsembleRunner::paper_config(id).steps(STEPS).jitter(0.0).run()?;
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            let inputs = MemberInputs::from_specs(ms, &spec, mr.efficiency);
+            ensemble_core::indicator(&inputs, path)
+        })
+        .collect();
+    Ok(aggregate(&values, Aggregation::MeanMinusStd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Experiment-harness smoke tests run at reduced scale; the full
+    // paper-scale assertions live in the workspace integration tests.
+
+    #[test]
+    fn fig7_recommends_eight_cores() {
+        let sweep = fig7_core_sweep().unwrap();
+        assert_eq!(sweep.recommended_cores, 8);
+        assert_eq!(sweep.points.len(), 10);
+    }
+
+    #[test]
+    fn objective_ranks_c15_over_c14() {
+        let path = IndicatorPath::uap();
+        let c15 = objective_of(ConfigId::C1_5, &path).unwrap();
+        let c14 = objective_of(ConfigId::C1_4, &path).unwrap();
+        assert!(c15 > c14, "C1.5 ({c15}) must beat C1.4 ({c14}) at the full indicator");
+    }
+}

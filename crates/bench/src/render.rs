@@ -1,0 +1,172 @@
+//! Plain-text rendering of experiment results: the same rows/series the
+//! paper's tables and figures report.
+
+use ensemble_core::ConfigId;
+
+use crate::experiments::{Fig3Row, IndicatorRow, MakespanRow};
+
+/// Renders Table 2 / Table 4 (configuration definitions).
+pub fn render_config_table(configs: &[ConfigId]) -> String {
+    let mut out = String::from(
+        "Configuration | nodes | members | placements (sim -> node, analyses -> nodes)\n",
+    );
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    for &id in configs {
+        let spec = id.build();
+        let mut placements = Vec::new();
+        for (i, m) in spec.members.iter().enumerate() {
+            let sim = m.simulation.nodes.iter().map(|n| format!("n{n}")).collect::<Vec<_>>().join("+");
+            let anas = m
+                .analyses
+                .iter()
+                .map(|a| a.nodes.iter().map(|n| format!("n{n}")).collect::<Vec<_>>().join("+"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            placements.push(format!("EM{}: Sim@{sim} Ana@[{anas}]", i + 1));
+        }
+        out.push_str(&format!(
+            "{:<13} | {:>5} | {:>7} | {}\n",
+            id.label(),
+            spec.num_nodes(),
+            spec.n(),
+            placements.join("; ")
+        ));
+    }
+    out
+}
+
+/// Renders Figure 3's rows.
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::from(
+        "config  component  exec_time(s)  llc_miss_ratio  mem_intensity  ipc\n",
+    );
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<7} {:<10} {:>12.2} {:>15.4} {:>14.3e} {:>6.3}\n",
+            r.config, r.component, r.execution_time, r.llc_miss_ratio, r.memory_intensity, r.ipc
+        ));
+    }
+    out
+}
+
+/// Renders Figures 4 and 5.
+pub fn render_fig45(rows: &[MakespanRow]) -> String {
+    let mut out =
+        String::from("config  member makespans (s)          ensemble makespan (s)\n");
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for r in rows {
+        let members = r
+            .member_makespans
+            .iter()
+            .map(|m| format!("{m:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<7} {:<29} {:>12.1}\n",
+            r.config, members, r.ensemble_makespan
+        ));
+    }
+    out
+}
+
+/// Renders Figure 7's series.
+pub fn render_fig7(sweep: &scheduler::SweepResult) -> String {
+    let mut out = String::from(
+        "analysis_cores  S*+W*(s)  R*+A*(s)  sigma*(s)  efficiency  Eq.4\n",
+    );
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{:>14} {:>9.2} {:>9.2} {:>10.2} {:>11.4}  {}\n",
+            p.analysis_cores,
+            p.sim_busy,
+            p.ana_busy,
+            p.sigma_star,
+            p.efficiency,
+            if p.satisfies_eq4 { "yes" } else { "no" }
+        ));
+    }
+    out.push_str(&format!("=> heuristic selects {} cores per analysis\n", sweep.recommended_cores));
+    out
+}
+
+/// Renders Figures 8/9: `F(P)` per configuration per stage path.
+pub fn render_indicators(rows: &[IndicatorRow]) -> String {
+    // Pivot: one line per config, one column per path.
+    let mut paths: Vec<String> = Vec::new();
+    for r in rows {
+        if !paths.contains(&r.path) {
+            paths.push(r.path.clone());
+        }
+    }
+    let mut configs: Vec<String> = Vec::new();
+    for r in rows {
+        if !configs.contains(&r.config) {
+            configs.push(r.config.clone());
+        }
+    }
+    let mut out = format!("{:<8}", "config");
+    for p in &paths {
+        out.push_str(&format!("  F(P^{{{p}}})    "));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(8 + paths.len() * 15));
+    out.push('\n');
+    for c in &configs {
+        out.push_str(&format!("{c:<8}"));
+        for p in &paths {
+            let v = rows
+                .iter()
+                .find(|r| &r.config == c && &r.path == p)
+                .map(|r| r.objective)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("  {v:>12.4e} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_table_lists_all() {
+        let table = render_config_table(&ConfigId::set_one());
+        assert!(table.contains("C1.5"));
+        assert!(table.contains("C_f"));
+        assert_eq!(table.lines().count(), 2 + 7);
+    }
+
+    #[test]
+    fn fig45_rendering() {
+        let rows = vec![MakespanRow {
+            config: "C1.5".into(),
+            member_makespans: vec![750.0, 755.0],
+            ensemble_makespan: 755.0,
+        }];
+        let s = render_fig45(&rows);
+        assert!(s.contains("C1.5"));
+        assert!(s.contains("755.0"));
+    }
+
+    #[test]
+    fn indicator_pivot_has_all_columns() {
+        let rows = vec![
+            IndicatorRow { config: "C1.4".into(), path: "U".into(), objective: 0.01 },
+            IndicatorRow { config: "C1.4".into(), path: "U,A,P".into(), objective: 0.002 },
+            IndicatorRow { config: "C1.5".into(), path: "U".into(), objective: 0.011 },
+            IndicatorRow { config: "C1.5".into(), path: "U,A,P".into(), objective: 0.009 },
+        ];
+        let s = render_indicators(&rows);
+        assert!(s.contains("F(P^{U})"));
+        assert!(s.contains("F(P^{U,A,P})"));
+        assert!(s.contains("C1.5"));
+    }
+}

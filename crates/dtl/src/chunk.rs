@@ -1,0 +1,89 @@
+//! The chunk: "the base data representation manipulated within the entire
+//! runtime" (paper §2.2, Figure 2). A chunk is an opaque byte buffer plus
+//! the metadata the staging protocol needs.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::variable::VariableId;
+
+/// Identity of a chunk: which variable, which in situ step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// Producing variable.
+    pub variable: VariableId,
+    /// In situ step index (0-based).
+    pub step: u64,
+}
+
+/// Metadata travelling with every chunk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    /// Node whose memory holds the payload (DIMES keeps data local to the
+    /// producer; remote readers fetch over the interconnect).
+    pub home_node: usize,
+    /// Free-form tag describing the payload encoding (set by the plugin).
+    pub encoding: String,
+}
+
+/// A staged unit of data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Identity.
+    pub id: ChunkId,
+    /// Metadata.
+    pub meta: ChunkMeta,
+    /// Serialized payload. `Bytes` keeps clones cheap (refcounted), so a
+    /// chunk fanned out to K readers is not copied K times.
+    pub data: Bytes,
+}
+
+impl Chunk {
+    /// Builds a chunk.
+    pub fn new(variable: VariableId, step: u64, home_node: usize, encoding: &str, data: Bytes) -> Self {
+        Chunk {
+            id: ChunkId { variable, step },
+            meta: ChunkMeta { home_node, encoding: encoding.to_string() },
+            data,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Chunk::new(VariableId(3), 7, 1, "frame-v1", Bytes::from_static(b"abc"));
+        assert_eq!(c.id, ChunkId { variable: VariableId(3), step: 7 });
+        assert_eq!(c.meta.home_node, 1);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let c = Chunk::new(VariableId(0), 0, 0, "raw", Bytes::from(vec![0u8; 1024]));
+        let d = c.clone();
+        // Bytes clones share the same backing storage.
+        assert_eq!(c.data.as_ptr(), d.data.as_ptr());
+    }
+
+    #[test]
+    fn chunk_ids_order_by_variable_then_step() {
+        let a = ChunkId { variable: VariableId(0), step: 9 };
+        let b = ChunkId { variable: VariableId(1), step: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,43 @@
+//! # dtl — the Data Transport Layer of the workflow-ensemble runtime
+//!
+//! Implements the runtime architecture of the paper's Figure 2: ensemble
+//! components talk to *DTL plugins* ([`DtlWriter`] / [`DtlReader`]), which
+//! marshal application data into [`Chunk`]s ("the base data representation
+//! manipulated within the entire runtime") and move them through a staging
+//! tier:
+//!
+//! * [`staging::dimes`] — in-memory staging with DIMES semantics: data
+//!   stays in the producer's node memory, one chunk in flight (the
+//!   paper's unbuffered synchronous coupling);
+//! * [`staging::burst_buffer`] — queueing tier (capacity > 1);
+//! * [`staging::pfs`] — parallel-file-system tier with real file I/O
+//!   (the loose-coupling baseline in situ processing replaces).
+//!
+//! The synchronous protocol (`Wᵢ` before `Rᵢ` before `Wᵢ₊₁`, every chunk
+//! consumed exactly once by each of the member's K analyses) is enforced
+//! by [`protocol::StepProtocol`] and surfaced as hard errors on violation.
+//!
+//! [`transport::StagingCostModel`] prices the same operations for the
+//! *simulated* execution mode, encoding the data-locality asymmetry that
+//! makes co-location attractive (local memory copy vs. dragonfly
+//! transfer).
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod error;
+pub mod marshal;
+pub mod plugin;
+pub mod protocol;
+pub mod staging;
+pub mod transport;
+pub mod variable;
+
+pub use chunk::{Chunk, ChunkId, ChunkMeta};
+pub use error::{DtlError, DtlResult};
+pub use marshal::{ChunkCodec, F32ArrayCodec, F64ArrayCodec, RawCodec};
+pub use plugin::{DtlReader, DtlWriter};
+pub use protocol::{ReaderId, StepProtocol};
+pub use staging::{AsyncStaging, InMemoryStaging, PfsStaging, StagingStats, SyncStaging};
+pub use transport::StagingCostModel;
+pub use variable::{VariableId, VariableRegistry, VariableSpec};

@@ -1,0 +1,178 @@
+//! The DTL plugin: "a middle layer between the ensemble components and
+//! the underlying DTL, responsible for data handling" (paper §2.2).
+//!
+//! A [`DtlWriter`] wraps a typed producer side (serialize → put), a
+//! [`DtlReader`] the consumer side (get → deserialize). Both hide the
+//! staging protocol details — step sequencing is automatic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::chunk::Chunk;
+use crate::error::DtlResult;
+use crate::marshal::ChunkCodec;
+use crate::protocol::ReaderId;
+use crate::staging::store::ChunkStore;
+use crate::staging::sync_staging::{SyncStaging, DEFAULT_TIMEOUT};
+use crate::variable::{VariableId, VariableSpec};
+
+/// Typed producer handle for one variable.
+pub struct DtlWriter<B: ChunkStore, C: ChunkCodec> {
+    staging: Arc<SyncStaging<B>>,
+    codec: C,
+    variable: VariableId,
+    home_node: usize,
+    next_step: u64,
+    timeout: Duration,
+}
+
+impl<B: ChunkStore, C: ChunkCodec> DtlWriter<B, C> {
+    /// Registers `spec` and builds a writer for it.
+    pub fn create(staging: Arc<SyncStaging<B>>, codec: C, spec: VariableSpec) -> DtlResult<Self> {
+        let home_node = spec.home_node;
+        let variable = staging.register(spec)?;
+        Ok(DtlWriter { staging, codec, variable, home_node, next_step: 0, timeout: DEFAULT_TIMEOUT })
+    }
+
+    /// Overrides the blocking timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The variable this writer produces.
+    pub fn variable(&self) -> VariableId {
+        self.variable
+    }
+
+    /// The step the next [`DtlWriter::write`] will stage.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Serializes `value` and stages it as the next step (the `W` stage),
+    /// blocking while the previous chunk has unread consumers.
+    pub fn write(&mut self, value: &C::Value) -> DtlResult<()> {
+        let data = self.codec.encode(value);
+        let chunk = Chunk::new(self.variable, self.next_step, self.home_node, self.codec.encoding(), data);
+        self.staging.put_timeout(chunk, self.timeout)?;
+        self.next_step += 1;
+        Ok(())
+    }
+}
+
+/// Typed consumer handle for one variable.
+pub struct DtlReader<B: ChunkStore, C: ChunkCodec> {
+    staging: Arc<SyncStaging<B>>,
+    codec: C,
+    variable: VariableId,
+    reader: ReaderId,
+    next_step: u64,
+    timeout: Duration,
+}
+
+impl<B: ChunkStore, C: ChunkCodec> DtlReader<B, C> {
+    /// Builds a reader for an already-registered variable; `reader` must
+    /// be unique among the variable's `expected_readers`.
+    pub fn attach(
+        staging: Arc<SyncStaging<B>>,
+        codec: C,
+        variable: VariableId,
+        reader: ReaderId,
+    ) -> Self {
+        DtlReader { staging, codec, variable, reader, next_step: 0, timeout: DEFAULT_TIMEOUT }
+    }
+
+    /// Attaches by variable name.
+    pub fn attach_by_name(
+        staging: Arc<SyncStaging<B>>,
+        codec: C,
+        name: &str,
+        reader: ReaderId,
+    ) -> DtlResult<Self> {
+        let variable = staging.lookup(name)?;
+        Ok(Self::attach(staging, codec, variable, reader))
+    }
+
+    /// Overrides the blocking timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The step the next [`DtlReader::read`] will consume.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Blocks for the next chunk (the `R` stage) and deserializes it.
+    pub fn read(&mut self) -> DtlResult<C::Value> {
+        let chunk =
+            self.staging.get_timeout(self.variable, self.next_step, self.reader, self.timeout)?;
+        let value = self.codec.decode(chunk.data)?;
+        self.next_step += 1;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marshal::F64ArrayCodec;
+    use crate::staging;
+
+    fn spec(readers: u32) -> VariableSpec {
+        VariableSpec { name: "cv".into(), expected_readers: readers, home_node: 0 }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let staging = Arc::new(staging::dimes());
+        let mut writer =
+            DtlWriter::create(Arc::clone(&staging), F64ArrayCodec, spec(1)).unwrap();
+        let mut reader =
+            DtlReader::attach_by_name(Arc::clone(&staging), F64ArrayCodec, "cv", ReaderId(0))
+                .unwrap();
+        writer.write(&vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(reader.read().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(writer.next_step(), 1);
+        assert_eq!(reader.next_step(), 1);
+    }
+
+    #[test]
+    fn step_sequencing_is_automatic() {
+        let staging = Arc::new(staging::dimes());
+        let mut writer = DtlWriter::create(Arc::clone(&staging), F64ArrayCodec, spec(1)).unwrap();
+        let mut reader =
+            DtlReader::attach(Arc::clone(&staging), F64ArrayCodec, writer.variable(), ReaderId(0));
+        for step in 0..5 {
+            writer.write(&vec![step as f64]).unwrap();
+            assert_eq!(reader.read().unwrap(), vec![step as f64]);
+        }
+    }
+
+    #[test]
+    fn threaded_pipeline_through_plugin() {
+        let staging = Arc::new(staging::dimes());
+        let mut writer = DtlWriter::create(Arc::clone(&staging), F64ArrayCodec, spec(2)).unwrap();
+        let var = writer.variable();
+        let readers: Vec<_> = (0..2u32)
+            .map(|r| {
+                let staging = Arc::clone(&staging);
+                std::thread::spawn(move || {
+                    let mut reader =
+                        DtlReader::attach(staging, F64ArrayCodec, var, ReaderId(r));
+                    let mut sum = 0.0;
+                    for _ in 0..8 {
+                        sum += reader.read().unwrap()[0];
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for step in 0..8 {
+            writer.write(&vec![step as f64]).unwrap();
+        }
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 28.0);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Asynchronous (in-transit style) staging: the producer never blocks.
+//!
+//! The paper's protocol is synchronous — the simulation stalls until its
+//! previous chunk is consumed. In-transit analytics (Taufer et al.,
+//! cited as \[26\]) instead let the simulation run free: chunks enter a
+//! bounded queue and, when the analysis cannot keep up, the **oldest
+//! unconsumed frames are dropped** and counted as *lost frames* — the
+//! domain metric that work characterizes. This tier implements that
+//! semantic for real threaded runs.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::chunk::Chunk;
+use crate::error::{DtlError, DtlResult};
+use crate::protocol::ReaderId;
+use crate::variable::{VariableId, VariableRegistry, VariableSpec};
+
+struct AsyncVar {
+    /// Retained chunks, oldest first.
+    queue: VecDeque<Chunk>,
+    /// Highest step each reader has consumed (readers skip forward).
+    last_consumed: HashMap<ReaderId, Option<u64>>,
+    /// Frames dropped because the queue was full.
+    lost: u64,
+    /// Total frames staged.
+    produced: u64,
+    /// Producer finished.
+    finished: bool,
+}
+
+/// A bounded non-blocking staging area with drop-oldest overflow.
+pub struct AsyncStaging {
+    capacity: usize,
+    inner: Mutex<(VariableRegistry, HashMap<VariableId, AsyncVar>)>,
+    cv: Condvar,
+    closed: AtomicBool,
+    total_lost: AtomicU64,
+}
+
+impl AsyncStaging {
+    /// Creates an area retaining at most `capacity` chunks per variable.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        AsyncStaging {
+            capacity,
+            inner: Mutex::new((VariableRegistry::new(), HashMap::new())),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            total_lost: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a variable.
+    pub fn register(&self, spec: VariableSpec) -> DtlResult<VariableId> {
+        let mut inner = self.inner.lock();
+        let readers = spec.expected_readers;
+        let id = inner.0.register(spec)?;
+        inner.1.entry(id).or_insert_with(|| AsyncVar {
+            queue: VecDeque::new(),
+            last_consumed: (0..readers).map(|r| (ReaderId(r), None)).collect(),
+            lost: 0,
+            produced: 0,
+            finished: false,
+        });
+        Ok(id)
+    }
+
+    /// Stages a chunk without blocking. If the queue is full the oldest
+    /// retained chunk is dropped (a lost frame).
+    pub fn put(&self, chunk: Chunk) -> DtlResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(DtlError::Closed);
+        }
+        let mut inner = self.inner.lock();
+        let var = chunk.id.variable;
+        let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
+            name: format!("id {}", var.0),
+        })?;
+        if state.finished {
+            return Err(DtlError::ProtocolViolation {
+                detail: "producer already finished this variable".into(),
+            });
+        }
+        if state.queue.len() >= self.capacity {
+            state.queue.pop_front();
+            state.lost += 1;
+            self.total_lost.fetch_add(1, Ordering::Relaxed);
+        }
+        state.produced += 1;
+        state.queue.push_back(chunk);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Marks a variable's production as finished, letting readers drain
+    /// and then observe end-of-stream.
+    pub fn finish(&self, var: VariableId) -> DtlResult<()> {
+        let mut inner = self.inner.lock();
+        let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
+            name: format!("id {}", var.0),
+        })?;
+        state.finished = true;
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Fetches the next chunk newer than the reader's last one, blocking
+    /// until one exists. Returns `Ok(None)` at end of stream. Frames the
+    /// reader skipped (dropped before it arrived) are simply absent.
+    pub fn next(
+        &self,
+        var: VariableId,
+        reader: ReaderId,
+        timeout: Duration,
+    ) -> DtlResult<Option<Chunk>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
+                name: format!("id {}", var.0),
+            })?;
+            let last = *state.last_consumed.get(&reader).ok_or_else(|| {
+                DtlError::ProtocolViolation { detail: format!("unknown reader {reader:?}") }
+            })?;
+            let candidate = state
+                .queue
+                .iter()
+                .find(|c| last.is_none_or(|l| c.id.step > l))
+                .cloned();
+            if let Some(chunk) = candidate {
+                state.last_consumed.insert(reader, Some(chunk.id.step));
+                // Garbage-collect chunks every reader has passed.
+                let min_last: Option<u64> = state
+                    .last_consumed
+                    .values()
+                    .map(|v| v.unwrap_or(0))
+                    .min();
+                let all_started = state.last_consumed.values().all(Option::is_some);
+                if all_started {
+                    if let Some(min_last) = min_last {
+                        while state.queue.front().is_some_and(|c| c.id.step <= min_last) {
+                            state.queue.pop_front();
+                        }
+                    }
+                }
+                self.cv.notify_all();
+                return Ok(Some(chunk));
+            }
+            if state.finished {
+                return Ok(None);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
+            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(DtlError::Timeout {
+                    operation: "next",
+                    variable: format!("id {}", var.0),
+                    step: 0,
+                });
+            }
+        }
+    }
+
+    /// Frames dropped for `var` so far.
+    pub fn lost_frames(&self, var: VariableId) -> u64 {
+        self.inner.lock().1.get(&var).map_or(0, |s| s.lost)
+    }
+
+    /// Frames staged for `var` so far.
+    pub fn produced_frames(&self, var: VariableId) -> u64 {
+        self.inner.lock().1.get(&var).map_or(0, |s| s.produced)
+    }
+
+    /// Total dropped frames across variables.
+    pub fn total_lost(&self) -> u64 {
+        self.total_lost.load(Ordering::Relaxed)
+    }
+
+    /// Closes the area, waking all blocked readers with an error.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _guard = self.inner.lock();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn spec(readers: u32) -> VariableSpec {
+        VariableSpec { name: "traj".into(), expected_readers: readers, home_node: 0 }
+    }
+
+    fn chunk(var: VariableId, step: u64) -> Chunk {
+        Chunk::new(var, step, 0, "raw", Bytes::from(vec![step as u8]))
+    }
+
+    #[test]
+    fn producer_never_blocks_and_drops_oldest() {
+        let s = AsyncStaging::new(2);
+        let var = s.register(spec(1)).unwrap();
+        for step in 0..5 {
+            s.put(chunk(var, step)).unwrap();
+        }
+        assert_eq!(s.produced_frames(var), 5);
+        assert_eq!(s.lost_frames(var), 3, "capacity 2 keeps only the newest 2 of 5");
+        // Reader sees only steps 3 and 4.
+        let c = s.next(var, ReaderId(0), Duration::from_millis(50)).unwrap().unwrap();
+        assert_eq!(c.id.step, 3);
+        let c = s.next(var, ReaderId(0), Duration::from_millis(50)).unwrap().unwrap();
+        assert_eq!(c.id.step, 4);
+    }
+
+    #[test]
+    fn end_of_stream_after_finish() {
+        let s = AsyncStaging::new(4);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0)).unwrap();
+        s.finish(var).unwrap();
+        assert!(s.next(var, ReaderId(0), Duration::from_millis(50)).unwrap().is_some());
+        assert!(s.next(var, ReaderId(0), Duration::from_millis(50)).unwrap().is_none());
+        // Producing after finish is a violation.
+        assert!(matches!(s.put(chunk(var, 1)), Err(DtlError::ProtocolViolation { .. })));
+    }
+
+    #[test]
+    fn slow_reader_loses_frames_fast_reader_does_not() {
+        let s = Arc::new(AsyncStaging::new(3));
+        let var = s.register(spec(1)).unwrap();
+        let producer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for step in 0..50u64 {
+                    s.put(chunk(var, step)).unwrap();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                s.finish(var).unwrap();
+            })
+        };
+        let mut seen = Vec::new();
+        while let Some(c) = s.next(var, ReaderId(0), Duration::from_secs(5)).unwrap() {
+            seen.push(c.id.step);
+            // A deliberately slow consumer.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        producer.join().unwrap();
+        // Steps are strictly increasing (never reordered, never repeated).
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.produced_frames(var), 50);
+        assert_eq!(s.lost_frames(var) + count_retained(&seen, 50), 50);
+    }
+
+    fn count_retained(seen: &[u64], _total: u64) -> u64 {
+        // Frames the reader consumed plus frames still skipped between
+        // its reads were either consumed or dropped; with one reader and
+        // a drained stream, consumed + lost = produced.
+        seen.len() as u64
+    }
+
+    #[test]
+    fn two_readers_progress_independently() {
+        let s = AsyncStaging::new(8);
+        let var = s.register(spec(2)).unwrap();
+        for step in 0..4 {
+            s.put(chunk(var, step)).unwrap();
+        }
+        // Reader 0 consumes two; reader 1 none yet.
+        assert_eq!(s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step, 0);
+        assert_eq!(s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step, 1);
+        // Reader 1 still starts at step 0 (retained: capacity not hit).
+        assert_eq!(s.next(var, ReaderId(1), Duration::from_millis(10)).unwrap().unwrap().id.step, 0);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_reader() {
+        let s = Arc::new(AsyncStaging::new(2));
+        let var = s.register(spec(1)).unwrap();
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.next(var, ReaderId(0), Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        s.close();
+        assert!(matches!(reader.join().unwrap(), Err(DtlError::Closed)));
+    }
+
+    #[test]
+    fn timeout_when_no_data() {
+        let s = AsyncStaging::new(2);
+        let var = s.register(spec(1)).unwrap();
+        let err = s.next(var, ReaderId(0), Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, DtlError::Timeout { .. }));
+    }
+}

@@ -1,0 +1,513 @@
+//! The synchronous staging area: blocking put/get with the paper's
+//! no-overwrite protocol, generic over the physical tier.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::chunk::{Chunk, ChunkId, ChunkMeta};
+use crate::error::{DtlError, DtlResult};
+use crate::protocol::{ReaderId, StepProtocol};
+use crate::staging::store::ChunkStore;
+use crate::variable::{VariableId, VariableRegistry, VariableSpec};
+
+/// Operation counters of a staging area.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagingStats {
+    /// Chunks staged.
+    pub puts: u64,
+    /// Chunk reads served.
+    pub gets: u64,
+    /// Payload bytes staged.
+    pub bytes_staged: u64,
+    /// Payload bytes served to readers.
+    pub bytes_served: u64,
+}
+
+struct Slot<H> {
+    id: ChunkId,
+    meta: ChunkMeta,
+    handle: Option<H>,
+    remaining: u32,
+    consumed_by: Vec<ReaderId>,
+}
+
+struct VarState<H> {
+    protocol: StepProtocol,
+    slots: Vec<Slot<H>>,
+}
+
+struct Inner<H> {
+    registry: VariableRegistry,
+    vars: HashMap<VariableId, VarState<H>>,
+}
+
+/// A blocking staging area enforcing `W₀ R₀ W₁ R₁ …` per variable.
+///
+/// With `capacity = 1` this is the paper's DIMES-style unbuffered
+/// in-memory staging; higher capacities model burst-buffer-like queueing
+/// (the buffering ablation).
+pub struct SyncStaging<B: ChunkStore> {
+    store: B,
+    capacity: u64,
+    inner: Mutex<Inner<B::Handle>>,
+    cv: Condvar,
+    closed: AtomicBool,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    bytes_staged: AtomicU64,
+    bytes_served: AtomicU64,
+}
+
+/// Default timeout for blocking operations — generous enough for real
+/// kernels, small enough that a deadlocked test fails quickly.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+impl<B: ChunkStore> SyncStaging<B> {
+    /// Creates a staging area over `store` with the given in-flight
+    /// chunk capacity per variable.
+    pub fn with_capacity(store: B, capacity: u64) -> Self {
+        assert!(capacity > 0);
+        SyncStaging {
+            store,
+            capacity,
+            inner: Mutex::new(Inner { registry: VariableRegistry::new(), vars: HashMap::new() }),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            bytes_staged: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The physical tier name ("memory", "pfs", …).
+    pub fn tier(&self) -> &'static str {
+        self.store.tier()
+    }
+
+    /// Registers a variable.
+    pub fn register(&self, spec: VariableSpec) -> DtlResult<VariableId> {
+        let mut inner = self.inner.lock();
+        let readers = spec.expected_readers;
+        let id = inner.registry.register(spec)?;
+        inner
+            .vars
+            .entry(id)
+            .or_insert_with(|| VarState { protocol: StepProtocol::new(readers, self.capacity), slots: Vec::new() });
+        Ok(id)
+    }
+
+    /// Looks up a registered variable by name.
+    pub fn lookup(&self, name: &str) -> DtlResult<VariableId> {
+        self.inner.lock().registry.lookup(name)
+    }
+
+    /// The spec of a registered variable.
+    pub fn variable_spec(&self, id: VariableId) -> VariableSpec {
+        self.inner.lock().registry.spec(id).clone()
+    }
+
+    /// Stages a chunk, blocking (up to `timeout`) until the protocol
+    /// admits it — i.e. until the previous chunk is fully consumed when
+    /// `capacity == 1`.
+    pub fn put_timeout(&self, chunk: Chunk, timeout: Duration) -> DtlResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        let var = chunk.id.variable;
+        let step = chunk.id.step;
+        // Fail fast on out-of-sequence writes: they can never become valid.
+        {
+            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
+                name: format!("id {}", var.0),
+            })?;
+            if step != state.protocol.next_write_step() {
+                return Err(DtlError::ProtocolViolation {
+                    detail: format!(
+                        "writer staged step {step} but the protocol expects step {}",
+                        state.protocol.next_write_step()
+                    ),
+                });
+            }
+        }
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
+            let state = inner.vars.get_mut(&var).expect("validated above");
+            if state.protocol.may_write(step) {
+                state.protocol.record_write(step)?;
+                let remaining = self.inner_spec_readers(&inner.registry, var);
+                let data_len = chunk.data.len() as u64;
+                let handle = self.store.store(chunk.id, chunk.data)?;
+                let state = inner.vars.get_mut(&var).expect("still present");
+                state.slots.push(Slot {
+                    id: chunk.id,
+                    meta: chunk.meta,
+                    handle: Some(handle),
+                    remaining,
+                    consumed_by: Vec::new(),
+                });
+                self.puts.fetch_add(1, Ordering::Relaxed);
+                self.bytes_staged.fetch_add(data_len, Ordering::Relaxed);
+                self.cv.notify_all();
+                return Ok(());
+            }
+            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(DtlError::Timeout {
+                    operation: "put",
+                    variable: format!("id {}", var.0),
+                    step,
+                });
+            }
+        }
+    }
+
+    fn inner_spec_readers(&self, registry: &VariableRegistry, var: VariableId) -> u32 {
+        registry.spec(var).expected_readers
+    }
+
+    /// Stages a chunk with the default timeout.
+    pub fn put(&self, chunk: Chunk) -> DtlResult<()> {
+        self.put_timeout(chunk, DEFAULT_TIMEOUT)
+    }
+
+    /// Fetches the chunk of `step`, blocking until the writer stages it.
+    /// Each reader must consume steps in order, exactly once.
+    pub fn get_timeout(
+        &self,
+        var: VariableId,
+        step: u64,
+        reader: ReaderId,
+        timeout: Duration,
+    ) -> DtlResult<Chunk> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        {
+            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
+                name: format!("id {}", var.0),
+            })?;
+            let expected = state.protocol.next_read_step(reader)?;
+            if step != expected {
+                return Err(DtlError::ProtocolViolation {
+                    detail: format!(
+                        "{reader:?} requested step {step} but must consume step {expected} next"
+                    ),
+                });
+            }
+        }
+        loop {
+            let state = inner.vars.get_mut(&var).expect("validated above");
+            if state.protocol.may_read(reader, step) {
+                state.protocol.record_read(reader, step)?;
+                let slot = state
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.id.step == step)
+                    .expect("protocol admitted a read, slot must exist");
+                slot.remaining -= 1;
+                slot.consumed_by.push(reader);
+                let handle_ref = slot.handle.as_ref().expect("payload present while readers remain");
+                let data = self.store.load(handle_ref)?;
+                let chunk = Chunk { id: slot.id, meta: slot.meta.clone(), data };
+                if slot.remaining == 0 {
+                    let handle = slot.handle.take().expect("last reader releases the payload");
+                    let idx = state.slots.iter().position(|s| s.id.step == step).expect("found above");
+                    state.slots.remove(idx);
+                    self.store.remove(handle)?;
+                }
+                self.gets.fetch_add(1, Ordering::Relaxed);
+                self.bytes_served.fetch_add(chunk.data.len() as u64, Ordering::Relaxed);
+                self.cv.notify_all();
+                return Ok(chunk);
+            }
+            // Not yet written. If the area is closed it never will be.
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
+            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(DtlError::Timeout {
+                    operation: "get",
+                    variable: format!("id {}", var.0),
+                    step,
+                });
+            }
+        }
+    }
+
+    /// Fetches with the default timeout.
+    pub fn get(&self, var: VariableId, step: u64, reader: ReaderId) -> DtlResult<Chunk> {
+        self.get_timeout(var, step, reader, DEFAULT_TIMEOUT)
+    }
+
+    /// Blocks until the writer may stage `step` (all consumers of the
+    /// previous chunk done under capacity 1) *without* writing — lets
+    /// callers separate the idle wait (`Iˢ`) from the write itself (`W`)
+    /// when measuring stages.
+    pub fn wait_writable(&self, var: VariableId, step: u64, timeout: Duration) -> DtlResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
+            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
+                name: format!("id {}", var.0),
+            })?;
+            if state.protocol.may_write(step) {
+                return Ok(());
+            }
+            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(DtlError::Timeout {
+                    operation: "wait_writable",
+                    variable: format!("id {}", var.0),
+                    step,
+                });
+            }
+        }
+    }
+
+    /// Blocks until `reader` may consume `step` *without* reading — lets
+    /// callers separate the data wait (`Iᴬ`) from the read itself (`R`).
+    pub fn wait_readable(
+        &self,
+        var: VariableId,
+        step: u64,
+        reader: ReaderId,
+        timeout: Duration,
+    ) -> DtlResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
+                name: format!("id {}", var.0),
+            })?;
+            if state.protocol.may_read(reader, step) {
+                return Ok(());
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
+            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+                return Err(DtlError::Timeout {
+                    operation: "wait_readable",
+                    variable: format!("id {}", var.0),
+                    step,
+                });
+            }
+        }
+    }
+
+    /// Closes the area: pending and future blocking operations fail with
+    /// [`DtlError::Closed`] (already-staged chunks can no longer be read;
+    /// producers call this after consumers finish).
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        // Wake all waiters so they observe the flag.
+        let _guard = self.inner.lock();
+        self.cv.notify_all();
+    }
+
+    /// Whether [`SyncStaging::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StagingStats {
+        StagingStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            bytes_staged: self.bytes_staged.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Access to the underlying store (e.g. memory accounting).
+    pub fn store(&self) -> &B {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staging::store::MemoryStore;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn staging(capacity: u64) -> Arc<SyncStaging<MemoryStore>> {
+        Arc::new(SyncStaging::with_capacity(MemoryStore::new(), capacity))
+    }
+
+    fn spec(readers: u32) -> VariableSpec {
+        VariableSpec { name: "traj".into(), expected_readers: readers, home_node: 0 }
+    }
+
+    fn chunk(var: VariableId, step: u64, payload: &'static [u8]) -> Chunk {
+        Chunk::new(var, step, 0, "raw", Bytes::from_static(payload))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"frame0")).unwrap();
+        let got = s.get(var, 0, ReaderId(0)).unwrap();
+        assert_eq!(got.data, Bytes::from_static(b"frame0"));
+        let stats = s.stats();
+        assert_eq!((stats.puts, stats.gets), (1, 1));
+        assert_eq!(stats.bytes_staged, 6);
+    }
+
+    #[test]
+    fn writer_blocks_until_all_readers_consume() {
+        let s = staging(1);
+        let var = s.register(spec(2)).unwrap();
+        s.put(chunk(var, 0, b"a")).unwrap();
+        // Second put must time out while readers are pending.
+        let err = s.put_timeout(chunk(var, 1, b"b"), Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DtlError::Timeout { operation: "put", .. }), "{err}");
+        s.get(var, 0, ReaderId(0)).unwrap();
+        let err = s.put_timeout(chunk(var, 1, b"b"), Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DtlError::Timeout { .. }), "still one reader pending");
+        s.get(var, 0, ReaderId(1)).unwrap();
+        s.put_timeout(chunk(var, 1, b"b"), Duration::from_millis(50)).unwrap();
+    }
+
+    #[test]
+    fn reader_blocks_until_chunk_arrives() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        let err = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DtlError::Timeout { operation: "get", .. }));
+        s.put(chunk(var, 0, b"x")).unwrap();
+        assert!(s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(50)).is_ok());
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        let producer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for step in 0..20u64 {
+                    let c = Chunk::new(var, step, 0, "raw", Bytes::from(vec![step as u8; 64]));
+                    s.put(c).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for step in 0..20u64 {
+                    let c = s.get(var, step, ReaderId(0)).unwrap();
+                    assert_eq!(c.data[0], step as u8);
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert_eq!(s.stats().puts, 20);
+        assert_eq!(s.stats().gets, 20);
+    }
+
+    #[test]
+    fn fan_out_to_k_readers() {
+        let s = staging(1);
+        let var = s.register(spec(3)).unwrap();
+        let producer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for step in 0..10u64 {
+                    s.put(Chunk::new(var, step, 0, "raw", Bytes::from(vec![1u8; 8]))).unwrap();
+                }
+            })
+        };
+        let consumers: Vec<_> = (0..3u32)
+            .map(|r| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for step in 0..10u64 {
+                        s.get(var, step, ReaderId(r)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(s.stats().gets, 30);
+        // All payloads released.
+        assert_eq!(s.store().bytes_held(), 0);
+    }
+
+    #[test]
+    fn out_of_order_put_rejected_immediately() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        let err = s.put_timeout(chunk(var, 5, b"x"), Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, DtlError::ProtocolViolation { .. }));
+    }
+
+    #[test]
+    fn double_read_rejected() {
+        let s = staging(1);
+        let var = s.register(spec(2)).unwrap();
+        s.put(chunk(var, 0, b"x")).unwrap();
+        s.get(var, 0, ReaderId(0)).unwrap();
+        let err = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, DtlError::ProtocolViolation { .. }));
+    }
+
+    #[test]
+    fn close_wakes_blocked_reader() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.get_timeout(var, 0, ReaderId(0), Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        s.close();
+        let res = reader.join().unwrap();
+        assert!(matches!(res, Err(DtlError::Closed)));
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn put_after_close_fails() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        s.close();
+        assert!(matches!(s.put(chunk(var, 0, b"x")), Err(DtlError::Closed)));
+    }
+
+    #[test]
+    fn capacity_two_allows_pipelining() {
+        let s = staging(2);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"a")).unwrap();
+        // With double buffering the second put succeeds before any read.
+        s.put_timeout(chunk(var, 1, b"b"), Duration::from_millis(50)).unwrap();
+        let err = s.put_timeout(chunk(var, 2, b"c"), Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DtlError::Timeout { .. }));
+        s.get(var, 0, ReaderId(0)).unwrap();
+        s.put_timeout(chunk(var, 2, b"c"), Duration::from_millis(50)).unwrap();
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let s = staging(1);
+        let bogus = VariableId(42);
+        assert!(matches!(s.put(chunk(bogus, 0, b"x")), Err(DtlError::UnknownVariable { .. })));
+        assert!(matches!(
+            s.get_timeout(bogus, 0, ReaderId(0), Duration::from_millis(10)),
+            Err(DtlError::UnknownVariable { .. })
+        ));
+    }
+}

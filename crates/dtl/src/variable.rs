@@ -1,0 +1,141 @@
+//! Variable registry: names the data streams flowing through the DTL.
+//!
+//! Each coupling (simulation → analyses) communicates through a named
+//! *variable* (e.g. `"trajectory/member0"`). The registry assigns dense
+//! ids, records the expected number of readers (the K analyses of the
+//! member), and the home node of the staged data (DIMES keeps chunks in
+//! the producer's node memory).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DtlError, DtlResult};
+
+/// Dense identifier of a registered variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VariableId(pub u32);
+
+/// Static description of one variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariableSpec {
+    /// Unique name.
+    pub name: String,
+    /// Number of readers that must consume each chunk before the writer
+    /// may stage the next one (the member's K analyses).
+    pub expected_readers: u32,
+    /// Node index holding the staged data (the producer's node under the
+    /// DIMES-style in-memory DTL).
+    pub home_node: usize,
+}
+
+/// Name → id mapping plus specs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VariableRegistry {
+    by_name: HashMap<String, VariableId>,
+    specs: Vec<VariableSpec>,
+}
+
+impl VariableRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a variable; re-registering the same name returns the
+    /// existing id only if the spec matches, otherwise errors.
+    pub fn register(&mut self, spec: VariableSpec) -> DtlResult<VariableId> {
+        assert!(spec.expected_readers > 0, "a variable needs at least one reader");
+        if let Some(&id) = self.by_name.get(&spec.name) {
+            if self.specs[id.0 as usize] == spec {
+                return Ok(id);
+            }
+            return Err(DtlError::ProtocolViolation {
+                detail: format!("variable '{}' re-registered with a different spec", spec.name),
+            });
+        }
+        let id = VariableId(self.specs.len() as u32);
+        self.by_name.insert(spec.name.clone(), id);
+        self.specs.push(spec);
+        Ok(id)
+    }
+
+    /// Looks up a variable by name.
+    pub fn lookup(&self, name: &str) -> DtlResult<VariableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DtlError::UnknownVariable { name: name.to_string() })
+    }
+
+    /// The spec of a registered id.
+    pub fn spec(&self, id: VariableId) -> &VariableSpec {
+        &self.specs[id.0 as usize]
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates `(id, spec)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VariableId, &VariableSpec)> {
+        self.specs.iter().enumerate().map(|(i, s)| (VariableId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> VariableSpec {
+        VariableSpec { name: name.into(), expected_readers: 2, home_node: 0 }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = VariableRegistry::new();
+        let id = r.register(spec("traj/0")).unwrap();
+        assert_eq!(r.lookup("traj/0").unwrap(), id);
+        assert_eq!(r.spec(id).expected_readers, 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn idempotent_reregistration() {
+        let mut r = VariableRegistry::new();
+        let a = r.register(spec("traj/0")).unwrap();
+        let b = r.register(spec("traj/0")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_reregistration_fails() {
+        let mut r = VariableRegistry::new();
+        r.register(spec("traj/0")).unwrap();
+        let mut other = spec("traj/0");
+        other.expected_readers = 5;
+        assert!(matches!(r.register(other), Err(DtlError::ProtocolViolation { .. })));
+    }
+
+    #[test]
+    fn unknown_lookup_fails() {
+        let r = VariableRegistry::new();
+        assert!(matches!(r.lookup("nope"), Err(DtlError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut r = VariableRegistry::new();
+        r.register(spec("a")).unwrap();
+        r.register(spec("b")).unwrap();
+        let names: Vec<_> = r.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property and stress tests of the staging tiers: the synchronous
+//! protocol's ordering guarantees must survive arbitrary thread
+//! interleavings and payload shapes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dtl::protocol::ReaderId;
+use dtl::staging::{burst_buffer, dimes, SyncStaging};
+use dtl::{Chunk, VariableSpec};
+use proptest::prelude::*;
+
+fn spec(name: &str, readers: u32) -> VariableSpec {
+    VariableSpec { name: name.into(), expected_readers: readers, home_node: 0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn payloads_arrive_intact_in_order(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 1..24),
+        readers in 1u32..4,
+        capacity in 1u64..4
+    ) {
+        let staging = Arc::new(burst_buffer(capacity));
+        let var = staging.register(spec("t", readers)).unwrap();
+        let expected: Vec<Bytes> = payloads.iter().cloned().map(Bytes::from).collect();
+
+        let producer = {
+            let staging = Arc::clone(&staging);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for (step, payload) in expected.into_iter().enumerate() {
+                    staging
+                        .put_timeout(
+                            Chunk::new(var, step as u64, 0, "raw", payload),
+                            Duration::from_secs(30),
+                        )
+                        .unwrap();
+                }
+            })
+        };
+        let consumers: Vec<_> = (0..readers)
+            .map(|r| {
+                let staging = Arc::clone(&staging);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for (step, want) in expected.iter().enumerate() {
+                        let got = staging
+                            .get_timeout(var, step as u64, ReaderId(r), Duration::from_secs(30))
+                            .unwrap();
+                        assert_eq!(&got.data, want, "payload corrupted at step {step}");
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        let stats = staging.stats();
+        prop_assert_eq!(stats.puts, expected.len() as u64);
+        prop_assert_eq!(stats.gets, expected.len() as u64 * readers as u64);
+        // Every byte staged was served to every reader.
+        let bytes: u64 = expected.iter().map(|p| p.len() as u64).sum();
+        prop_assert_eq!(stats.bytes_staged, bytes);
+        prop_assert_eq!(stats.bytes_served, bytes * readers as u64);
+    }
+
+    #[test]
+    fn memory_is_fully_reclaimed(
+        steps in 1u64..32,
+        payload_len in 1usize..2048
+    ) {
+        let staging = dimes();
+        let var = staging.register(spec("t", 1)).unwrap();
+        for step in 0..steps {
+            staging
+                .put(Chunk::new(var, step, 0, "raw", Bytes::from(vec![7u8; payload_len])))
+                .unwrap();
+            staging.get(var, step, ReaderId(0)).unwrap();
+        }
+        prop_assert_eq!(staging.store().bytes_held(), 0, "all chunks must be released");
+    }
+}
+
+#[test]
+fn many_members_interleave_without_cross_talk() {
+    // 8 members, each with its own variable and reader, all through one
+    // staging area concurrently.
+    let staging: Arc<SyncStaging<_>> = Arc::new(dimes());
+    let vars: Vec<_> = (0..8)
+        .map(|m| staging.register(spec(&format!("m{m}"), 1)).unwrap())
+        .collect();
+    let mut handles = Vec::new();
+    for (m, &var) in vars.iter().enumerate() {
+        let staging_w = Arc::clone(&staging);
+        handles.push(std::thread::spawn(move || {
+            for step in 0..40u64 {
+                let payload = Bytes::from(vec![m as u8; 32]);
+                staging_w.put(Chunk::new(var, step, m, "raw", payload)).unwrap();
+            }
+        }));
+        let staging_r = Arc::clone(&staging);
+        handles.push(std::thread::spawn(move || {
+            for step in 0..40u64 {
+                let c = staging_r.get(var, step, ReaderId(0)).unwrap();
+                assert!(c.data.iter().all(|&b| b == m as u8), "cross-talk at member {m}");
+                assert_eq!(c.meta.home_node, m);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(staging.stats().puts, 8 * 40);
+}
+
+#[test]
+fn pipelined_capacity_preserves_fifo_under_load() {
+    let staging = Arc::new(burst_buffer(3));
+    let var = staging.register(spec("t", 1)).unwrap();
+    let producer = {
+        let staging = Arc::clone(&staging);
+        std::thread::spawn(move || {
+            for step in 0..200u64 {
+                staging
+                    .put(Chunk::new(var, step, 0, "raw", Bytes::from(step.to_le_bytes().to_vec())))
+                    .unwrap();
+            }
+        })
+    };
+    for step in 0..200u64 {
+        let c = staging.get(var, step, ReaderId(0)).unwrap();
+        assert_eq!(u64::from_le_bytes(c.data[..].try_into().unwrap()), step);
+    }
+    producer.join().unwrap();
+}

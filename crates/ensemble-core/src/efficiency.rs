@@ -1,0 +1,134 @@
+//! Computational efficiency of an ensemble member (paper §3.3, Eq. 3):
+//!
+//! ```text
+//! E = (1/K) Σᵢ (1 − (Iˢ* + Iᴬⁱ*) / σ̄*)
+//!   = (S* + W*)/σ̄* + (Σᵢ Aⁱ* + Rⁱ*)/(K σ̄*) − 1
+//! ```
+//!
+//! Maximizing `E` minimizes idle time and, through Eq. 2, the member
+//! makespan.
+
+use crate::insitu_step::{idle_times, sigma_star};
+use crate::stage::MemberStageTimes;
+
+/// Eq. 3 via the closed form.
+pub fn efficiency(times: &MemberStageTimes) -> f64 {
+    let sigma = sigma_star(times);
+    if sigma <= 0.0 {
+        // Degenerate member that does no work: define E = 0.
+        return 0.0;
+    }
+    let k = times.k() as f64;
+    let analyses_busy: f64 = times.analyses.iter().map(|a| a.busy()).sum();
+    times.sim_busy() / sigma + analyses_busy / (k * sigma) - 1.0
+}
+
+/// Eq. 3 via the idle-time definition (used to cross-check the closed
+/// form in tests and to report per-coupling efficiency).
+pub fn efficiency_from_idle(times: &MemberStageTimes) -> f64 {
+    let sigma = sigma_star(times);
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    let idle = idle_times(times);
+    let k = times.k() as f64;
+    idle.analysis_idle
+        .iter()
+        .map(|ia| 1.0 - (idle.sim_idle + ia) / sigma)
+        .sum::<f64>()
+        / k
+}
+
+/// Per-coupling effective-computation fraction:
+/// `1 − (Iˢ* + Iᴬⁱ*) / σ̄*` for coupling `j` (0-based).
+pub fn coupling_efficiency(times: &MemberStageTimes, j: usize) -> f64 {
+    let sigma = sigma_star(times);
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    let idle = idle_times(times);
+    1.0 - (idle.sim_idle + idle.analysis_idle[j]) / sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::AnalysisStageTimes;
+
+    fn times(s: f64, w: f64, ra: &[(f64, f64)]) -> MemberStageTimes {
+        MemberStageTimes::new(
+            s,
+            w,
+            ra.iter().map(|&(r, a)| AnalysisStageTimes { r, a }).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfectly_balanced_member_has_efficiency_one() {
+        let t = times(10.0, 0.5, &[(0.5, 10.0)]);
+        assert!((efficiency(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_matches_idle_definition() {
+        for t in [
+            times(20.0, 0.5, &[(0.3, 15.0)]),
+            times(10.0, 0.5, &[(0.3, 25.0)]),
+            times(10.0, 0.5, &[(0.3, 5.0), (0.2, 30.0), (0.1, 8.0)]),
+            times(1.0, 0.0, &[(0.0, 0.5)]),
+        ] {
+            let a = efficiency(&t);
+            let b = efficiency_from_idle(&t);
+            assert!((a - b).abs() < 1e-12, "closed {a} vs idle {b}");
+        }
+    }
+
+    #[test]
+    fn efficiency_in_unit_interval() {
+        let t = times(20.0, 0.5, &[(0.3, 2.0)]);
+        let e = efficiency(&t);
+        assert!(e > 0.0 && e <= 1.0, "E = {e}");
+    }
+
+    #[test]
+    fn idle_analyzer_value_matches_hand_computation() {
+        // σ̄ = 20.5, analysis busy = 15.3: E = 20.5/20.5 + 15.3/20.5 − 1.
+        let t = times(20.0, 0.5, &[(0.3, 15.0)]);
+        let expected = 1.0 + 15.3 / 20.5 - 1.0;
+        assert!((efficiency(&t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_simulation_value_matches_hand_computation() {
+        // σ̄ = 25.3: E = 10.5/25.3 + 25.3/25.3 − 1 = 10.5/25.3.
+        let t = times(10.0, 0.5, &[(0.3, 25.0)]);
+        assert!((efficiency(&t) - 10.5 / 25.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_beats_imbalance() {
+        let balanced = times(10.0, 0.0, &[(0.0, 10.0)]);
+        let lopsided = times(10.0, 0.0, &[(0.0, 2.0)]);
+        assert!(efficiency(&balanced) > efficiency(&lopsided));
+    }
+
+    #[test]
+    fn k_couplings_average() {
+        // One perfectly-matched analysis, one fast (idle) one.
+        let t = times(10.0, 0.0, &[(0.0, 10.0), (0.0, 5.0)]);
+        let e0 = coupling_efficiency(&t, 0);
+        let e1 = coupling_efficiency(&t, 1);
+        assert!((e0 - 1.0).abs() < 1e-12);
+        assert!((e1 - 0.5).abs() < 1e-12);
+        assert!((efficiency(&t) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_zero_member() {
+        let t = times(0.0, 0.0, &[(0.0, 0.0)]);
+        assert_eq!(efficiency(&t), 0.0);
+        assert_eq!(efficiency_from_idle(&t), 0.0);
+        assert_eq!(coupling_efficiency(&t, 0), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors of the ensemble model.
+
+use std::fmt;
+
+/// Validation and computation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A member has no analyses (K must be ≥ 1).
+    NoAnalyses {
+        /// Offending member index.
+        member: usize,
+    },
+    /// A component requests zero cores.
+    ZeroCores {
+        /// Offending member index.
+        member: usize,
+        /// Offending component description.
+        component: String,
+    },
+    /// A component's node set is empty.
+    EmptyNodeSet {
+        /// Offending member index.
+        member: usize,
+        /// Offending component description.
+        component: String,
+    },
+    /// The components placed on a node request more cores than it has.
+    NodeOverSubscribed {
+        /// Offending node index.
+        node: usize,
+        /// Cores requested in total.
+        requested: u32,
+        /// Cores per node available.
+        capacity: u32,
+    },
+    /// An ensemble has no members.
+    EmptyEnsemble,
+    /// Stage-time inputs were invalid (negative or non-finite).
+    InvalidStageTimes {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoAnalyses { member } => {
+                write!(f, "member {member} has no analyses (K ≥ 1 required)")
+            }
+            ModelError::ZeroCores { member, component } => {
+                write!(f, "member {member}: component {component} requests zero cores")
+            }
+            ModelError::EmptyNodeSet { member, component } => {
+                write!(f, "member {member}: component {component} has an empty node set")
+            }
+            ModelError::NodeOverSubscribed { node, requested, capacity } => {
+                write!(f, "node {node} over-subscribed: {requested} cores requested, {capacity} available")
+            }
+            ModelError::EmptyEnsemble => write!(f, "ensemble has no members"),
+            ModelError::InvalidStageTimes { detail } => write!(f, "invalid stage times: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_subject() {
+        let e = ModelError::NodeOverSubscribed { node: 1, requested: 40, capacity: 32 };
+        assert!(e.to_string().contains("node 1"));
+        assert!(ModelError::EmptyEnsemble.to_string().contains("no members"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The placement indicator `CPᵢ` (paper §4.3, Eq. 6):
+//!
+//! ```text
+//! CPᵢ = (|sᵢ| / Kᵢ) Σⱼ 1 / |sᵢ ∪ aᵢʲ|
+//! ```
+//!
+//! `CPᵢ = 1` iff every analysis is co-located with its simulation;
+//! values sink toward 0 as components spread over dedicated nodes.
+
+use std::collections::BTreeSet;
+
+use crate::member::MemberSpec;
+
+/// Eq. 6 for one member.
+pub fn placement_indicator(member: &MemberSpec) -> f64 {
+    let k = member.k();
+    assert!(k > 0, "placement indicator requires at least one coupling");
+    let s_size = member.simulation.nodes.len() as f64;
+    let sum: f64 = member
+        .analyses
+        .iter()
+        .map(|a| {
+            let union: BTreeSet<usize> =
+                member.simulation.nodes.union(&a.nodes).copied().collect();
+            1.0 / union.len() as f64
+        })
+        .sum();
+    s_size / k as f64 * sum
+}
+
+/// The per-coupling ratio `|sᵢ| / |sᵢ ∪ aᵢʲ|` (0-based `j`).
+pub fn coupling_ratio(member: &MemberSpec, j: usize) -> f64 {
+    let union: BTreeSet<usize> = member
+        .simulation
+        .nodes
+        .union(&member.analyses[j].nodes)
+        .copied()
+        .collect();
+    member.simulation.nodes.len() as f64 / union.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentSpec;
+
+    fn member(sim_node: usize, ana_nodes: &[usize]) -> MemberSpec {
+        MemberSpec::new(
+            ComponentSpec::simulation(16, sim_node),
+            ana_nodes.iter().map(|&n| ComponentSpec::analysis(8, n)).collect(),
+        )
+    }
+
+    #[test]
+    fn fully_colocated_member_scores_one() {
+        assert!((placement_indicator(&member(0, &[0])) - 1.0).abs() < 1e-12);
+        assert!((placement_indicator(&member(0, &[0, 0])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedicated_analysis_halves_the_ratio() {
+        // |s| = 1, |s ∪ a| = 2.
+        assert!((placement_indicator(&member(0, &[1])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_placement_averages_couplings() {
+        // One co-located analysis (ratio 1), one dedicated (ratio 1/2).
+        let m = member(0, &[0, 2]);
+        assert!((placement_indicator(&m) - 0.75).abs() < 1e-12);
+        assert!((coupling_ratio(&m, 0) - 1.0).abs() < 1e-12);
+        assert!((coupling_ratio(&m, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_in_half_open_unit_interval() {
+        for m in [member(0, &[0]), member(0, &[1]), member(0, &[1, 2]), member(0, &[0, 1])] {
+            let cp = placement_indicator(&m);
+            assert!(cp > 0.0 && cp <= 1.0, "CP = {cp}");
+        }
+    }
+
+    #[test]
+    fn spreading_monotonically_decreases_cp() {
+        // More dedicated nodes per analysis ⇒ lower CP.
+        let tight = placement_indicator(&member(0, &[0, 0]));
+        let mid = placement_indicator(&member(0, &[0, 1]));
+        let loose = placement_indicator(&member(0, &[1, 2]));
+        assert!(tight > mid && mid > loose, "{tight} > {mid} > {loose}");
+    }
+
+    #[test]
+    fn paper_example_c1_1() {
+        // §4.1's worked example: C1.1 has s₁={0}, a₁¹={2} → CP = 1/2.
+        let m = member(0, &[2]);
+        assert!((placement_indicator(&m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_node_simulation() {
+        // A simulation spanning 2 nodes with the analysis inside them.
+        let m = MemberSpec::new(
+            ComponentSpec::spanning(crate::component::ComponentKind::Simulation, 32, [0, 1]),
+            vec![ComponentSpec::analysis(8, 1)],
+        );
+        assert!((placement_indicator(&m) - 1.0).abs() < 1e-12, "analysis within sim nodes");
+    }
+}

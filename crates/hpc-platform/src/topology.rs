@@ -1,0 +1,282 @@
+//! Platform topology: a homogeneous set of compute nodes plus the
+//! interconnect, with core-allocation bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlatformError;
+use crate::network::NetworkSpec;
+use crate::node::NodeSpec;
+
+/// How the cores of an allocation are bound to sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BindPolicy {
+    /// Threads spread round-robin across sockets (default Linux scheduler
+    /// behaviour for unbound processes, and what the paper's runs exhibit:
+    /// co-located components contend on both LLCs).
+    #[default]
+    Spread,
+    /// Threads packed onto as few sockets as possible (socket-compact
+    /// binding, e.g. `--cpu-bind=sockets`).
+    Compact,
+}
+
+/// A set of physical cores granted to one component on one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreAllocation {
+    /// Node index within the platform.
+    pub node: usize,
+    /// Cores taken from each socket of that node; `per_socket.len()`
+    /// equals the node's socket count and the entries sum to the total.
+    pub per_socket: Vec<u32>,
+}
+
+impl CoreAllocation {
+    /// Total cores in the allocation.
+    pub fn total_cores(&self) -> u32 {
+        self.per_socket.iter().sum()
+    }
+
+    /// Fraction of the allocation's cores living on socket `s`.
+    pub fn socket_fraction(&self, s: usize) -> f64 {
+        let total = self.total_cores();
+        if total == 0 {
+            0.0
+        } else {
+            self.per_socket[s] as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeState {
+    free_per_socket: Vec<u32>,
+    mem_reserved: u64,
+}
+
+/// A provisioned allocation of homogeneous compute nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    spec: NodeSpec,
+    network: NetworkSpec,
+    nodes: Vec<NodeState>,
+}
+
+impl Platform {
+    /// Creates a platform of `num_nodes` nodes of the given spec.
+    pub fn new(num_nodes: usize, spec: NodeSpec, network: NetworkSpec) -> Self {
+        assert!(spec.validate(), "invalid node spec");
+        assert!(network.validate(), "invalid network spec");
+        let state = NodeState {
+            free_per_socket: vec![spec.cores_per_socket; spec.sockets as usize],
+            mem_reserved: 0,
+        };
+        Platform { spec, network, nodes: vec![state; num_nodes] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The (homogeneous) node hardware description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// The interconnect description.
+    pub fn network(&self) -> &NetworkSpec {
+        &self.network
+    }
+
+    /// Cores still free on `node`.
+    pub fn free_cores(&self, node: usize) -> Result<u32, PlatformError> {
+        self.node_state(node).map(|n| n.free_per_socket.iter().sum())
+    }
+
+    fn node_state(&self, node: usize) -> Result<&NodeState, PlatformError> {
+        self.nodes
+            .get(node)
+            .ok_or(PlatformError::UnknownNode { node, nodes: self.nodes.len() })
+    }
+
+    /// Allocates `cores` physical cores on `node` under `policy`.
+    pub fn allocate(
+        &mut self,
+        node: usize,
+        cores: u32,
+        policy: BindPolicy,
+    ) -> Result<CoreAllocation, PlatformError> {
+        if cores == 0 {
+            return Err(PlatformError::EmptyAllocation);
+        }
+        let nodes_len = self.nodes.len();
+        let state = self
+            .nodes
+            .get_mut(node)
+            .ok_or(PlatformError::UnknownNode { node, nodes: nodes_len })?;
+        let available: u32 = state.free_per_socket.iter().sum();
+        if cores > available {
+            return Err(PlatformError::InsufficientCores { node, requested: cores, available });
+        }
+        let sockets = state.free_per_socket.len();
+        let mut per_socket = vec![0u32; sockets];
+        let mut remaining = cores;
+        match policy {
+            BindPolicy::Spread => {
+                // Round-robin across sockets, skipping exhausted ones.
+                let mut s = 0usize;
+                let mut stalled = 0usize;
+                while remaining > 0 {
+                    if state.free_per_socket[s] > per_socket[s] {
+                        per_socket[s] += 1;
+                        remaining -= 1;
+                        stalled = 0;
+                    } else {
+                        stalled += 1;
+                        debug_assert!(stalled <= sockets, "allocation accounting broken");
+                    }
+                    s = (s + 1) % sockets;
+                }
+            }
+            BindPolicy::Compact => {
+                // Fill sockets in index order.
+                for s in 0..sockets {
+                    let take = remaining.min(state.free_per_socket[s]);
+                    per_socket[s] = take;
+                    remaining -= take;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        for (s, taken) in per_socket.iter().enumerate() {
+            state.free_per_socket[s] -= taken;
+        }
+        Ok(CoreAllocation { node, per_socket })
+    }
+
+    /// Returns the cores of an allocation to the free pool.
+    pub fn release(&mut self, alloc: &CoreAllocation) {
+        let state = &mut self.nodes[alloc.node];
+        for (s, &taken) in alloc.per_socket.iter().enumerate() {
+            state.free_per_socket[s] += taken;
+            debug_assert!(state.free_per_socket[s] <= self.spec.cores_per_socket);
+        }
+    }
+
+    /// Reserves `bytes` of DRAM on `node` (e.g. for a staging area).
+    pub fn reserve_memory(&mut self, node: usize, bytes: u64) -> Result<(), PlatformError> {
+        let capacity = self.spec.dram_bytes;
+        let nodes_len = self.nodes.len();
+        let state = self
+            .nodes
+            .get_mut(node)
+            .ok_or(PlatformError::UnknownNode { node, nodes: nodes_len })?;
+        let requested = state.mem_reserved + bytes;
+        if requested > capacity {
+            return Err(PlatformError::InsufficientMemory { node, requested, capacity });
+        }
+        state.mem_reserved = requested;
+        Ok(())
+    }
+
+    /// DRAM currently reserved on `node`.
+    pub fn reserved_memory(&self, node: usize) -> Result<u64, PlatformError> {
+        self.node_state(node).map(|n| n.mem_reserved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cori::{aries_network, cori_node};
+
+    fn platform(n: usize) -> Platform {
+        Platform::new(n, cori_node(), aries_network())
+    }
+
+    #[test]
+    fn spread_allocation_splits_across_sockets() {
+        let mut p = platform(1);
+        let a = p.allocate(0, 16, BindPolicy::Spread).unwrap();
+        assert_eq!(a.per_socket, vec![8, 8]);
+        assert_eq!(a.total_cores(), 16);
+        assert_eq!(p.free_cores(0).unwrap(), 16);
+    }
+
+    #[test]
+    fn compact_allocation_fills_first_socket() {
+        let mut p = platform(1);
+        let a = p.allocate(0, 16, BindPolicy::Compact).unwrap();
+        assert_eq!(a.per_socket, vec![16, 0]);
+        let b = p.allocate(0, 8, BindPolicy::Compact).unwrap();
+        assert_eq!(b.per_socket, vec![0, 8]);
+    }
+
+    #[test]
+    fn odd_spread_allocation() {
+        let mut p = platform(1);
+        let a = p.allocate(0, 7, BindPolicy::Spread).unwrap();
+        assert_eq!(a.per_socket.iter().sum::<u32>(), 7);
+        assert_eq!(a.per_socket[0], 4);
+        assert_eq!(a.per_socket[1], 3);
+    }
+
+    #[test]
+    fn spread_handles_uneven_free_cores() {
+        let mut p = platform(1);
+        let _first = p.allocate(0, 20, BindPolicy::Compact).unwrap(); // [16, 4]
+        // Only 12 cores free, all on socket 1.
+        let second = p.allocate(0, 10, BindPolicy::Spread).unwrap();
+        assert_eq!(second.per_socket, vec![0, 10]);
+    }
+
+    #[test]
+    fn over_allocation_fails() {
+        let mut p = platform(1);
+        p.allocate(0, 30, BindPolicy::Spread).unwrap();
+        let err = p.allocate(0, 4, BindPolicy::Spread).unwrap_err();
+        assert_eq!(err, PlatformError::InsufficientCores { node: 0, requested: 4, available: 2 });
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut p = platform(1);
+        let a = p.allocate(0, 32, BindPolicy::Spread).unwrap();
+        assert_eq!(p.free_cores(0).unwrap(), 0);
+        p.release(&a);
+        assert_eq!(p.free_cores(0).unwrap(), 32);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut p = platform(2);
+        assert!(matches!(
+            p.allocate(5, 1, BindPolicy::Spread),
+            Err(PlatformError::UnknownNode { node: 5, nodes: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_core_allocation_rejected() {
+        let mut p = platform(1);
+        assert_eq!(p.allocate(0, 0, BindPolicy::Spread).unwrap_err(), PlatformError::EmptyAllocation);
+    }
+
+    #[test]
+    fn memory_reservation_tracks_and_limits() {
+        let mut p = platform(1);
+        p.reserve_memory(0, 64 * 1024 * 1024 * 1024).unwrap();
+        assert_eq!(p.reserved_memory(0).unwrap(), 64 * 1024 * 1024 * 1024);
+        let err = p.reserve_memory(0, 100 * 1024 * 1024 * 1024).unwrap_err();
+        assert!(matches!(err, PlatformError::InsufficientMemory { .. }));
+    }
+
+    #[test]
+    fn socket_fraction() {
+        let a = CoreAllocation { node: 0, per_socket: vec![12, 4] };
+        assert!((a.socket_fraction(0) - 0.75).abs() < 1e-12);
+        assert!((a.socket_fraction(1) - 0.25).abs() < 1e-12);
+    }
+}

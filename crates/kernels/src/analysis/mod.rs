@@ -1,0 +1,17 @@
+//! The in situ analysis kernel family: bipartite contact matrices over
+//! frames and their largest eigenvalue as a collective variable (the
+//! algorithm class of Johnston et al. cited by the paper).
+
+pub mod analyzer;
+pub mod bipartite;
+pub mod descriptors;
+pub mod kernel_trait;
+pub mod msd;
+pub mod power_iter;
+
+pub use analyzer::{AnalysisOutput, CvSeries, EigenAnalysis};
+pub use descriptors::{ContactCount, RadiusOfGyration, RmsdKernel};
+pub use kernel_trait::FrameKernel;
+pub use msd::MsdKernel;
+pub use bipartite::{BipartiteGroups, BipartiteMatrix};
+pub use power_iter::{largest_singular_value, PowerIterConfig, PowerIterResult};

@@ -1,0 +1,33 @@
+//! # kernels — the ensemble components' actual workloads
+//!
+//! The paper's ensemble members couple a GROMACS molecular-dynamics
+//! simulation with a largest-eigenvalue bipartite-matrix analysis. This
+//! crate provides real, runnable stand-ins plus their architectural
+//! profiles for the simulated platform:
+//!
+//! * [`md`] — a Lennard-Jones MD engine (cell lists, velocity Verlet,
+//!   Berendsen thermostat) producing [`md::Frame`]s every *stride* steps,
+//!   exactly the iterative produce/stage pattern of the paper;
+//! * [`analysis`] — the bipartite contact-matrix + power-iteration
+//!   collective-variable kernel (the analysis the paper runs in situ);
+//! * [`synthetic`] — tunable compute/memory kernels for stress tests and
+//!   failure injection;
+//! * [`profile`] — [`hpc_platform::Workload`] presets calibrated so the
+//!   simulated platform reproduces the paper's §3.4 operating point
+//!   (20 s simulation steps, the Figure 7 core-count crossover, and the
+//!   co-location contention ordering of Figure 3).
+//!
+//! Both kernels are data-parallel with Rayon and deterministic for a
+//! fixed seed.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod md;
+pub mod profile;
+pub mod synthetic;
+
+pub use analysis::{AnalysisOutput, CvSeries, EigenAnalysis};
+pub use md::{Frame, MdConfig, MdSimulation};
+pub use profile::{analysis_workload, frame_bytes, simulation_workload};
+pub use synthetic::SyntheticKernel;

@@ -1,0 +1,165 @@
+//! Linked-cell neighbour search: O(N) force evaluation for short-range
+//! potentials.
+
+use super::system::MolecularSystem;
+
+/// A spatial decomposition of the box into cubic cells at least as wide as
+/// the interaction cutoff, so that all neighbours of an atom lie in its own
+/// or the 26 adjacent cells.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    /// Cells per box edge.
+    pub cells_per_side: usize,
+    /// Cell edge length.
+    pub cell_len: f64,
+    /// Atom indices per cell, `cells_per_side³` entries.
+    cells: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Builds the cell list for the current positions with the given
+    /// cutoff. Falls back to a single cell when the box is small.
+    pub fn build(system: &MolecularSystem, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        let cells_per_side = ((system.box_len / cutoff).floor() as usize).max(1);
+        let cell_len = system.box_len / cells_per_side as f64;
+        let n_cells = cells_per_side * cells_per_side * cells_per_side;
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+        for (i, p) in system.positions.iter().enumerate() {
+            let idx = Self::cell_of(p, cell_len, cells_per_side, system.box_len);
+            cells[idx].push(i as u32);
+        }
+        CellList { cells_per_side, cell_len, cells }
+    }
+
+    #[inline]
+    fn cell_of(p: &[f64; 3], cell_len: f64, cps: usize, box_len: f64) -> usize {
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            // Positions may sit exactly on the upper boundary after wrap.
+            let mut x = p[d];
+            if x >= box_len {
+                x -= box_len;
+            }
+            if x < 0.0 {
+                x += box_len;
+            }
+            c[d] = ((x / cell_len) as usize).min(cps - 1);
+        }
+        (c[0] * cps + c[1]) * cps + c[2]
+    }
+
+    /// The cell index containing `p`.
+    pub fn cell_index(&self, p: &[f64; 3], box_len: f64) -> usize {
+        Self::cell_of(p, self.cell_len, self.cells_per_side, box_len)
+    }
+
+    /// Atoms in cell `idx`.
+    pub fn cell(&self, idx: usize) -> &[u32] {
+        &self.cells[idx]
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates the indices of the 27 cells in the neighbourhood of the
+    /// cell containing `p` (with periodic wrap); cells may repeat when the
+    /// box is fewer than three cells wide, so the caller deduplicates by
+    /// checking atom identity, not cell identity.
+    pub fn neighbourhood(&self, p: &[f64; 3], box_len: f64) -> Vec<usize> {
+        let cps = self.cells_per_side as isize;
+        let idx = self.cell_index(p, box_len);
+        let cx = (idx / (self.cells_per_side * self.cells_per_side)) as isize;
+        let cy = ((idx / self.cells_per_side) % self.cells_per_side) as isize;
+        let cz = (idx % self.cells_per_side) as isize;
+        let mut out = Vec::with_capacity(27);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    let x = (cx + dx).rem_euclid(cps) as usize;
+                    let y = (cy + dy).rem_euclid(cps) as usize;
+                    let z = (cz + dz).rem_euclid(cps) as usize;
+                    let cell = (x * self.cells_per_side + y) * self.cells_per_side + z;
+                    if !out.contains(&cell) {
+                        out.push(cell);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total atoms stored (sanity check: must equal the system size).
+    pub fn total_atoms(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MolecularSystem {
+        MolecularSystem::lattice(5, 0.8, 1.0, 3)
+    }
+
+    #[test]
+    fn all_atoms_binned() {
+        let s = system();
+        let cl = CellList::build(&s, 2.5);
+        assert_eq!(cl.total_atoms(), s.len());
+    }
+
+    #[test]
+    fn cell_width_at_least_cutoff() {
+        let s = system();
+        let cl = CellList::build(&s, 2.5);
+        assert!(cl.cell_len >= 2.5);
+    }
+
+    #[test]
+    fn neighbourhood_contains_own_cell() {
+        let s = system();
+        let cl = CellList::build(&s, 2.5);
+        let p = s.positions[7];
+        let own = cl.cell_index(&p, s.box_len);
+        assert!(cl.neighbourhood(&p, s.box_len).contains(&own));
+    }
+
+    #[test]
+    fn neighbourhood_covers_all_close_pairs() {
+        // Brute-force check: every pair within the cutoff must be findable
+        // via the neighbourhood of either atom.
+        let s = system();
+        let cutoff = 2.5;
+        let cl = CellList::build(&s, cutoff);
+        for i in 0..s.len() {
+            let hood = cl.neighbourhood(&s.positions[i], s.box_len);
+            for j in 0..s.len() {
+                if i == j {
+                    continue;
+                }
+                let dr = s.min_image(i, j);
+                let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
+                if r2 < cutoff * cutoff {
+                    let j_cell = cl.cell_index(&s.positions[j], s.box_len);
+                    assert!(
+                        hood.contains(&j_cell),
+                        "pair ({i},{j}) at r={} not covered",
+                        r2.sqrt()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_box_degenerates_to_one_cell() {
+        let s = MolecularSystem::lattice(2, 0.9, 1.0, 3);
+        let cl = CellList::build(&s, s.box_len * 2.0);
+        assert_eq!(cl.num_cells(), 1);
+        assert_eq!(cl.total_atoms(), s.len());
+    }
+}

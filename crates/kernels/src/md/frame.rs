@@ -1,0 +1,188 @@
+//! Trajectory frames: the data a simulation stages for in situ analysis.
+//!
+//! Frames carry single-precision positions (as trajectory formats do) plus
+//! the MD step index and physical time; [`Frame::to_bytes`] /
+//! [`Frame::from_bytes`] give the canonical little-endian wire encoding
+//! used by the DTL plugins.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A snapshot of atomic positions at one output step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// MD step index at which the frame was produced.
+    pub step: u64,
+    /// Physical time of the frame (simulation units).
+    pub time: f64,
+    /// Box edge length.
+    pub box_len: f32,
+    /// Positions, one `[x, y, z]` triple per atom.
+    pub positions: Vec<[f32; 3]>,
+}
+
+/// Wire-format magic ("INSF") guarding against decoding junk.
+const MAGIC: u32 = 0x494E_5346;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDecodeError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Header promised more atoms than the buffer contains.
+    LengthMismatch {
+        /// Atoms promised by the header.
+        expected_atoms: usize,
+        /// Bytes actually available for positions.
+        available_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameDecodeError::Truncated => write!(f, "frame buffer truncated"),
+            FrameDecodeError::BadMagic => write!(f, "frame magic mismatch"),
+            FrameDecodeError::LengthMismatch { expected_atoms, available_bytes } => write!(
+                f,
+                "frame header promises {expected_atoms} atoms but only {available_bytes} bytes remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+impl Frame {
+    /// Number of atoms in the frame.
+    pub fn num_atoms(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Size of the wire encoding in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 8 + 4 + 8 + self.positions.len() * 12
+    }
+
+    /// Serializes the frame to its little-endian wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32_le(MAGIC);
+        buf.put_u64_le(self.step);
+        buf.put_f64_le(self.time);
+        buf.put_f32_le(self.box_len);
+        buf.put_u64_le(self.positions.len() as u64);
+        for p in &self.positions {
+            buf.put_f32_le(p[0]);
+            buf.put_f32_le(p[1]);
+            buf.put_f32_le(p[2]);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame from its wire format.
+    pub fn from_bytes(mut data: Bytes) -> Result<Frame, FrameDecodeError> {
+        if data.len() < 32 {
+            return Err(FrameDecodeError::Truncated);
+        }
+        if data.get_u32_le() != MAGIC {
+            return Err(FrameDecodeError::BadMagic);
+        }
+        let step = data.get_u64_le();
+        let time = data.get_f64_le();
+        let box_len = data.get_f32_le();
+        let n = data.get_u64_le() as usize;
+        if data.remaining() < n * 12 {
+            return Err(FrameDecodeError::LengthMismatch {
+                expected_atoms: n,
+                available_bytes: data.remaining(),
+            });
+        }
+        let mut positions = Vec::with_capacity(n);
+        for _ in 0..n {
+            positions.push([data.get_f32_le(), data.get_f32_le(), data.get_f32_le()]);
+        }
+        Ok(Frame { step, time, box_len, positions })
+    }
+
+    /// Builds a frame by down-converting double-precision positions.
+    pub fn from_positions(step: u64, time: f64, box_len: f64, positions: &[[f64; 3]]) -> Frame {
+        Frame {
+            step,
+            time,
+            box_len: box_len as f32,
+            positions: positions
+                .iter()
+                .map(|p| [p[0] as f32, p[1] as f32, p[2] as f32])
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame {
+            step: 800,
+            time: 1.6,
+            box_len: 9.5,
+            positions: vec![[1.0, 2.0, 3.0], [4.5, 5.5, 6.5]],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = frame();
+        let decoded = Frame::from_bytes(f.to_bytes()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let f = frame();
+        assert_eq!(f.to_bytes().len(), f.encoded_len());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let f = frame();
+        let bytes = f.to_bytes();
+        let cut = bytes.slice(0..10);
+        assert_eq!(Frame::from_bytes(cut), Err(FrameDecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let f = frame();
+        let mut raw = f.to_bytes().to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(Frame::from_bytes(Bytes::from(raw)), Err(FrameDecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let f = frame();
+        let bytes = f.to_bytes();
+        let cut = bytes.slice(0..bytes.len() - 4);
+        assert!(matches!(
+            Frame::from_bytes(cut),
+            Err(FrameDecodeError::LengthMismatch { expected_atoms: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let f = Frame { step: 0, time: 0.0, box_len: 1.0, positions: vec![] };
+        assert_eq!(Frame::from_bytes(f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn from_positions_downcasts() {
+        let f = Frame::from_positions(1, 0.5, 10.0, &[[1.5, 2.5, 3.5]]);
+        assert_eq!(f.positions, vec![[1.5f32, 2.5, 3.5]]);
+        assert_eq!(f.box_len, 10.0f32);
+    }
+}

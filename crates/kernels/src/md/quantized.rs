@@ -1,0 +1,177 @@
+//! Quantized (lossy) frame compression for staging — the XTC-style
+//! trick: positions are snapped to a uniform grid over the box and
+//! stored as `u16` per coordinate, halving the wire size of a frame
+//! with a bounded, user-chosen precision.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use super::frame::{Frame, FrameDecodeError};
+
+/// Wire magic for the quantized format ("INSQ").
+const MAGIC: u32 = 0x494E_5351;
+
+/// Encodes a frame with coordinates quantized to `u16` grid cells over
+/// `[0, box_len)`. The maximum round-trip error per coordinate is
+/// `box_len / 65536 / 2`.
+pub fn encode_quantized(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(28 + frame.num_atoms() * 6);
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(frame.step);
+    buf.put_f64_le(frame.time);
+    buf.put_f32_le(frame.box_len);
+    buf.put_u64_le(frame.num_atoms() as u64);
+    let scale = 65535.0 / frame.box_len.max(f32::MIN_POSITIVE);
+    for p in &frame.positions {
+        for &x in p {
+            // Wrap defensively, then quantize.
+            let mut v = x;
+            if v < 0.0 {
+                v += frame.box_len;
+            }
+            if v >= frame.box_len {
+                v -= frame.box_len;
+            }
+            let q = (v * scale).clamp(0.0, 65535.0) as u16;
+            buf.put_u16_le(q);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a quantized frame.
+pub fn decode_quantized(mut data: Bytes) -> Result<Frame, FrameDecodeError> {
+    if data.len() < 32 {
+        return Err(FrameDecodeError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(FrameDecodeError::BadMagic);
+    }
+    let step = data.get_u64_le();
+    let time = data.get_f64_le();
+    let box_len = data.get_f32_le();
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 6 {
+        return Err(FrameDecodeError::LengthMismatch {
+            expected_atoms: n,
+            available_bytes: data.remaining(),
+        });
+    }
+    let inv_scale = box_len / 65535.0;
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        positions.push([
+            data.get_u16_le() as f32 * inv_scale,
+            data.get_u16_le() as f32 * inv_scale,
+            data.get_u16_le() as f32 * inv_scale,
+        ]);
+    }
+    Ok(Frame { step, time, box_len, positions })
+}
+
+/// Bytes of the quantized encoding for `atoms` atoms.
+pub fn quantized_len(atoms: usize) -> usize {
+    32 + atoms * 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame {
+            step: 7,
+            time: 0.014,
+            box_len: 12.5,
+            positions: vec![[0.0, 6.25, 12.49], [3.3, 9.9, 0.01], [11.1, 2.2, 5.5]],
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let f = frame();
+        let decoded = decode_quantized(encode_quantized(&f)).unwrap();
+        assert_eq!(decoded.step, f.step);
+        assert_eq!(decoded.num_atoms(), f.num_atoms());
+        let tolerance = f.box_len / 65535.0; // one grid cell
+        for (a, b) in decoded.positions.iter().zip(&f.positions) {
+            for d in 0..3 {
+                assert!(
+                    (a[d] - b[d]).abs() <= tolerance,
+                    "coordinate error {} exceeds one cell {}",
+                    (a[d] - b[d]).abs(),
+                    tolerance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_roughly_half() {
+        let f = Frame {
+            step: 0,
+            time: 0.0,
+            box_len: 10.0,
+            positions: vec![[1.0; 3]; 10_000],
+        };
+        let full = f.to_bytes().len();
+        let quant = encode_quantized(&f).len();
+        assert_eq!(quant, quantized_len(10_000));
+        assert!(
+            (quant as f64) < 0.55 * full as f64,
+            "quantized {quant} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn negative_and_overflow_coordinates_are_wrapped() {
+        let f = Frame {
+            step: 0,
+            time: 0.0,
+            box_len: 10.0,
+            positions: vec![[-0.5, 10.2, 5.0]],
+        };
+        let decoded = decode_quantized(encode_quantized(&f)).unwrap();
+        let p = decoded.positions[0];
+        assert!((p[0] - 9.5).abs() < 1e-3, "wrapped -0.5 → 9.5, got {}", p[0]);
+        assert!((p[1] - 0.2).abs() < 1e-3, "wrapped 10.2 → 0.2, got {}", p[1]);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert_eq!(
+            decode_quantized(Bytes::from_static(b"short")),
+            Err(FrameDecodeError::Truncated)
+        );
+        let mut raw = encode_quantized(&frame()).to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(decode_quantized(Bytes::from(raw)), Err(FrameDecodeError::BadMagic));
+        let good = encode_quantized(&frame());
+        let cut = good.slice(0..good.len() - 3);
+        assert!(matches!(
+            decode_quantized(cut),
+            Err(FrameDecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn analysis_survives_quantization() {
+        // The eigenvalue CV over a quantized frame stays within a tight
+        // tolerance of the exact one.
+        use crate::analysis::EigenAnalysis;
+        use crate::md::{MdConfig, MdSimulation};
+        let mut sim = MdSimulation::new(&MdConfig {
+            atoms_per_side: 4,
+            stride: 10,
+            ..Default::default()
+        });
+        let f = sim.advance_stride();
+        let q = decode_quantized(encode_quantized(&f)).unwrap();
+        let kernel = EigenAnalysis::interleaved(f.num_atoms(), 16, 1.2);
+        let exact = kernel.analyze(&f).collective_variable;
+        let lossy = kernel.analyze(&q).collective_variable;
+        assert!(
+            (exact - lossy).abs() / exact < 1e-3,
+            "CV drifted: {exact} vs {lossy}"
+        );
+    }
+}

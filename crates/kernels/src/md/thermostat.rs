@@ -1,0 +1,62 @@
+//! Berendsen weak-coupling thermostat.
+
+use super::system::MolecularSystem;
+
+/// Berendsen thermostat: velocities are scaled toward the target
+/// temperature with relaxation time `tau` (in the same units as `dt`).
+#[derive(Debug, Clone, Copy)]
+pub struct Berendsen {
+    /// Target temperature.
+    pub target: f64,
+    /// Coupling time constant; larger = gentler.
+    pub tau: f64,
+}
+
+impl Berendsen {
+    /// Applies one thermostat step after an integration step of size `dt`.
+    pub fn apply(&self, system: &mut MolecularSystem, dt: f64) {
+        let current = system.temperature();
+        if current <= 0.0 {
+            return;
+        }
+        let lambda = (1.0 + dt / self.tau * (self.target / current - 1.0)).max(0.0).sqrt();
+        for v in &mut system.velocities {
+            for d in 0..3 {
+                v[d] *= lambda;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::forces::{compute_forces, LjParams};
+    use crate::md::integrator::velocity_verlet_step;
+
+    #[test]
+    fn drives_temperature_to_target() {
+        let mut s = MolecularSystem::lattice(4, 0.8, 2.0, 31);
+        let params = LjParams::default();
+        let thermostat = Berendsen { target: 1.0, tau: 0.02 };
+        compute_forces(&mut s, &params);
+        for _ in 0..300 {
+            velocity_verlet_step(&mut s, &params, 0.002);
+            thermostat.apply(&mut s, 0.002);
+        }
+        let t = s.temperature();
+        assert!((t - 1.0).abs() < 0.15, "temperature {t} not near target");
+    }
+
+    #[test]
+    fn identity_when_at_target() {
+        let mut s = MolecularSystem::lattice(3, 0.8, 1.0, 32);
+        let before = s.velocities.clone();
+        Berendsen { target: s.temperature(), tau: 0.1 }.apply(&mut s, 0.002);
+        for (a, b) in s.velocities.iter().zip(&before) {
+            for d in 0..3 {
+                assert!((a[d] - b[d]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Synthetic kernels with tunable compute/memory intensity.
+//!
+//! Used for failure injection, runtime stress tests, and as stand-ins when
+//! an experiment wants a component with a precisely known profile.
+
+use std::hint::black_box;
+
+/// A kernel that alternates arithmetic with strided buffer walks, letting
+/// tests dial compute-bound vs memory-bound behaviour.
+#[derive(Debug, Clone)]
+pub struct SyntheticKernel {
+    /// Floating-point multiply-add iterations per step.
+    pub flops_per_step: u64,
+    /// Size of the buffer walked each step (bytes).
+    pub buffer_bytes: usize,
+    /// Passes over the buffer per step.
+    pub passes: u32,
+    buffer: Vec<u64>,
+}
+
+impl SyntheticKernel {
+    /// Builds the kernel and touches its buffer (first-touch paging).
+    pub fn new(flops_per_step: u64, buffer_bytes: usize, passes: u32) -> Self {
+        let words = buffer_bytes / 8;
+        let buffer: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        SyntheticKernel { flops_per_step, buffer_bytes, passes, buffer }
+    }
+
+    /// Runs one step; returns a value derived from all the work so the
+    /// optimizer cannot elide it.
+    pub fn step(&mut self) -> f64 {
+        // Compute phase: dependent FMA chain.
+        let mut acc = 1.000000001f64;
+        for _ in 0..self.flops_per_step {
+            acc = acc.mul_add(1.000000001, 1e-12);
+        }
+        // Memory phase: strided walk defeating prefetch-friendly patterns.
+        let mut sum = 0u64;
+        let len = self.buffer.len();
+        if len > 0 {
+            const STRIDE: usize = 17; // coprime with typical power-of-two lengths
+            for _ in 0..self.passes {
+                let mut idx = 0usize;
+                for _ in 0..len {
+                    sum = sum.wrapping_add(self.buffer[idx]);
+                    self.buffer[idx] = self.buffer[idx].rotate_left(1);
+                    idx = (idx + STRIDE) % len;
+                }
+            }
+        }
+        black_box(acc + sum as f64 * 1e-20)
+    }
+
+    /// A compute-dominated preset.
+    pub fn compute_bound(flops: u64) -> Self {
+        SyntheticKernel::new(flops, 4096, 1)
+    }
+
+    /// A memory-dominated preset.
+    pub fn memory_bound(buffer_bytes: usize, passes: u32) -> Self {
+        SyntheticKernel::new(1_000, buffer_bytes, passes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_produces_finite_value() {
+        let mut k = SyntheticKernel::new(1_000, 1 << 16, 2);
+        let v = k.step();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn buffer_mutates_between_steps() {
+        let mut k = SyntheticKernel::memory_bound(1 << 12, 1);
+        let before = k.buffer.clone();
+        k.step();
+        assert_ne!(before, k.buffer);
+    }
+
+    #[test]
+    fn zero_buffer_is_safe() {
+        let mut k = SyntheticKernel::new(100, 0, 3);
+        assert!(k.step().is_finite());
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let c = SyntheticKernel::compute_bound(1_000_000);
+        assert!(c.flops_per_step >= 1_000_000);
+        let m = SyntheticKernel::memory_bound(1 << 20, 4);
+        assert_eq!(m.buffer_bytes, 1 << 20);
+        assert_eq!(m.passes, 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Physics validation of the MD engine over longer horizons: the
+//! conservation laws and statistical-mechanics sanity checks a real
+//! simulation engine must pass.
+
+use kernels::analysis::{FrameKernel, MsdKernel};
+use kernels::md::{
+    compute_forces, compute_forces_full, pressure, velocity_verlet_step, LjParams, MdConfig,
+    MdSimulation, MolecularSystem,
+};
+
+#[test]
+fn nve_energy_drift_stays_bounded_over_long_run() {
+    let mut s = MolecularSystem::lattice(5, 0.8, 0.75, 99);
+    let params = LjParams::default();
+    let dt = 0.002;
+    let e0 = compute_forces(&mut s, &params) + s.kinetic_energy();
+    let mut worst = 0.0f64;
+    for _ in 0..1000 {
+        let pot = velocity_verlet_step(&mut s, &params, dt);
+        let drift = ((pot + s.kinetic_energy() - e0) / e0).abs();
+        worst = worst.max(drift);
+    }
+    assert!(worst < 1e-2, "NVE drift {worst} over 1000 steps");
+}
+
+#[test]
+fn momentum_is_conserved_without_thermostat() {
+    let mut s = MolecularSystem::lattice(4, 0.8, 1.0, 7);
+    let params = LjParams::default();
+    compute_forces(&mut s, &params);
+    for _ in 0..300 {
+        velocity_verlet_step(&mut s, &params, 0.002);
+    }
+    let mut p = [0.0f64; 3];
+    for v in &s.velocities {
+        for d in 0..3 {
+            p[d] += v[d];
+        }
+    }
+    for d in 0..3 {
+        assert!(p[d].abs() < 1e-8, "momentum component {d} drifted to {}", p[d]);
+    }
+}
+
+#[test]
+fn thermostatted_fluid_diffuses() {
+    // A liquid-state LJ system must show growing MSD (self-diffusion);
+    // a harmonic solid would plateau.
+    let mut sim = MdSimulation::new(&MdConfig {
+        atoms_per_side: 5,
+        density: 0.7,
+        temperature: 1.3,
+        stride: 40,
+        ..Default::default()
+    });
+    let mut msd = MsdKernel::new();
+    let mut series = Vec::new();
+    for _ in 0..8 {
+        series.push(msd.compute(&sim.advance_stride()));
+    }
+    assert_eq!(series[0], 0.0);
+    let early = series[2];
+    let late = *series.last().unwrap();
+    assert!(
+        late > early && late > 0.05,
+        "liquid must diffuse: early {early}, late {late}"
+    );
+}
+
+#[test]
+fn pressure_tracks_density() {
+    // Denser LJ fluid at the same temperature → higher pressure.
+    let params = LjParams::default();
+    let mut p_by_density = Vec::new();
+    for density in [0.5, 0.8, 1.0] {
+        let mut s = MolecularSystem::lattice(5, density, 1.5, 11);
+        // Short equilibration.
+        compute_forces(&mut s, &params);
+        for _ in 0..100 {
+            velocity_verlet_step(&mut s, &params, 0.002);
+        }
+        let result = compute_forces_full(&mut s, &params);
+        p_by_density.push(pressure(&s, result.virial));
+    }
+    assert!(
+        p_by_density[2] > p_by_density[1] && p_by_density[1] > p_by_density[0],
+        "pressure must rise with density: {p_by_density:?}"
+    );
+}
+
+#[test]
+fn hot_system_has_higher_kinetic_energy() {
+    let cold = MolecularSystem::lattice(4, 0.8, 0.5, 3);
+    let hot = MolecularSystem::lattice(4, 0.8, 2.0, 3);
+    assert!(hot.kinetic_energy() > 3.0 * cold.kinetic_energy());
+}
+
+#[test]
+fn trajectories_decorrelate_across_seeds() {
+    let run = |seed: u64| {
+        let mut sim = MdSimulation::new(&MdConfig {
+            atoms_per_side: 4,
+            stride: 30,
+            seed,
+            ..Default::default()
+        });
+        sim.advance_stride().positions
+    };
+    let a = run(1);
+    let b = run(2);
+    let mean_sep: f64 = a
+        .iter()
+        .zip(&b)
+        .map(|(pa, pb)| {
+            (0..3)
+                .map(|d| (pa[d] as f64 - pb[d] as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    assert!(mean_sep > 0.05, "different seeds must diverge, got {mean_sep}");
+}
+
+#[test]
+fn frames_respect_the_box() {
+    let mut sim = MdSimulation::new(&MdConfig {
+        atoms_per_side: 4,
+        stride: 50,
+        temperature: 2.0,
+        ..Default::default()
+    });
+    for _ in 0..4 {
+        let f = sim.advance_stride();
+        for p in &f.positions {
+            for d in 0..3 {
+                assert!(
+                    p[d] >= 0.0 && p[d] <= f.box_len,
+                    "atom escaped the box: {p:?} (L = {})",
+                    f.box_len
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-trial aggregation: the paper averages every measurement over
+//! five trials; this module merges repeated [`EnsembleReport`]s the same
+//! way.
+
+use sim_des::RunningStats;
+
+use crate::report::EnsembleReport;
+
+/// Mean and spread of one scalar across trials.
+#[derive(Debug, Clone, Default)]
+pub struct TrialStat {
+    stats: RunningStats,
+}
+
+impl TrialStat {
+    /// Adds one trial observation.
+    pub fn push(&mut self, value: f64) {
+        self.stats.push(value);
+    }
+
+    /// Mean across trials.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Population standard deviation across trials.
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+/// Averages of the headline scalars of repeated runs of one
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Configuration label.
+    pub config: String,
+    /// Ensemble-makespan statistics across trials.
+    pub ensemble_makespan: TrialStat,
+    /// Per-member efficiency statistics across trials.
+    pub member_efficiency: Vec<TrialStat>,
+    /// Per-member makespan statistics across trials.
+    pub member_makespan: Vec<TrialStat>,
+}
+
+/// Merges trials of the same configuration.
+///
+/// # Panics
+/// Panics if the reports are for different configurations or member
+/// counts (they would not be comparable).
+pub fn summarize_trials(reports: &[EnsembleReport]) -> TrialSummary {
+    assert!(!reports.is_empty(), "need at least one trial");
+    let config = reports[0].config.clone();
+    let n = reports[0].members.len();
+    let mut summary = TrialSummary {
+        config: config.clone(),
+        ensemble_makespan: TrialStat::default(),
+        member_efficiency: vec![TrialStat::default(); n],
+        member_makespan: vec![TrialStat::default(); n],
+    };
+    for r in reports {
+        assert_eq!(r.config, config, "mixed configurations in one summary");
+        assert_eq!(r.members.len(), n, "member count changed between trials");
+        summary.ensemble_makespan.push(r.ensemble_makespan);
+        for (i, m) in r.members.iter().enumerate() {
+            summary.member_efficiency[i].push(m.efficiency);
+            summary.member_makespan[i].push(m.makespan);
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MemberReport;
+    use ensemble_core::{AnalysisStageTimes, CouplingScenario, MemberStageTimes};
+
+    fn report(makespan: f64, e: f64) -> EnsembleReport {
+        let stage_times =
+            MemberStageTimes::new(1.0, 0.1, vec![AnalysisStageTimes { r: 0.1, a: 0.5 }]).unwrap();
+        EnsembleReport {
+            config: "C_c".into(),
+            n: 1,
+            m: 1,
+            n_steps: 5,
+            ensemble_makespan: makespan,
+            members: vec![MemberReport {
+                member: 0,
+                stage_times,
+                sigma_star: 1.1,
+                makespan,
+                makespan_model: makespan,
+                efficiency: e,
+                cp: 1.0,
+                scenarios: vec![CouplingScenario::IdleAnalyzer],
+                lost_frames: 0,
+                components: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn averages_across_trials() {
+        let s = summarize_trials(&[report(10.0, 0.8), report(12.0, 0.9), report(11.0, 0.85)]);
+        assert_eq!(s.ensemble_makespan.trials(), 3);
+        assert!((s.ensemble_makespan.mean() - 11.0).abs() < 1e-12);
+        assert!((s.member_efficiency[0].mean() - 0.85).abs() < 1e-12);
+        assert!(s.member_makespan[0].std_dev() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed configurations")]
+    fn mixed_configs_rejected() {
+        let mut other = report(10.0, 0.8);
+        other.config = "C_f".into();
+        summarize_trials(&[report(10.0, 0.8), other]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn empty_rejected() {
+        summarize_trials(&[]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # metrics — measurement pipeline for workflow-ensemble executions
+//!
+//! The paper's TAU-based measurement stack, reproduced over traces:
+//!
+//! * [`trace`] — timestamped stage intervals recorded by either runtime
+//!   (virtual or wall-clock seconds), reducible to the steady-state
+//!   per-step samples the model consumes;
+//! * [`traditional`] — the Table 1 component metrics (execution time,
+//!   LLC miss ratio, memory intensity, IPC) derived from synthetic
+//!   hardware counters;
+//! * [`makespan`] — member makespan (simulation start → latest analysis
+//!   end) and ensemble makespan (max over members);
+//! * [`report`] — serializable experiment reports, one per configuration
+//!   run;
+//! * [`aggregate`] — five-trials-style averaging across repeated runs;
+//! * [`gantt`] — ASCII stage timelines (the paper's Figure 6 from real
+//!   traces).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod energy;
+pub mod export;
+pub mod gantt;
+pub mod makespan;
+pub mod report;
+pub mod trace;
+pub mod traditional;
+
+pub use aggregate::{summarize_trials, TrialStat, TrialSummary};
+pub use energy::{run_energy, EnergyReport};
+pub use export::{components_csv, members_csv, trace_csv};
+pub use gantt::{render_gantt, GanttOptions};
+pub use makespan::{ensemble_makespan, member_makespan};
+pub use report::{ComponentReport, EnsembleReport, MemberReport};
+pub use trace::{ExecutionTrace, StageInterval, TraceRecorder};
+pub use traditional::TraditionalMetrics;

@@ -1,0 +1,154 @@
+//! Serializable experiment reports: the rows behind every figure and
+//! table regeneration.
+
+use ensemble_core::{CouplingScenario, MemberStageTimes};
+use hpc_platform::HwCounters;
+use serde::{Deserialize, Serialize};
+
+use crate::traditional::TraditionalMetrics;
+
+/// Results for one ensemble component.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentReport {
+    /// Display name, e.g. "Sim1" or "Ana1.2".
+    pub name: String,
+    /// Cores allocated.
+    pub cores: u32,
+    /// Node indexes occupied.
+    pub nodes: Vec<usize>,
+    /// Accumulated hardware counters.
+    pub counters: HwCounters,
+    /// Table 1 metrics.
+    pub metrics: TraditionalMetrics,
+}
+
+/// Results for one ensemble member.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberReport {
+    /// Member index (0-based).
+    pub member: usize,
+    /// Steady-state stage times (starred quantities).
+    pub stage_times: MemberStageTimes,
+    /// `σ̄*` (Eq. 1), seconds.
+    pub sigma_star: f64,
+    /// Measured member makespan, seconds.
+    pub makespan: f64,
+    /// Eq. 2 estimate (`n_steps × σ̄*`), seconds.
+    pub makespan_model: f64,
+    /// Computational efficiency `E` (Eq. 3).
+    pub efficiency: f64,
+    /// Placement indicator `CP` (Eq. 6).
+    pub cp: f64,
+    /// Coupling scenarios per analysis.
+    pub scenarios: Vec<CouplingScenario>,
+    /// Frames dropped by the member's staging queue (always 0 under the
+    /// paper's synchronous protocol; nonzero only in in-transit mode).
+    pub lost_frames: u64,
+    /// Component-level results (simulation first).
+    pub components: Vec<ComponentReport>,
+}
+
+/// Results for one configuration run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnsembleReport {
+    /// Configuration label (e.g. "C1.5").
+    pub config: String,
+    /// Number of members `N`.
+    pub n: usize,
+    /// Number of nodes `M`.
+    pub m: usize,
+    /// In situ steps executed.
+    pub n_steps: u64,
+    /// Ensemble makespan (max member makespan), seconds.
+    pub ensemble_makespan: f64,
+    /// Per-member results.
+    pub members: Vec<MemberReport>,
+}
+
+impl EnsembleReport {
+    /// Per-member efficiency values in member order.
+    pub fn efficiencies(&self) -> Vec<f64> {
+        self.members.iter().map(|m| m.efficiency).collect()
+    }
+
+    /// Renders a compact fixed-width table of the member rows.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} (N={}, M={}, steps={}): ensemble makespan {:.2}s\n",
+            self.config, self.n, self.m, self.n_steps, self.ensemble_makespan
+        ));
+        out.push_str("  member  sigma*     makespan   E        CP\n");
+        for m in &self.members {
+            out.push_str(&format!(
+                "  EM{}     {:>8.3}s  {:>8.2}s  {:.4}  {:.3}\n",
+                m.member + 1,
+                m.sigma_star,
+                m.makespan,
+                m.efficiency,
+                m.cp
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_core::AnalysisStageTimes;
+
+    fn member_report() -> MemberReport {
+        let stage_times = MemberStageTimes::new(
+            20.0,
+            0.5,
+            vec![AnalysisStageTimes { r: 0.3, a: 15.0 }],
+        )
+        .unwrap();
+        MemberReport {
+            member: 0,
+            sigma_star: 20.5,
+            makespan: 760.0,
+            makespan_model: 758.5,
+            efficiency: 0.85,
+            cp: 1.0,
+            scenarios: vec![CouplingScenario::IdleAnalyzer],
+            lost_frames: 0,
+            stage_times,
+            components: vec![],
+        }
+    }
+
+    #[test]
+    fn report_serializes_roundtrip() {
+        let r = EnsembleReport {
+            config: "C1.5".into(),
+            n: 1,
+            m: 2,
+            n_steps: 37,
+            ensemble_makespan: 760.0,
+            members: vec![member_report()],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: EnsembleReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.config, "C1.5");
+        assert_eq!(back.members.len(), 1);
+        assert_eq!(back.efficiencies(), vec![0.85]);
+    }
+
+    #[test]
+    fn table_rendering_contains_members() {
+        let r = EnsembleReport {
+            config: "C_f".into(),
+            n: 1,
+            m: 2,
+            n_steps: 10,
+            ensemble_makespan: 205.0,
+            members: vec![member_report()],
+        };
+        let table = r.to_table();
+        assert!(table.contains("C_f"));
+        assert!(table.contains("EM1"));
+        assert!(table.contains("sigma*"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Execution traces: timestamped stage intervals for every component.
+//!
+//! Both execution modes emit the same trace format — virtual seconds from
+//! the discrete-event runtime, wall-clock seconds from the threaded
+//! runtime — so every metric downstream is mode-agnostic.
+
+use std::sync::Arc;
+
+use ensemble_core::{ComponentRef, MemberStepSamples, StageKind};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One recorded stage execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageInterval {
+    /// Which component executed the stage.
+    pub component: ComponentRef,
+    /// Which stage.
+    pub kind: StageKind,
+    /// In situ step index.
+    pub step: u64,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+impl StageInterval {
+    /// Stage duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A completed execution trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    intervals: Vec<StageInterval>,
+}
+
+impl ExecutionTrace {
+    /// Builds a trace from raw intervals.
+    pub fn new(intervals: Vec<StageInterval>) -> Self {
+        debug_assert!(intervals.iter().all(|i| i.end >= i.start), "negative-duration interval");
+        ExecutionTrace { intervals }
+    }
+
+    /// All intervals, in recording order.
+    pub fn intervals(&self) -> &[StageInterval] {
+        &self.intervals
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Intervals of one component, in recording order.
+    pub fn for_component(&self, c: ComponentRef) -> impl Iterator<Item = &StageInterval> {
+        self.intervals.iter().filter(move |i| i.component == c)
+    }
+
+    /// Durations of one component's stage, ordered by step.
+    pub fn stage_series(&self, c: ComponentRef, kind: StageKind) -> Vec<f64> {
+        let mut entries: Vec<(u64, f64)> = self
+            .for_component(c)
+            .filter(|i| i.kind == kind)
+            .map(|i| (i.step, i.duration()))
+            .collect();
+        entries.sort_by_key(|&(step, _)| step);
+        entries.into_iter().map(|(_, d)| d).collect()
+    }
+
+    /// First start / last end of one component, if it recorded anything.
+    pub fn component_span(&self, c: ComponentRef) -> Option<(f64, f64)> {
+        let mut span: Option<(f64, f64)> = None;
+        for i in self.for_component(c) {
+            span = Some(match span {
+                None => (i.start, i.end),
+                Some((s, e)) => (s.min(i.start), e.max(i.end)),
+            });
+        }
+        span
+    }
+
+    /// Per-step stage samples of member `member` with `k` analyses, in
+    /// the shape `ensemble_core::steady_state` consumes.
+    pub fn member_samples(&self, member: usize, k: usize) -> MemberStepSamples {
+        let sim = ComponentRef::simulation(member);
+        MemberStepSamples {
+            s: self.stage_series(sim, StageKind::Simulate),
+            w: self.stage_series(sim, StageKind::Write),
+            analyses: (1..=k)
+                .map(|j| {
+                    let ana = ComponentRef::analysis(member, j);
+                    (
+                        self.stage_series(ana, StageKind::Read),
+                        self.stage_series(ana, StageKind::Analyze),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Total time `c` spent in stages of `kind`.
+    pub fn total_in_stage(&self, c: ComponentRef, kind: StageKind) -> f64 {
+        // `+ 0.0` normalizes the empty sum's -0.0 to +0.0.
+        self.for_component(c).filter(|i| i.kind == kind).map(StageInterval::duration).sum::<f64>()
+            + 0.0
+    }
+
+    /// The set of member indexes appearing in the trace, ascending.
+    pub fn member_indexes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.intervals.iter().map(|i| i.component.member).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Thread-safe recorder shared by the components of a running ensemble.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<Vec<StageInterval>>>,
+}
+
+impl TraceRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stage interval.
+    pub fn record(&self, component: ComponentRef, kind: StageKind, step: u64, start: f64, end: f64) {
+        debug_assert!(end >= start, "stage {kind:?} of {component} ends before it starts");
+        self.inner.lock().push(StageInterval { component, kind, step, start, end });
+    }
+
+    /// Number of intervals recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Finishes recording and produces the trace.
+    pub fn into_trace(self) -> ExecutionTrace {
+        let intervals = match Arc::try_unwrap(self.inner) {
+            Ok(m) => m.into_inner(),
+            Err(arc) => arc.lock().clone(),
+        };
+        ExecutionTrace::new(intervals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> ExecutionTrace {
+        let rec = TraceRecorder::new();
+        let sim = ComponentRef::simulation(0);
+        let ana = ComponentRef::analysis(0, 1);
+        for step in 0..3u64 {
+            let base = step as f64 * 10.0;
+            rec.record(sim, StageKind::Simulate, step, base, base + 8.0);
+            rec.record(sim, StageKind::Write, step, base + 8.0, base + 8.5);
+            rec.record(ana, StageKind::Read, step, base + 8.5, base + 9.0);
+            rec.record(ana, StageKind::Analyze, step, base + 9.0, base + 9.8);
+            rec.record(ana, StageKind::AnaIdle, step, base + 9.8, base + 10.0);
+        }
+        rec.into_trace()
+    }
+
+    #[test]
+    fn series_ordered_by_step() {
+        let t = sample_trace();
+        let s = t.stage_series(ComponentRef::simulation(0), StageKind::Simulate);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&d| (d - 8.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn component_span() {
+        let t = sample_trace();
+        let (start, end) = t.component_span(ComponentRef::analysis(0, 1)).unwrap();
+        assert!((start - 8.5).abs() < 1e-12);
+        assert!((end - 30.0).abs() < 1e-12);
+        assert!(t.component_span(ComponentRef::simulation(9)).is_none());
+    }
+
+    #[test]
+    fn member_samples_shape() {
+        let t = sample_trace();
+        let samples = t.member_samples(0, 1);
+        assert_eq!(samples.s.len(), 3);
+        assert_eq!(samples.w.len(), 3);
+        assert_eq!(samples.analyses.len(), 1);
+        assert_eq!(samples.analyses[0].0.len(), 3);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = sample_trace();
+        let idle = t.total_in_stage(ComponentRef::analysis(0, 1), StageKind::AnaIdle);
+        assert!((idle - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = TraceRecorder::new();
+        let handles: Vec<_> = (0..4usize)
+            .map(|m| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for step in 0..5u64 {
+                        rec.record(
+                            ComponentRef::simulation(m),
+                            StageKind::Simulate,
+                            step,
+                            step as f64,
+                            step as f64 + 0.5,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = rec.into_trace();
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.member_indexes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = ExecutionTrace::default();
+        assert!(t.is_empty());
+        assert!(t.member_indexes().is_empty());
+        assert!(t.stage_series(ComponentRef::simulation(0), StageKind::Write).is_empty());
+    }
+}

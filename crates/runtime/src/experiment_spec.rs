@@ -1,0 +1,268 @@
+//! Declarative experiment descriptions: a serde-friendly schema users
+//! write as JSON, covering the ensemble layout, placement, workload
+//! scaling, and run settings — the runtime's equivalent of a batch
+//! script.
+
+use ensemble_core::{ComponentSpec, EnsembleSpec, MemberSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::sim_exec::{CouplingMode, SimRunConfig};
+use crate::workload_map::WorkloadMap;
+
+/// One analysis in a member description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisDesc {
+    /// Cores for this analysis.
+    pub cores: u32,
+    /// Node index it runs on.
+    pub node: usize,
+    /// Work multiplier relative to the paper's analysis workload
+    /// (1.0 = the paper's eigenvalue kernel).
+    #[serde(default = "one")]
+    pub work_scale: f64,
+}
+
+/// One ensemble member.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberDesc {
+    /// Simulation cores.
+    pub sim_cores: u32,
+    /// Simulation node.
+    pub sim_node: usize,
+    /// Work multiplier relative to the paper's simulation workload.
+    #[serde(default = "one")]
+    pub sim_work_scale: f64,
+    /// Coupled analyses (K ≥ 1).
+    pub analyses: Vec<AnalysisDesc>,
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+fn default_steps() -> u64 {
+    37
+}
+
+fn default_stride() -> u64 {
+    kernels::profile::PAPER_STRIDE
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment name (report label).
+    pub name: String,
+    /// The members.
+    pub members: Vec<MemberDesc>,
+    /// In situ steps to run.
+    #[serde(default = "default_steps")]
+    pub steps: u64,
+    /// Simulation stride (MD steps per frame).
+    #[serde(default = "default_stride")]
+    pub stride: u64,
+    /// Per-step jitter fraction.
+    #[serde(default)]
+    pub jitter: f64,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Staging queue capacity (synchronous protocol capacity, or the
+    /// in-transit queue depth when `in_transit` is set).
+    #[serde(default = "one_u64")]
+    pub staging_capacity: u64,
+    /// Use in-transit (asynchronous) coupling.
+    #[serde(default)]
+    pub in_transit: bool,
+    /// Node power cap in watts (optional).
+    #[serde(default)]
+    pub power_cap_watts: Option<f64>,
+}
+
+fn one_u64() -> u64 {
+    1
+}
+
+impl ExperimentSpec {
+    /// Parses an experiment from JSON.
+    pub fn from_json(json: &str) -> RuntimeResult<Self> {
+        serde_json::from_str(json).map_err(|e| {
+            RuntimeError::Model(ensemble_core::ModelError::InvalidStageTimes {
+                detail: format!("experiment spec parse error: {e}"),
+            })
+        })
+    }
+
+    /// Serializes the experiment to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Builds the ensemble layout.
+    pub fn ensemble(&self) -> EnsembleSpec {
+        EnsembleSpec::new(
+            self.members
+                .iter()
+                .map(|m| {
+                    MemberSpec::new(
+                        ComponentSpec::simulation(m.sim_cores, m.sim_node),
+                        m.analyses
+                            .iter()
+                            .map(|a| ComponentSpec::analysis(a.cores, a.node))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Builds the full simulated-run configuration, applying work-scale
+    /// overrides.
+    pub fn to_run_config(&self) -> RuntimeResult<SimRunConfig> {
+        let spec = self.ensemble();
+        spec.validate(None)?;
+        let mut cfg = SimRunConfig::paper(spec);
+        cfg.n_steps = self.steps;
+        cfg.jitter = self.jitter;
+        cfg.seed = self.seed;
+        cfg.staging_capacity = self.staging_capacity;
+        cfg.power_cap_watts = self.power_cap_watts;
+        cfg.workloads = WorkloadMap::paper_defaults(self.stride);
+        if self.in_transit {
+            cfg.coupling =
+                CouplingMode::Asynchronous { queue_capacity: self.staging_capacity as usize };
+        }
+        for (i, m) in self.members.iter().enumerate() {
+            if (m.sim_work_scale - 1.0).abs() > f64::EPSILON {
+                let base = cfg
+                    .workloads
+                    .workload_for(ensemble_core::ComponentRef::simulation(i))
+                    .clone();
+                cfg.workloads.set_override(
+                    ensemble_core::ComponentRef::simulation(i),
+                    base.scaled(m.sim_work_scale),
+                );
+            }
+            for (j, a) in m.analyses.iter().enumerate() {
+                if (a.work_scale - 1.0).abs() > f64::EPSILON {
+                    let cref = ensemble_core::ComponentRef::analysis(i, j + 1);
+                    let mut w = cfg.workloads.workload_for(cref).clone();
+                    w.instructions_per_step *= a.work_scale;
+                    cfg.workloads.set_override(cref, w);
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// A ready-made example spec (the C1.5 layout).
+    pub fn example() -> Self {
+        ExperimentSpec {
+            name: "c1.5-example".into(),
+            members: vec![
+                MemberDesc {
+                    sim_cores: 16,
+                    sim_node: 0,
+                    sim_work_scale: 1.0,
+                    analyses: vec![AnalysisDesc { cores: 8, node: 0, work_scale: 1.0 }],
+                },
+                MemberDesc {
+                    sim_cores: 16,
+                    sim_node: 1,
+                    sim_work_scale: 1.0,
+                    analyses: vec![AnalysisDesc { cores: 8, node: 1, work_scale: 1.0 }],
+                },
+            ],
+            steps: 37,
+            stride: default_stride(),
+            jitter: 0.01,
+            seed: 2021,
+            staging_capacity: 1,
+            in_transit: false,
+            power_cap_watts: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_roundtrips_through_json() {
+        let spec = ExperimentSpec::example();
+        let json = spec.to_json();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back.name, "c1.5-example");
+        assert_eq!(back.members.len(), 2);
+        assert_eq!(back.ensemble().num_nodes(), 2);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{
+            "name": "tiny",
+            "members": [
+                { "sim_cores": 16, "sim_node": 0,
+                  "analyses": [ { "cores": 8, "node": 0 } ] }
+            ]
+        }"#;
+        let spec = ExperimentSpec::from_json(json).unwrap();
+        assert_eq!(spec.steps, 37);
+        assert_eq!(spec.stride, kernels::profile::PAPER_STRIDE);
+        assert_eq!(spec.staging_capacity, 1);
+        assert!(!spec.in_transit);
+        let cfg = spec.to_run_config().unwrap();
+        assert_eq!(cfg.n_steps, 37);
+    }
+
+    #[test]
+    fn work_scale_overrides_apply() {
+        let mut spec = ExperimentSpec::example();
+        spec.members[0].analyses[0].work_scale = 2.0;
+        spec.members[1].sim_work_scale = 0.5;
+        let cfg = spec.to_run_config().unwrap();
+        let base_ana = kernels::profile::analysis_workload().instructions_per_step;
+        let ana0 = cfg
+            .workloads
+            .workload_for(ensemble_core::ComponentRef::analysis(0, 1))
+            .instructions_per_step;
+        assert!((ana0 - 2.0 * base_ana).abs() < 1.0);
+        let base_sim =
+            kernels::profile::simulation_workload(spec.stride).instructions_per_step;
+        let sim1 = cfg
+            .workloads
+            .workload_for(ensemble_core::ComponentRef::simulation(1))
+            .instructions_per_step;
+        assert!((sim1 - 0.5 * base_sim).abs() < 1.0);
+    }
+
+    #[test]
+    fn in_transit_flag_selects_async_coupling() {
+        let mut spec = ExperimentSpec::example();
+        spec.in_transit = true;
+        spec.staging_capacity = 4;
+        let cfg = spec.to_run_config().unwrap();
+        assert_eq!(cfg.coupling, CouplingMode::Asynchronous { queue_capacity: 4 });
+    }
+
+    #[test]
+    fn bad_json_is_a_clean_error() {
+        assert!(ExperimentSpec::from_json("{ not json").is_err());
+        assert!(ExperimentSpec::from_json(r#"{"name": "x", "members": []}"#)
+            .unwrap()
+            .to_run_config()
+            .is_err());
+    }
+
+    #[test]
+    fn spec_runs_end_to_end() {
+        let mut spec = ExperimentSpec::example();
+        spec.steps = 4;
+        spec.jitter = 0.0;
+        let cfg = spec.to_run_config().unwrap();
+        let exec = crate::sim_exec::run_simulated(&cfg).unwrap();
+        assert_eq!(exec.trace.member_indexes(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # runtime — the workflow-ensemble runtime system (paper Figure 2)
+//!
+//! Manages the execution of workflow ensembles in two modes producing
+//! identical trace formats:
+//!
+//! * [`sim_exec`] — **simulated**: components run as discrete-event
+//!   processes on the modeled Cori platform; compute-stage durations come
+//!   from the co-location interference solver, `W`/`R` stages from the
+//!   DIMES-style staging cost model. Deterministic, fast, and the mode
+//!   behind every figure/table regeneration.
+//! * [`thread_exec`] — **threaded**: the real Lennard-Jones MD engine and
+//!   eigenvalue analysis run on OS threads, coupled through the in-memory
+//!   DTL with the paper's synchronous no-overwrite protocol, measured
+//!   with wall-clock time.
+//!
+//! [`EnsembleRunner`] is the high-level entry: pick a paper configuration
+//! (or a custom spec), run it, and get the full [`metrics::EnsembleReport`]
+//! with stage times, `σ̄*`, efficiency, placement indicator, makespans,
+//! and Table 1 metrics.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod diagnostics;
+pub mod error;
+pub mod experiment_spec;
+pub mod frame_codec;
+pub mod in_transit;
+pub mod predictor;
+pub mod report_builder;
+pub mod runner;
+pub mod sim_exec;
+pub mod thread_exec;
+pub mod workload_map;
+
+pub use calibration::{calibrate_component, CalibratedWorkload};
+pub use diagnostics::{diagnose, render_findings, DiagnosticConfig, Finding, FindingKind, Severity};
+pub use error::{RuntimeError, RuntimeResult};
+pub use experiment_spec::{AnalysisDesc, ExperimentSpec, MemberDesc};
+pub use frame_codec::{FrameCodec, QuantizedFrameCodec};
+pub use in_transit::{run_threaded_in_transit, InTransitExecution};
+pub use predictor::{predict, EnsemblePrediction, MemberPrediction};
+pub use report_builder::{build_report, build_threaded_report};
+pub use runner::EnsembleRunner;
+pub use sim_exec::{run_simulated, CouplingMode, SimExecution, SimRunConfig};
+pub use thread_exec::{run_threaded, KernelChoice, ThreadExecution, ThreadRunConfig};
+pub use workload_map::WorkloadMap;

@@ -1,0 +1,126 @@
+//! Turns a finished execution (trace + solved estimates) into the full
+//! [`EnsembleReport`]: steady-state stage times, `σ̄*`, efficiency,
+//! placement indicator, makespans, Table 1 metrics.
+
+use ensemble_core::{
+    coupling_scenario, efficiency, extract_steady_state, makespan as model_makespan,
+    placement_indicator, sigma_star, ComponentRef, EnsembleSpec, WarmupPolicy,
+};
+use hpc_platform::HwCounters;
+use metrics::{
+    member_makespan, ComponentReport, EnsembleReport, ExecutionTrace, MemberReport,
+    TraditionalMetrics,
+};
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::sim_exec::SimExecution;
+
+/// Builds the report of a simulated run.
+pub fn build_report(
+    config_label: &str,
+    spec: &EnsembleSpec,
+    exec: &SimExecution,
+    n_steps: u64,
+    warmup: WarmupPolicy,
+) -> RuntimeResult<EnsembleReport> {
+    let mut members = Vec::with_capacity(spec.members.len());
+    let mut ensemble_makespan = 0.0f64;
+    for (i, member) in spec.members.iter().enumerate() {
+        let samples = exec.trace.member_samples(i, member.k());
+        let stage_times = extract_steady_state(&samples, warmup)?;
+        let sigma = sigma_star(&stage_times);
+        let measured = member_makespan(&exec.trace, i, member.k()).ok_or(RuntimeError::NoSamples)?;
+        ensemble_makespan = ensemble_makespan.max(measured);
+        let e = efficiency(&stage_times);
+        let scenarios = (0..member.k()).map(|j| coupling_scenario(&stage_times, j)).collect();
+
+        let mut components = Vec::with_capacity(1 + member.k());
+        for (cref, comp) in std::iter::once((ComponentRef::simulation(i), &member.simulation))
+            .chain(
+                member
+                    .analyses
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| (ComponentRef::analysis(i, j + 1), a)),
+            )
+        {
+            let est = &exec.estimates[&cref];
+            let counters = HwCounters::from_estimate(est, est.instructions_per_step, n_steps);
+            let span = exec
+                .trace
+                .component_span(cref)
+                .map(|(s, e)| e - s)
+                .unwrap_or_default();
+            components.push(ComponentReport {
+                name: cref.to_string(),
+                cores: comp.cores,
+                nodes: comp.nodes.iter().copied().collect(),
+                counters,
+                metrics: TraditionalMetrics::from_counters(&counters, span),
+            });
+        }
+
+        members.push(MemberReport {
+            member: i,
+            sigma_star: sigma,
+            makespan: measured,
+            makespan_model: model_makespan(&stage_times, n_steps),
+            efficiency: e,
+            cp: placement_indicator(member),
+            scenarios,
+            lost_frames: exec.lost_frames.get(i).copied().unwrap_or(0),
+            stage_times,
+            components,
+        });
+    }
+    Ok(EnsembleReport {
+        config: config_label.to_string(),
+        n: spec.n(),
+        m: spec.num_nodes(),
+        n_steps,
+        ensemble_makespan,
+        members,
+    })
+}
+
+/// Per-member trace from a threaded run reduced to a report (no
+/// synthetic counters — real executions have no modeled counters, so
+/// Table 1's counter metrics are zeroed and only times are filled).
+pub fn build_threaded_report(
+    config_label: &str,
+    spec: &EnsembleSpec,
+    trace: &ExecutionTrace,
+    n_steps: u64,
+    warmup: WarmupPolicy,
+) -> RuntimeResult<EnsembleReport> {
+    let mut members = Vec::with_capacity(spec.members.len());
+    let mut ensemble_makespan = 0.0f64;
+    for (i, member) in spec.members.iter().enumerate() {
+        let samples = trace.member_samples(i, member.k());
+        let stage_times = extract_steady_state(&samples, warmup)?;
+        let sigma = sigma_star(&stage_times);
+        let measured = member_makespan(trace, i, member.k()).ok_or(RuntimeError::NoSamples)?;
+        ensemble_makespan = ensemble_makespan.max(measured);
+        let scenarios = (0..member.k()).map(|j| coupling_scenario(&stage_times, j)).collect();
+        members.push(MemberReport {
+            member: i,
+            sigma_star: sigma,
+            makespan: measured,
+            makespan_model: model_makespan(&stage_times, n_steps),
+            efficiency: efficiency(&stage_times),
+            cp: placement_indicator(member),
+            scenarios,
+            lost_frames: 0,
+            stage_times,
+            components: Vec::new(),
+        });
+    }
+    Ok(EnsembleReport {
+        config: config_label.to_string(),
+        n: spec.n(),
+        m: spec.num_nodes(),
+        n_steps,
+        ensemble_makespan,
+        members,
+    })
+}

@@ -1,0 +1,793 @@
+//! Simulated execution: runs a workflow ensemble on the modeled platform
+//! with the discrete-event engine.
+//!
+//! Per node, the interference model solves the steady-state compute-stage
+//! durations of all co-resident components; the staging cost model prices
+//! the `W`/`R` stages from chunk size and data locality (DIMES: chunks
+//! homed on the producer's node). The DES then plays out the synchronous
+//! coupling protocol — simulations and analyses as resumable processes
+//! rendezvousing through per-member [`StepProtocol`]s — and records the
+//! same stage trace the threaded runtime produces, in virtual time.
+
+use std::collections::HashMap;
+
+use dtl::protocol::{ReaderId, StepProtocol};
+use dtl::transport::StagingCostModel;
+use ensemble_core::{ComponentRef, EnsembleSpec, StageKind};
+use hpc_platform::{
+    BindPolicy, CoreAllocation, InterferenceModel, NetworkSpec, NodeSpec, PerfEstimate,
+    PlacedWorkload, Platform,
+};
+use metrics::{ExecutionTrace, StageInterval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_des::{Context, Engine, Poll, Process, RunOutcome, Signal, SimDuration};
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::workload_map::WorkloadMap;
+
+/// How simulations and analyses couple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingMode {
+    /// The paper's protocol: the simulation blocks until every analysis
+    /// consumed the previous chunk (no overwrite, no loss).
+    Synchronous,
+    /// In-transit style: the simulation never blocks; frames enter a
+    /// bounded queue and the oldest unconsumed frames are dropped when
+    /// it overflows (*lost frames*, after Taufer et al. \[26\]).
+    Asynchronous {
+        /// Frames retained per member variable.
+        queue_capacity: usize,
+    },
+}
+
+/// Configuration of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimRunConfig {
+    /// The ensemble to execute.
+    pub spec: EnsembleSpec,
+    /// Workload profiles per component.
+    pub workloads: WorkloadMap,
+    /// Node hardware description.
+    pub node_spec: NodeSpec,
+    /// Interconnect description.
+    pub network: NetworkSpec,
+    /// Contention model (set `disabled` for the interference ablation).
+    pub interference: InterferenceModel,
+    /// In situ steps to execute.
+    pub n_steps: u64,
+    /// Fractional per-step multiplicative jitter on compute stages
+    /// (0 = fully deterministic; 0.02 ≈ real-machine noise).
+    pub jitter: f64,
+    /// RNG seed for the jitter streams.
+    pub seed: u64,
+    /// Socket binding policy for core allocation.
+    pub bind_policy: BindPolicy,
+    /// Chunks in flight per member variable (1 = the paper's unbuffered
+    /// protocol; 2 = double buffering, the buffering ablation).
+    pub staging_capacity: u64,
+    /// Force every read to pay the remote-transfer cost even when
+    /// co-located (the data-locality ablation).
+    pub force_remote_reads: bool,
+    /// Synchronous (paper) or asynchronous (in-transit) coupling.
+    pub coupling: CouplingMode,
+    /// Node power model (used when a cap is set and for energy
+    /// accounting).
+    pub power_model: hpc_platform::PowerModel,
+    /// Per-node power cap in watts; nodes drawing more are
+    /// frequency-scaled down (SeeSAw-style power-constrained runs).
+    pub power_cap_watts: Option<f64>,
+}
+
+impl SimRunConfig {
+    /// The paper's settings for an ensemble spec: Cori nodes, paper
+    /// workloads at stride 800, 37 in situ steps (30 000 MD steps), a
+    /// pinch of jitter so steady-state extraction is exercised.
+    pub fn paper(spec: EnsembleSpec) -> Self {
+        SimRunConfig {
+            spec,
+            workloads: WorkloadMap::paper_defaults(kernels::profile::PAPER_STRIDE),
+            node_spec: hpc_platform::cori::cori_node(),
+            network: hpc_platform::cori::aries_network(),
+            interference: InterferenceModel::default(),
+            n_steps: kernels::profile::PAPER_TOTAL_MD_STEPS / kernels::profile::PAPER_STRIDE,
+            jitter: 0.01,
+            seed: 2021,
+            bind_policy: BindPolicy::Spread,
+            staging_capacity: 1,
+            force_remote_reads: false,
+            coupling: CouplingMode::Synchronous,
+            power_model: hpc_platform::PowerModel::default(),
+            power_cap_watts: None,
+        }
+    }
+}
+
+/// Everything a simulated run produces.
+#[derive(Debug, Clone)]
+pub struct SimExecution {
+    /// The stage trace, in virtual seconds.
+    pub trace: ExecutionTrace,
+    /// Solved steady-state performance per component.
+    pub estimates: HashMap<ComponentRef, PerfEstimate>,
+    /// Core allocations per component.
+    pub allocations: HashMap<ComponentRef, CoreAllocation>,
+    /// Frames dropped per member (always zero under synchronous
+    /// coupling).
+    pub lost_frames: Vec<u64>,
+    /// Modeled steady-state power draw per node, watts (before any cap).
+    pub node_power_watts: HashMap<usize, f64>,
+}
+
+/// Per-member coupling state inside the DES.
+enum Coupling {
+    /// The paper's synchronous protocol.
+    Sync(StepProtocol),
+    /// Bounded in-transit queue with drop-oldest overflow.
+    Async(AsyncQueue),
+}
+
+struct AsyncQueue {
+    queue: std::collections::VecDeque<u64>,
+    capacity: usize,
+    produced: u64,
+    lost: u64,
+    finished: bool,
+    last_read: Vec<Option<u64>>,
+}
+
+enum FramePoll {
+    /// A frame with this step is ready for the reader.
+    Ready(u64),
+    /// Nothing new yet; block on the member signal.
+    Wait,
+    /// The producer finished and nothing newer will arrive.
+    End,
+}
+
+impl Coupling {
+    fn may_write(&self, step: u64) -> bool {
+        match self {
+            Coupling::Sync(p) => p.may_write(step),
+            Coupling::Async(_) => true,
+        }
+    }
+
+    fn record_write(&mut self, step: u64) {
+        match self {
+            Coupling::Sync(p) => p.record_write(step).expect("protocol admitted the write"),
+            Coupling::Async(q) => {
+                if q.queue.len() >= q.capacity {
+                    q.queue.pop_front();
+                    q.lost += 1;
+                }
+                q.queue.push_back(step);
+                q.produced += 1;
+            }
+        }
+    }
+
+    fn finish_production(&mut self) {
+        if let Coupling::Async(q) = self {
+            q.finished = true;
+        }
+    }
+
+    fn poll_frame(&self, reader: usize, sync_next: u64, sync_total: u64) -> FramePoll {
+        match self {
+            Coupling::Sync(p) => {
+                if sync_next >= sync_total {
+                    FramePoll::End
+                } else if p.may_read(ReaderId(reader as u32), sync_next) {
+                    FramePoll::Ready(sync_next)
+                } else {
+                    FramePoll::Wait
+                }
+            }
+            Coupling::Async(q) => {
+                let last = q.last_read[reader];
+                match q.queue.iter().find(|&&s| last.is_none_or(|l| s > l)) {
+                    Some(&s) => FramePoll::Ready(s),
+                    None if q.finished => FramePoll::End,
+                    None => FramePoll::Wait,
+                }
+            }
+        }
+    }
+
+    fn record_read(&mut self, reader: usize, step: u64) {
+        match self {
+            Coupling::Sync(p) => p
+                .record_read(ReaderId(reader as u32), step)
+                .expect("protocol admitted the read"),
+            Coupling::Async(q) => {
+                q.last_read[reader] = Some(step);
+                if q.last_read.iter().all(Option::is_some) {
+                    let min_last =
+                        q.last_read.iter().map(|v| v.expect("checked")).min().expect("non-empty");
+                    while q.queue.front().is_some_and(|&s| s <= min_last) {
+                        q.queue.pop_front();
+                    }
+                }
+            }
+        }
+    }
+
+    fn lost(&self) -> u64 {
+        match self {
+            Coupling::Sync(_) => 0,
+            Coupling::Async(q) => q.lost,
+        }
+    }
+}
+
+struct SimState {
+    couplings: Vec<Coupling>,
+    intervals: Vec<StageInterval>,
+}
+
+fn signal_of(member: usize) -> Signal {
+    Signal(member as u64)
+}
+
+enum SimPhase {
+    StartStep,
+    Computing,
+    WaitingSlot,
+    Writing,
+}
+
+/// The simulation-side process of one member.
+struct SimProc {
+    member: usize,
+    steps: u64,
+    step: u64,
+    phase: SimPhase,
+    compute_secs: Vec<f64>,
+    write_secs: f64,
+    stage_started: f64,
+    idle_started: f64,
+}
+
+impl Process<SimState> for SimProc {
+    fn poll(&mut self, state: &mut SimState, ctx: &mut Context) -> Poll {
+        let now = ctx.now().as_secs_f64();
+        let me = ComponentRef::simulation(self.member);
+        loop {
+            match self.phase {
+                SimPhase::StartStep => {
+                    if self.step >= self.steps {
+                        state.couplings[self.member].finish_production();
+                        ctx.emit(signal_of(self.member));
+                        return Poll::Done;
+                    }
+                    self.stage_started = now;
+                    self.phase = SimPhase::Computing;
+                    return Poll::Sleep(SimDuration::from_secs_f64(
+                        self.compute_secs[self.step as usize],
+                    ));
+                }
+                SimPhase::Computing => {
+                    state.intervals.push(StageInterval {
+                        component: me,
+                        kind: StageKind::Simulate,
+                        step: self.step,
+                        start: self.stage_started,
+                        end: now,
+                    });
+                    if state.couplings[self.member].may_write(self.step) {
+                        self.stage_started = now;
+                        self.phase = SimPhase::Writing;
+                        return Poll::Sleep(SimDuration::from_secs_f64(self.write_secs));
+                    }
+                    self.idle_started = now;
+                    self.phase = SimPhase::WaitingSlot;
+                    return Poll::WaitSignal(signal_of(self.member));
+                }
+                SimPhase::WaitingSlot => {
+                    if state.couplings[self.member].may_write(self.step) {
+                        state.intervals.push(StageInterval {
+                            component: me,
+                            kind: StageKind::SimIdle,
+                            step: self.step,
+                            start: self.idle_started,
+                            end: now,
+                        });
+                        self.stage_started = now;
+                        self.phase = SimPhase::Writing;
+                        return Poll::Sleep(SimDuration::from_secs_f64(self.write_secs));
+                    }
+                    return Poll::WaitSignal(signal_of(self.member));
+                }
+                SimPhase::Writing => {
+                    state.intervals.push(StageInterval {
+                        component: me,
+                        kind: StageKind::Write,
+                        step: self.step,
+                        start: self.stage_started,
+                        end: now,
+                    });
+                    state.couplings[self.member].record_write(self.step);
+                    ctx.emit(signal_of(self.member));
+                    self.step += 1;
+                    self.phase = SimPhase::StartStep;
+                    // Loop: start the next step at the current instant.
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "simulation"
+    }
+}
+
+enum AnaPhase {
+    StartStep,
+    WaitingData,
+    Reading,
+    Analyzing,
+}
+
+/// One analysis-side process. Under synchronous coupling it consumes
+/// exactly `total_frames` frames in step order; under asynchronous
+/// coupling it consumes whatever survives the queue until the producer
+/// finishes.
+struct AnaProc {
+    member: usize,
+    slot: usize,
+    reader: usize,
+    total_frames: u64,
+    consumed: u64,
+    current_frame: u64,
+    phase: AnaPhase,
+    read_secs: f64,
+    compute_secs: Vec<f64>,
+    stage_started: f64,
+    idle_started: f64,
+}
+
+impl Process<SimState> for AnaProc {
+    fn poll(&mut self, state: &mut SimState, ctx: &mut Context) -> Poll {
+        let now = ctx.now().as_secs_f64();
+        let me = ComponentRef::analysis(self.member, self.slot);
+        loop {
+            match self.phase {
+                AnaPhase::StartStep => {
+                    match state.couplings[self.member].poll_frame(
+                        self.reader,
+                        self.consumed,
+                        self.total_frames,
+                    ) {
+                        FramePoll::End => return Poll::Done,
+                        FramePoll::Ready(frame) => {
+                            self.current_frame = frame;
+                            self.stage_started = now;
+                            self.phase = AnaPhase::Reading;
+                            return Poll::Sleep(SimDuration::from_secs_f64(self.read_secs));
+                        }
+                        FramePoll::Wait => {
+                            self.idle_started = now;
+                            self.phase = AnaPhase::WaitingData;
+                            return Poll::WaitSignal(signal_of(self.member));
+                        }
+                    }
+                }
+                AnaPhase::WaitingData => {
+                    match state.couplings[self.member].poll_frame(
+                        self.reader,
+                        self.consumed,
+                        self.total_frames,
+                    ) {
+                        FramePoll::End => return Poll::Done,
+                        FramePoll::Ready(frame) => {
+                            // The wait for data is the analysis idle
+                            // stage (paper: Iᴬ), recorded against the
+                            // frame it awaited.
+                            state.intervals.push(StageInterval {
+                                component: me,
+                                kind: StageKind::AnaIdle,
+                                step: frame,
+                                start: self.idle_started,
+                                end: now,
+                            });
+                            self.current_frame = frame;
+                            self.stage_started = now;
+                            self.phase = AnaPhase::Reading;
+                            return Poll::Sleep(SimDuration::from_secs_f64(self.read_secs));
+                        }
+                        FramePoll::Wait => return Poll::WaitSignal(signal_of(self.member)),
+                    }
+                }
+                AnaPhase::Reading => {
+                    state.intervals.push(StageInterval {
+                        component: me,
+                        kind: StageKind::Read,
+                        step: self.current_frame,
+                        start: self.stage_started,
+                        end: now,
+                    });
+                    // The slot is released only when the read completes,
+                    // preserving Wᵢ ≺ Rᵢ ≺ Wᵢ₊₁ under synchronous
+                    // coupling.
+                    state.couplings[self.member].record_read(self.reader, self.current_frame);
+                    ctx.emit(signal_of(self.member));
+                    self.stage_started = now;
+                    self.phase = AnaPhase::Analyzing;
+                    let idx = (self.consumed as usize).min(self.compute_secs.len() - 1);
+                    return Poll::Sleep(SimDuration::from_secs_f64(self.compute_secs[idx]));
+                }
+                AnaPhase::Analyzing => {
+                    state.intervals.push(StageInterval {
+                        component: me,
+                        kind: StageKind::Analyze,
+                        step: self.current_frame,
+                        start: self.stage_started,
+                        end: now,
+                    });
+                    self.consumed += 1;
+                    self.phase = AnaPhase::StartStep;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "analysis"
+    }
+}
+
+fn jittered(base: f64, steps: u64, jitter: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..steps)
+        .map(|_| {
+            if jitter <= 0.0 {
+                base
+            } else {
+                base * (1.0 + rng.random_range(-jitter..=jitter))
+            }
+        })
+        .collect()
+}
+
+/// Runs the ensemble on the simulated platform.
+pub fn run_simulated(cfg: &SimRunConfig) -> RuntimeResult<SimExecution> {
+    cfg.spec.validate(Some(cfg.node_spec.cores_per_node()))?;
+    if cfg.n_steps == 0 {
+        return Err(RuntimeError::NoSamples);
+    }
+
+    // --- Placement: allocate cores for every component. ---
+    let num_nodes = cfg.spec.node_set().iter().copied().max().map_or(0, |m| m + 1);
+    let mut platform = Platform::new(num_nodes, cfg.node_spec.clone(), cfg.network.clone());
+    let mut allocations: HashMap<ComponentRef, CoreAllocation> = HashMap::new();
+    let mut component_node: HashMap<ComponentRef, usize> = HashMap::new();
+    for (i, member) in cfg.spec.members.iter().enumerate() {
+        let components = std::iter::once((ComponentRef::simulation(i), &member.simulation))
+            .chain(member.analyses.iter().enumerate().map(|(j, a)| (ComponentRef::analysis(i, j + 1), a)));
+        for (cref, comp) in components {
+            if comp.nodes.len() != 1 {
+                return Err(RuntimeError::MultiNodeComponent { component: cref.to_string() });
+            }
+            let node = *comp.nodes.iter().next().expect("validated non-empty");
+            let alloc = platform.allocate(node, comp.cores, cfg.bind_policy)?;
+            allocations.insert(cref, alloc);
+            component_node.insert(cref, node);
+        }
+    }
+
+    // --- Contention: solve the steady state per node. ---
+    let mut by_node: HashMap<usize, Vec<(ComponentRef, PlacedWorkload)>> = HashMap::new();
+    for (cref, workload) in cfg.workloads.assignments(&cfg.spec) {
+        let alloc = allocations[&cref].clone();
+        by_node
+            .entry(alloc.node)
+            .or_default()
+            .push((cref, PlacedWorkload { alloc, workload }));
+    }
+    let mut estimates: HashMap<ComponentRef, PerfEstimate> = HashMap::new();
+    for placed in by_node.values() {
+        let workloads: Vec<PlacedWorkload> = placed.iter().map(|(_, p)| p.clone()).collect();
+        let solved = cfg.interference.solve_node(&cfg.node_spec, &workloads, &[]);
+        for ((cref, _), est) in placed.iter().zip(solved) {
+            estimates.insert(*cref, est);
+        }
+    }
+
+    // --- Power draw per node; apply the cap as a DVFS slowdown. ---
+    let mut node_power_watts: HashMap<usize, f64> = HashMap::new();
+    for (&node, placed) in &by_node {
+        let busy_cores: u32 = placed.iter().map(|(_, p)| p.alloc.total_cores()).sum();
+        let traffic: f64 = placed
+            .iter()
+            .map(|(cref, _)| {
+                let est = &estimates[cref];
+                est.dram_bytes_per_step / est.seconds_per_step.max(f64::MIN_POSITIVE)
+            })
+            .sum();
+        let draw = cfg.power_model.node_watts(busy_cores, traffic);
+        node_power_watts.insert(node, draw);
+        if let Some(cap) = cfg.power_cap_watts {
+            let slowdown = cfg.power_model.cap_slowdown(draw, cap);
+            if slowdown > 1.0 {
+                for (cref, _) in placed {
+                    estimates.get_mut(cref).expect("solved above").seconds_per_step *= slowdown;
+                }
+            }
+        }
+    }
+
+    // --- Staging costs (W/R stages) from locality. ---
+    let cost = StagingCostModel::from_platform(&cfg.node_spec, &cfg.network);
+    let chunk = cfg.workloads.chunk_bytes;
+
+    // --- Build the DES processes. ---
+    let state = SimState {
+        couplings: cfg
+            .spec
+            .members
+            .iter()
+            .map(|m| match cfg.coupling {
+                CouplingMode::Synchronous => {
+                    Coupling::Sync(StepProtocol::new(m.k() as u32, cfg.staging_capacity))
+                }
+                CouplingMode::Asynchronous { queue_capacity } => Coupling::Async(AsyncQueue {
+                    queue: std::collections::VecDeque::new(),
+                    capacity: queue_capacity.max(1),
+                    produced: 0,
+                    lost: 0,
+                    finished: false,
+                    last_read: vec![None; m.k()],
+                }),
+            })
+            .collect(),
+        intervals: Vec::new(),
+    };
+    let mut engine = Engine::new(state);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for (i, member) in cfg.spec.members.iter().enumerate() {
+        let sim_ref = ComponentRef::simulation(i);
+        let sim_node = component_node[&sim_ref];
+        let sim_est = &estimates[&sim_ref];
+        engine.spawn(Box::new(SimProc {
+            member: i,
+            steps: cfg.n_steps,
+            step: 0,
+            phase: SimPhase::StartStep,
+            compute_secs: jittered(sim_est.seconds_per_step, cfg.n_steps, cfg.jitter, &mut rng),
+            write_secs: cost.write_seconds(chunk, sim_node, sim_node),
+            stage_started: 0.0,
+            idle_started: 0.0,
+        }));
+        for j in 1..=member.k() {
+            let ana_ref = ComponentRef::analysis(i, j);
+            let ana_node = component_node[&ana_ref];
+            let ana_est = &estimates[&ana_ref];
+            let read_secs = if cfg.force_remote_reads && ana_node == sim_node {
+                // Locality ablation: price the read as if one hop away.
+                cost.read_seconds(chunk, sim_node, sim_node + 1)
+            } else {
+                cost.read_seconds(chunk, sim_node, ana_node)
+            };
+            engine.spawn(Box::new(AnaProc {
+                member: i,
+                slot: j,
+                reader: j - 1,
+                total_frames: cfg.n_steps,
+                consumed: 0,
+                current_frame: 0,
+                phase: AnaPhase::StartStep,
+                read_secs,
+                compute_secs: jittered(ana_est.seconds_per_step, cfg.n_steps, cfg.jitter, &mut rng),
+                stage_started: 0.0,
+                idle_started: 0.0,
+            }));
+        }
+    }
+
+    // Livelock guard: each component needs a handful of events per step.
+    let components: u64 = cfg.spec.members.iter().map(|m| 1 + m.k() as u64).sum();
+    engine.set_event_budget(components * cfg.n_steps * 16 + 10_000);
+    let outcome = engine.run();
+    debug_assert_eq!(outcome, RunOutcome::Quiescent, "simulated run did not drain");
+    assert!(engine.all_finished(), "some components did not complete all steps");
+
+    let state = engine.into_state();
+    let lost_frames: Vec<u64> = state.couplings.iter().map(Coupling::lost).collect();
+    Ok(SimExecution {
+        trace: ExecutionTrace::new(state.intervals),
+        estimates,
+        allocations,
+        lost_frames,
+        node_power_watts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_core::ConfigId;
+
+    fn quick_config(id: ConfigId) -> SimRunConfig {
+        let mut cfg = SimRunConfig::paper(id.build());
+        cfg.workloads = WorkloadMap::small_defaults();
+        cfg.n_steps = 6;
+        cfg.jitter = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn run_produces_complete_trace() {
+        let cfg = quick_config(ConfigId::Cf);
+        let exec = run_simulated(&cfg).unwrap();
+        let sim = ComponentRef::simulation(0);
+        let ana = ComponentRef::analysis(0, 1);
+        assert_eq!(exec.trace.stage_series(sim, StageKind::Simulate).len(), 6);
+        assert_eq!(exec.trace.stage_series(sim, StageKind::Write).len(), 6);
+        assert_eq!(exec.trace.stage_series(ana, StageKind::Read).len(), 6);
+        assert_eq!(exec.trace.stage_series(ana, StageKind::Analyze).len(), 6);
+        assert!(exec.estimates.contains_key(&sim));
+        assert!(exec.allocations[&sim].total_cores() == 16);
+    }
+
+    #[test]
+    fn protocol_interleaving_visible_in_trace() {
+        let cfg = quick_config(ConfigId::Cf);
+        let exec = run_simulated(&cfg).unwrap();
+        let sim = ComponentRef::simulation(0);
+        let ana = ComponentRef::analysis(0, 1);
+        // Every read of step i starts after the write of step i ends and
+        // before the write of step i+1 starts.
+        let writes: Vec<&StageInterval> = exec
+            .trace
+            .for_component(sim)
+            .filter(|iv| iv.kind == StageKind::Write)
+            .collect();
+        let reads: Vec<&StageInterval> = exec
+            .trace
+            .for_component(ana)
+            .filter(|iv| iv.kind == StageKind::Read)
+            .collect();
+        for i in 0..reads.len() {
+            assert!(reads[i].start >= writes[i].end - 1e-12, "R{i} before W{i} finished");
+            if i + 1 < writes.len() {
+                assert!(
+                    writes[i + 1].start >= reads[i].end - 1e-12,
+                    "W{} started before R{i} finished (no-overwrite violated)",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let cfg = quick_config(ConfigId::C1_5);
+        let a = run_simulated(&cfg).unwrap();
+        let b = run_simulated(&cfg).unwrap();
+        assert_eq!(a.trace.intervals(), b.trace.intervals());
+    }
+
+    #[test]
+    fn jitter_changes_per_step_durations_but_not_counts() {
+        let mut cfg = quick_config(ConfigId::Cf);
+        cfg.jitter = 0.05;
+        let exec = run_simulated(&cfg).unwrap();
+        let s = exec.trace.stage_series(ComponentRef::simulation(0), StageKind::Simulate);
+        assert_eq!(s.len(), 6);
+        let spread = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - s.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0, "jitter must vary step durations");
+    }
+
+    #[test]
+    fn all_members_run_in_two_member_configs() {
+        let cfg = quick_config(ConfigId::C1_4);
+        let exec = run_simulated(&cfg).unwrap();
+        assert_eq!(exec.trace.member_indexes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_steps_rejected() {
+        let mut cfg = quick_config(ConfigId::Cf);
+        cfg.n_steps = 0;
+        assert!(matches!(run_simulated(&cfg), Err(RuntimeError::NoSamples)));
+    }
+
+    #[test]
+    fn double_buffering_shortens_waits() {
+        // With capacity 2 the simulation never blocks on a slow analysis
+        // as long as it stays one step ahead.
+        let mut unbuffered = quick_config(ConfigId::Cf);
+        // Make the analysis slower than the simulation so the sim idles.
+        let mut slow = unbuffered.workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
+        slow.instructions_per_step *= 3.0;
+        unbuffered.workloads.set_override(ComponentRef::analysis(0, 1), slow.clone());
+        let mut buffered = unbuffered.clone();
+        buffered.staging_capacity = 2;
+
+        let u = run_simulated(&unbuffered).unwrap();
+        let b = run_simulated(&buffered).unwrap();
+        let sim = ComponentRef::simulation(0);
+        let idle_u = u.trace.total_in_stage(sim, StageKind::SimIdle);
+        let idle_b = b.trace.total_in_stage(sim, StageKind::SimIdle);
+        assert!(idle_b < idle_u, "buffering should reduce sim idle ({idle_b} vs {idle_u})");
+    }
+
+    #[test]
+    fn async_coupling_never_stalls_the_simulation() {
+        // Make the analysis 3x slower than the simulation: synchronous
+        // coupling stalls the sim; asynchronous coupling must not, at
+        // the price of lost frames.
+        let mut sync_cfg = quick_config(ConfigId::Cf);
+        let mut slow = sync_cfg.workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
+        slow.instructions_per_step *= 3.0;
+        sync_cfg.workloads.set_override(ComponentRef::analysis(0, 1), slow);
+        sync_cfg.n_steps = 10;
+        let mut async_cfg = sync_cfg.clone();
+        async_cfg.coupling = CouplingMode::Asynchronous { queue_capacity: 1 };
+
+        let sync_exec = run_simulated(&sync_cfg).unwrap();
+        let async_exec = run_simulated(&async_cfg).unwrap();
+
+        let sim = ComponentRef::simulation(0);
+        let sync_idle = sync_exec.trace.total_in_stage(sim, StageKind::SimIdle);
+        let async_idle = async_exec.trace.total_in_stage(sim, StageKind::SimIdle);
+        assert!(sync_idle > 0.0, "sync coupling must stall the sim");
+        assert_eq!(async_idle, 0.0, "async coupling must never stall the sim");
+
+        // Frames are conserved: consumed + lost = produced.
+        let consumed = async_exec
+            .trace
+            .stage_series(ComponentRef::analysis(0, 1), StageKind::Analyze)
+            .len() as u64;
+        assert_eq!(consumed + async_exec.lost_frames[0], 10);
+        assert!(async_exec.lost_frames[0] > 0, "slow analysis must lose frames");
+
+        // And the sync run loses nothing.
+        assert_eq!(sync_exec.lost_frames, vec![0]);
+    }
+
+    #[test]
+    fn async_fast_analysis_loses_nothing() {
+        let mut cfg = quick_config(ConfigId::Cf);
+        cfg.coupling = CouplingMode::Asynchronous { queue_capacity: 2 };
+        let exec = run_simulated(&cfg).unwrap();
+        assert_eq!(exec.lost_frames, vec![0]);
+        let consumed =
+            exec.trace.stage_series(ComponentRef::analysis(0, 1), StageKind::Analyze).len();
+        assert_eq!(consumed, 6);
+    }
+
+    #[test]
+    fn async_frames_arrive_in_order_without_repeats() {
+        let mut cfg = quick_config(ConfigId::Cf);
+        let mut slow = cfg.workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
+        slow.instructions_per_step *= 2.5;
+        cfg.workloads.set_override(ComponentRef::analysis(0, 1), slow);
+        cfg.coupling = CouplingMode::Asynchronous { queue_capacity: 1 };
+        cfg.n_steps = 12;
+        let exec = run_simulated(&cfg).unwrap();
+        let mut steps: Vec<u64> = exec
+            .trace
+            .for_component(ComponentRef::analysis(0, 1))
+            .filter(|iv| iv.kind == StageKind::Analyze)
+            .map(|iv| iv.step)
+            .collect();
+        let sorted = steps.clone();
+        steps.dedup();
+        assert_eq!(steps, sorted, "frame steps must be strictly increasing");
+    }
+
+    #[test]
+    fn forced_remote_reads_slow_colocated_members() {
+        let local = quick_config(ConfigId::Cc);
+        let mut remote = local.clone();
+        remote.force_remote_reads = true;
+        let l = run_simulated(&local).unwrap();
+        let r = run_simulated(&remote).unwrap();
+        let ana = ComponentRef::analysis(0, 1);
+        let read_l: f64 = l.trace.stage_series(ana, StageKind::Read).iter().sum();
+        let read_r: f64 = r.trace.stage_series(ana, StageKind::Read).iter().sum();
+        assert!(read_r > read_l, "remote reads must cost more ({read_r} vs {read_l})");
+    }
+}

@@ -1,0 +1,113 @@
+//! Assigns architectural workloads to ensemble components for the
+//! simulated execution mode.
+
+use ensemble_core::{ComponentRef, EnsembleSpec};
+use hpc_platform::Workload;
+use kernels::profile;
+use std::collections::HashMap;
+
+/// Maps components to their [`Workload`] profiles and chunk sizes.
+#[derive(Debug, Clone)]
+pub struct WorkloadMap {
+    sim_default: Workload,
+    analysis_default: Workload,
+    overrides: HashMap<ComponentRef, Workload>,
+    /// Bytes of the frame chunk each simulation stages per in situ step.
+    pub chunk_bytes: u64,
+}
+
+impl WorkloadMap {
+    /// The paper's workloads: GROMACS-like simulation at `stride`,
+    /// eigenvalue analyses, GltPh-sized frames.
+    pub fn paper_defaults(stride: u64) -> Self {
+        WorkloadMap {
+            sim_default: profile::simulation_workload(stride),
+            analysis_default: profile::analysis_workload(),
+            overrides: HashMap::new(),
+            chunk_bytes: profile::frame_bytes(profile::GLTPH_ATOMS),
+        }
+    }
+
+    /// Laptop-scale workloads with the same contention shapes (fast
+    /// tests).
+    pub fn small_defaults() -> Self {
+        WorkloadMap {
+            sim_default: profile::small_simulation_workload(),
+            analysis_default: profile::small_analysis_workload(),
+            overrides: HashMap::new(),
+            chunk_bytes: profile::frame_bytes(1000),
+        }
+    }
+
+    /// Overrides the workload of one component (e.g. a straggler for
+    /// failure-injection experiments).
+    pub fn set_override(&mut self, component: ComponentRef, workload: Workload) {
+        self.overrides.insert(component, workload);
+    }
+
+    /// The workload of `component`.
+    pub fn workload_for(&self, component: ComponentRef) -> &Workload {
+        self.overrides.get(&component).unwrap_or(if component.is_simulation() {
+            &self.sim_default
+        } else {
+            &self.analysis_default
+        })
+    }
+
+    /// Enumerates `(component, workload)` for every component of `spec`,
+    /// members in order, simulation before analyses.
+    pub fn assignments(&self, spec: &EnsembleSpec) -> Vec<(ComponentRef, Workload)> {
+        let mut out = Vec::new();
+        for (i, member) in spec.members.iter().enumerate() {
+            let sim = ComponentRef::simulation(i);
+            out.push((sim, self.workload_for(sim).clone()));
+            for j in 1..=member.k() {
+                let ana = ComponentRef::analysis(i, j);
+                out.push((ana, self.workload_for(ana).clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_core::ConfigId;
+
+    #[test]
+    fn defaults_split_by_kind() {
+        let map = WorkloadMap::paper_defaults(800);
+        let sim = map.workload_for(ComponentRef::simulation(0));
+        let ana = map.workload_for(ComponentRef::analysis(0, 1));
+        assert!(sim.instructions_per_step > ana.instructions_per_step);
+        assert!(ana.llc_refs_per_instr > sim.llc_refs_per_instr);
+    }
+
+    #[test]
+    fn override_wins() {
+        let mut map = WorkloadMap::small_defaults();
+        let mut slow = map.workload_for(ComponentRef::analysis(0, 1)).clone();
+        slow.instructions_per_step *= 10.0;
+        map.set_override(ComponentRef::analysis(0, 1), slow.clone());
+        assert_eq!(map.workload_for(ComponentRef::analysis(0, 1)), &slow);
+        // Other analyses unaffected.
+        assert_ne!(map.workload_for(ComponentRef::analysis(1, 1)), &slow);
+    }
+
+    #[test]
+    fn assignments_cover_every_component() {
+        let spec = ConfigId::C2_3.build();
+        let map = WorkloadMap::paper_defaults(800);
+        let a = map.assignments(&spec);
+        assert_eq!(a.len(), 6, "2 members × (1 sim + 2 analyses)");
+        assert!(a[0].0.is_simulation());
+        assert!(!a[1].0.is_simulation());
+    }
+
+    #[test]
+    fn chunk_bytes_positive() {
+        assert!(WorkloadMap::paper_defaults(800).chunk_bytes > 1_000_000);
+        assert!(WorkloadMap::small_defaults().chunk_bytes > 0);
+    }
+}

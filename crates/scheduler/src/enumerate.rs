@@ -1,0 +1,219 @@
+//! Placement enumeration with node-relabeling symmetry reduction.
+//!
+//! A placement assigns each component of each member to one node. Nodes
+//! are interchangeable (the platform is homogeneous), so placements that
+//! differ only by a node permutation are equivalent; enumeration yields
+//! one canonical representative per equivalence class.
+
+use ensemble_core::{ComponentSpec, EnsembleSpec, MemberSpec};
+
+/// Structural description of the ensemble to place: per member, the
+/// simulation core count and each analysis's core count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleShape {
+    /// Per member: (simulation cores, per-analysis cores).
+    pub members: Vec<(u32, Vec<u32>)>,
+}
+
+impl EnsembleShape {
+    /// `n` identical members with `sim_cores` and `k` analyses of
+    /// `ana_cores` each — the paper's shapes.
+    pub fn uniform(n: usize, sim_cores: u32, k: usize, ana_cores: u32) -> Self {
+        EnsembleShape { members: vec![(sim_cores, vec![ana_cores; k]); n] }
+    }
+
+    /// Total components (simulations + analyses).
+    pub fn num_components(&self) -> usize {
+        self.members.iter().map(|(_, a)| 1 + a.len()).sum()
+    }
+
+    /// Core demand of component `idx` in flattened order (member-major,
+    /// simulation first).
+    fn component_cores(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.num_components());
+        for (sim, anas) in &self.members {
+            v.push(*sim);
+            v.extend(anas.iter().copied());
+        }
+        v
+    }
+
+    /// Materializes an [`EnsembleSpec`] from a flattened node assignment.
+    pub fn materialize(&self, assignment: &[usize]) -> EnsembleSpec {
+        assert_eq!(assignment.len(), self.num_components());
+        let mut members = Vec::with_capacity(self.members.len());
+        let mut idx = 0;
+        for (sim_cores, anas) in &self.members {
+            let sim = ComponentSpec::simulation(*sim_cores, assignment[idx]);
+            idx += 1;
+            let analyses = anas
+                .iter()
+                .map(|&c| {
+                    let a = ComponentSpec::analysis(c, assignment[idx]);
+                    idx += 1;
+                    a
+                })
+                .collect();
+            members.push(MemberSpec::new(sim, analyses));
+        }
+        EnsembleSpec::new(members)
+    }
+}
+
+/// Canonicalizes an assignment by relabeling nodes in order of first
+/// appearance: `[2, 0, 2, 1]` → `[0, 1, 0, 2]`.
+pub fn canonicalize(assignment: &[usize]) -> Vec<usize> {
+    let mut mapping: Vec<usize> = Vec::new();
+    assignment
+        .iter()
+        .map(|&n| {
+            if let Some(pos) = mapping.iter().position(|&m| m == n) {
+                pos
+            } else {
+                mapping.push(n);
+                mapping.len() - 1
+            }
+        })
+        .collect()
+}
+
+/// Enumerates all canonical feasible placements of `shape` onto at most
+/// `max_nodes` nodes of `cores_per_node` cores.
+///
+/// Returned assignments are flattened node indexes (member-major,
+/// simulation first), each canonical under node relabeling, each
+/// respecting per-node core capacity.
+pub fn enumerate_placements(
+    shape: &EnsembleShape,
+    max_nodes: usize,
+    cores_per_node: u32,
+) -> Vec<Vec<usize>> {
+    let cores = shape.component_cores();
+    let n = cores.len();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; n];
+    let mut used = vec![0u32; max_nodes];
+
+    // Depth-first with the canonical-prefix rule: component `i` may use
+    // node `t` only if t ≤ (max node used so far) + 1 — generating each
+    // canonical labeling exactly once.
+    fn dfs(
+        i: usize,
+        max_used: usize,
+        cores: &[u32],
+        cores_per_node: u32,
+        max_nodes: usize,
+        assignment: &mut Vec<usize>,
+        used: &mut Vec<u32>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if i == cores.len() {
+            out.push(assignment.clone());
+            return;
+        }
+        let limit = max_used.min(max_nodes - 1);
+        for t in 0..=limit {
+            if used[t] + cores[i] > cores_per_node {
+                continue;
+            }
+            used[t] += cores[i];
+            assignment[i] = t;
+            dfs(
+                i + 1,
+                max_used.max(t + 1),
+                cores,
+                cores_per_node,
+                max_nodes,
+                assignment,
+                used,
+                out,
+            );
+            used[t] -= cores[i];
+        }
+    }
+
+    if n > 0 && max_nodes > 0 {
+        dfs(0, 0, &cores, cores_per_node, max_nodes, &mut assignment, &mut used, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_examples() {
+        assert_eq!(canonicalize(&[2, 0, 2, 1]), vec![0, 1, 0, 2]);
+        assert_eq!(canonicalize(&[0, 0, 0]), vec![0, 0, 0]);
+        assert_eq!(canonicalize(&[5]), vec![0]);
+        assert!(canonicalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn enumeration_is_canonical_and_unique() {
+        let shape = EnsembleShape::uniform(1, 16, 1, 8);
+        let placements = enumerate_placements(&shape, 2, 32);
+        // Two components, two nodes: {same node, different nodes}.
+        assert_eq!(placements.len(), 2);
+        for p in &placements {
+            assert_eq!(p, &canonicalize(p), "must already be canonical");
+        }
+        let mut dedup = placements.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), placements.len());
+    }
+
+    #[test]
+    fn capacity_prunes_infeasible() {
+        // Two 16-core sims + two 8-core analyses can't all fit one
+        // 32-core node.
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let placements = enumerate_placements(&shape, 1, 32);
+        assert!(placements.is_empty(), "48 cores cannot fit a single node");
+        let on_two = enumerate_placements(&shape, 2, 32);
+        assert!(!on_two.is_empty());
+        for p in &on_two {
+            let mut load = [0u32; 2];
+            let cores = [16u32, 8, 16, 8];
+            for (c, &n) in cores.iter().zip(p) {
+                load[n] += c;
+            }
+            assert!(load.iter().all(|&l| l <= 32), "{p:?} overloads a node");
+        }
+    }
+
+    #[test]
+    fn paper_set_one_space_is_covered() {
+        // 2 members × (sim + 1 analysis) on ≤ 3 nodes of 32 cores. All
+        // of C1.1–C1.5 must appear among the canonical placements.
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let placements = enumerate_placements(&shape, 3, 32);
+        // Flattened order: [sim1, ana1, sim2, ana2].
+        let expect = [
+            canonicalize(&[0, 2, 1, 2]), // C1.1
+            canonicalize(&[0, 1, 0, 2]), // C1.2
+            canonicalize(&[0, 0, 1, 2]), // C1.3
+            canonicalize(&[0, 1, 0, 1]), // C1.4
+            canonicalize(&[0, 0, 1, 1]), // C1.5
+        ];
+        for (i, e) in expect.iter().enumerate() {
+            assert!(placements.contains(e), "C1.{} missing from enumeration", i + 1);
+        }
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let shape = EnsembleShape::uniform(2, 16, 2, 8);
+        let spec = shape.materialize(&[0, 0, 0, 1, 1, 1]);
+        assert_eq!(spec.n(), 2);
+        assert_eq!(spec.members[0].simulation.nodes, std::collections::BTreeSet::from([0]));
+        assert_eq!(spec.members[1].analyses[1].nodes, std::collections::BTreeSet::from([1]));
+        spec.validate(Some(32)).unwrap();
+    }
+
+    #[test]
+    fn component_count() {
+        assert_eq!(EnsembleShape::uniform(2, 16, 2, 8).num_components(), 6);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fast placement evaluation through the closed-form predictor — no
+//! discrete-event run, suitable for scanning thousands of candidates.
+
+use ensemble_core::{
+    aggregate, Aggregation, EnsembleSpec, IndicatorPath, MemberInputs,
+};
+use runtime::{predict, RuntimeResult, SimRunConfig};
+
+/// Predictor-based evaluation of one placement.
+#[derive(Debug, Clone)]
+pub struct FastScore {
+    /// Objective `F(Pᵁ·ᴬ·ᴾ)` from predicted efficiencies.
+    pub objective: f64,
+    /// Predicted ensemble makespan, seconds.
+    pub ensemble_makespan: f64,
+    /// Nodes the placement provisions.
+    pub nodes_used: usize,
+    /// True when every coupling satisfies the paper's Eq. 4
+    /// (`R* + A* ≤ S* + W*`) — i.e. no simulation ever waits.
+    pub eq4_satisfied: bool,
+}
+
+/// Scores `spec` analytically under `base`'s platform and workloads.
+pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<FastScore> {
+    let mut cfg = base.clone();
+    cfg.spec = spec.clone();
+    cfg.jitter = 0.0;
+    let prediction = predict(&cfg)?;
+    let values: Vec<f64> = prediction
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(p, ms)| {
+            let inputs = MemberInputs::from_specs(ms, spec, p.efficiency);
+            ensemble_core::indicator(&inputs, &IndicatorPath::uap())
+        })
+        .collect();
+    let eq4_satisfied = prediction.members.iter().all(|m| {
+        m.stage_times
+            .analyses
+            .iter()
+            .all(|a| a.busy() <= m.stage_times.sim_busy() + 1e-12)
+    });
+    Ok(FastScore {
+        objective: aggregate(&values, Aggregation::MeanMinusStd),
+        ensemble_makespan: prediction.ensemble_makespan,
+        nodes_used: spec.num_nodes(),
+        eq4_satisfied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::score_report;
+    use ensemble_core::{Aggregation, ConfigId};
+    use runtime::{EnsembleRunner, WorkloadMap};
+
+    #[test]
+    fn fast_score_matches_des_based_score() {
+        for id in [ConfigId::C1_4, ConfigId::C1_5, ConfigId::C2_8] {
+            let spec = id.build();
+            let mut base = SimRunConfig::paper(spec.clone());
+            base.workloads = WorkloadMap::small_defaults();
+            base.n_steps = 8;
+            let fast = fast_score(&base, &spec).unwrap();
+
+            let report = EnsembleRunner::paper_config(id)
+                .small_scale()
+                .steps(8)
+                .jitter(0.0)
+                .run()
+                .unwrap();
+            let slow = score_report(
+                &report,
+                &spec,
+                &IndicatorPath::uap(),
+                Aggregation::MeanMinusStd,
+            );
+            let rel = (fast.objective - slow).abs() / slow.abs().max(1e-12);
+            assert!(rel < 1e-4, "{id}: fast {} vs DES {}", fast.objective, slow);
+        }
+    }
+
+    #[test]
+    fn fast_score_reports_nodes() {
+        let spec = ConfigId::C1_1.build();
+        let mut base = SimRunConfig::paper(spec.clone());
+        base.workloads = WorkloadMap::small_defaults();
+        let s = fast_score(&base, &spec).unwrap();
+        assert_eq!(s.nodes_used, 3);
+        assert!(s.ensemble_makespan > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # scheduler — parameter selection and indicator-guided placement
+//!
+//! Two decision procedures built on the paper's model:
+//!
+//! * [`core_sweep`] — the §3.4 heuristic (Figure 7): fix the simulation,
+//!   sweep analysis core counts, keep those satisfying Eq. 4
+//!   (`R* + A* ≤ S* + W*`), pick the most efficient. On the paper's
+//!   workloads it selects 8 cores, as the paper does.
+//! * [`search`] / [`advisor`] — the paper's future work: enumerate
+//!   canonical placements under node/core budgets ([`enumerate`]),
+//!   evaluate each on the simulated platform, rank by `F(Pᵁ·ᴬ·ᴾ)`
+//!   (Eqs. 8–9), with a greedy fallback for large ensembles. The search
+//!   independently rediscovers the paper's conclusion: fully co-locate
+//!   each member.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod annealing;
+pub mod core_sweep;
+pub mod enumerate;
+pub mod fast_eval;
+pub mod moldable;
+pub mod pareto;
+pub mod search;
+
+pub use advisor::{recommend_placement, recommend_with_core_sweep, Recommendation};
+pub use core_sweep::{core_sweep, CoreSweepConfig, SweepPoint, SweepResult};
+pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape};
+pub use annealing::{anneal_placement, AnnealingConfig};
+pub use fast_eval::{fast_score, FastScore};
+pub use moldable::{moldable_search, MoldablePoint, MoldableResult};
+pub use pareto::{frontier_only, pareto_front, ParetoPoint};
+pub use search::{exhaustive_search, greedy_search, score_report, NodeBudget, ScoredPlacement, SearchConfig};

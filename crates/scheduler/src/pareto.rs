@@ -1,0 +1,117 @@
+//! Pareto analysis of the placement space: provisioned nodes versus
+//! predicted ensemble makespan, with the indicator as a tie-breaker —
+//! showing the resource/performance trade-off the paper's indicator
+//! collapses into one number.
+
+use runtime::{RuntimeResult, SimRunConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::enumerate::{enumerate_placements, EnsembleShape};
+use crate::fast_eval::fast_score;
+use crate::search::NodeBudget;
+
+/// One placement with its two objectives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Flattened node assignment.
+    pub assignment: Vec<usize>,
+    /// Nodes provisioned (minimize).
+    pub nodes_used: usize,
+    /// Predicted ensemble makespan, seconds (minimize).
+    pub ensemble_makespan: f64,
+    /// `F(Pᵁ·ᴬ·ᴾ)` (maximize; reported for context).
+    pub objective: f64,
+    /// Whether the point survives Pareto filtering.
+    pub dominated: bool,
+}
+
+/// Evaluates every canonical feasible placement and marks the Pareto
+/// frontier over (nodes, makespan). Points are returned sorted by node
+/// count then makespan.
+pub fn pareto_front(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+) -> RuntimeResult<Vec<ParetoPoint>> {
+    let mut points = Vec::new();
+    for assignment in enumerate_placements(shape, budget.max_nodes, budget.cores_per_node) {
+        let spec = shape.materialize(&assignment);
+        let score = fast_score(base, &spec)?;
+        points.push(ParetoPoint {
+            assignment,
+            nodes_used: score.nodes_used,
+            ensemble_makespan: score.ensemble_makespan,
+            objective: score.objective,
+            dominated: false,
+        });
+    }
+    // Dominance: fewer-or-equal nodes AND shorter-or-equal makespan,
+    // strictly better in one.
+    for i in 0..points.len() {
+        points[i].dominated = (0..points.len()).any(|j| {
+            j != i
+                && points[j].nodes_used <= points[i].nodes_used
+                && points[j].ensemble_makespan <= points[i].ensemble_makespan + 1e-12
+                && (points[j].nodes_used < points[i].nodes_used
+                    || points[j].ensemble_makespan < points[i].ensemble_makespan - 1e-12)
+        });
+    }
+    points.sort_by(|a, b| {
+        a.nodes_used
+            .cmp(&b.nodes_used)
+            .then(a.ensemble_makespan.total_cmp(&b.ensemble_makespan))
+    });
+    Ok(points)
+}
+
+/// The non-dominated subset of [`pareto_front`]'s output.
+pub fn frontier_only(points: &[ParetoPoint]) -> Vec<&ParetoPoint> {
+    points.iter().filter(|p| !p.dominated).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::WorkloadMap;
+
+    fn base() -> SimRunConfig {
+        let mut cfg = SimRunConfig::paper(ensemble_core::ConfigId::Cf.build());
+        cfg.workloads = WorkloadMap::small_defaults();
+        cfg.n_steps = 8;
+        cfg
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_monotone() {
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let points =
+            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 })
+                .unwrap();
+        assert!(!points.is_empty());
+        let frontier = frontier_only(&points);
+        assert!(!frontier.is_empty());
+        // Along the frontier, more nodes must buy shorter (or equal)
+        // makespans.
+        for w in frontier.windows(2) {
+            if w[1].nodes_used > w[0].nodes_used {
+                assert!(w[1].ensemble_makespan <= w[0].ensemble_makespan + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_marked() {
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let points =
+            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 })
+                .unwrap();
+        // With contention, at least one 3-node scatter placement is
+        // dominated by the 2-node full co-location (C1.5 pattern).
+        assert!(points.iter().any(|p| p.dominated), "some placement must be dominated");
+        let c15 = points
+            .iter()
+            .find(|p| p.assignment == vec![0, 0, 1, 1])
+            .expect("C1.5 pattern enumerated");
+        assert!(!c15.dominated, "full co-location should sit on the frontier");
+    }
+}

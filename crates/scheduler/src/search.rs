@@ -1,0 +1,259 @@
+//! Indicator-guided placement search — the paper's future work
+//! ("leveraging the proposed indicators for scheduling in situ components
+//! of a workflow ensemble under resource constraints") made concrete.
+//!
+//! Every feasible canonical placement is executed on the simulated
+//! platform, scored with `F(Pᵁ·ᴬ·ᴾ)` (Eqs. 8–9), and ranked.
+
+use ensemble_core::{aggregate, Aggregation, EnsembleSpec, IndicatorPath, MemberInputs};
+use metrics::EnsembleReport;
+use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
+use serde::{Deserialize, Serialize};
+
+use crate::enumerate::{enumerate_placements, EnsembleShape};
+
+/// Resource constraints of the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeBudget {
+    /// Maximum nodes that may be provisioned.
+    pub max_nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: u32,
+}
+
+/// One evaluated placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredPlacement {
+    /// Flattened node assignment (member-major, simulation first).
+    pub assignment: Vec<usize>,
+    /// The materialized spec.
+    pub spec: EnsembleSpec,
+    /// Objective value `F(Pᵁ·ᴬ·ᴾ)`.
+    pub objective: f64,
+    /// Nodes used.
+    pub nodes_used: usize,
+    /// Ensemble makespan of the evaluation run, seconds.
+    pub ensemble_makespan: f64,
+}
+
+/// Search settings.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Component structure to place.
+    pub shape: EnsembleShape,
+    /// Resource constraints.
+    pub budget: NodeBudget,
+    /// Base run settings (spec replaced per candidate).
+    pub base: SimRunConfig,
+    /// Evaluation steps per candidate (short; steady state suffices).
+    pub steps: u64,
+    /// Aggregation for the objective (Eq. 9 by default).
+    pub aggregation: Aggregation,
+}
+
+impl SearchConfig {
+    /// Paper-scale search over the given shape and budget.
+    pub fn new(shape: EnsembleShape, budget: NodeBudget) -> Self {
+        let placeholder = shape.materialize(&vec![0; shape.num_components()]);
+        SearchConfig {
+            base: SimRunConfig::paper(placeholder),
+            shape,
+            budget,
+            steps: 6,
+            aggregation: Aggregation::MeanMinusStd,
+        }
+    }
+
+    /// Switches to laptop-scale workloads (fast tests).
+    pub fn small_scale(mut self) -> Self {
+        self.base.workloads = WorkloadMap::small_defaults();
+        self
+    }
+}
+
+/// Scores one already-run report with `F` over the chosen indicator
+/// path.
+pub fn score_report(
+    report: &EnsembleReport,
+    spec: &EnsembleSpec,
+    path: &IndicatorPath,
+    aggregation: Aggregation,
+) -> f64 {
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            let inputs = MemberInputs::from_specs(ms, spec, mr.efficiency);
+            ensemble_core::indicator(&inputs, path)
+        })
+        .collect();
+    aggregate(&values, aggregation)
+}
+
+/// Exhaustively evaluates every canonical feasible placement, returning
+/// them ranked best-first.
+pub fn exhaustive_search(config: &SearchConfig) -> RuntimeResult<Vec<ScoredPlacement>> {
+    let placements =
+        enumerate_placements(&config.shape, config.budget.max_nodes, config.budget.cores_per_node);
+    let mut scored = Vec::with_capacity(placements.len());
+    for assignment in placements {
+        let spec = config.shape.materialize(&assignment);
+        let mut run = config.base.clone();
+        run.spec = spec.clone();
+        run.n_steps = config.steps;
+        run.jitter = 0.0;
+        let exec = runtime::run_simulated(&run)?;
+        let report = runtime::build_report(
+            "candidate",
+            &spec,
+            &exec,
+            config.steps,
+            ensemble_core::WarmupPolicy::default(),
+        )?;
+        let objective =
+            score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
+        scored.push(ScoredPlacement {
+            nodes_used: spec.num_nodes(),
+            ensemble_makespan: report.ensemble_makespan,
+            assignment,
+            spec,
+            objective,
+        });
+    }
+    scored.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    Ok(scored)
+}
+
+/// Greedy search for larger ensembles: members are placed one at a time,
+/// each choosing co-location on the least-loaded node that fits, falling
+/// back to spreading. Returns the single constructed placement, scored.
+pub fn greedy_search(config: &SearchConfig) -> RuntimeResult<ScoredPlacement> {
+    let mut load = vec![0u32; config.budget.max_nodes];
+    let mut assignment = Vec::with_capacity(config.shape.num_components());
+    for (sim_cores, anas) in &config.shape.members {
+        let member_total: u32 = sim_cores + anas.iter().sum::<u32>();
+        // Prefer fully co-locating the member on one node (the paper's
+        // conclusion), else fall back to per-component first-fit.
+        if let Some(node) = least_loaded_fitting(&load, member_total, config.budget.cores_per_node)
+        {
+            load[node] += member_total;
+            assignment.push(node);
+            assignment.extend(std::iter::repeat_n(node, anas.len()));
+        } else {
+            for &cores in std::iter::once(sim_cores).chain(anas.iter()) {
+                let node = least_loaded_fitting(&load, cores, config.budget.cores_per_node)
+                    .ok_or(runtime::RuntimeError::Platform(
+                        hpc_platform::PlatformError::InsufficientCores {
+                            node: 0,
+                            requested: cores,
+                            available: 0,
+                        },
+                    ))?;
+                load[node] += cores;
+                assignment.push(node);
+            }
+        }
+    }
+    let assignment = crate::enumerate::canonicalize(&assignment);
+    let spec = config.shape.materialize(&assignment);
+    let mut run = config.base.clone();
+    run.spec = spec.clone();
+    run.n_steps = config.steps;
+    run.jitter = 0.0;
+    let exec = runtime::run_simulated(&run)?;
+    let report = runtime::build_report(
+        "greedy",
+        &spec,
+        &exec,
+        config.steps,
+        ensemble_core::WarmupPolicy::default(),
+    )?;
+    let objective = score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
+    Ok(ScoredPlacement {
+        nodes_used: spec.num_nodes(),
+        ensemble_makespan: report.ensemble_makespan,
+        assignment,
+        spec,
+        objective,
+    })
+}
+
+fn least_loaded_fitting(load: &[u32], cores: u32, capacity: u32) -> Option<usize> {
+    load.iter()
+        .enumerate()
+        .filter(|(_, &l)| l + cores <= capacity)
+        .min_by_key(|(_, &l)| l)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_search(n: usize, k: usize, max_nodes: usize) -> SearchConfig {
+        SearchConfig::new(
+            EnsembleShape::uniform(n, 16, k, 8),
+            NodeBudget { max_nodes, cores_per_node: 32 },
+        )
+        .small_scale()
+    }
+
+    #[test]
+    fn exhaustive_ranks_full_colocation_first() {
+        // The paper's headline: each member co-located on its own node
+        // (C1.5 pattern) must win the set-one search.
+        let ranked = exhaustive_search(&small_search(2, 1, 3)).unwrap();
+        assert!(!ranked.is_empty());
+        let best = &ranked[0];
+        for (i, m) in best.spec.members.iter().enumerate() {
+            assert!(m.is_colocated(0), "best placement must co-locate member {i}: {:?}", best.assignment);
+        }
+        // Scores are sorted descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].objective >= w[1].objective);
+        }
+    }
+
+    #[test]
+    fn exhaustive_set_two_prefers_c2_8_pattern() {
+        let ranked = exhaustive_search(&small_search(2, 2, 3)).unwrap();
+        let best = &ranked[0];
+        // C2.8: each member entirely on its own node → 2 nodes, CP = 1.
+        assert_eq!(best.nodes_used, 2, "{:?}", best.assignment);
+        for m in &best.spec.members {
+            assert!(m.is_colocated(0) && m.is_colocated(1));
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instance() {
+        let cfg = small_search(2, 1, 3);
+        let ranked = exhaustive_search(&cfg).unwrap();
+        let greedy = greedy_search(&cfg).unwrap();
+        assert!(
+            (greedy.objective - ranked[0].objective).abs() < 1e-12,
+            "greedy {} vs best {}",
+            greedy.objective,
+            ranked[0].objective
+        );
+    }
+
+    #[test]
+    fn greedy_scales_to_more_members() {
+        let cfg = small_search(4, 1, 4);
+        let placed = greedy_search(&cfg).unwrap();
+        assert_eq!(placed.spec.n(), 4);
+        assert!(placed.objective.is_finite());
+        for m in &placed.spec.members {
+            assert!(m.is_colocated(0), "greedy co-locates when capacity allows");
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let cfg = small_search(2, 1, 1); // 48 cores on one 32-core node
+        assert!(exhaustive_search(&cfg).unwrap().is_empty());
+        assert!(greedy_search(&cfg).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Scheduled events and their deterministic ordering.
+
+use crate::time::SimTime;
+
+/// Identifier handed back when an event is scheduled; can be used to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number of this event.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// The key by which pending events are ordered: primary by time, secondary
+/// by insertion sequence so that simultaneous events fire in schedule order
+/// (deterministic tie-breaking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+}
+
+/// A scheduled event: an ordering key plus the action to run.
+pub(crate) struct ScheduledEvent<S> {
+    pub(crate) key: EventKey,
+    pub(crate) action: EventAction<S>,
+    pub(crate) cancelled: bool,
+}
+
+/// The kinds of work an event can carry.
+pub(crate) enum EventAction<S> {
+    /// Run an arbitrary closure against the shared state.
+    Call(Box<dyn FnOnce(&mut S, &mut crate::engine::Context) + Send>),
+    /// Poll a registered process.
+    PollProcess(crate::process::ProcessId),
+}
+
+impl<S> ScheduledEvent<S> {
+    pub(crate) fn id(&self) -> EventId {
+        EventId(self.key.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn key_orders_by_time_then_seq() {
+        let a = EventKey { time: SimTime::from_nanos(10), seq: 5 };
+        let b = EventKey { time: SimTime::from_nanos(10), seq: 6 };
+        let c = EventKey { time: SimTime::from_nanos(11), seq: 0 };
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+}

@@ -1,0 +1,151 @@
+//! The pending-event queue: a binary min-heap keyed by (time, sequence).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::event::{EventId, EventKey, ScheduledEvent};
+
+/// Min-heap of scheduled events with O(log n) push/pop and lazy cancellation.
+pub(crate) struct EventQueue<S> {
+    heap: BinaryHeap<HeapEntry<S>>,
+    cancelled: HashSet<u64>,
+    live: usize,
+}
+
+struct HeapEntry<S>(Reverse<EventKey>, ScheduledEvent<S>);
+
+impl<S> PartialEq for HeapEntry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<S> Eq for HeapEntry<S> {}
+impl<S> PartialOrd for HeapEntry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for HeapEntry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<S> EventQueue<S> {
+    pub(crate) fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), live: 0 }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    #[allow(dead_code)] // used by queue tests; the engine tracks via len()
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub(crate) fn push(&mut self, ev: ScheduledEvent<S>) {
+        self.live += 1;
+        self.heap.push(HeapEntry(Reverse(ev.key), ev));
+    }
+
+    /// Marks an event as cancelled. Returns true if it was pending.
+    pub(crate) fn cancel(&mut self, id: EventId) -> bool {
+        if self.cancelled.insert(id.0) {
+            // The event may have already fired; the flag is only honoured
+            // when the entry is still in the heap, so probe conservatively.
+            // We cannot cheaply verify membership, so `live` is adjusted on
+            // pop instead (see `pop`).
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest pending event key, skipping cancelled entries.
+    pub(crate) fn peek_key(&mut self) -> Option<EventKey> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|e| e.1.key)
+    }
+
+    /// Pops the earliest live event.
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent<S>> {
+        self.drop_cancelled_head();
+        let entry = self.heap.pop()?;
+        self.live = self.live.saturating_sub(1);
+        Some(entry.1)
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.remove(&head.1.key.seq) || head.1.cancelled {
+                self.heap.pop();
+                self.live = self.live.saturating_sub(1);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventAction;
+    use crate::time::SimTime;
+
+    fn ev(t: u64, seq: u64) -> ScheduledEvent<()> {
+        ScheduledEvent {
+            key: EventKey { time: SimTime::from_nanos(t), seq },
+            action: EventAction::Call(Box::new(|_, _| {})),
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(30, 0));
+        q.push(ev(10, 1));
+        q.push(ev(20, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().key.time, SimTime::from_nanos(10));
+        assert_eq!(q.pop().unwrap().key.time, SimTime::from_nanos(20));
+        assert_eq!(q.pop().unwrap().key.time, SimTime::from_nanos(30));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, 7));
+        q.push(ev(10, 3));
+        q.push(ev(10, 5));
+        assert_eq!(q.pop().unwrap().key.seq, 3);
+        assert_eq!(q.pop().unwrap().key.seq, 5);
+        assert_eq!(q.pop().unwrap().key.seq, 7);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, 0));
+        q.push(ev(20, 1));
+        q.cancel(EventId(0));
+        let first = q.pop().unwrap();
+        assert_eq!(first.key.seq, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, 0));
+        q.push(ev(20, 1));
+        q.cancel(EventId(0));
+        assert_eq!(q.peek_key().unwrap().seq, 1);
+    }
+}

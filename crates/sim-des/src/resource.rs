@@ -1,0 +1,246 @@
+//! Counted resources with FIFO admission, usable from processes.
+//!
+//! A [`Resource`] is plain data living inside the engine's shared state.
+//! Processes try to [`Resource::try_acquire`]; on failure they block on the
+//! resource's [`Signal`] and retry when a release fires it. FIFO fairness is
+//! enforced with ticket numbers: a process may only acquire when its ticket
+//! is at the head of the queue.
+
+use crate::process::Signal;
+use crate::time::{SimDuration, SimTime};
+
+/// A ticket in a resource's FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+/// A counted resource (e.g. cores of a node, staging-buffer slots).
+#[derive(Debug)]
+pub struct Resource {
+    capacity: u64,
+    in_use: u64,
+    signal: Signal,
+    next_ticket: u64,
+    serving: u64,
+    /// Utilization bookkeeping (time-weighted busy tokens).
+    busy_integral: f64,
+    last_change: SimTime,
+}
+
+impl Resource {
+    /// Creates a resource with `capacity` tokens, waking blocked processes
+    /// through `signal`.
+    pub fn new(capacity: u64, signal: Signal) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Resource {
+            capacity,
+            in_use: 0,
+            signal,
+            next_ticket: 0,
+            serving: 0,
+            busy_integral: 0.0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    /// The wake-up signal processes should block on when acquisition fails.
+    pub fn signal(&self) -> Signal {
+        self.signal
+    }
+
+    /// Total capacity in tokens.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Tokens currently held.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Tokens currently free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Draws a FIFO ticket. Call once per acquisition attempt sequence.
+    pub fn enqueue(&mut self) -> Ticket {
+        let t = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        t
+    }
+
+    /// Attempts to take `tokens` with FIFO fairness: succeeds only when the
+    /// ticket is being served and enough tokens are free. On success the
+    /// ticket is consumed.
+    pub fn try_acquire(&mut self, ticket: Ticket, tokens: u64, now: SimTime) -> bool {
+        assert!(tokens <= self.capacity, "request exceeds resource capacity");
+        if ticket.0 != self.serving {
+            return false;
+        }
+        if self.in_use + tokens > self.capacity {
+            return false;
+        }
+        self.account(now);
+        self.in_use += tokens;
+        self.serving += 1;
+        true
+    }
+
+    /// Returns `tokens` to the pool. The caller must then emit
+    /// [`Resource::signal`] so blocked processes retry.
+    pub fn release(&mut self, tokens: u64, now: SimTime) {
+        assert!(tokens <= self.in_use, "releasing more tokens than held");
+        self.account(now);
+        self.in_use -= tokens;
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_change).as_secs_f64();
+        self.busy_integral += dt * self.in_use as f64;
+        self.last_change = now;
+    }
+
+    /// Mean utilization (busy tokens / capacity) over `[0, now]`.
+    pub fn mean_utilization(&mut self, now: SimTime) -> f64 {
+        self.account(now);
+        let elapsed = now.duration_since(SimTime::ZERO).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.busy_integral / (elapsed * self.capacity as f64)
+        }
+    }
+}
+
+/// Helper: the retry loop a process runs to acquire a resource, expressed as
+/// a reusable state machine fragment.
+#[derive(Debug, Clone, Copy)]
+pub enum AcquireState {
+    /// No ticket drawn yet.
+    Idle,
+    /// Holding a ticket, waiting to be served.
+    Queued(Ticket),
+    /// Tokens held.
+    Held(u64),
+}
+
+impl AcquireState {
+    /// Drives one step of the acquire protocol. Returns `Ok(true)` when the
+    /// tokens are held, `Ok(false)` when the caller should block on the
+    /// resource signal and call again after wake-up.
+    pub fn advance(&mut self, res: &mut Resource, tokens: u64, now: SimTime) -> bool {
+        loop {
+            match *self {
+                AcquireState::Idle => {
+                    let t = res.enqueue();
+                    *self = AcquireState::Queued(t);
+                }
+                AcquireState::Queued(ticket) => {
+                    if res.try_acquire(ticket, tokens, now) {
+                        *self = AcquireState::Held(tokens);
+                        return true;
+                    }
+                    return false;
+                }
+                AcquireState::Held(_) => return true,
+            }
+        }
+    }
+
+    /// Releases held tokens (if any), resetting to `Idle`. Returns true if
+    /// a release actually happened (caller must emit the resource signal).
+    pub fn release(&mut self, res: &mut Resource, now: SimTime) -> bool {
+        if let AcquireState::Held(tokens) = *self {
+            res.release(tokens, now);
+            *self = AcquireState::Idle;
+            true
+        } else {
+            *self = AcquireState::Idle;
+            false
+        }
+    }
+}
+
+/// Computes the service time of a fixed amount of work on `tokens` parallel
+/// servers (work conservation, no overhead).
+pub fn service_time(work_token_seconds: f64, tokens: u64) -> SimDuration {
+    assert!(tokens > 0);
+    SimDuration::from_secs_f64(work_token_seconds / tokens as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut r = Resource::new(4, Signal(1));
+        let ticket = r.enqueue();
+        assert!(r.try_acquire(ticket, 3, t(0.0)));
+        assert_eq!(r.available(), 1);
+        r.release(3, t(1.0));
+        assert_eq!(r.available(), 4);
+    }
+
+    #[test]
+    fn fifo_order_enforced() {
+        let mut r = Resource::new(2, Signal(1));
+        let first = r.enqueue();
+        let second = r.enqueue();
+        // Second in line cannot jump the queue even though tokens are free.
+        assert!(!r.try_acquire(second, 1, t(0.0)));
+        assert!(r.try_acquire(first, 1, t(0.0)));
+        assert!(r.try_acquire(second, 1, t(0.0)));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = Resource::new(2, Signal(1));
+        let a = r.enqueue();
+        assert!(r.try_acquire(a, 2, t(0.0)));
+        let b = r.enqueue();
+        assert!(!r.try_acquire(b, 1, t(0.0)));
+        r.release(2, t(1.0));
+        assert!(r.try_acquire(b, 1, t(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "request exceeds resource capacity")]
+    fn oversized_request_panics() {
+        let mut r = Resource::new(2, Signal(1));
+        let a = r.enqueue();
+        r.try_acquire(a, 3, t(0.0));
+    }
+
+    #[test]
+    fn utilization_is_time_weighted() {
+        let mut r = Resource::new(2, Signal(1));
+        let a = r.enqueue();
+        assert!(r.try_acquire(a, 2, t(0.0)));
+        r.release(2, t(1.0));
+        // Busy 2 tokens for 1s out of 2s at capacity 2 => 50%.
+        let u = r.mean_utilization(t(2.0));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn acquire_state_machine() {
+        let mut r = Resource::new(1, Signal(1));
+        let mut holder = AcquireState::Idle;
+        let mut waiter = AcquireState::Idle;
+        assert!(holder.advance(&mut r, 1, t(0.0)));
+        assert!(!waiter.advance(&mut r, 1, t(0.0)));
+        assert!(holder.release(&mut r, t(1.0)));
+        assert!(waiter.advance(&mut r, 1, t(1.0)));
+    }
+
+    #[test]
+    fn service_time_scales_inverse_with_tokens() {
+        assert_eq!(service_time(8.0, 2), SimDuration::from_secs(4));
+        assert_eq!(service_time(8.0, 8), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,281 @@
+//! Streaming statistics used across the workspace: Welford mean/variance,
+//! time-weighted averages, and simple fixed-bin histograms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by N, matching the paper's Eq. 9).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity (queue length,
+/// tokens in use, …).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    integral: f64,
+    last_value: f64,
+    last_time: SimTime,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted { integral: 0.0, last_value: value, last_time: start, start }
+    }
+
+    /// Records a change of value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        self.integral += dt * self.last_value;
+        self.last_value = value;
+        self.last_time = now;
+    }
+
+    /// Time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let dt = now.duration_since(self.last_time).as_secs_f64();
+        let total = now.duration_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        (self.integral + dt * self.last_value) / total
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_bins` equal bins across `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(hi > lo && n_bins > 0, "invalid histogram bounds");
+        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at or above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile `q` in `[0,1]` from bin midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut whole = RunningStats::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs_f64(1.0), 10.0); // 0 for 1s
+        tw.set(SimTime::from_secs_f64(3.0), 0.0); // 10 for 2s
+        let mean = tw.mean(SimTime::from_secs_f64(4.0)); // 0 for 1s
+        assert!((mean - 5.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        let med = h.quantile(0.5);
+        assert!((med - 4.5).abs() <= 1.0, "median {med}");
+    }
+
+    #[test]
+    fn histogram_overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-1.0);
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins().iter().sum::<u64>(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the discrete-event engine: determinism,
+//! causal ordering, and clock monotonicity under arbitrary schedules.
+
+use proptest::prelude::*;
+use sim_des::{Context, Engine, Poll, Process, SimDuration, SimTime, Signal};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn events_fire_in_nondecreasing_time_order(
+        delays in prop::collection::vec(0u64..1_000_000, 1..100)
+    ) {
+        let mut engine = Engine::new(Vec::<u64>::new());
+        for &d in &delays {
+            engine.schedule_in(SimDuration::from_nanos(d), move |log: &mut Vec<u64>, ctx| {
+                log.push(ctx.now().as_nanos());
+            });
+        }
+        engine.run();
+        let log = engine.state();
+        prop_assert_eq!(log.len(), delays.len());
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]), "clock went backwards");
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(log, &sorted);
+    }
+
+    #[test]
+    fn identical_schedules_replay_identically(
+        delays in prop::collection::vec(0u64..1_000_000, 1..60)
+    ) {
+        let run = |delays: &[u64]| {
+            let mut engine = Engine::new(Vec::<(u64, usize)>::new());
+            for (i, &d) in delays.iter().enumerate() {
+                engine.schedule_in(
+                    SimDuration::from_nanos(d),
+                    move |log: &mut Vec<(u64, usize)>, ctx| {
+                        log.push((ctx.now().as_nanos(), i));
+                    },
+                );
+            }
+            engine.run();
+            engine.into_state()
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    #[test]
+    fn processes_advance_clock_by_their_sleeps(
+        sleeps in prop::collection::vec(1u64..1_000_000, 1..50)
+    ) {
+        struct Sleeper {
+            sleeps: Vec<u64>,
+            idx: usize,
+        }
+        impl Process<()> for Sleeper {
+            fn poll(&mut self, _s: &mut (), _ctx: &mut Context) -> Poll {
+                if self.idx < self.sleeps.len() {
+                    let d = self.sleeps[self.idx];
+                    self.idx += 1;
+                    Poll::Sleep(SimDuration::from_nanos(d))
+                } else {
+                    Poll::Done
+                }
+            }
+        }
+        let total: u64 = sleeps.iter().sum();
+        let mut engine = Engine::new(());
+        engine.spawn(Box::new(Sleeper { sleeps, idx: 0 }));
+        engine.run();
+        prop_assert_eq!(engine.now(), SimTime::from_nanos(total));
+        prop_assert!(engine.all_finished());
+    }
+
+    #[test]
+    fn signals_wake_every_waiter_exactly_once(
+        waiters in 1usize..20,
+        fire_at in 1u64..1_000_000
+    ) {
+        let mut engine = Engine::new(0u32);
+        for _ in 0..waiters {
+            // Closure process: first poll waits on the signal, the
+            // wake-up poll counts itself and finishes.
+            let mut waited = false;
+            engine.spawn(Box::new(move |count: &mut u32, _ctx: &mut Context| {
+                if !waited {
+                    waited = true;
+                    Poll::WaitSignal(Signal(9))
+                } else {
+                    *count += 1;
+                    Poll::Done
+                }
+            }));
+        }
+        engine.schedule_in(SimDuration::from_nanos(fire_at), |_s, ctx| ctx.emit(Signal(9)));
+        engine.run();
+        prop_assert_eq!(*engine.state(), waiters as u32);
+        prop_assert!(engine.all_finished());
+    }
+}

@@ -1,0 +1,85 @@
+//! Closing the measurement loop: run real kernels, *fit* architectural
+//! workloads to the measured stage times, and drive the simulated
+//! platform with the fitted profiles — measure → calibrate → simulate.
+//!
+//! ```text
+//! cargo run --release --example calibrate
+//! ```
+
+use insitu_ensembles::model::{extract_steady_state, ComponentRef};
+use insitu_ensembles::prelude::*;
+use insitu_ensembles::runtime::{calibrate_component, SimRunConfig};
+use std::time::Duration;
+
+fn main() {
+    println!("measure -> calibrate -> simulate");
+    println!("================================\n");
+
+    // 1. Measure: a real member on this machine.
+    let stride: u64 = 10;
+    let threaded = ThreadRunConfig {
+        spec: ConfigId::Cf.build(),
+        md: MdConfig { atoms_per_side: 6, stride, ..Default::default() },
+        analysis_group_size: 64,
+        analysis_sigma: 1.2,
+        n_steps: 8,
+        staging_capacity: 1,
+        timeout: Duration::from_secs(120),
+        kernel: None,
+    };
+    let exec = run_threaded(&threaded).expect("threaded run");
+    let node = insitu_ensembles::platform::cori::cori_node();
+
+    // 2. Calibrate both components against the paper's profile shapes.
+    let sim_fit = calibrate_component(
+        &exec.trace,
+        ComponentRef::simulation(0),
+        1,
+        16,
+        &node,
+        &insitu_ensembles::kernels::profile::simulation_workload(stride),
+        WarmupPolicy::FixedSteps(2),
+    )
+    .expect("simulation fit");
+    let ana_fit = calibrate_component(
+        &exec.trace,
+        ComponentRef::analysis(0, 1),
+        1,
+        8,
+        &node,
+        &insitu_ensembles::kernels::profile::analysis_workload(),
+        WarmupPolicy::FixedSteps(2),
+    )
+    .expect("analysis fit");
+    println!("measured S* = {:.2} ms -> fitted {:.3e} instructions/step",
+        sim_fit.measured_seconds * 1e3, sim_fit.workload.instructions_per_step);
+    println!("measured A* = {:.2} ms -> fitted {:.3e} instructions/step",
+        ana_fit.measured_seconds * 1e3, ana_fit.workload.instructions_per_step);
+
+    // 3. Simulate this machine's member on the modeled platform and
+    //    compare the predicted steady state with the measurement.
+    let mut run = SimRunConfig::paper(ConfigId::Cf.build());
+    run.n_steps = 8;
+    run.jitter = 0.0;
+    run.workloads.set_override(ComponentRef::simulation(0), sim_fit.workload.clone());
+    run.workloads.set_override(ComponentRef::analysis(0, 1), ana_fit.workload.clone());
+    let sim_exec = run_simulated(&run).expect("simulated run");
+    let times = extract_steady_state(
+        &sim_exec.trace.member_samples(0, 1),
+        WarmupPolicy::FixedSteps(2),
+    )
+    .expect("steady state");
+    println!("\nsimulated platform with fitted profiles:");
+    println!("  S* = {:.2} ms (measured {:.2} ms)", times.s * 1e3, sim_fit.measured_seconds * 1e3);
+    println!("  A* = {:.2} ms (measured {:.2} ms)",
+        times.analyses[0].a * 1e3, ana_fit.measured_seconds * 1e3);
+    println!("  sigma* = {:.2} ms, E = {:.4}", sigma_star(&times) * 1e3, efficiency(&times));
+
+    // 4. The fitted profiles can now drive any what-if: e.g. how would
+    //    THIS member behave if both components shared one node?
+    let mut coloc = run.clone();
+    coloc.spec = ConfigId::Cc.build();
+    let what_if = insitu_ensembles::runtime::predict(&coloc).expect("prediction");
+    println!("\nwhat-if (co-located on one node): sigma* = {:.2} ms, E = {:.4}",
+        what_if.members[0].sigma_star * 1e3, what_if.members[0].efficiency);
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run one of the paper's configurations on the simulated
+//! Cori-like platform and read off the paper's quantities.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use insitu_ensembles::prelude::*;
+
+fn main() {
+    println!("insitu-ensembles quickstart");
+    println!("===========================\n");
+
+    // The paper's best placement, C1.5: two ensemble members, each a
+    // 16-core MD simulation co-located with its 8-core analysis on its
+    // own node. Full paper scale: 37 in situ steps (stride 800 over
+    // 30 000 MD steps).
+    let report = EnsembleRunner::paper_config(ConfigId::C1_5)
+        .steps(37)
+        .jitter(0.01)
+        .run()
+        .expect("simulated run failed");
+
+    println!("{}", report.to_table());
+
+    // The model quantities of paper §3–§4, per member:
+    let spec = ConfigId::C1_5.build();
+    for (member_report, member_spec) in report.members.iter().zip(&spec.members) {
+        let t = &member_report.stage_times;
+        println!("member {}:", member_report.member + 1);
+        println!("  S* + W*      = {:.3} s", t.sim_busy());
+        println!("  R* + A*      = {:.3} s", t.analyses[0].busy());
+        println!("  sigma*       = {:.3} s   (Eq. 1)", sigma_star(t));
+        println!("  makespan     = {:.1} s   (Eq. 2 model: {:.1} s)",
+            member_report.makespan, member_report.makespan_model);
+        println!("  efficiency E = {:.4}    (Eq. 3)", efficiency(t));
+        println!("  CP           = {:.3}    (Eq. 6)", placement_indicator(member_spec));
+        let inputs = MemberInputs::from_specs(member_spec, &spec, member_report.efficiency);
+        println!("  P^U          = {:.4e}  (Eq. 5)", indicator(&inputs, &IndicatorPath::u()));
+        println!("  P^U,A        = {:.4e}  (Eq. 7)", indicator(&inputs, &IndicatorPath::ua()));
+        println!("  P^U,A,P      = {:.4e}  (Eq. 8)", indicator(&inputs, &IndicatorPath::uap()));
+    }
+
+    // The ensemble-level objective of §5.1 (Eq. 9).
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            indicator(&MemberInputs::from_specs(ms, &spec, mr.efficiency), &IndicatorPath::uap())
+        })
+        .collect();
+    println!("\nF(P^U,A,P) = {:.4e}  (Eq. 9: mean - std over members)", objective(&values));
+}

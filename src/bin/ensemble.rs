@@ -1,0 +1,363 @@
+//! `ensemble` — command-line front end to the workflow-ensemble library.
+//!
+//! ```text
+//! ensemble run C1.5 [--steps N] [--jitter J] [--gantt] [--csv DIR] [--json FILE]
+//! ensemble run experiment.json [...]
+//! ensemble predict C2.8
+//! ensemble sweep
+//! ensemble advise --members N --k K --nodes M [--cores 32]
+//! ensemble energy C1.5 [--cap WATTS]
+//! ensemble example-spec
+//! ensemble list
+//! ```
+
+use std::collections::HashMap;
+
+use insitu_ensembles::measurement::{self, GanttOptions};
+use insitu_ensembles::model::{ConfigId, IndicatorPath, MemberInputs};
+use insitu_ensembles::prelude::*;
+use insitu_ensembles::runtime::{build_report, ExperimentSpec};
+use insitu_ensembles::scheduling;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("sweep") => cmd_sweep(),
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("energy") => cmd_energy(&args[1..]),
+        Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("example-spec") => {
+            println!("{}", ExperimentSpec::example().to_json());
+            0
+        }
+        Some("list") => {
+            for id in ConfigId::all() {
+                let spec = id.build();
+                println!("{:<6} N={} M={}", id.label(), spec.n(), spec.num_nodes());
+            }
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage: ensemble <run|predict|sweep|advise|energy|diagnose|example-spec|list> [...]\n\
+                 see the module docs of src/bin/ensemble.rs for flags"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_config(label: &str) -> Option<ConfigId> {
+    // Accept "C1.5", "c1_5", "Cc", "C_f", … — punctuation-insensitive.
+    let canon = |s: &str| {
+        s.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_ascii_lowercase()
+    };
+    let wanted = canon(label);
+    ConfigId::all().into_iter().find(|id| canon(id.label()) == wanted)
+}
+
+/// Builds the run configuration from either a paper config label or a
+/// JSON experiment file.
+fn load_run(target: &str, args: &[String]) -> Result<(String, SimRunConfig), String> {
+    let mut cfg = if let Some(id) = parse_config(target) {
+        (id.label().to_string(), SimRunConfig::paper(id.build()))
+    } else {
+        let json = std::fs::read_to_string(target)
+            .map_err(|e| format!("'{target}' is neither a config label nor a readable file: {e}"))?;
+        let spec = ExperimentSpec::from_json(&json).map_err(|e| e.to_string())?;
+        let run = spec.to_run_config().map_err(|e| e.to_string())?;
+        (spec.name, run)
+    };
+    if let Some(steps) = flag_value(args, "--steps") {
+        cfg.1.n_steps = steps.parse().map_err(|e| format!("--steps: {e}"))?;
+    }
+    if let Some(jitter) = flag_value(args, "--jitter") {
+        cfg.1.jitter = jitter.parse().map_err(|e| format!("--jitter: {e}"))?;
+    }
+    if let Some(cap) = flag_value(args, "--cap") {
+        cfg.1.power_cap_watts = Some(cap.parse().map_err(|e| format!("--cap: {e}"))?);
+    }
+    Ok(cfg)
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let Some(target) = args.first() else {
+        eprintln!("run: missing config label or experiment file");
+        return 2;
+    };
+    let (label, run_cfg) = match load_run(target, args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return 1;
+        }
+    };
+    let spec = run_cfg.spec.clone();
+    let exec = match run_simulated(&run_cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
+    let report =
+        match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("report failed: {e}");
+                return 1;
+            }
+        };
+    println!("{}", report.to_table());
+
+    // The full indicator per member plus F.
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            insitu_ensembles::model::indicator(
+                &MemberInputs::from_specs(ms, &spec, mr.efficiency),
+                &IndicatorPath::uap(),
+            )
+        })
+        .collect();
+    println!("F(P^U,A,P) = {:.4e}", objective(&values));
+    let lost: u64 = report.members.iter().map(|m| m.lost_frames).sum();
+    if lost > 0 {
+        println!("lost frames: {lost}");
+    }
+
+    if has_flag(args, "--gantt") {
+        let horizon = exec
+            .trace
+            .intervals()
+            .iter()
+            .map(|i| i.end)
+            .fold(0.0f64, f64::max)
+            .min(report.members[0].sigma_star * 4.0);
+        println!(
+            "\n{}",
+            measurement::render_gantt(
+                &exec.trace,
+                &GanttOptions { width: 100, window: Some((0.0, horizon)) }
+            )
+        );
+    }
+    if let Some(dir) = flag_value(args, "--csv") {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--csv: {e}");
+            return 1;
+        }
+        let base = std::path::Path::new(dir);
+        let writes = [
+            ("members.csv", measurement::members_csv(&[&report])),
+            ("components.csv", measurement::components_csv(&[&report])),
+            ("trace.csv", measurement::trace_csv(&exec.trace)),
+        ];
+        for (name, body) in writes {
+            if let Err(e) = std::fs::write(base.join(name), body) {
+                eprintln!("--csv {name}: {e}");
+                return 1;
+            }
+        }
+        println!("wrote members.csv, components.csv, trace.csv to {dir}");
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("--json: {e}");
+                    return 1;
+                }
+                println!("wrote report to {path}");
+            }
+            Err(e) => {
+                eprintln!("--json: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn cmd_predict(args: &[String]) -> i32 {
+    let Some(target) = args.first() else {
+        eprintln!("predict: missing config label or experiment file");
+        return 2;
+    };
+    let (label, run_cfg) = match load_run(target, args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("predict: {e}");
+            return 1;
+        }
+    };
+    match insitu_ensembles::runtime::predict(&run_cfg) {
+        Ok(p) => {
+            println!("{label}: predicted ensemble makespan {:.2}s", p.ensemble_makespan);
+            for (i, m) in p.members.iter().enumerate() {
+                println!(
+                    "  EM{}: sigma* {:.3}s, E {:.4}, CP {:.3}, makespan {:.2}s",
+                    i + 1,
+                    m.sigma_star,
+                    m.efficiency,
+                    m.cp,
+                    m.makespan
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("predict failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_sweep() -> i32 {
+    match core_sweep(&CoreSweepConfig::paper()) {
+        Ok(sweep) => {
+            println!("cores  S*+W*     R*+A*     sigma*    E       Eq.4");
+            for p in &sweep.points {
+                println!(
+                    "{:>5} {:>8.2}s {:>8.2}s {:>8.2}s {:>7.4} {}",
+                    p.analysis_cores,
+                    p.sim_busy,
+                    p.ana_busy,
+                    p.sigma_star,
+                    p.efficiency,
+                    if p.satisfies_eq4 { "yes" } else { "no" }
+                );
+            }
+            println!("recommended analysis cores: {}", sweep.recommended_cores);
+            0
+        }
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_advise(args: &[String]) -> i32 {
+    let parse = |name: &str, default: usize| -> usize {
+        flag_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let members = parse("--members", 2);
+    let k = parse("--k", 1);
+    let nodes = parse("--nodes", 3);
+    let cores = parse("--cores", 32) as u32;
+    match scheduling::recommend_with_core_sweep(
+        members,
+        16,
+        k,
+        scheduling::NodeBudget { max_nodes: nodes, cores_per_node: cores },
+    ) {
+        Ok(rec) => {
+            println!("{}", rec.rationale);
+            for (i, m) in rec.spec.members.iter().enumerate() {
+                println!(
+                    "  EM{}: Sim@{:?}, Ana@{:?}",
+                    i + 1,
+                    m.simulation.nodes,
+                    m.analyses.iter().map(|a| a.nodes.clone()).collect::<Vec<_>>()
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("advise failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_diagnose(args: &[String]) -> i32 {
+    let Some(target) = args.first() else {
+        eprintln!("diagnose: missing config label or experiment file");
+        return 2;
+    };
+    let (label, run_cfg) = match load_run(target, args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("diagnose: {e}");
+            return 1;
+        }
+    };
+    let spec = run_cfg.spec.clone();
+    let exec = match run_simulated(&run_cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("diagnose run failed: {e}");
+            return 1;
+        }
+    };
+    let report =
+        match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("diagnose report failed: {e}");
+                return 1;
+            }
+        };
+    let findings = insitu_ensembles::runtime::diagnose(
+        &report,
+        &insitu_ensembles::runtime::DiagnosticConfig::default(),
+    );
+    println!("{label}:");
+    print!("{}", insitu_ensembles::runtime::render_findings(&findings));
+    0
+}
+
+fn cmd_energy(args: &[String]) -> i32 {
+    let Some(target) = args.first() else {
+        eprintln!("energy: missing config label");
+        return 2;
+    };
+    let (label, run_cfg) = match load_run(target, args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("energy: {e}");
+            return 1;
+        }
+    };
+    let exec = match run_simulated(&run_cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("energy run failed: {e}");
+            return 1;
+        }
+    };
+    let cores: HashMap<_, _> =
+        exec.allocations.iter().map(|(c, a)| (*c, a.total_cores())).collect();
+    let nodes: HashMap<_, _> = exec.allocations.iter().map(|(c, a)| (*c, a.node)).collect();
+    let report =
+        measurement::run_energy(&exec.trace, &run_cfg.power_model, &cores, &nodes);
+    println!(
+        "{label}: total {:.1} MJ over {:.1}s (average {:.0} W)",
+        report.total_joules / 1e6,
+        report.span_seconds,
+        report.average_watts()
+    );
+    let mut components: Vec<_> = report.per_component.iter().collect();
+    components.sort_by_key(|(c, _)| **c);
+    for (c, joules) in components {
+        println!("  {c}: {:.2} MJ", joules / 1e6);
+    }
+    for (node, watts) in &exec.node_power_watts {
+        println!("  node {node}: steady draw {watts:.0} W");
+    }
+    0
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `ensemble` CLI binary.
+
+use std::process::Command;
+
+fn ensemble() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ensemble"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = ensemble().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`ensemble {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn list_shows_all_configurations() {
+    let out = run_ok(&["list"]);
+    for label in ["C_f", "C_c", "C1.5", "C2.8"] {
+        assert!(out.contains(label), "missing {label} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_paper_config_prints_report_and_objective() {
+    let out = run_ok(&["run", "C1.5", "--steps", "6", "--jitter", "0"]);
+    assert!(out.contains("C1.5"));
+    assert!(out.contains("EM1"));
+    assert!(out.contains("F(P^U,A,P)"));
+}
+
+#[test]
+fn run_accepts_sloppy_labels() {
+    let out = run_ok(&["run", "c1_5", "--steps", "4", "--jitter", "0"]);
+    assert!(out.contains("C1.5"));
+}
+
+#[test]
+fn predict_matches_run_shape() {
+    let out = run_ok(&["predict", "C2.8"]);
+    assert!(out.contains("predicted ensemble makespan"));
+    assert!(out.contains("EM2"));
+}
+
+#[test]
+fn sweep_recommends_eight_cores() {
+    let out = run_ok(&["sweep"]);
+    assert!(out.contains("recommended analysis cores: 8"), "{out}");
+}
+
+#[test]
+fn run_from_experiment_json() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("exp.json");
+    let spec = run_ok(&["example-spec"]);
+    std::fs::write(&spec_path, &spec).unwrap();
+    let out = run_ok(&[
+        "run",
+        spec_path.to_str().unwrap(),
+        "--steps",
+        "4",
+        "--jitter",
+        "0",
+    ]);
+    assert!(out.contains("c1.5-example"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn csv_and_json_outputs_are_written() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-out-{}", std::process::id()));
+    let json = dir.join("report.json");
+    std::fs::create_dir_all(&dir).unwrap();
+    run_ok(&[
+        "run",
+        "Cc",
+        "--steps",
+        "4",
+        "--jitter",
+        "0",
+        "--csv",
+        dir.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    for file in ["members.csv", "components.csv", "trace.csv", "report.json"] {
+        let path = dir.join(file);
+        assert!(path.exists(), "{file} missing");
+        assert!(std::fs::metadata(&path).unwrap().len() > 10);
+    }
+    let members = std::fs::read_to_string(dir.join("members.csv")).unwrap();
+    assert!(members.starts_with("config,member,sigma_star_s"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gantt_flag_renders_timeline() {
+    let out = run_ok(&["run", "Cf", "--steps", "4", "--jitter", "0", "--gantt"]);
+    assert!(out.contains("legend: S simulate"));
+    assert!(out.contains("Sim1"));
+}
+
+#[test]
+fn energy_reports_watts() {
+    let out = run_ok(&["energy", "Cc", "--steps", "6"]);
+    assert!(out.contains("average"));
+    assert!(out.contains("steady draw"));
+}
+
+#[test]
+fn capped_energy_run_is_slower() {
+    let free = run_ok(&["run", "C1.5", "--steps", "6", "--jitter", "0"]);
+    let capped = run_ok(&["run", "C1.5", "--steps", "6", "--jitter", "0", "--cap", "220"]);
+    let makespan = |s: &str| -> f64 {
+        s.lines()
+            .find(|l| l.contains("ensemble makespan"))
+            .and_then(|l| l.split("makespan ").nth(1))
+            .and_then(|t| t.trim_end_matches("s\n").trim_end_matches('s').parse().ok())
+            .expect("parse makespan")
+    };
+    assert!(makespan(&capped) > makespan(&free), "cap must slow the run");
+}
+
+#[test]
+fn diagnose_flags_scattered_c1_1() {
+    let out = run_ok(&["diagnose", "C1.1", "--steps", "6", "--jitter", "0"]);
+    assert!(out.contains("placement indicator"), "{out}");
+    assert!(out.contains("Eq. 4"), "{out}");
+}
+
+#[test]
+fn diagnose_is_quiet_on_healthy_cf() {
+    let out = run_ok(&["diagnose", "Cf", "--steps", "20", "--jitter", "0"]);
+    // C_f: one member, no contention — at most info-level findings.
+    assert!(!out.contains("CRITICAL"), "{out}");
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = ensemble().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn bad_config_label_fails_cleanly() {
+    let out = ensemble().args(["run", "C9.9"]).output().unwrap();
+    assert!(!out.status.success());
+}

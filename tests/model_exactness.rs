@@ -1,0 +1,156 @@
+//! Hand-computed exactness checks: every equation of the paper evaluated
+//! against numbers worked out by hand, plus the placement indicators of
+//! all 15 configurations derived independently from the tables.
+
+use insitu_ensembles::model::{
+    coupling_scenario, idle_times, AnalysisStageTimes, MemberStageTimes,
+};
+use insitu_ensembles::prelude::*;
+
+/// The Figure 6 scenario: one simulation coupled with two analyses, one
+/// slower (idle simulation) and one faster (idle analyzer) than the
+/// simulation step.
+fn figure6_member() -> MemberStageTimes {
+    MemberStageTimes::new(
+        10.0, // S*
+        1.0,  // W*
+        vec![
+            AnalysisStageTimes { r: 0.5, a: 14.5 }, // coupling 1: busy 15 > 11
+            AnalysisStageTimes { r: 0.5, a: 6.5 },  // coupling 2: busy 7 < 11
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn eq1_by_hand() {
+    // σ̄* = max(S+W, R¹+A¹, R²+A²) = max(11, 15, 7) = 15.
+    assert_eq!(sigma_star(&figure6_member()), 15.0);
+}
+
+#[test]
+fn eq2_by_hand() {
+    // 37 steps × 15 s.
+    assert_eq!(makespan(&figure6_member(), 37), 555.0);
+}
+
+#[test]
+fn idle_stages_by_hand() {
+    // Iˢ = 15 − 11 = 4; Iᴬ¹ = 0; Iᴬ² = 15 − 7 = 8.
+    let idle = idle_times(&figure6_member());
+    assert_eq!(idle.sim_idle, 4.0);
+    assert_eq!(idle.analysis_idle, vec![0.0, 8.0]);
+}
+
+#[test]
+fn eq3_by_hand() {
+    // E = 1/2 [(1 − (4+0)/15) + (1 − (4+8)/15)]
+    //   = 1/2 [11/15 + 3/15] = 14/30 = 7/15.
+    let e = efficiency(&figure6_member());
+    assert!((e - 7.0 / 15.0).abs() < 1e-12, "E = {e}");
+    // Closed form: (S+W)/σ̄ + Σ(R+A)/(Kσ̄) − 1 = 11/15 + 22/30 − 1 = 7/15. ✓
+}
+
+#[test]
+fn coupling_scenarios_match_figure6() {
+    let t = figure6_member();
+    assert_eq!(coupling_scenario(&t, 0), CouplingScenario::IdleSimulation);
+    assert_eq!(coupling_scenario(&t, 1), CouplingScenario::IdleAnalyzer);
+}
+
+#[test]
+fn eqs_5_7_8_by_hand() {
+    // E = 7/15, c = 32 (16 + 8 + 8), CP = 3/4 (one co-located, one not),
+    // M = 3.
+    let inputs = MemberInputs {
+        efficiency: 7.0 / 15.0,
+        cores: 32,
+        cp: 0.75,
+        ensemble_nodes: 3,
+    };
+    let p_u = insitu_ensembles::model::p_u(&inputs);
+    let p_ua = insitu_ensembles::model::p_ua(&inputs);
+    let p_uap = insitu_ensembles::model::p_uap(&inputs);
+    assert!((p_u - 7.0 / 15.0 / 32.0).abs() < 1e-15);
+    assert!((p_ua - p_u * 0.75).abs() < 1e-15);
+    assert!((p_uap - p_ua / 3.0).abs() < 1e-15);
+}
+
+#[test]
+fn eq9_by_hand() {
+    // P = {0.4, 0.6}: mean 0.5, population std 0.1 → F = 0.4.
+    assert!((objective(&[0.4, 0.6]) - 0.4).abs() < 1e-12);
+    // P = {0.5}: F = 0.5 (std of a single value is 0).
+    assert_eq!(objective(&[0.5]), 0.5);
+}
+
+#[test]
+fn eq6_for_every_paper_configuration() {
+    // CP per member, derived by hand from Tables 2 and 4:
+    // CP = (|s|/K) Σⱼ 1/|s ∪ aʲ| with |s| = 1 everywhere.
+    let expected: &[(ConfigId, &[f64])] = &[
+        (ConfigId::Cf, &[0.5]),
+        (ConfigId::Cc, &[1.0]),
+        (ConfigId::C1_1, &[0.5, 0.5]),
+        (ConfigId::C1_2, &[0.5, 0.5]),
+        (ConfigId::C1_3, &[1.0, 0.5]),
+        (ConfigId::C1_4, &[0.5, 0.5]),
+        (ConfigId::C1_5, &[1.0, 1.0]),
+        // Set two: K = 2, CP = (1/2)(1/|s∪a¹| + 1/|s∪a²|).
+        (ConfigId::C2_1, &[0.5, 0.5]),   // both analyses remote: (1/2)(1/2+1/2)
+        (ConfigId::C2_2, &[0.5, 0.5]),
+        (ConfigId::C2_3, &[0.5, 0.5]),
+        (ConfigId::C2_4, &[0.75, 0.75]), // each member: (1/2)(1 + 1/2)
+        (ConfigId::C2_5, &[0.5, 0.5]),
+        (ConfigId::C2_6, &[0.5, 0.5]),
+        (ConfigId::C2_7, &[0.75, 0.75]),
+        (ConfigId::C2_8, &[1.0, 1.0]),
+    ];
+    for (id, cps) in expected {
+        let spec = id.build();
+        assert_eq!(spec.members.len(), cps.len(), "{id}");
+        for (m, &want) in spec.members.iter().zip(cps.iter()) {
+            let got = placement_indicator(m);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "{id}: CP = {got}, hand-derived {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn member_counting_identities() {
+    // §4.1: M ≤ Σ dᵢ with equality iff no member-to-member node sharing.
+    for id in ConfigId::all() {
+        let spec = id.build();
+        let sum_d: usize = spec.members.iter().map(|m| m.num_nodes()).sum();
+        assert!(spec.num_nodes() <= sum_d, "{id}");
+        // c_i = cs_i + Σ ca_i^j: 16 + 8K.
+        for m in &spec.members {
+            assert_eq!(m.total_cores(), 16 + 8 * m.k() as u32, "{id}");
+        }
+    }
+    // Sharing cases by hand: C1.1 members each use 2 nodes but share n2:
+    // M = 3 < 2 + 2.
+    let c11 = ConfigId::C1_1.build();
+    assert_eq!(c11.num_nodes(), 3);
+    assert_eq!(c11.members.iter().map(|m| m.num_nodes()).sum::<usize>(), 4);
+    // C1.5: no sharing, equality.
+    let c15 = ConfigId::C1_5.build();
+    assert_eq!(
+        c15.num_nodes(),
+        c15.members.iter().map(|m| m.num_nodes()).sum::<usize>()
+    );
+}
+
+#[test]
+fn eq4_boundary_behaviour() {
+    // Exactly at R+A = S+W the coupling is balanced and σ̄* = S+W: the
+    // boundary case Eq. 4 admits.
+    let t = MemberStageTimes::new(10.0, 1.0, vec![AnalysisStageTimes { r: 1.0, a: 10.0 }])
+        .unwrap();
+    assert_eq!(coupling_scenario(&t, 0), CouplingScenario::Balanced);
+    assert_eq!(sigma_star(&t), 11.0);
+    assert!((efficiency(&t) - 1.0).abs() < 1e-12, "balanced coupling has E = 1");
+}

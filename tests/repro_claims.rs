@@ -1,0 +1,211 @@
+//! Paper-claim regression tests: every qualitative claim of the
+//! evaluation (§2.3, §3.4, §5.2) must hold on the simulated platform at
+//! paper scale.
+
+use insitu_ensembles::prelude::*;
+
+const STEPS: u64 = 37;
+
+fn report_for(id: ConfigId) -> insitu_ensembles::measurement::EnsembleReport {
+    EnsembleRunner::paper_config(id).steps(STEPS).jitter(0.0).run().expect("run failed")
+}
+
+fn final_objective(id: ConfigId) -> f64 {
+    let spec = id.build();
+    let report = report_for(id);
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| {
+            indicator(&MemberInputs::from_specs(ms, &spec, mr.efficiency), &IndicatorPath::uap())
+        })
+        .collect();
+    objective(&values)
+}
+
+fn objective_at(id: ConfigId, path: &IndicatorPath) -> f64 {
+    let spec = id.build();
+    let report = report_for(id);
+    let values: Vec<f64> = report
+        .members
+        .iter()
+        .zip(&spec.members)
+        .map(|(mr, ms)| indicator(&MemberInputs::from_specs(ms, &spec, mr.efficiency), path))
+        .collect();
+    objective(&values)
+}
+
+#[test]
+fn c1_5_has_shortest_makespan_among_two_member_configs() {
+    // §2.3: "C1.5 yields the shortest member makespan among all
+    // configurations" (the two-member comparison set).
+    let c15 = report_for(ConfigId::C1_5).ensemble_makespan;
+    for other in [ConfigId::C1_1, ConfigId::C1_2, ConfigId::C1_3, ConfigId::C1_4] {
+        let m = report_for(other).ensemble_makespan;
+        assert!(c15 <= m + 1e-9, "C1.5 ({c15}) must beat {other} ({m})");
+    }
+}
+
+#[test]
+fn colocation_raises_llc_miss_ratio() {
+    // §2.3 / Figure 3: co-located configurations show higher LLC miss
+    // ratios than the co-location-free baseline C_f.
+    let cf = report_for(ConfigId::Cf);
+    let cf_sim_miss = cf.members[0].components[0].metrics.llc_miss_ratio;
+    let cf_ana_miss = cf.members[0].components[1].metrics.llc_miss_ratio;
+    for id in [ConfigId::Cc, ConfigId::C1_5] {
+        let r = report_for(id);
+        let sim_miss = r.members[0].components[0].metrics.llc_miss_ratio;
+        let ana_miss = r.members[0].components[1].metrics.llc_miss_ratio;
+        assert!(
+            sim_miss > cf_sim_miss || ana_miss > cf_ana_miss,
+            "{id}: co-location must elevate a miss ratio (sim {sim_miss} vs {cf_sim_miss}, ana {ana_miss} vs {cf_ana_miss})"
+        );
+    }
+}
+
+#[test]
+fn analysis_colocation_misses_more_than_simulation_colocation() {
+    // Figure 3 discussion: "co-locations of the analyses (C1.1, C1.4)
+    // result in higher cache misses than the co-location of the
+    // simulations (C1.2)".
+    let ana_pair = report_for(ConfigId::C1_1).members[0].components[1].metrics.llc_miss_ratio;
+    let sim_pair = report_for(ConfigId::C1_2).members[0].components[0].metrics.llc_miss_ratio;
+    assert!(
+        ana_pair > sim_pair,
+        "paired analyses ({ana_pair}) must out-miss paired simulations ({sim_pair})"
+    );
+}
+
+#[test]
+fn analyses_are_more_memory_intensive_than_simulations() {
+    // §2.3: "analyses are more memory-intensive than the simulations".
+    let r = report_for(ConfigId::Cf);
+    let sim = &r.members[0].components[0].metrics;
+    let ana = &r.members[0].components[1].metrics;
+    assert!(ana.memory_intensity > sim.memory_intensity);
+    assert!(ana.llc_miss_ratio > sim.llc_miss_ratio);
+}
+
+#[test]
+fn figure8_final_stage_ranks_c1_5_first_then_c1_4() {
+    // §5.2: "the performance of C1.4 is degraded to lower than C1.5,
+    // but higher than C1.1, C1.2, C1.3".
+    let path = IndicatorPath::uap();
+    let f = |id| objective_at(id, &path);
+    let c15 = f(ConfigId::C1_5);
+    let c14 = f(ConfigId::C1_4);
+    assert!(c15 > c14, "C1.5 ({c15}) must beat C1.4 ({c14})");
+    for id in [ConfigId::C1_1, ConfigId::C1_2, ConfigId::C1_3] {
+        let v = f(id);
+        assert!(c14 > v, "C1.4 ({c14}) must beat {id} ({v})");
+    }
+}
+
+#[test]
+fn p_up_cannot_separate_c1_4_from_c1_5_but_p_ua_can() {
+    // §5.2: "P^{U,P} is not able to differentiate the performance of
+    // C1.4 from C1.5 as these two configurations both use 2 compute
+    // nodes" — they only separate (in C1.5's favour) once the
+    // allocation stage A is applied.
+    let up_14 = objective_at(ConfigId::C1_4, &IndicatorPath::up());
+    let up_15 = objective_at(ConfigId::C1_5, &IndicatorPath::up());
+    let ua_14 = objective_at(ConfigId::C1_4, &IndicatorPath::ua());
+    let ua_15 = objective_at(ConfigId::C1_5, &IndicatorPath::ua());
+    // At U,P the two are within ~20% of each other and C1.5 does NOT
+    // stand out as the winner.
+    let rel_gap = (up_15 - up_14).abs() / up_15.max(up_14);
+    assert!(
+        up_15 <= up_14 || rel_gap < 0.2,
+        "P^UP should fail to elect C1.5 (C1.4 {up_14}, C1.5 {up_15})"
+    );
+    // With A, C1.5 wins decisively.
+    assert!(
+        ua_15 > ua_14 * 1.2,
+        "P^UA must clearly favour C1.5 (C1.4 {ua_14}, C1.5 {ua_15})"
+    );
+}
+
+#[test]
+fn figure9_c2_8_wins_and_node_groups_separate() {
+    // §5.2: P^{U,P} splits set two by node count ({C2.6, C2.7, C2.8} on
+    // 2 nodes vs the rest on 3); the final stage elects C2.8.
+    let up = IndicatorPath::up();
+    let two_node: Vec<f64> = [ConfigId::C2_6, ConfigId::C2_7, ConfigId::C2_8]
+        .iter()
+        .map(|&id| objective_at(id, &up))
+        .collect();
+    let three_node: Vec<f64> = [ConfigId::C2_1, ConfigId::C2_2, ConfigId::C2_3, ConfigId::C2_4, ConfigId::C2_5]
+        .iter()
+        .map(|&id| objective_at(id, &up))
+        .collect();
+    let min_two = two_node.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_three = three_node.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        min_two > max_three,
+        "2-node group ({min_two}) must separate above the 3-node group ({max_three}) at P^UP"
+    );
+
+    let uap = IndicatorPath::uap();
+    let c28 = objective_at(ConfigId::C2_8, &uap);
+    for id in ConfigId::set_two() {
+        if id != ConfigId::C2_8 {
+            let v = objective_at(id, &uap);
+            assert!(c28 > v, "C2.8 ({c28}) must beat {id} ({v}) at the final stage");
+        }
+    }
+}
+
+#[test]
+fn stage_orders_commute_at_the_final_stage() {
+    // §5.2: P^{U,P,A} = P^{U,A,P}.
+    for id in [ConfigId::C1_3, ConfigId::C2_5] {
+        let a = objective_at(id, &IndicatorPath::uap());
+        let b = objective_at(id, &IndicatorPath::upa());
+        assert!((a - b).abs() < 1e-15, "{id}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn heuristic_selects_eight_analysis_cores() {
+    // §3.4: "we decide to assign 8 cores to each analysis".
+    let sweep = core_sweep(&CoreSweepConfig::paper()).expect("sweep failed");
+    assert_eq!(sweep.recommended_cores, 8);
+}
+
+#[test]
+fn colocated_best_spread_worst_has_meaningful_magnitude() {
+    // §5: the indicator separates co-location quality by a large factor
+    // ("up to four orders of magnitude" on the paper's hardware; the
+    // deterministic analytical platform yields a smaller but decisive
+    // spread — we assert > 2x and document the difference in
+    // EXPERIMENTS.md).
+    let best = final_objective(ConfigId::C1_5);
+    let worst = ConfigId::set_one_pairs()
+        .into_iter()
+        .map(final_objective)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best / worst > 2.0,
+        "best/worst spread must be decisive: {best} / {worst} = {}",
+        best / worst
+    );
+}
+
+#[test]
+fn full_colocation_maximizes_placement_indicator() {
+    // §4.3: CP = 1 iff every coupling is co-located.
+    for id in ConfigId::all() {
+        let spec = id.build();
+        for m in &spec.members {
+            let cp = placement_indicator(m);
+            let all_colocated = (0..m.k()).all(|j| m.is_colocated(j));
+            if all_colocated {
+                assert!((cp - 1.0).abs() < 1e-12, "{id}: CP must be 1");
+            } else {
+                assert!(cp < 1.0, "{id}: CP must be < 1");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests of the threaded (real-kernel) runtime and its
+//! agreement with the model pipeline.
+
+use insitu_ensembles::model::{extract_steady_state, StageKind};
+use insitu_ensembles::prelude::*;
+use std::time::Duration;
+
+fn config(spec: EnsembleSpec, steps: u64) -> ThreadRunConfig {
+    ThreadRunConfig {
+        spec,
+        md: MdConfig { atoms_per_side: 5, stride: 10, ..Default::default() },
+        analysis_group_size: 32,
+        analysis_sigma: 1.2,
+        n_steps: steps,
+        staging_capacity: 1,
+        timeout: Duration::from_secs(120),
+        kernel: None,
+    }
+}
+
+#[test]
+fn threaded_trace_feeds_the_model_pipeline() {
+    let exec = run_threaded(&config(ConfigId::Cc.build(), 5)).unwrap();
+    let samples = exec.trace.member_samples(0, 1);
+    let times = extract_steady_state(&samples, WarmupPolicy::FixedSteps(1)).unwrap();
+    let sigma = sigma_star(&times);
+    let e = efficiency(&times);
+    assert!(sigma > 0.0);
+    assert!(e > 0.0 && e <= 1.0, "E = {e}");
+    // Eq. 2 prediction is within 2x of the wall-clock member makespan
+    // (wall-clock noise on shared CI hardware can be large; the model
+    // must still be the right order of magnitude).
+    let measured =
+        insitu_ensembles::measurement::member_makespan(&exec.trace, 0, 1).unwrap();
+    let predicted = makespan(&times, 5);
+    let ratio = predicted / measured;
+    assert!((0.5..2.0).contains(&ratio), "Eq. 2 ratio {ratio} ({predicted} vs {measured})");
+}
+
+#[test]
+fn report_builder_works_on_threaded_traces() {
+    let spec = ConfigId::C1_5.build();
+    let exec = run_threaded(&config(spec.clone(), 4)).unwrap();
+    let report = insitu_ensembles::runtime::build_threaded_report(
+        "C1.5-threaded",
+        &spec,
+        &exec.trace,
+        4,
+        WarmupPolicy::FixedSteps(1),
+    )
+    .unwrap();
+    assert_eq!(report.n, 2);
+    assert!(report.ensemble_makespan > 0.0);
+    for m in &report.members {
+        assert!((m.cp - 1.0).abs() < 1e-12);
+        assert!(m.efficiency > 0.0);
+    }
+}
+
+#[test]
+fn every_reader_sees_every_frame_once() {
+    let spec = EnsembleSpec::new(vec![MemberSpec::new(
+        ComponentSpec::simulation(16, 0),
+        vec![ComponentSpec::analysis(8, 0), ComponentSpec::analysis(8, 1)],
+    )]);
+    let steps = 4;
+    let exec = run_threaded(&config(spec, steps)).unwrap();
+    assert_eq!(exec.staging_stats.puts, steps);
+    assert_eq!(exec.staging_stats.gets, steps * 2);
+    for j in 1..=2usize {
+        let ana = ComponentRef::analysis(0, j);
+        assert_eq!(exec.trace.stage_series(ana, StageKind::Read).len(), steps as usize);
+        assert_eq!(exec.cv_series[&ana].len(), steps as usize);
+    }
+}
+
+#[test]
+fn md_physics_stays_sane_under_the_runtime() {
+    // Run a member and verify the MD's collective variable is stable
+    // (no NaNs, no blow-up: the thermostat keeps the system bounded).
+    let exec = run_threaded(&config(ConfigId::Cc.build(), 6)).unwrap();
+    let cvs = &exec.cv_series[&ComponentRef::analysis(0, 1)];
+    assert!(cvs.iter().all(|v| v.is_finite() && *v > 0.0));
+    let min = cvs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = cvs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max / min < 3.0, "CV range blew up: {min}..{max}");
+}
+
+#[test]
+fn buffered_staging_works_threaded_too() {
+    let mut cfg = config(ConfigId::Cc.build(), 5);
+    cfg.staging_capacity = 3;
+    let exec = run_threaded(&cfg).unwrap();
+    assert_eq!(exec.staging_stats.puts, 5);
+    assert_eq!(exec.staging_stats.gets, 5);
+}
