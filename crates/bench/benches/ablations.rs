@@ -8,9 +8,7 @@
 
 use bench::experiments;
 use criterion::{criterion_group, criterion_main, Criterion};
-use ensemble_core::{
-    aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs,
-};
+use ensemble_core::{aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs};
 use runtime::EnsembleRunner;
 use std::hint::black_box;
 
@@ -44,8 +42,14 @@ fn bench_ablations(c: &mut Criterion) {
         .map(|&id| runner(id).without_interference().run().unwrap().ensemble_makespan)
         .collect();
     println!("\nablation 1 — interference model:");
-    println!("  with   : C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s", with_interf[0], with_interf[1], with_interf[2]);
-    println!("  without: C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s", without_interf[0], without_interf[1], without_interf[2]);
+    println!(
+        "  with   : C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s",
+        with_interf[0], with_interf[1], with_interf[2]
+    );
+    println!(
+        "  without: C1.1 {:.1}s, C1.4 {:.1}s, C1.5 {:.1}s",
+        without_interf[0], without_interf[1], without_interf[2]
+    );
     let spread_with = with_interf.iter().cloned().fold(f64::MIN, f64::max)
         - with_interf.iter().cloned().fold(f64::MAX, f64::min);
     let spread_without = without_interf.iter().cloned().fold(f64::MIN, f64::max)
@@ -72,7 +76,9 @@ fn bench_ablations(c: &mut Criterion) {
     // --- 4. Objective ablation. ---
     let eq9 = objective_with(runner(ConfigId::C1_3), ConfigId::C1_3, Aggregation::MeanMinusStd);
     let mean = objective_with(runner(ConfigId::C1_3), ConfigId::C1_3, Aggregation::Mean);
-    println!("ablation 4 — objective: Eq.9 {eq9:.3e} vs plain mean {mean:.3e} on C1.3 (uneven members)");
+    println!(
+        "ablation 4 — objective: Eq.9 {eq9:.3e} vs plain mean {mean:.3e} on C1.3 (uneven members)"
+    );
     assert!(eq9 < mean, "Eq. 9 must penalize C1.3's member imbalance");
 
     c.bench_function("ablation/interference_toggle", |b| {

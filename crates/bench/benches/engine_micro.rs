@@ -48,25 +48,20 @@ fn bench_interference_solver(c: &mut Criterion) {
     let model = InterferenceModel::default();
     let mut group = c.benchmark_group("interference_solver");
     for tenants in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(tenants),
-            &tenants,
-            |b, &tenants| {
-                let mut platform =
-                    Platform::new(1, spec.clone(), hpc_platform::cori::aries_network());
-                let placed: Vec<PlacedWorkload> = (0..tenants)
-                    .map(|i| PlacedWorkload {
-                        alloc: platform.allocate(0, 32 / tenants as u32, BindPolicy::Spread).unwrap(),
-                        workload: if i % 2 == 0 {
-                            kernels::profile::simulation_workload(800)
-                        } else {
-                            kernels::profile::analysis_workload()
-                        },
-                    })
-                    .collect();
-                b.iter(|| black_box(model.solve_node(&spec, black_box(&placed), &[]).len()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(tenants), &tenants, |b, &tenants| {
+            let mut platform = Platform::new(1, spec.clone(), hpc_platform::cori::aries_network());
+            let placed: Vec<PlacedWorkload> = (0..tenants)
+                .map(|i| PlacedWorkload {
+                    alloc: platform.allocate(0, 32 / tenants as u32, BindPolicy::Spread).unwrap(),
+                    workload: if i % 2 == 0 {
+                        kernels::profile::simulation_workload(800)
+                    } else {
+                        kernels::profile::analysis_workload()
+                    },
+                })
+                .collect();
+            b.iter(|| black_box(model.solve_node(&spec, black_box(&placed), &[]).len()))
+        });
     }
     group.finish();
 }

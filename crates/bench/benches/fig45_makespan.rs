@@ -17,9 +17,8 @@ fn bench_fig45(c: &mut Criterion) {
     // statistically tied under trial jitter (max-of-two members vs one);
     // a 0.5 % tolerance absorbs that while still catching real
     // regressions against the contended configs.
-    let of = |label: &str| {
-        rows.iter().find(|r| r.config == label).map(|r| r.ensemble_makespan).unwrap()
-    };
+    let of =
+        |label: &str| rows.iter().find(|r| r.config == label).map(|r| r.ensemble_makespan).unwrap();
     for other in ["C1.1", "C1.2", "C1.3", "C1.4"] {
         assert!(
             of("C1.5") <= of(other) * 1.005,
@@ -33,9 +32,7 @@ fn bench_fig45(c: &mut Criterion) {
             .jitter(0.0)
             .execute()
             .expect("execution");
-        b.iter(|| {
-            black_box(metrics::ensemble_makespan(black_box(&exec.trace), &[1, 1]))
-        })
+        b.iter(|| black_box(metrics::ensemble_makespan(black_box(&exec.trace), &[1, 1])))
     });
 }
 

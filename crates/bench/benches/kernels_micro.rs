@@ -26,14 +26,10 @@ fn bench_analysis(c: &mut Criterion) {
     let mut sim = MdSimulation::new(&cfg);
     let frame = sim.advance_stride();
     for group_size in [32usize, 64, 128] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(group_size),
-            &group_size,
-            |b, &k| {
-                let kernel = EigenAnalysis::interleaved(frame.num_atoms(), k, 1.2);
-                b.iter(|| black_box(kernel.analyze(black_box(&frame)).collective_variable))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(group_size), &group_size, |b, &k| {
+            let kernel = EigenAnalysis::interleaved(frame.num_atoms(), k, 1.2);
+            b.iter(|| black_box(kernel.analyze(black_box(&frame)).collective_variable))
+        });
     }
     group.finish();
 }

@@ -39,10 +39,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         let report = r.run().unwrap();
         let miss = report.members[0].components[1].metrics.llc_miss_ratio;
         println!("  exponent {exponent}: analysis LLC miss ratio {miss:.4}");
-        assert!(
-            miss <= prev,
-            "a gentler (higher-exponent) curve must not increase misses"
-        );
+        assert!(miss <= prev, "a gentler (higher-exponent) curve must not increase misses");
         prev = miss;
     }
 

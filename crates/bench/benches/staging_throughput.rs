@@ -82,6 +82,59 @@ fn bench_cross_thread_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Members × variables scaling sweep: N concurrent member pipelines,
+/// each a producer/consumer thread pair coupled through its own
+/// variable. With the sharded (per-variable-lock) staging area the
+/// aggregate throughput scales with the member count; a global staging
+/// lock flatlines it. 1 → 32 members covers the paper's ensemble sizes.
+fn bench_member_scaling(c: &mut Criterion) {
+    const STEPS: u64 = 32;
+    const CHUNK: usize = 64 * 1024;
+    let mut group = c.benchmark_group("staging_member_scaling");
+    group.sample_size(10);
+    for members in [1usize, 2, 4, 8, 16, 32] {
+        group.throughput(Throughput::Bytes((members as u64) * STEPS * CHUNK as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, &members| {
+            b.iter(|| {
+                let staging = Arc::new(dtl::staging::dimes());
+                let vars: Vec<_> = (0..members)
+                    .map(|m| staging.register(spec(&format!("member{m}"))).unwrap())
+                    .collect();
+                let payload = Bytes::from(vec![0x42u8; CHUNK]);
+                let total: usize = std::thread::scope(|scope| {
+                    for &var in &vars {
+                        let staging = Arc::clone(&staging);
+                        let payload = payload.clone();
+                        scope.spawn(move || {
+                            for step in 0..STEPS {
+                                staging
+                                    .put(Chunk::new(var, step, 0, "raw", payload.clone()))
+                                    .unwrap();
+                            }
+                        });
+                    }
+                    let consumers: Vec<_> = vars
+                        .iter()
+                        .map(|&var| {
+                            let staging = Arc::clone(&staging);
+                            scope.spawn(move || {
+                                let mut total = 0usize;
+                                for step in 0..STEPS {
+                                    total += staging.get(var, step, ReaderId(0)).unwrap().len();
+                                }
+                                total
+                            })
+                        })
+                        .collect();
+                    consumers.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_async_staging(c: &mut Criterion) {
     use dtl::staging::AsyncStaging;
     c.bench_function("staging_async/put_next_256KiB", |b| {
@@ -106,6 +159,7 @@ criterion_group!(
     bench_memory_staging,
     bench_pfs_staging,
     bench_cross_thread_pipeline,
+    bench_member_scaling,
     bench_async_staging
 );
 criterion_main!(benches);

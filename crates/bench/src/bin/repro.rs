@@ -124,7 +124,11 @@ fn main() {
                     println!(
                         "{:>6.1} {:>9} {:>9} {:>6} {:>14.2} {:>14.1}",
                         r.analysis_scale,
-                        if r.queue_capacity == 0 { "sync".to_string() } else { r.queue_capacity.to_string() },
+                        if r.queue_capacity == 0 {
+                            "sync".to_string()
+                        } else {
+                            r.queue_capacity.to_string()
+                        },
                         r.produced,
                         r.lost,
                         r.sim_idle_seconds,

@@ -2,9 +2,7 @@
 //! paper reports, computed by running the configurations on the
 //! simulated platform at paper scale.
 
-use ensemble_core::{
-    aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs,
-};
+use ensemble_core::{aggregate, Aggregation, ConfigId, IndicatorPath, MemberInputs};
 use metrics::EnsembleReport;
 use runtime::{EnsembleRunner, RuntimeResult};
 use serde::{Deserialize, Serialize};
@@ -96,8 +94,7 @@ pub fn fig45_makespans() -> RuntimeResult<Vec<MakespanRow>> {
         let member_makespans = (0..n_members)
             .map(|mi| reports.iter().map(|r| r.members[mi].makespan).sum::<f64>() / n)
             .collect();
-        let ensemble_makespan =
-            reports.iter().map(|r| r.ensemble_makespan).sum::<f64>() / n;
+        let ensemble_makespan = reports.iter().map(|r| r.ensemble_makespan).sum::<f64>() / n;
         rows.push(MakespanRow {
             config: id.label().to_string(),
             member_makespans,

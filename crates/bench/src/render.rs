@@ -16,7 +16,8 @@ pub fn render_config_table(configs: &[ConfigId]) -> String {
         let spec = id.build();
         let mut placements = Vec::new();
         for (i, m) in spec.members.iter().enumerate() {
-            let sim = m.simulation.nodes.iter().map(|n| format!("n{n}")).collect::<Vec<_>>().join("+");
+            let sim =
+                m.simulation.nodes.iter().map(|n| format!("n{n}")).collect::<Vec<_>>().join("+");
             let anas = m
                 .analyses
                 .iter()
@@ -38,9 +39,8 @@ pub fn render_config_table(configs: &[ConfigId]) -> String {
 
 /// Renders Figure 3's rows.
 pub fn render_fig3(rows: &[Fig3Row]) -> String {
-    let mut out = String::from(
-        "config  component  exec_time(s)  llc_miss_ratio  mem_intensity  ipc\n",
-    );
+    let mut out =
+        String::from("config  component  exec_time(s)  llc_miss_ratio  mem_intensity  ipc\n");
     out.push_str(&"-".repeat(70));
     out.push('\n');
     for r in rows {
@@ -54,30 +54,20 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
 
 /// Renders Figures 4 and 5.
 pub fn render_fig45(rows: &[MakespanRow]) -> String {
-    let mut out =
-        String::from("config  member makespans (s)          ensemble makespan (s)\n");
+    let mut out = String::from("config  member makespans (s)          ensemble makespan (s)\n");
     out.push_str(&"-".repeat(64));
     out.push('\n');
     for r in rows {
-        let members = r
-            .member_makespans
-            .iter()
-            .map(|m| format!("{m:.1}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        out.push_str(&format!(
-            "{:<7} {:<29} {:>12.1}\n",
-            r.config, members, r.ensemble_makespan
-        ));
+        let members =
+            r.member_makespans.iter().map(|m| format!("{m:.1}")).collect::<Vec<_>>().join(", ");
+        out.push_str(&format!("{:<7} {:<29} {:>12.1}\n", r.config, members, r.ensemble_makespan));
     }
     out
 }
 
 /// Renders Figure 7's series.
 pub fn render_fig7(sweep: &scheduler::SweepResult) -> String {
-    let mut out = String::from(
-        "analysis_cores  S*+W*(s)  R*+A*(s)  sigma*(s)  efficiency  Eq.4\n",
-    );
+    let mut out = String::from("analysis_cores  S*+W*(s)  R*+A*(s)  sigma*(s)  efficiency  Eq.4\n");
     out.push_str(&"-".repeat(64));
     out.push('\n');
     for p in &sweep.points {

@@ -40,7 +40,13 @@ pub struct Chunk {
 
 impl Chunk {
     /// Builds a chunk.
-    pub fn new(variable: VariableId, step: u64, home_node: usize, encoding: &str, data: Bytes) -> Self {
+    pub fn new(
+        variable: VariableId,
+        step: u64,
+        home_node: usize,
+        encoding: &str,
+        data: Bytes,
+    ) -> Self {
         Chunk {
             id: ChunkId { variable, step },
             meta: ChunkMeta { home_node, encoding: encoding.to_string() },

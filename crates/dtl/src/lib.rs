@@ -17,6 +17,11 @@
 //! consumed exactly once by each of the member's K analyses) is enforced
 //! by [`protocol::StepProtocol`] and surfaced as hard errors on violation.
 //!
+//! Staging state is sharded per variable — one lock and one pair of
+//! condition variables per registered variable — so ensemble members
+//! coupling through distinct variables never contend on a shared lock
+//! (see the [`staging`] module docs and `DESIGN.md` §4c).
+//!
 //! [`transport::StagingCostModel`] prices the same operations for the
 //! *simulated* execution mode, encoding the data-locality asymmetry that
 //! makes co-location attractive (local memory copy vs. dragonfly

@@ -31,7 +31,14 @@ impl<B: ChunkStore, C: ChunkCodec> DtlWriter<B, C> {
     pub fn create(staging: Arc<SyncStaging<B>>, codec: C, spec: VariableSpec) -> DtlResult<Self> {
         let home_node = spec.home_node;
         let variable = staging.register(spec)?;
-        Ok(DtlWriter { staging, codec, variable, home_node, next_step: 0, timeout: DEFAULT_TIMEOUT })
+        Ok(DtlWriter {
+            staging,
+            codec,
+            variable,
+            home_node,
+            next_step: 0,
+            timeout: DEFAULT_TIMEOUT,
+        })
     }
 
     /// Overrides the blocking timeout.
@@ -53,7 +60,8 @@ impl<B: ChunkStore, C: ChunkCodec> DtlWriter<B, C> {
     /// blocking while the previous chunk has unread consumers.
     pub fn write(&mut self, value: &C::Value) -> DtlResult<()> {
         let data = self.codec.encode(value);
-        let chunk = Chunk::new(self.variable, self.next_step, self.home_node, self.codec.encoding(), data);
+        let chunk =
+            Chunk::new(self.variable, self.next_step, self.home_node, self.codec.encoding(), data);
         self.staging.put_timeout(chunk, self.timeout)?;
         self.next_step += 1;
         Ok(())
@@ -126,8 +134,7 @@ mod tests {
     #[test]
     fn typed_roundtrip() {
         let staging = Arc::new(staging::dimes());
-        let mut writer =
-            DtlWriter::create(Arc::clone(&staging), F64ArrayCodec, spec(1)).unwrap();
+        let mut writer = DtlWriter::create(Arc::clone(&staging), F64ArrayCodec, spec(1)).unwrap();
         let mut reader =
             DtlReader::attach_by_name(Arc::clone(&staging), F64ArrayCodec, "cv", ReaderId(0))
                 .unwrap();
@@ -158,8 +165,7 @@ mod tests {
             .map(|r| {
                 let staging = Arc::clone(&staging);
                 std::thread::spawn(move || {
-                    let mut reader =
-                        DtlReader::attach(staging, F64ArrayCodec, var, ReaderId(r));
+                    let mut reader = DtlReader::attach(staging, F64ArrayCodec, var, ReaderId(r));
                     let mut sum = 0.0;
                     for _ in 0..8 {
                         sum += reader.read().unwrap()[0];

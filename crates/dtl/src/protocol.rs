@@ -47,12 +47,9 @@ impl StepProtocol {
 
     /// The step `reader` consumes next.
     pub fn next_read_step(&self, reader: ReaderId) -> DtlResult<u64> {
-        self.next_read
-            .get(&reader)
-            .copied()
-            .ok_or_else(|| DtlError::ProtocolViolation {
-                detail: format!("unknown reader {reader:?}"),
-            })
+        self.next_read.get(&reader).copied().ok_or_else(|| DtlError::ProtocolViolation {
+            detail: format!("unknown reader {reader:?}"),
+        })
     }
 
     /// The oldest step any reader still needs.

@@ -7,13 +7,20 @@
 //! unconsumed frames are dropped** and counted as *lost frames* — the
 //! domain metric that work characterizes. This tier implements that
 //! semantic for real threaded runs.
+//!
+//! Like [`SyncStaging`](crate::staging::SyncStaging), the area is
+//! sharded per variable: each variable's queue lives behind its own
+//! mutex and condition variable, so independent members never contend.
+//! A `put` wakes only the readers of that variable; consuming a chunk
+//! wakes nobody (puts never block, so nothing waits on consumption).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::chunk::Chunk;
 use crate::error::{DtlError, DtlResult};
@@ -33,13 +40,26 @@ struct AsyncVar {
     finished: bool,
 }
 
+/// One variable's queue with its own lock and reader wakeup channel.
+struct AsyncShard {
+    state: Mutex<AsyncVar>,
+    /// Readers block here for new data, `finish`, or `close`.
+    cv: Condvar,
+}
+
 /// A bounded non-blocking staging area with drop-oldest overflow.
 pub struct AsyncStaging {
     capacity: usize,
-    inner: Mutex<(VariableRegistry, HashMap<VariableId, AsyncVar>)>,
-    cv: Condvar,
+    /// Read-mostly: written only by `register`.
+    registry: RwLock<Registry>,
     closed: AtomicBool,
     total_lost: AtomicU64,
+}
+
+struct Registry {
+    names: VariableRegistry,
+    /// Indexed by `VariableId` (dense ids, registration order).
+    shards: Vec<Arc<AsyncShard>>,
 }
 
 impl AsyncStaging {
@@ -48,8 +68,7 @@ impl AsyncStaging {
         assert!(capacity > 0);
         AsyncStaging {
             capacity,
-            inner: Mutex::new((VariableRegistry::new(), HashMap::new())),
-            cv: Condvar::new(),
+            registry: RwLock::new(Registry { names: VariableRegistry::new(), shards: Vec::new() }),
             closed: AtomicBool::new(false),
             total_lost: AtomicU64::new(0),
         }
@@ -57,17 +76,33 @@ impl AsyncStaging {
 
     /// Registers a variable.
     pub fn register(&self, spec: VariableSpec) -> DtlResult<VariableId> {
-        let mut inner = self.inner.lock();
+        let mut registry = self.registry.write();
         let readers = spec.expected_readers;
-        let id = inner.0.register(spec)?;
-        inner.1.entry(id).or_insert_with(|| AsyncVar {
-            queue: VecDeque::new(),
-            last_consumed: (0..readers).map(|r| (ReaderId(r), None)).collect(),
-            lost: 0,
-            produced: 0,
-            finished: false,
-        });
+        let id = registry.names.register(spec)?;
+        if (id.0 as usize) >= registry.shards.len() {
+            registry.shards.push(Arc::new(AsyncShard {
+                state: Mutex::new(AsyncVar {
+                    queue: VecDeque::new(),
+                    last_consumed: (0..readers).map(|r| (ReaderId(r), None)).collect(),
+                    lost: 0,
+                    produced: 0,
+                    finished: false,
+                }),
+                cv: Condvar::new(),
+            }));
+            debug_assert_eq!(registry.shards.len(), id.0 as usize + 1);
+        }
         Ok(id)
+    }
+
+    /// The shard of `var`, or `UnknownVariable`.
+    fn shard(&self, var: VariableId) -> DtlResult<Arc<AsyncShard>> {
+        self.registry
+            .read()
+            .shards
+            .get(var.0 as usize)
+            .cloned()
+            .ok_or_else(|| DtlError::UnknownVariable { name: format!("id {}", var.0) })
     }
 
     /// Stages a chunk without blocking. If the queue is full the oldest
@@ -76,11 +111,9 @@ impl AsyncStaging {
         if self.closed.load(Ordering::Acquire) {
             return Err(DtlError::Closed);
         }
-        let mut inner = self.inner.lock();
         let var = chunk.id.variable;
-        let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
-            name: format!("id {}", var.0),
-        })?;
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         if state.finished {
             return Err(DtlError::ProtocolViolation {
                 detail: "producer already finished this variable".into(),
@@ -93,19 +126,18 @@ impl AsyncStaging {
         }
         state.produced += 1;
         state.queue.push_back(chunk);
-        self.cv.notify_all();
+        // Wake only this variable's readers.
+        shard.cv.notify_all();
         Ok(())
     }
 
     /// Marks a variable's production as finished, letting readers drain
     /// and then observe end-of-stream.
     pub fn finish(&self, var: VariableId) -> DtlResult<()> {
-        let mut inner = self.inner.lock();
-        let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
-            name: format!("id {}", var.0),
-        })?;
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         state.finished = true;
-        self.cv.notify_all();
+        shard.cv.notify_all();
         Ok(())
     }
 
@@ -119,27 +151,20 @@ impl AsyncStaging {
         timeout: Duration,
     ) -> DtlResult<Option<Chunk>> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         loop {
-            let state = inner.1.get_mut(&var).ok_or_else(|| DtlError::UnknownVariable {
-                name: format!("id {}", var.0),
-            })?;
             let last = *state.last_consumed.get(&reader).ok_or_else(|| {
                 DtlError::ProtocolViolation { detail: format!("unknown reader {reader:?}") }
             })?;
-            let candidate = state
-                .queue
-                .iter()
-                .find(|c| last.is_none_or(|l| c.id.step > l))
-                .cloned();
+            let candidate =
+                state.queue.iter().find(|c| last.is_none_or(|l| c.id.step > l)).cloned();
             if let Some(chunk) = candidate {
                 state.last_consumed.insert(reader, Some(chunk.id.step));
-                // Garbage-collect chunks every reader has passed.
-                let min_last: Option<u64> = state
-                    .last_consumed
-                    .values()
-                    .map(|v| v.unwrap_or(0))
-                    .min();
+                // Garbage-collect chunks every reader has passed. Nobody
+                // waits on consumption (puts never block), so no wakeup.
+                let min_last: Option<u64> =
+                    state.last_consumed.values().map(|v| v.unwrap_or(0)).min();
                 let all_started = state.last_consumed.values().all(Option::is_some);
                 if all_started {
                     if let Some(min_last) = min_last {
@@ -148,7 +173,6 @@ impl AsyncStaging {
                         }
                     }
                 }
-                self.cv.notify_all();
                 return Ok(Some(chunk));
             }
             if state.finished {
@@ -157,7 +181,7 @@ impl AsyncStaging {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
-            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+            if shard.cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DtlError::Timeout {
                     operation: "next",
                     variable: format!("id {}", var.0),
@@ -169,12 +193,12 @@ impl AsyncStaging {
 
     /// Frames dropped for `var` so far.
     pub fn lost_frames(&self, var: VariableId) -> u64 {
-        self.inner.lock().1.get(&var).map_or(0, |s| s.lost)
+        self.shard(var).map_or(0, |shard| shard.state.lock().lost)
     }
 
     /// Frames staged for `var` so far.
     pub fn produced_frames(&self, var: VariableId) -> u64 {
-        self.inner.lock().1.get(&var).map_or(0, |s| s.produced)
+        self.shard(var).map_or(0, |shard| shard.state.lock().produced)
     }
 
     /// Total dropped frames across variables.
@@ -185,8 +209,11 @@ impl AsyncStaging {
     /// Closes the area, waking all blocked readers with an error.
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
-        let _guard = self.inner.lock();
-        self.cv.notify_all();
+        let shards: Vec<_> = self.registry.read().shards.to_vec();
+        for shard in shards {
+            let _guard = shard.state.lock();
+            shard.cv.notify_all();
+        }
     }
 }
 
@@ -274,10 +301,19 @@ mod tests {
             s.put(chunk(var, step)).unwrap();
         }
         // Reader 0 consumes two; reader 1 none yet.
-        assert_eq!(s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step, 0);
-        assert_eq!(s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step, 1);
+        assert_eq!(
+            s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step,
+            0
+        );
+        assert_eq!(
+            s.next(var, ReaderId(0), Duration::from_millis(10)).unwrap().unwrap().id.step,
+            1
+        );
         // Reader 1 still starts at step 0 (retained: capacity not hit).
-        assert_eq!(s.next(var, ReaderId(1), Duration::from_millis(10)).unwrap().unwrap().id.step, 0);
+        assert_eq!(
+            s.next(var, ReaderId(1), Duration::from_millis(10)).unwrap().unwrap().id.step,
+            0
+        );
     }
 
     #[test]
@@ -299,5 +335,17 @@ mod tests {
         let var = s.register(spec(1)).unwrap();
         let err = s.next(var, ReaderId(0), Duration::from_millis(30)).unwrap_err();
         assert!(matches!(err, DtlError::Timeout { .. }));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let s = AsyncStaging::new(2);
+        let bogus = VariableId(7);
+        assert!(matches!(s.put(chunk(bogus, 0)), Err(DtlError::UnknownVariable { .. })));
+        assert!(matches!(
+            s.next(bogus, ReaderId(0), Duration::from_millis(10)),
+            Err(DtlError::UnknownVariable { .. })
+        ));
+        assert!(matches!(s.finish(bogus), Err(DtlError::UnknownVariable { .. })));
     }
 }

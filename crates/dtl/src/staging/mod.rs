@@ -7,6 +7,12 @@
 //! * [`PfsStaging`] — parallel-file-system tier (real file I/O);
 //! * [`AsyncStaging`] — in-transit style non-blocking tier with
 //!   drop-oldest overflow and lost-frame accounting.
+//!
+//! All tiers shard their state per variable: each registered variable
+//! owns its own lock (and condition variables), so couplings over
+//! distinct variables proceed without contending — an ensemble of N
+//! members staging through N variables scales like N independent
+//! staging areas. See `DESIGN.md` §4c for the full concurrency model.
 
 pub mod async_staging;
 pub mod store;

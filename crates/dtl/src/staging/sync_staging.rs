@@ -1,11 +1,24 @@
 //! The synchronous staging area: blocking put/get with the paper's
 //! no-overwrite protocol, generic over the physical tier.
+//!
+//! # Concurrency model
+//!
+//! The staging area is sharded **per variable**: each registered
+//! variable owns its own mutex (protocol state + slots) and a pair of
+//! condition variables (one for the writer side, one for the reader
+//! side). Operations on distinct variables — i.e. distinct ensemble
+//! members — never contend on a shared lock, so the threaded runtime
+//! measures the coupling protocol instead of lock contention. The
+//! name → shard registry is behind a read-mostly `RwLock`: lookups on
+//! the hot path take a shared read lock, only `register` takes the
+//! write lock. Wakeups are targeted: a `put` wakes only the readers of
+//! that variable, a consuming `get` wakes only its writer.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::chunk::{Chunk, ChunkId, ChunkMeta};
 use crate::error::{DtlError, DtlResult};
@@ -37,11 +50,18 @@ struct Slot<H> {
 struct VarState<H> {
     protocol: StepProtocol,
     slots: Vec<Slot<H>>,
+    expected_readers: u32,
 }
 
-struct Inner<H> {
-    registry: VariableRegistry,
-    vars: HashMap<VariableId, VarState<H>>,
+/// One variable's share of the staging area: its protocol state behind
+/// its own lock, plus role-specific condition variables so wakeups only
+/// reach threads coupled through this variable.
+struct VarShard<H> {
+    state: Mutex<VarState<H>>,
+    /// The writer blocks here until the previous chunk is fully consumed.
+    writer_cv: Condvar,
+    /// Readers block here until the writer stages their next step.
+    reader_cv: Condvar,
 }
 
 /// A blocking staging area enforcing `W₀ R₀ W₁ R₁ …` per variable.
@@ -52,13 +72,19 @@ struct Inner<H> {
 pub struct SyncStaging<B: ChunkStore> {
     store: B,
     capacity: u64,
-    inner: Mutex<Inner<B::Handle>>,
-    cv: Condvar,
+    /// Read-mostly: written only by `register`, read on every operation.
+    registry: RwLock<Registry<B::Handle>>,
     closed: AtomicBool,
     puts: AtomicU64,
     gets: AtomicU64,
     bytes_staged: AtomicU64,
     bytes_served: AtomicU64,
+}
+
+struct Registry<H> {
+    names: VariableRegistry,
+    /// Indexed by `VariableId` (dense ids, registration order).
+    shards: Vec<Arc<VarShard<H>>>,
 }
 
 /// Default timeout for blocking operations — generous enough for real
@@ -73,8 +99,7 @@ impl<B: ChunkStore> SyncStaging<B> {
         SyncStaging {
             store,
             capacity,
-            inner: Mutex::new(Inner { registry: VariableRegistry::new(), vars: HashMap::new() }),
-            cv: Condvar::new(),
+            registry: RwLock::new(Registry { names: VariableRegistry::new(), shards: Vec::new() }),
             closed: AtomicBool::new(false),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
@@ -90,24 +115,48 @@ impl<B: ChunkStore> SyncStaging<B> {
 
     /// Registers a variable.
     pub fn register(&self, spec: VariableSpec) -> DtlResult<VariableId> {
-        let mut inner = self.inner.lock();
+        let mut registry = self.registry.write();
         let readers = spec.expected_readers;
-        let id = inner.registry.register(spec)?;
-        inner
-            .vars
-            .entry(id)
-            .or_insert_with(|| VarState { protocol: StepProtocol::new(readers, self.capacity), slots: Vec::new() });
+        let id = registry.names.register(spec)?;
+        if (id.0 as usize) >= registry.shards.len() {
+            registry.shards.push(Arc::new(VarShard {
+                state: Mutex::new(VarState {
+                    protocol: StepProtocol::new(readers, self.capacity),
+                    slots: Vec::new(),
+                    expected_readers: readers,
+                }),
+                writer_cv: Condvar::new(),
+                reader_cv: Condvar::new(),
+            }));
+            debug_assert_eq!(registry.shards.len(), id.0 as usize + 1);
+        }
         Ok(id)
     }
 
     /// Looks up a registered variable by name.
     pub fn lookup(&self, name: &str) -> DtlResult<VariableId> {
-        self.inner.lock().registry.lookup(name)
+        self.registry.read().names.lookup(name)
     }
 
     /// The spec of a registered variable.
     pub fn variable_spec(&self, id: VariableId) -> VariableSpec {
-        self.inner.lock().registry.spec(id).clone()
+        self.registry.read().names.spec(id).clone()
+    }
+
+    /// Number of registered variables (= independent shards).
+    pub fn variable_count(&self) -> usize {
+        self.registry.read().shards.len()
+    }
+
+    /// The shard of `var`, or `UnknownVariable`. Takes the registry read
+    /// lock only long enough to clone the `Arc`.
+    fn shard(&self, var: VariableId) -> DtlResult<Arc<VarShard<B::Handle>>> {
+        self.registry
+            .read()
+            .shards
+            .get(var.0 as usize)
+            .cloned()
+            .ok_or_else(|| DtlError::UnknownVariable { name: format!("id {}", var.0) })
     }
 
     /// Stages a chunk, blocking (up to `timeout`) until the protocol
@@ -115,34 +164,31 @@ impl<B: ChunkStore> SyncStaging<B> {
     /// `capacity == 1`.
     pub fn put_timeout(&self, chunk: Chunk, timeout: Duration) -> DtlResult<()> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
         let var = chunk.id.variable;
         let step = chunk.id.step;
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         // Fail fast on out-of-sequence writes: they can never become valid.
-        {
-            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
-                name: format!("id {}", var.0),
-            })?;
-            if step != state.protocol.next_write_step() {
-                return Err(DtlError::ProtocolViolation {
-                    detail: format!(
-                        "writer staged step {step} but the protocol expects step {}",
-                        state.protocol.next_write_step()
-                    ),
-                });
-            }
+        if step != state.protocol.next_write_step() {
+            return Err(DtlError::ProtocolViolation {
+                detail: format!(
+                    "writer staged step {step} but the protocol expects step {}",
+                    state.protocol.next_write_step()
+                ),
+            });
         }
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
-            let state = inner.vars.get_mut(&var).expect("validated above");
             if state.protocol.may_write(step) {
-                state.protocol.record_write(step)?;
-                let remaining = self.inner_spec_readers(&inner.registry, var);
+                // Persist the payload before advancing the protocol so a
+                // failing store leaves the protocol state untouched and
+                // the writer can retry.
+                let remaining = state.expected_readers;
                 let data_len = chunk.data.len() as u64;
                 let handle = self.store.store(chunk.id, chunk.data)?;
-                let state = inner.vars.get_mut(&var).expect("still present");
+                state.protocol.record_write(step).expect("may_write checked under the same lock");
                 state.slots.push(Slot {
                     id: chunk.id,
                     meta: chunk.meta,
@@ -152,10 +198,11 @@ impl<B: ChunkStore> SyncStaging<B> {
                 });
                 self.puts.fetch_add(1, Ordering::Relaxed);
                 self.bytes_staged.fetch_add(data_len, Ordering::Relaxed);
-                self.cv.notify_all();
+                // Wake only this variable's readers.
+                shard.reader_cv.notify_all();
                 return Ok(());
             }
-            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+            if shard.writer_cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DtlError::Timeout {
                     operation: "put",
                     variable: format!("id {}", var.0),
@@ -165,10 +212,6 @@ impl<B: ChunkStore> SyncStaging<B> {
         }
     }
 
-    fn inner_spec_readers(&self, registry: &VariableRegistry, var: VariableId) -> u32 {
-        registry.spec(var).expected_readers
-    }
-
     /// Stages a chunk with the default timeout.
     pub fn put(&self, chunk: Chunk) -> DtlResult<()> {
         self.put_timeout(chunk, DEFAULT_TIMEOUT)
@@ -176,6 +219,10 @@ impl<B: ChunkStore> SyncStaging<B> {
 
     /// Fetches the chunk of `step`, blocking until the writer stages it.
     /// Each reader must consume steps in order, exactly once.
+    ///
+    /// The protocol read is recorded only after the payload load
+    /// succeeds: a failing store (e.g. file-system I/O error) leaves the
+    /// protocol state untouched, so the reader can retry the same step.
     pub fn get_timeout(
         &self,
         var: VariableId,
@@ -184,11 +231,9 @@ impl<B: ChunkStore> SyncStaging<B> {
         timeout: Duration,
     ) -> DtlResult<Chunk> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         {
-            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
-                name: format!("id {}", var.0),
-            })?;
             let expected = state.protocol.next_read_step(reader)?;
             if step != expected {
                 return Err(DtlError::ProtocolViolation {
@@ -199,35 +244,50 @@ impl<B: ChunkStore> SyncStaging<B> {
             }
         }
         loop {
-            let state = inner.vars.get_mut(&var).expect("validated above");
+            // Closed staging serves nothing, including already-staged
+            // chunks (see `close`).
+            if self.closed.load(Ordering::Acquire) {
+                return Err(DtlError::Closed);
+            }
             if state.protocol.may_read(reader, step) {
-                state.protocol.record_read(reader, step)?;
+                // Load the payload *before* touching any protocol state:
+                // if the store fails here nothing has been consumed and
+                // the reader may retry.
                 let slot = state
                     .slots
                     .iter_mut()
                     .find(|s| s.id.step == step)
                     .expect("protocol admitted a read, slot must exist");
-                slot.remaining -= 1;
-                slot.consumed_by.push(reader);
-                let handle_ref = slot.handle.as_ref().expect("payload present while readers remain");
+                let handle_ref =
+                    slot.handle.as_ref().expect("payload present while readers remain");
                 let data = self.store.load(handle_ref)?;
                 let chunk = Chunk { id: slot.id, meta: slot.meta.clone(), data };
-                if slot.remaining == 0 {
-                    let handle = slot.handle.take().expect("last reader releases the payload");
-                    let idx = state.slots.iter().position(|s| s.id.step == step).expect("found above");
+                slot.remaining -= 1;
+                slot.consumed_by.push(reader);
+                let release = if slot.remaining == 0 {
+                    Some(slot.handle.take().expect("last reader releases the payload"))
+                } else {
+                    None
+                };
+                state
+                    .protocol
+                    .record_read(reader, step)
+                    .expect("may_read checked under the same lock");
+                if let Some(handle) = release {
+                    let idx =
+                        state.slots.iter().position(|s| s.id.step == step).expect("found above");
                     state.slots.remove(idx);
                     self.store.remove(handle)?;
                 }
                 self.gets.fetch_add(1, Ordering::Relaxed);
                 self.bytes_served.fetch_add(chunk.data.len() as u64, Ordering::Relaxed);
-                self.cv.notify_all();
+                // A consumed read can only unblock this variable's
+                // writer (reads never enable other reads).
+                shard.writer_cv.notify_all();
                 return Ok(chunk);
             }
-            // Not yet written. If the area is closed it never will be.
-            if self.closed.load(Ordering::Acquire) {
-                return Err(DtlError::Closed);
-            }
-            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+            // Not yet written; wait for this variable's writer.
+            if shard.reader_cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DtlError::Timeout {
                     operation: "get",
                     variable: format!("id {}", var.0),
@@ -248,18 +308,16 @@ impl<B: ChunkStore> SyncStaging<B> {
     /// when measuring stages.
     pub fn wait_writable(&self, var: VariableId, step: u64, timeout: Duration) -> DtlResult<()> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
-            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
-                name: format!("id {}", var.0),
-            })?;
             if state.protocol.may_write(step) {
                 return Ok(());
             }
-            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+            if shard.writer_cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DtlError::Timeout {
                     operation: "wait_writable",
                     variable: format!("id {}", var.0),
@@ -279,18 +337,16 @@ impl<B: ChunkStore> SyncStaging<B> {
         timeout: Duration,
     ) -> DtlResult<()> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
         loop {
-            let state = inner.vars.get(&var).ok_or_else(|| DtlError::UnknownVariable {
-                name: format!("id {}", var.0),
-            })?;
-            if state.protocol.may_read(reader, step) {
-                return Ok(());
-            }
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
-            if self.cv.wait_until(&mut inner, deadline).timed_out() {
+            if state.protocol.may_read(reader, step) {
+                return Ok(());
+            }
+            if shard.reader_cv.wait_until(&mut state, deadline).timed_out() {
                 return Err(DtlError::Timeout {
                     operation: "wait_readable",
                     variable: format!("id {}", var.0),
@@ -300,14 +356,22 @@ impl<B: ChunkStore> SyncStaging<B> {
         }
     }
 
-    /// Closes the area: pending and future blocking operations fail with
-    /// [`DtlError::Closed`] (already-staged chunks can no longer be read;
-    /// producers call this after consumers finish).
+    /// Closes the area: pending and future blocking operations — puts
+    /// *and* gets, including gets of already-staged chunks — fail with
+    /// [`DtlError::Closed`]. Close is a hard teardown, not a drain:
+    /// producers call it after consumers finish, and anything still in
+    /// flight is an abort. (Use a capacity > 1 area and drain before
+    /// closing if stragglers must finish.)
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
-        // Wake all waiters so they observe the flag.
-        let _guard = self.inner.lock();
-        self.cv.notify_all();
+        // Wake all waiters so they observe the flag. Taking each shard
+        // lock orders the store before any waiter's re-check.
+        let shards: Vec<_> = self.registry.read().shards.to_vec();
+        for shard in shards {
+            let _guard = shard.state.lock();
+            shard.writer_cv.notify_all();
+            shard.reader_cv.notify_all();
+        }
     }
 
     /// Whether [`SyncStaging::close`] has been called.
@@ -480,6 +544,41 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_blocked_writer() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"a")).unwrap();
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.put_timeout(chunk(var, 1, b"b"), Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        s.close();
+        assert!(matches!(writer.join().unwrap(), Err(DtlError::Closed)));
+    }
+
+    #[test]
+    fn close_prevents_reading_already_staged_chunks() {
+        // Close is a hard teardown: a chunk staged before close is not
+        // served after it.
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"x")).unwrap();
+        s.close();
+        let err = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(50)).unwrap_err();
+        assert!(matches!(err, DtlError::Closed), "{err}");
+        // The waiting probes observe the same teardown.
+        assert!(matches!(
+            s.wait_readable(var, 0, ReaderId(0), Duration::from_millis(50)),
+            Err(DtlError::Closed)
+        ));
+        assert!(matches!(
+            s.wait_writable(var, 1, Duration::from_millis(50)),
+            Err(DtlError::Closed)
+        ));
+    }
+
+    #[test]
     fn put_after_close_fails() {
         let s = staging(1);
         let var = s.register(spec(1)).unwrap();
@@ -509,5 +608,17 @@ mod tests {
             s.get_timeout(bogus, 0, ReaderId(0), Duration::from_millis(10)),
             Err(DtlError::UnknownVariable { .. })
         ));
+    }
+
+    #[test]
+    fn reregistration_reuses_the_shard() {
+        let s = staging(1);
+        let a = s.register(spec(1)).unwrap();
+        let b = s.register(spec(1)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.variable_count(), 1);
+        // The shard still works after idempotent re-registration.
+        s.put(chunk(a, 0, b"x")).unwrap();
+        s.get(b, 0, ReaderId(0)).unwrap();
     }
 }

@@ -91,9 +91,8 @@ fn many_members_interleave_without_cross_talk() {
     // 8 members, each with its own variable and reader, all through one
     // staging area concurrently.
     let staging: Arc<SyncStaging<_>> = Arc::new(dimes());
-    let vars: Vec<_> = (0..8)
-        .map(|m| staging.register(spec(&format!("m{m}"), 1)).unwrap())
-        .collect();
+    let vars: Vec<_> =
+        (0..8).map(|m| staging.register(spec(&format!("m{m}"), 1)).unwrap()).collect();
     let mut handles = Vec::new();
     for (m, &var) in vars.iter().enumerate() {
         let staging_w = Arc::clone(&staging);

@@ -84,7 +84,11 @@ impl ComponentSpec {
     }
 
     /// A component spanning several nodes.
-    pub fn spanning(kind: ComponentKind, cores: u32, nodes: impl IntoIterator<Item = usize>) -> Self {
+    pub fn spanning(
+        kind: ComponentKind,
+        cores: u32,
+        nodes: impl IntoIterator<Item = usize>,
+    ) -> Self {
         ComponentSpec { kind, cores, nodes: nodes.into_iter().collect() }
     }
 }

@@ -32,11 +32,7 @@ pub fn efficiency_from_idle(times: &MemberStageTimes) -> f64 {
     }
     let idle = idle_times(times);
     let k = times.k() as f64;
-    idle.analysis_idle
-        .iter()
-        .map(|ia| 1.0 - (idle.sim_idle + ia) / sigma)
-        .sum::<f64>()
-        / k
+    idle.analysis_idle.iter().map(|ia| 1.0 - (idle.sim_idle + ia) / sigma).sum::<f64>() / k
 }
 
 /// Per-coupling effective-computation fraction:
@@ -56,12 +52,8 @@ mod tests {
     use crate::stage::AnalysisStageTimes;
 
     fn times(s: f64, w: f64, ra: &[(f64, f64)]) -> MemberStageTimes {
-        MemberStageTimes::new(
-            s,
-            w,
-            ra.iter().map(|&(r, a)| AnalysisStageTimes { r, a }).collect(),
-        )
-        .unwrap()
+        MemberStageTimes::new(s, w, ra.iter().map(|&(r, a)| AnalysisStageTimes { r, a }).collect())
+            .unwrap()
     }
 
     #[test]

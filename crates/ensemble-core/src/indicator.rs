@@ -224,9 +224,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "applied twice")]
     fn repeated_stage_panics() {
-        indicator(
-            &inputs(),
-            &IndicatorPath(vec![IndicatorStage::Usage, IndicatorStage::Usage]),
-        );
+        indicator(&inputs(), &IndicatorPath(vec![IndicatorStage::Usage, IndicatorStage::Usage]));
     }
 }

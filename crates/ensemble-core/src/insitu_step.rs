@@ -23,11 +23,7 @@ pub enum CouplingScenario {
 /// Eq. 1: the non-overlapped segment `σ̄*` of the steady-state in situ
 /// step.
 pub fn sigma_star(times: &MemberStageTimes) -> f64 {
-    times
-        .analyses
-        .iter()
-        .map(|a| a.busy())
-        .fold(times.sim_busy(), f64::max)
+    times.analyses.iter().map(|a| a.busy()).fold(times.sim_busy(), f64::max)
 }
 
 /// Eq. 2: member makespan for `n_steps` in situ steps.
@@ -73,12 +69,8 @@ mod tests {
     use crate::stage::AnalysisStageTimes;
 
     fn times(s: f64, w: f64, ra: &[(f64, f64)]) -> MemberStageTimes {
-        MemberStageTimes::new(
-            s,
-            w,
-            ra.iter().map(|&(r, a)| AnalysisStageTimes { r, a }).collect(),
-        )
-        .unwrap()
+        MemberStageTimes::new(s, w, ra.iter().map(|&(r, a)| AnalysisStageTimes { r, a }).collect())
+            .unwrap()
     }
 
     #[test]

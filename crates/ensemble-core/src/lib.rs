@@ -47,7 +47,9 @@ pub use efficiency::{coupling_efficiency, efficiency, efficiency_from_idle};
 pub use ensemble::EnsembleSpec;
 pub use error::ModelError;
 pub use indicator::{indicator, p_u, p_ua, p_uap, IndicatorPath, IndicatorStage, MemberInputs};
-pub use insitu_step::{coupling_scenario, idle_times, makespan, sigma_star, CouplingScenario, IdleTimes};
+pub use insitu_step::{
+    coupling_scenario, idle_times, makespan, sigma_star, CouplingScenario, IdleTimes,
+};
 pub use member::MemberSpec;
 pub use objective::{aggregate, objective, Aggregation};
 pub use placement::{coupling_ratio, placement_indicator};

@@ -19,7 +19,11 @@ pub struct MemberSpec {
 impl MemberSpec {
     /// Builds and validates a member.
     pub fn new(simulation: ComponentSpec, analyses: Vec<ComponentSpec>) -> Self {
-        assert_eq!(simulation.kind, ComponentKind::Simulation, "first component must be a simulation");
+        assert_eq!(
+            simulation.kind,
+            ComponentKind::Simulation,
+            "first component must be a simulation"
+        );
         assert!(
             analyses.iter().all(|a| a.kind == ComponentKind::Analysis),
             "coupled components must be analyses"
@@ -57,10 +61,7 @@ impl MemberSpec {
             return Err(ModelError::NoAnalyses { member: member_index });
         }
         for (name, c) in std::iter::once(("simulation".to_string(), &self.simulation)).chain(
-            self.analyses
-                .iter()
-                .enumerate()
-                .map(|(j, a)| (format!("analysis {}", j + 1), a)),
+            self.analyses.iter().enumerate().map(|(j, a)| (format!("analysis {}", j + 1), a)),
         ) {
             if c.cores == 0 {
                 return Err(ModelError::ZeroCores { member: member_index, component: name });
@@ -75,12 +76,8 @@ impl MemberSpec {
     /// True iff analysis `j` (0-based here) is fully co-located with the
     /// simulation: `|sᵢ| = |sᵢ ∪ aᵢʲ|` (paper §4.3).
     pub fn is_colocated(&self, analysis: usize) -> bool {
-        let union: BTreeSet<usize> = self
-            .simulation
-            .nodes
-            .union(&self.analyses[analysis].nodes)
-            .copied()
-            .collect();
+        let union: BTreeSet<usize> =
+            self.simulation.nodes.union(&self.analyses[analysis].nodes).copied().collect();
         union.len() == self.simulation.nodes.len()
     }
 }

@@ -20,8 +20,7 @@ pub fn placement_indicator(member: &MemberSpec) -> f64 {
         .analyses
         .iter()
         .map(|a| {
-            let union: BTreeSet<usize> =
-                member.simulation.nodes.union(&a.nodes).copied().collect();
+            let union: BTreeSet<usize> = member.simulation.nodes.union(&a.nodes).copied().collect();
             1.0 / union.len() as f64
         })
         .sum();
@@ -30,12 +29,8 @@ pub fn placement_indicator(member: &MemberSpec) -> f64 {
 
 /// The per-coupling ratio `|sᵢ| / |sᵢ ∪ aᵢʲ|` (0-based `j`).
 pub fn coupling_ratio(member: &MemberSpec, j: usize) -> f64 {
-    let union: BTreeSet<usize> = member
-        .simulation
-        .nodes
-        .union(&member.analyses[j].nodes)
-        .copied()
-        .collect();
+    let union: BTreeSet<usize> =
+        member.simulation.nodes.union(&member.analyses[j].nodes).copied().collect();
     member.simulation.nodes.len() as f64 / union.len() as f64
 }
 

@@ -143,12 +143,8 @@ mod tests {
 
     #[test]
     fn busy_spans() {
-        let t = MemberStageTimes::new(
-            20.0,
-            0.5,
-            vec![AnalysisStageTimes { r: 0.3, a: 15.0 }],
-        )
-        .unwrap();
+        let t =
+            MemberStageTimes::new(20.0, 0.5, vec![AnalysisStageTimes { r: 0.3, a: 15.0 }]).unwrap();
         assert!((t.sim_busy() - 20.5).abs() < 1e-12);
         assert!((t.analyses[0].busy() - 15.3).abs() < 1e-12);
         assert_eq!(t.k(), 1);
@@ -156,14 +152,12 @@ mod tests {
 
     #[test]
     fn invalid_times_rejected() {
-        assert!(MemberStageTimes::new(-1.0, 0.0, vec![AnalysisStageTimes { r: 0.0, a: 1.0 }]).is_err());
+        assert!(
+            MemberStageTimes::new(-1.0, 0.0, vec![AnalysisStageTimes { r: 0.0, a: 1.0 }]).is_err()
+        );
         assert!(MemberStageTimes::new(1.0, 0.0, vec![]).is_err());
-        assert!(MemberStageTimes::new(
-            1.0,
-            0.0,
-            vec![AnalysisStageTimes { r: f64::NAN, a: 1.0 }]
-        )
-        .is_err());
+        assert!(MemberStageTimes::new(1.0, 0.0, vec![AnalysisStageTimes { r: f64::NAN, a: 1.0 }])
+            .is_err());
     }
 
     #[test]

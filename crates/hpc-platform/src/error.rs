@@ -43,7 +43,9 @@ impl fmt::Display for PlatformError {
             PlatformError::InsufficientCores { node, requested, available } => {
                 write!(f, "node {node}: requested {requested} cores but only {available} free")
             }
-            PlatformError::EmptyAllocation => write!(f, "allocation must request at least one core"),
+            PlatformError::EmptyAllocation => {
+                write!(f, "allocation must request at least one core")
+            }
             PlatformError::InsufficientMemory { node, requested, capacity } => {
                 write!(f, "node {node}: {requested} B of memory requested, capacity {capacity} B")
             }

@@ -129,6 +129,7 @@ impl InterferenceModel {
                 .collect();
 
             // (2) per-socket cache partitioning.
+            #[allow(clippy::needless_range_loop)] // `s` indexes the inner dim of `miss[i][s]`
             for s in 0..sockets {
                 let mut contenders = Vec::with_capacity(n);
                 let mut idx_map = Vec::with_capacity(n);
@@ -153,8 +154,7 @@ impl InterferenceModel {
 
             // (3) per-socket DRAM traffic and pressure.
             for (s, pr) in pressure.iter_mut().enumerate() {
-                let mut demand =
-                    extra_traffic_per_socket.get(s).copied().unwrap_or(0.0);
+                let mut demand = extra_traffic_per_socket.get(s).copied().unwrap_or(0.0);
                 for (i, p) in placed.iter().enumerate() {
                     let frac = p.alloc.socket_fraction(s);
                     if frac <= 0.0 {
@@ -180,13 +180,11 @@ impl InterferenceModel {
                         w.llc_refs_per_instr * miss[i][s] + w.streaming_bytes_per_instr / line;
                     stall += frac
                         * events_per_instr
-                        * self
-                            .memory
-                            .exposed_stall_cycles(
-                                spec.llc_miss_penalty_cycles,
-                                w.mlp_overlap,
-                                pressure[s],
-                            );
+                        * self.memory.exposed_stall_cycles(
+                            spec.llc_miss_penalty_cycles,
+                            w.mlp_overlap,
+                            pressure[s],
+                        );
                 }
                 let target = w.base_cpi + stall;
                 cpi[i] = cpi[i] * (1.0 - DAMPING) + target * DAMPING;
@@ -198,13 +196,8 @@ impl InterferenceModel {
             .enumerate()
             .map(|(i, p)| {
                 let w = &p.workload;
-                let overall_miss = {
-                    let mut acc = 0.0;
-                    for s in 0..sockets {
-                        acc += p.alloc.socket_fraction(s) * miss[i][s];
-                    }
-                    acc
-                };
+                let overall_miss: f64 =
+                    (0..sockets).map(|s| p.alloc.socket_fraction(s) * miss[i][s]).sum();
                 let refs = w.instructions_per_step * w.llc_refs_per_instr;
                 let misses = refs * overall_miss;
                 let peak = (0..sockets)
@@ -401,10 +394,7 @@ mod tests {
             let mut p = Platform::new(1, spec.clone(), crate::cori::aries_network());
             let a = place(&mut p, 0, cores, compute_heavy());
             let est = model.solve_node(&spec, &[a], &[])[0].clone();
-            assert!(
-                est.seconds_per_step < prev,
-                "{cores} cores should beat fewer cores"
-            );
+            assert!(est.seconds_per_step < prev, "{cores} cores should beat fewer cores");
             prev = est.seconds_per_step;
         }
     }
@@ -416,8 +406,7 @@ mod tests {
         let mut p = Platform::new(1, spec.clone(), crate::cori::aries_network());
         let a = place(&mut p, 0, 16, memory_heavy());
         let calm = model.solve_node(&spec, std::slice::from_ref(&a), &[])[0].clone();
-        let noisy =
-            model.solve_node(&spec, &[a], &[80e9, 80e9])[0].clone();
+        let noisy = model.solve_node(&spec, &[a], &[80e9, 80e9])[0].clone();
         assert!(noisy.seconds_per_step >= calm.seconds_per_step);
         assert!(noisy.peak_bw_pressure >= calm.peak_bw_pressure);
     }

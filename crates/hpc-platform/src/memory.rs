@@ -44,7 +44,12 @@ impl MemoryModel {
     /// Exposed (non-overlapped) stall cycles per memory event, given the
     /// uncontended penalty, the workload's memory-level-parallelism
     /// overlap, and the socket's pressure multiplier.
-    pub fn exposed_stall_cycles(&self, penalty_cycles: f64, mlp_overlap: f64, pressure: f64) -> f64 {
+    pub fn exposed_stall_cycles(
+        &self,
+        penalty_cycles: f64,
+        mlp_overlap: f64,
+        pressure: f64,
+    ) -> f64 {
         penalty_cycles * (1.0 - mlp_overlap.clamp(0.0, 1.0)) * pressure.max(1.0)
     }
 }

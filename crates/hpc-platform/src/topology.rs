@@ -94,9 +94,7 @@ impl Platform {
     }
 
     fn node_state(&self, node: usize) -> Result<&NodeState, PlatformError> {
-        self.nodes
-            .get(node)
-            .ok_or(PlatformError::UnknownNode { node, nodes: self.nodes.len() })
+        self.nodes.get(node).ok_or(PlatformError::UnknownNode { node, nodes: self.nodes.len() })
     }
 
     /// Allocates `cores` physical cores on `node` under `policy`.
@@ -140,9 +138,9 @@ impl Platform {
             }
             BindPolicy::Compact => {
                 // Fill sockets in index order.
-                for s in 0..sockets {
-                    let take = remaining.min(state.free_per_socket[s]);
-                    per_socket[s] = take;
+                for (slot, &free) in per_socket.iter_mut().zip(&state.free_per_socket) {
+                    let take = remaining.min(free);
+                    *slot = take;
                     remaining -= take;
                     if remaining == 0 {
                         break;
@@ -227,7 +225,7 @@ mod tests {
     fn spread_handles_uneven_free_cores() {
         let mut p = platform(1);
         let _first = p.allocate(0, 20, BindPolicy::Compact).unwrap(); // [16, 4]
-        // Only 12 cores free, all on socket 1.
+                                                                      // Only 12 cores free, all on socket 1.
         let second = p.allocate(0, 10, BindPolicy::Spread).unwrap();
         assert_eq!(second.per_socket, vec![0, 10]);
     }
@@ -261,7 +259,10 @@ mod tests {
     #[test]
     fn zero_core_allocation_rejected() {
         let mut p = platform(1);
-        assert_eq!(p.allocate(0, 0, BindPolicy::Spread).unwrap_err(), PlatformError::EmptyAllocation);
+        assert_eq!(
+            p.allocate(0, 0, BindPolicy::Spread).unwrap_err(),
+            PlatformError::EmptyAllocation
+        );
     }
 
     #[test]

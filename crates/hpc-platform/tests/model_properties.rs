@@ -4,21 +4,21 @@
 
 use hpc_platform::cache::CacheContender;
 use hpc_platform::{
-    BindPolicy, CacheModel, InterferenceModel, MemoryModel, NetworkSpec, PlacedWorkload,
-    Platform, Workload,
+    BindPolicy, CacheModel, InterferenceModel, MemoryModel, NetworkSpec, PlacedWorkload, Platform,
+    Workload,
 };
 use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     (
-        1e8f64..1e12,   // instructions
-        0.3f64..2.0,    // base cpi
-        0.0f64..0.2,    // refs/instr
-        0.0f64..0.3,    // base miss
-        1e6f64..5e8,    // working set
-        0.5f64..1.0,    // parallel fraction
-        0.0f64..4.0,    // streaming bytes/instr
-        0.0f64..0.95,   // mlp overlap
+        1e8f64..1e12, // instructions
+        0.3f64..2.0,  // base cpi
+        0.0f64..0.2,  // refs/instr
+        0.0f64..0.3,  // base miss
+        1e6f64..5e8,  // working set
+        0.5f64..1.0,  // parallel fraction
+        0.0f64..4.0,  // streaming bytes/instr
+        0.0f64..0.95, // mlp overlap
     )
         .prop_map(|(i, cpi, refs, miss, ws, f, stream, mlp)| Workload {
             instructions_per_step: i,

@@ -113,9 +113,7 @@ mod tests {
             step: 5,
             time: 0.1,
             box_len: 50.0,
-            positions: (0..n)
-                .map(|i| [(i as f32) * 0.9, (i as f32 % 3.0), 0.0])
-                .collect(),
+            positions: (0..n).map(|i| [(i as f32) * 0.9, (i as f32 % 3.0), 0.0]).collect(),
         }
     }
 

@@ -119,12 +119,7 @@ mod tests {
             step: 0,
             time: 0.0,
             box_len: 100.0,
-            positions: vec![
-                [0.0, 0.0, 0.0],
-                [1.0, 0.0, 0.0],
-                [0.0, 1.0, 0.0],
-                [5.0, 5.0, 5.0],
-            ],
+            positions: vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [5.0, 5.0, 5.0]],
         }
     }
 

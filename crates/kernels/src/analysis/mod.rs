@@ -10,8 +10,8 @@ pub mod msd;
 pub mod power_iter;
 
 pub use analyzer::{AnalysisOutput, CvSeries, EigenAnalysis};
+pub use bipartite::{BipartiteGroups, BipartiteMatrix};
 pub use descriptors::{ContactCount, RadiusOfGyration, RmsdKernel};
 pub use kernel_trait::FrameKernel;
 pub use msd::MsdKernel;
-pub use bipartite::{BipartiteGroups, BipartiteMatrix};
 pub use power_iter::{largest_singular_value, PowerIterConfig, PowerIterResult};

@@ -40,18 +40,19 @@ impl FrameKernel for MsdKernel {
         let box_len = frame.box_len as f64;
         match &mut self.origin {
             None => {
-                self.origin =
-                    Some(frame.positions.iter().map(|p| [p[0] as f64, p[1] as f64, p[2] as f64]).collect());
+                self.origin = Some(
+                    frame
+                        .positions
+                        .iter()
+                        .map(|p| [p[0] as f64, p[1] as f64, p[2] as f64])
+                        .collect(),
+                );
                 self.unwrapped = self.origin.clone().expect("just set");
                 self.previous = frame.positions.clone();
                 0.0
             }
             Some(origin) => {
-                assert_eq!(
-                    origin.len(),
-                    frame.num_atoms(),
-                    "atom count changed mid-trajectory"
-                );
+                assert_eq!(origin.len(), frame.num_atoms(), "atom count changed mid-trajectory");
                 // Unwrap: add the minimum-image displacement since the
                 // previous frame to the accumulated true positions.
                 for i in 0..frame.num_atoms() {
@@ -68,9 +69,7 @@ impl FrameKernel for MsdKernel {
                 self.unwrapped
                     .iter()
                     .zip(origin.iter())
-                    .map(|(u, o)| {
-                        (0..3).map(|d| (u[d] - o[d]) * (u[d] - o[d])).sum::<f64>()
-                    })
+                    .map(|(u, o)| (0..3).map(|d| (u[d] - o[d]) * (u[d] - o[d])).sum::<f64>())
                     .sum::<f64>()
                     / n
             }
@@ -127,11 +126,8 @@ mod tests {
     #[test]
     fn real_trajectory_msd_grows() {
         use crate::md::{MdConfig, MdSimulation};
-        let mut sim = MdSimulation::new(&MdConfig {
-            atoms_per_side: 4,
-            stride: 20,
-            ..Default::default()
-        });
+        let mut sim =
+            MdSimulation::new(&MdConfig { atoms_per_side: 4, stride: 20, ..Default::default() });
         let mut k = MsdKernel::new();
         let mut last = 0.0;
         let mut grew = false;

@@ -157,12 +157,12 @@ mod tests {
         compute_forces(&mut s, &LjParams::default());
         let mut net = [0.0f64; 3];
         for f in &s.forces {
-            for d in 0..3 {
-                net[d] += f[d];
+            for (acc, fd) in net.iter_mut().zip(f) {
+                *acc += fd;
             }
         }
-        for d in 0..3 {
-            assert!(net[d].abs() < 1e-6, "net force component {d} = {}", net[d]);
+        for (d, nd) in net.iter().enumerate() {
+            assert!(nd.abs() < 1e-6, "net force component {d} = {nd}");
         }
     }
 
@@ -210,12 +210,8 @@ mod tests {
 
     #[test]
     fn empty_system_pressure_is_zero() {
-        let s = MolecularSystem {
-            positions: vec![],
-            velocities: vec![],
-            forces: vec![],
-            box_len: 5.0,
-        };
+        let s =
+            MolecularSystem { positions: vec![], velocities: vec![], forces: vec![], box_len: 5.0 };
         assert_eq!(pressure(&s, 0.0), 0.0);
     }
 

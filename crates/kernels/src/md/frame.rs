@@ -112,10 +112,7 @@ impl Frame {
             step,
             time,
             box_len: box_len as f32,
-            positions: positions
-                .iter()
-                .map(|p| [p[0] as f32, p[1] as f32, p[2] as f32])
-                .collect(),
+            positions: positions.iter().map(|p| [p[0] as f32, p[1] as f32, p[2] as f32]).collect(),
         }
     }
 }

@@ -107,29 +107,16 @@ mod tests {
 
     #[test]
     fn compression_ratio_is_roughly_half() {
-        let f = Frame {
-            step: 0,
-            time: 0.0,
-            box_len: 10.0,
-            positions: vec![[1.0; 3]; 10_000],
-        };
+        let f = Frame { step: 0, time: 0.0, box_len: 10.0, positions: vec![[1.0; 3]; 10_000] };
         let full = f.to_bytes().len();
         let quant = encode_quantized(&f).len();
         assert_eq!(quant, quantized_len(10_000));
-        assert!(
-            (quant as f64) < 0.55 * full as f64,
-            "quantized {quant} vs full {full}"
-        );
+        assert!((quant as f64) < 0.55 * full as f64, "quantized {quant} vs full {full}");
     }
 
     #[test]
     fn negative_and_overflow_coordinates_are_wrapped() {
-        let f = Frame {
-            step: 0,
-            time: 0.0,
-            box_len: 10.0,
-            positions: vec![[-0.5, 10.2, 5.0]],
-        };
+        let f = Frame { step: 0, time: 0.0, box_len: 10.0, positions: vec![[-0.5, 10.2, 5.0]] };
         let decoded = decode_quantized(encode_quantized(&f)).unwrap();
         let p = decoded.positions[0];
         assert!((p[0] - 9.5).abs() < 1e-3, "wrapped -0.5 → 9.5, got {}", p[0]);
@@ -147,10 +134,7 @@ mod tests {
         assert_eq!(decode_quantized(Bytes::from(raw)), Err(FrameDecodeError::BadMagic));
         let good = encode_quantized(&frame());
         let cut = good.slice(0..good.len() - 3);
-        assert!(matches!(
-            decode_quantized(cut),
-            Err(FrameDecodeError::LengthMismatch { .. })
-        ));
+        assert!(matches!(decode_quantized(cut), Err(FrameDecodeError::LengthMismatch { .. })));
     }
 
     #[test]
@@ -159,19 +143,13 @@ mod tests {
         // tolerance of the exact one.
         use crate::analysis::EigenAnalysis;
         use crate::md::{MdConfig, MdSimulation};
-        let mut sim = MdSimulation::new(&MdConfig {
-            atoms_per_side: 4,
-            stride: 10,
-            ..Default::default()
-        });
+        let mut sim =
+            MdSimulation::new(&MdConfig { atoms_per_side: 4, stride: 10, ..Default::default() });
         let f = sim.advance_stride();
         let q = decode_quantized(encode_quantized(&f)).unwrap();
         let kernel = EigenAnalysis::interleaved(f.num_atoms(), 16, 1.2);
         let exact = kernel.analyze(&f).collective_variable;
         let lossy = kernel.analyze(&q).collective_variable;
-        assert!(
-            (exact - lossy).abs() / exact < 1e-3,
-            "CV drifted: {exact} vs {lossy}"
-        );
+        assert!((exact - lossy).abs() / exact < 1e-3, "CV drifted: {exact} vs {lossy}");
     }
 }

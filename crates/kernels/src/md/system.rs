@@ -65,12 +65,7 @@ impl MolecularSystem {
                 v[d] -= com[d] / n as f64;
             }
         }
-        let mut sys = MolecularSystem {
-            positions,
-            velocities,
-            forces: vec![[0.0; 3]; n],
-            box_len,
-        };
+        let mut sys = MolecularSystem { positions, velocities, forces: vec![[0.0; 3]; n], box_len };
         sys.rescale_to_temperature(temperature);
         sys
     }
@@ -87,11 +82,7 @@ impl MolecularSystem {
 
     /// Total kinetic energy `Σ ½ m v²` (m = 1).
     pub fn kinetic_energy(&self) -> f64 {
-        0.5 * self
-            .velocities
-            .iter()
-            .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
-            .sum::<f64>()
+        0.5 * self.velocities.iter().map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sum::<f64>()
     }
 
     /// Instantaneous temperature from equipartition:
@@ -111,8 +102,8 @@ impl MolecularSystem {
         }
         let factor = (t / current).sqrt();
         for v in &mut self.velocities {
-            for d in 0..3 {
-                v[d] *= factor;
+            for x in v.iter_mut() {
+                *x *= factor;
             }
         }
     }
@@ -121,10 +112,10 @@ impl MolecularSystem {
     #[inline]
     pub fn min_image(&self, i: usize, j: usize) -> Vec3 {
         let mut dr = [0.0; 3];
-        for d in 0..3 {
+        for (d, out) in dr.iter_mut().enumerate() {
             let mut x = self.positions[i][d] - self.positions[j][d];
             x -= self.box_len * (x / self.box_len).round();
-            dr[d] = x;
+            *out = x;
         }
         dr
     }
@@ -133,8 +124,8 @@ impl MolecularSystem {
     pub fn wrap_positions(&mut self) {
         let l = self.box_len;
         for p in &mut self.positions {
-            for d in 0..3 {
-                p[d] -= l * (p[d] / l).floor();
+            for x in p.iter_mut() {
+                *x -= l * (*x / l).floor();
             }
         }
     }
@@ -163,12 +154,12 @@ mod tests {
         let s = MolecularSystem::lattice(4, 0.8, 1.0, 11);
         let mut p = [0.0f64; 3];
         for v in &s.velocities {
-            for d in 0..3 {
-                p[d] += v[d];
+            for (acc, vd) in p.iter_mut().zip(v) {
+                *acc += vd;
             }
         }
-        for d in 0..3 {
-            assert!(p[d].abs() < 1e-9, "net momentum component {d} = {}", p[d]);
+        for (d, pd) in p.iter().enumerate() {
+            assert!(pd.abs() < 1e-9, "net momentum component {d} = {pd}");
         }
     }
 

@@ -21,8 +21,8 @@ impl Berendsen {
         }
         let lambda = (1.0 + dt / self.tau * (self.target / current - 1.0)).max(0.0).sqrt();
         for v in &mut system.velocities {
-            for d in 0..3 {
-                v[d] *= lambda;
+            for x in v.iter_mut() {
+                *x *= lambda;
             }
         }
     }

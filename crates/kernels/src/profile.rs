@@ -153,8 +153,10 @@ mod tests {
         // Two 8-core analyses sharing a node (C1.1/C1.4 pattern) must push
         // the analysis step beyond the 20 s simulation step.
         let sim = step_seconds(&[(SIM_CORES, simulation_workload(PAPER_STRIDE))])[0];
-        let pair =
-            step_seconds(&[(ANALYSIS_CORES, analysis_workload()), (ANALYSIS_CORES, analysis_workload())]);
+        let pair = step_seconds(&[
+            (ANALYSIS_CORES, analysis_workload()),
+            (ANALYSIS_CORES, analysis_workload()),
+        ]);
         assert!(
             pair[0] > sim,
             "paired analyses ({} s) must exceed the simulation step ({sim} s)",
@@ -204,12 +206,7 @@ mod tests {
     fn frame_bytes_matches_wire_format() {
         use crate::md::frame::Frame;
         let n = 100;
-        let f = Frame {
-            step: 0,
-            time: 0.0,
-            box_len: 1.0,
-            positions: vec![[0.0; 3]; n],
-        };
+        let f = Frame { step: 0, time: 0.0, box_len: 1.0, positions: vec![[0.0; 3]; n] };
         assert_eq!(frame_bytes(n), f.encoded_len() as u64);
     }
 

@@ -33,12 +33,12 @@ fn momentum_is_conserved_without_thermostat() {
     }
     let mut p = [0.0f64; 3];
     for v in &s.velocities {
-        for d in 0..3 {
-            p[d] += v[d];
+        for (acc, vd) in p.iter_mut().zip(v) {
+            *acc += vd;
         }
     }
-    for d in 0..3 {
-        assert!(p[d].abs() < 1e-8, "momentum component {d} drifted to {}", p[d]);
+    for (d, pd) in p.iter().enumerate() {
+        assert!(pd.abs() < 1e-8, "momentum component {d} drifted to {pd}");
     }
 }
 
@@ -61,10 +61,7 @@ fn thermostatted_fluid_diffuses() {
     assert_eq!(series[0], 0.0);
     let early = series[2];
     let late = *series.last().unwrap();
-    assert!(
-        late > early && late > 0.05,
-        "liquid must diffuse: early {early}, late {late}"
-    );
+    assert!(late > early && late > 0.05, "liquid must diffuse: early {early}, late {late}");
 }
 
 #[test]
@@ -111,12 +108,7 @@ fn trajectories_decorrelate_across_seeds() {
     let mean_sep: f64 = a
         .iter()
         .zip(&b)
-        .map(|(pa, pb)| {
-            (0..3)
-                .map(|d| (pa[d] as f64 - pb[d] as f64).powi(2))
-                .sum::<f64>()
-                .sqrt()
-        })
+        .map(|(pa, pb)| (0..3).map(|d| (pa[d] as f64 - pb[d] as f64).powi(2)).sum::<f64>().sqrt())
         .sum::<f64>()
         / a.len() as f64;
     assert!(mean_sep > 0.05, "different seeds must diverge, got {mean_sep}");

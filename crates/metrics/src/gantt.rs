@@ -56,8 +56,7 @@ pub fn render_gantt(trace: &ExecutionTrace, options: &GanttOptions) -> String {
     let width = options.width.max(10);
 
     // Stable component order: member-major, simulation first.
-    let mut components: Vec<ComponentRef> =
-        trace.intervals().iter().map(|i| i.component).collect();
+    let mut components: Vec<ComponentRef> = trace.intervals().iter().map(|i| i.component).collect();
     components.sort();
     components.dedup();
 
@@ -121,10 +120,8 @@ mod tests {
 
     #[test]
     fn window_restricts_output() {
-        let g = render_gantt(
-            &sample_trace(),
-            &GanttOptions { width: 40, window: Some((9.0, 10.0)) },
-        );
+        let g =
+            render_gantt(&sample_trace(), &GanttOptions { width: 40, window: Some((9.0, 10.0)) });
         // Only the analyze stage of step 0 lands in this window.
         let ana_row = g.lines().find(|l| l.starts_with("Ana1.1")).unwrap();
         assert!(ana_row.contains('A'));
@@ -133,8 +130,9 @@ mod tests {
 
     #[test]
     fn empty_trace_is_handled() {
-        assert!(render_gantt(&ExecutionTrace::default(), &GanttOptions::default())
-            .contains("empty"));
+        assert!(
+            render_gantt(&ExecutionTrace::default(), &GanttOptions::default()).contains("empty")
+        );
     }
 
     #[test]

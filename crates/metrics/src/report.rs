@@ -99,12 +99,8 @@ mod tests {
     use ensemble_core::AnalysisStageTimes;
 
     fn member_report() -> MemberReport {
-        let stage_times = MemberStageTimes::new(
-            20.0,
-            0.5,
-            vec![AnalysisStageTimes { r: 0.3, a: 15.0 }],
-        )
-        .unwrap();
+        let stage_times =
+            MemberStageTimes::new(20.0, 0.5, vec![AnalysisStageTimes { r: 0.3, a: 15.0 }]).unwrap();
         MemberReport {
             member: 0,
             sigma_star: 20.5,

@@ -136,7 +136,14 @@ impl TraceRecorder {
     }
 
     /// Records one stage interval.
-    pub fn record(&self, component: ComponentRef, kind: StageKind, step: u64, start: f64, end: f64) {
+    pub fn record(
+        &self,
+        component: ComponentRef,
+        kind: StageKind,
+        step: u64,
+        start: f64,
+        end: f64,
+    ) {
         debug_assert!(end >= start, "stage {kind:?} of {component} ends before it starts");
         self.inner.lock().push(StageInterval { component, kind, step, start, end });
     }

@@ -43,11 +43,7 @@ pub fn calibrate_component(
     let measured_seconds = if component.is_simulation() {
         times.s
     } else {
-        times
-            .analyses
-            .get(component.slot - 1)
-            .ok_or(RuntimeError::NoSamples)?
-            .a
+        times.analyses.get(component.slot - 1).ok_or(RuntimeError::NoSamples)?.a
     };
     if measured_seconds <= 0.0 {
         return Err(RuntimeError::NoSamples);
@@ -57,11 +53,7 @@ pub fn calibrate_component(
     // independent of the instruction count (the miss ratio depends on
     // the working set, not on instructions), so one solve at the
     // template's count gives the seconds-per-instruction slope exactly.
-    let mut platform = Platform::new(
-        1,
-        node_spec.clone(),
-        hpc_platform::cori::aries_network(),
-    );
+    let mut platform = Platform::new(1, node_spec.clone(), hpc_platform::cori::aries_network());
     let alloc = platform.allocate(0, cores, BindPolicy::Spread)?;
     let model = InterferenceModel::default();
     let placed = PlacedWorkload { alloc, workload: template.clone() };
@@ -80,11 +72,7 @@ pub fn calibrate_component(
         workload: workload.clone(),
     };
     let fitted = model.solve_node(node_spec, &[placed], &[])[0].clone();
-    Ok(CalibratedWorkload {
-        workload,
-        measured_seconds,
-        fitted_seconds: fitted.seconds_per_step,
-    })
+    Ok(CalibratedWorkload { workload, measured_seconds, fitted_seconds: fitted.seconds_per_step })
 }
 
 #[cfg(test)]
@@ -122,8 +110,8 @@ mod tests {
             WarmupPolicy::FixedSteps(1),
         )
         .unwrap();
-        let rel = (sim_fit.fitted_seconds - sim_fit.measured_seconds).abs()
-            / sim_fit.measured_seconds;
+        let rel =
+            (sim_fit.fitted_seconds - sim_fit.measured_seconds).abs() / sim_fit.measured_seconds;
         assert!(rel < 1e-9, "fit must be exact: {rel}");
         assert!(sim_fit.workload.instructions_per_step > 0.0);
 
@@ -138,8 +126,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            (ana_fit.fitted_seconds - ana_fit.measured_seconds).abs()
-                / ana_fit.measured_seconds
+            (ana_fit.fitted_seconds - ana_fit.measured_seconds).abs() / ana_fit.measured_seconds
                 < 1e-9
         );
     }
@@ -177,8 +164,7 @@ mod tests {
         run.workloads.set_override(ComponentRef::simulation(0), fit.workload.clone());
         let sim_exec = crate::sim_exec::run_simulated(&run).unwrap();
         let samples = sim_exec.trace.member_samples(0, 1);
-        let times =
-            extract_steady_state(&samples, WarmupPolicy::FixedSteps(1)).unwrap();
+        let times = extract_steady_state(&samples, WarmupPolicy::FixedSteps(1)).unwrap();
         let rel = (times.s - fit.measured_seconds).abs() / fit.measured_seconds;
         assert!(rel < 1e-6, "simulated S* {} vs measured {}", times.s, fit.measured_seconds);
     }

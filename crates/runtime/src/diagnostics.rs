@@ -82,11 +82,7 @@ impl Default for DiagnosticConfig {
 /// Analyzes a report and returns findings ordered most-severe first.
 pub fn diagnose(report: &EnsembleReport, config: &DiagnosticConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let best_makespan = report
-        .members
-        .iter()
-        .map(|m| m.makespan)
-        .fold(f64::INFINITY, f64::min);
+    let best_makespan = report.members.iter().map(|m| m.makespan).fold(f64::INFINITY, f64::min);
 
     for m in &report.members {
         let label = m.member + 1;
@@ -122,7 +118,9 @@ pub fn diagnose(report: &EnsembleReport, config: &DiagnosticConfig) -> Vec<Findi
                                 1.0 / f.max(1e-9)
                             )
                         })
-                        .unwrap_or_else(|| "even a zero-cost analysis would still dominate via R*".into());
+                        .unwrap_or_else(|| {
+                            "even a zero-cost analysis would still dominate via R*".into()
+                        });
                     findings.push(Finding {
                         severity: Severity::Warning,
                         kind: FindingKind::AnalysisBottleneck,
@@ -249,11 +247,8 @@ mod tests {
     #[test]
     fn straggler_is_detected() {
         let mut runner = quick(ConfigId::C1_5);
-        let mut slow = runner
-            .config_mut()
-            .workloads
-            .workload_for(ComponentRef::simulation(1))
-            .clone();
+        let mut slow =
+            runner.config_mut().workloads.workload_for(ComponentRef::simulation(1)).clone();
         slow.instructions_per_step *= 2.0;
         runner.config_mut().workloads.set_override(ComponentRef::simulation(1), slow);
         let report = runner.run().unwrap();
@@ -270,11 +265,8 @@ mod tests {
     #[test]
     fn analysis_bottleneck_is_detected() {
         let mut runner = quick(ConfigId::Cf);
-        let mut heavy = runner
-            .config_mut()
-            .workloads
-            .workload_for(ComponentRef::analysis(0, 1))
-            .clone();
+        let mut heavy =
+            runner.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
         heavy.instructions_per_step *= 3.0;
         runner.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), heavy);
         let report = runner.run().unwrap();
@@ -285,11 +277,8 @@ mod tests {
     #[test]
     fn over_provisioned_analysis_is_detected() {
         let mut runner = quick(ConfigId::Cf);
-        let mut light = runner
-            .config_mut()
-            .workloads
-            .workload_for(ComponentRef::analysis(0, 1))
-            .clone();
+        let mut light =
+            runner.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
         light.instructions_per_step *= 0.1;
         runner.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), light);
         let report = runner.run().unwrap();

@@ -135,10 +135,8 @@ impl ExperimentSpec {
         }
         for (i, m) in self.members.iter().enumerate() {
             if (m.sim_work_scale - 1.0).abs() > f64::EPSILON {
-                let base = cfg
-                    .workloads
-                    .workload_for(ensemble_core::ComponentRef::simulation(i))
-                    .clone();
+                let base =
+                    cfg.workloads.workload_for(ensemble_core::ComponentRef::simulation(i)).clone();
                 cfg.workloads.set_override(
                     ensemble_core::ComponentRef::simulation(i),
                     base.scaled(m.sim_work_scale),
@@ -229,8 +227,7 @@ mod tests {
             .workload_for(ensemble_core::ComponentRef::analysis(0, 1))
             .instructions_per_step;
         assert!((ana0 - 2.0 * base_ana).abs() < 1.0);
-        let base_sim =
-            kernels::profile::simulation_workload(spec.stride).instructions_per_step;
+        let base_sim = kernels::profile::simulation_workload(spec.stride).instructions_per_step;
         let sim1 = cfg
             .workloads
             .workload_for(ensemble_core::ComponentRef::simulation(1))

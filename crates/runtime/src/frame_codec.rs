@@ -73,12 +73,8 @@ mod tests {
 
     #[test]
     fn quantized_codec_halves_the_payload() {
-        let frame = Frame {
-            step: 3,
-            time: 0.5,
-            box_len: 10.0,
-            positions: vec![[1.0, 2.0, 3.0]; 1000],
-        };
+        let frame =
+            Frame { step: 3, time: 0.5, box_len: 10.0, positions: vec![[1.0, 2.0, 3.0]; 1000] };
         let exact = FrameCodec.encode(&frame);
         let quant = QuantizedFrameCodec.encode(&frame);
         assert!(quant.len() * 2 < exact.len() + 100);

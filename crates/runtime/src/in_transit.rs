@@ -2,6 +2,11 @@
 //! frames into a bounded queue; analyses consume what survives. Frames
 //! dropped under backpressure are counted — the *lost frames* domain
 //! metric of Taufer et al. (the paper's reference \[26\]).
+//!
+//! As in the synchronous mode, each member owns its variable and the
+//! async staging area is sharded per variable, so members' queues are
+//! fully independent: one member's backpressure (and frame loss) never
+//! slows another member's producer.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -105,10 +110,11 @@ pub fn run_threaded_in_transit(cfg: &ThreadRunConfig) -> RuntimeResult<InTransit
                 let staging = Arc::clone(&staging);
                 let recorder = recorder.clone();
                 let timeout = cfg.timeout;
-                let choice = cfg.kernel.clone().unwrap_or(crate::thread_exec::KernelChoice::Eigen {
-                    group: cfg.analysis_group_size,
-                    sigma: cfg.analysis_sigma,
-                });
+                let choice =
+                    cfg.kernel.clone().unwrap_or(crate::thread_exec::KernelChoice::Eigen {
+                        group: cfg.analysis_group_size,
+                        sigma: cfg.analysis_sigma,
+                    });
                 handles.push((
                     ana_ref,
                     scope.spawn(move |_| -> RuntimeResult<Vec<(u64, f64)>> {
@@ -129,8 +135,7 @@ pub fn run_threaded_in_transit(cfg: &ThreadRunConfig) -> RuntimeResult<InTransit
                             let frame = codec.decode(chunk.data)?;
                             let t2 = epoch.elapsed().as_secs_f64();
                             recorder.record(ana_ref, StageKind::Read, frame_step, t1, t2);
-                            let k =
-                                kernel.get_or_insert_with(|| choice.build(frame.num_atoms()));
+                            let k = kernel.get_or_insert_with(|| choice.build(frame.num_atoms()));
                             let cv = k.compute(&frame);
                             let t3 = epoch.elapsed().as_secs_f64();
                             recorder.record(ana_ref, StageKind::Analyze, frame_step, t2, t3);
@@ -161,15 +166,9 @@ pub fn run_threaded_in_transit(cfg: &ThreadRunConfig) -> RuntimeResult<InTransit
         }
     }
     let lost_frames: Vec<u64> = variables.iter().map(|&v| staging.lost_frames(v)).collect();
-    let produced_frames: Vec<u64> =
-        variables.iter().map(|&v| staging.produced_frames(v)).collect();
+    let produced_frames: Vec<u64> = variables.iter().map(|&v| staging.produced_frames(v)).collect();
     staging.close();
-    Ok(InTransitExecution {
-        trace: recorder.into_trace(),
-        cv_series,
-        lost_frames,
-        produced_frames,
-    })
+    Ok(InTransitExecution { trace: recorder.into_trace(), cv_series, lost_frames, produced_frames })
 }
 
 #[cfg(test)]
@@ -226,14 +225,41 @@ mod tests {
     #[test]
     fn simulation_never_idles_in_transit() {
         let exec = run_threaded_in_transit(&quick(5, 1)).unwrap();
-        let sim_idle = exec
-            .trace
-            .total_in_stage(ComponentRef::simulation(0), StageKind::SimIdle);
+        let sim_idle = exec.trace.total_in_stage(ComponentRef::simulation(0), StageKind::SimIdle);
         assert_eq!(sim_idle, 0.0);
     }
 
     #[test]
     fn zero_steps_rejected() {
         assert!(run_threaded_in_transit(&quick(0, 1)).is_err());
+    }
+
+    #[test]
+    fn members_lose_frames_independently() {
+        // Four members with per-member queues: every member produces all
+        // of its frames and each member's loss accounting closes on its
+        // own, regardless of what its neighbors dropped.
+        let mut cfg = quick(8, 2);
+        cfg.spec = ensemble_core::EnsembleSpec::new(
+            (0..4)
+                .map(|node| {
+                    ensemble_core::MemberSpec::new(
+                        ensemble_core::ComponentSpec::simulation(16, node),
+                        vec![ensemble_core::ComponentSpec::analysis(8, node)],
+                    )
+                })
+                .collect(),
+        );
+        let exec = run_threaded_in_transit(&cfg).unwrap();
+        for member in 0..4 {
+            assert_eq!(exec.produced_frames[member], 8, "member {member}");
+            let consumed = exec.cv_series[&ComponentRef::analysis(member, 1)].len() as u64;
+            assert!(consumed >= 1, "member {member} must consume something");
+            assert!(
+                consumed + exec.lost_frames[member] <= 8,
+                "member {member}: consumed {consumed} + lost {} > produced",
+                exec.lost_frames[member]
+            );
+        }
     }
 }

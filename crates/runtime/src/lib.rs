@@ -34,7 +34,9 @@ pub mod thread_exec;
 pub mod workload_map;
 
 pub use calibration::{calibrate_component, CalibratedWorkload};
-pub use diagnostics::{diagnose, render_findings, DiagnosticConfig, Finding, FindingKind, Severity};
+pub use diagnostics::{
+    diagnose, render_findings, DiagnosticConfig, Finding, FindingKind, Severity,
+};
 pub use error::{RuntimeError, RuntimeResult};
 pub use experiment_spec::{AnalysisDesc, ExperimentSpec, MemberDesc};
 pub use frame_codec::{FrameCodec, QuantizedFrameCodec};

@@ -84,9 +84,8 @@ pub fn predict(cfg: &SimRunConfig) -> RuntimeResult<EnsemblePrediction> {
     let mut estimates: HashMap<ComponentRef, PerfEstimate> = HashMap::new();
     for placed in by_node.values() {
         let workloads: Vec<PlacedWorkload> = placed.iter().map(|(_, p)| p.clone()).collect();
-        for ((cref, _), est) in placed
-            .iter()
-            .zip(cfg.interference.solve_node(&cfg.node_spec, &workloads, &[]))
+        for ((cref, _), est) in
+            placed.iter().zip(cfg.interference.solve_node(&cfg.node_spec, &workloads, &[]))
         {
             estimates.insert(*cref, est);
         }
@@ -154,7 +153,12 @@ mod tests {
             let report = runner.run().unwrap();
             for (p, m) in predicted.members.iter().zip(&report.members) {
                 let rel = (p.sigma_star - m.sigma_star).abs() / m.sigma_star;
-                assert!(rel < 1e-6, "{id}: predicted σ̄ {} vs measured {}", p.sigma_star, m.sigma_star);
+                assert!(
+                    rel < 1e-6,
+                    "{id}: predicted σ̄ {} vs measured {}",
+                    p.sigma_star,
+                    m.sigma_star
+                );
                 assert!((p.efficiency - m.efficiency).abs() < 1e-6, "{id}");
                 assert!((p.cp - m.cp).abs() < 1e-12, "{id}");
             }

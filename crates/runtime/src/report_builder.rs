@@ -29,7 +29,8 @@ pub fn build_report(
         let samples = exec.trace.member_samples(i, member.k());
         let stage_times = extract_steady_state(&samples, warmup)?;
         let sigma = sigma_star(&stage_times);
-        let measured = member_makespan(&exec.trace, i, member.k()).ok_or(RuntimeError::NoSamples)?;
+        let measured =
+            member_makespan(&exec.trace, i, member.k()).ok_or(RuntimeError::NoSamples)?;
         ensemble_makespan = ensemble_makespan.max(measured);
         let e = efficiency(&stage_times);
         let scenarios = (0..member.k()).map(|j| coupling_scenario(&stage_times, j)).collect();
@@ -46,11 +47,7 @@ pub fn build_report(
         {
             let est = &exec.estimates[&cref];
             let counters = HwCounters::from_estimate(est, est.instructions_per_step, n_steps);
-            let span = exec
-                .trace
-                .component_span(cref)
-                .map(|(s, e)| e - s)
-                .unwrap_or_default();
+            let span = exec.trace.component_span(cref).map(|(s, e)| e - s).unwrap_or_default();
             components.push(ComponentReport {
                 name: cref.to_string(),
                 cores: comp.cores,

@@ -197,9 +197,9 @@ impl Coupling {
 
     fn record_read(&mut self, reader: usize, step: u64) {
         match self {
-            Coupling::Sync(p) => p
-                .record_read(ReaderId(reader as u32), step)
-                .expect("protocol admitted the read"),
+            Coupling::Sync(p) => {
+                p.record_read(ReaderId(reader as u32), step).expect("protocol admitted the read")
+            }
             Coupling::Async(q) => {
                 q.last_read[reader] = Some(step);
                 if q.last_read.iter().all(Option::is_some) {
@@ -439,13 +439,15 @@ impl Process<SimState> for AnaProc {
 
 fn jittered(base: f64, steps: u64, jitter: f64, rng: &mut StdRng) -> Vec<f64> {
     (0..steps)
-        .map(|_| {
-            if jitter <= 0.0 {
-                base
-            } else {
-                base * (1.0 + rng.random_range(-jitter..=jitter))
-            }
-        })
+        .map(
+            |_| {
+                if jitter <= 0.0 {
+                    base
+                } else {
+                    base * (1.0 + rng.random_range(-jitter..=jitter))
+                }
+            },
+        )
         .collect()
 }
 
@@ -462,8 +464,9 @@ pub fn run_simulated(cfg: &SimRunConfig) -> RuntimeResult<SimExecution> {
     let mut allocations: HashMap<ComponentRef, CoreAllocation> = HashMap::new();
     let mut component_node: HashMap<ComponentRef, usize> = HashMap::new();
     for (i, member) in cfg.spec.members.iter().enumerate() {
-        let components = std::iter::once((ComponentRef::simulation(i), &member.simulation))
-            .chain(member.analyses.iter().enumerate().map(|(j, a)| (ComponentRef::analysis(i, j + 1), a)));
+        let components = std::iter::once((ComponentRef::simulation(i), &member.simulation)).chain(
+            member.analyses.iter().enumerate().map(|(j, a)| (ComponentRef::analysis(i, j + 1), a)),
+        );
         for (cref, comp) in components {
             if comp.nodes.len() != 1 {
                 return Err(RuntimeError::MultiNodeComponent { component: cref.to_string() });
@@ -479,10 +482,7 @@ pub fn run_simulated(cfg: &SimRunConfig) -> RuntimeResult<SimExecution> {
     let mut by_node: HashMap<usize, Vec<(ComponentRef, PlacedWorkload)>> = HashMap::new();
     for (cref, workload) in cfg.workloads.assignments(&cfg.spec) {
         let alloc = allocations[&cref].clone();
-        by_node
-            .entry(alloc.node)
-            .or_default()
-            .push((cref, PlacedWorkload { alloc, workload }));
+        by_node.entry(alloc.node).or_default().push((cref, PlacedWorkload { alloc, workload }));
     }
     let mut estimates: HashMap<ComponentRef, PerfEstimate> = HashMap::new();
     for placed in by_node.values() {
@@ -637,16 +637,10 @@ mod tests {
         let ana = ComponentRef::analysis(0, 1);
         // Every read of step i starts after the write of step i ends and
         // before the write of step i+1 starts.
-        let writes: Vec<&StageInterval> = exec
-            .trace
-            .for_component(sim)
-            .filter(|iv| iv.kind == StageKind::Write)
-            .collect();
-        let reads: Vec<&StageInterval> = exec
-            .trace
-            .for_component(ana)
-            .filter(|iv| iv.kind == StageKind::Read)
-            .collect();
+        let writes: Vec<&StageInterval> =
+            exec.trace.for_component(sim).filter(|iv| iv.kind == StageKind::Write).collect();
+        let reads: Vec<&StageInterval> =
+            exec.trace.for_component(ana).filter(|iv| iv.kind == StageKind::Read).collect();
         for i in 0..reads.len() {
             assert!(reads[i].start >= writes[i].end - 1e-12, "R{i} before W{i} finished");
             if i + 1 < writes.len() {
@@ -736,10 +730,9 @@ mod tests {
         assert_eq!(async_idle, 0.0, "async coupling must never stall the sim");
 
         // Frames are conserved: consumed + lost = produced.
-        let consumed = async_exec
-            .trace
-            .stage_series(ComponentRef::analysis(0, 1), StageKind::Analyze)
-            .len() as u64;
+        let consumed =
+            async_exec.trace.stage_series(ComponentRef::analysis(0, 1), StageKind::Analyze).len()
+                as u64;
         assert_eq!(consumed + async_exec.lost_frames[0], 10);
         assert!(async_exec.lost_frames[0] > 0, "slow analysis must lose frames");
 

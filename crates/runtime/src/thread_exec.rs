@@ -6,6 +6,12 @@
 //! DTL with the paper's synchronous protocol. Stage boundaries are
 //! measured with wall-clock time and recorded in the same trace format
 //! as the simulated mode.
+//!
+//! Members couple through *disjoint* variables, and the staging area is
+//! sharded per variable: each member's writer/reader threads only ever
+//! take their own variable's lock, so members never serialize on the
+//! DTL and the measured idle stages reflect the coupling protocol, not
+//! lock contention.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -163,12 +169,8 @@ pub fn run_threaded(cfg: &ThreadRunConfig) -> RuntimeResult<ThreadExecution> {
                 sim_ref,
                 scope.spawn(move |_| -> RuntimeResult<Vec<f64>> {
                     let mut sim = MdSimulation::new(&md_cfg);
-                    let mut step_writer = ManualWriter {
-                        staging: staging_w,
-                        var,
-                        home_node,
-                        timeout,
-                    };
+                    let mut step_writer =
+                        ManualWriter { staging: staging_w, var, home_node, timeout };
                     for step in 0..n_steps {
                         let t0 = epoch.elapsed().as_secs_f64();
                         let frame = sim.advance_stride();
@@ -203,12 +205,8 @@ pub fn run_threaded(cfg: &ThreadRunConfig) -> RuntimeResult<ThreadExecution> {
                     ana_ref,
                     scope.spawn(move |_| -> RuntimeResult<Vec<f64>> {
                         let reader_id = ReaderId(j as u32 - 1);
-                        let mut reader = DtlReader::attach(
-                            Arc::clone(&staging_r),
-                            FrameCodec,
-                            var,
-                            reader_id,
-                        );
+                        let mut reader =
+                            DtlReader::attach(Arc::clone(&staging_r), FrameCodec, var, reader_id);
                         reader.set_timeout(timeout);
                         let mut analysis: Option<Box<dyn FrameKernel>> = None;
                         let mut cvs = Vec::with_capacity(n_steps as usize);
@@ -222,8 +220,8 @@ pub fn run_threaded(cfg: &ThreadRunConfig) -> RuntimeResult<ThreadExecution> {
                             let frame = reader.read()?;
                             let t2 = epoch.elapsed().as_secs_f64();
                             recorder_r.record(ana_ref, StageKind::Read, step, t1, t2);
-                            let kernel = analysis
-                                .get_or_insert_with(|| choice.build(frame.num_atoms()));
+                            let kernel =
+                                analysis.get_or_insert_with(|| choice.build(frame.num_atoms()));
                             let cv = kernel.compute(&frame);
                             let t3 = epoch.elapsed().as_secs_f64();
                             recorder_r.record(ana_ref, StageKind::Analyze, step, t2, t3);
@@ -239,9 +237,7 @@ pub fn run_threaded(cfg: &ThreadRunConfig) -> RuntimeResult<ThreadExecution> {
             match handle.join() {
                 Ok(Ok(cvs)) => collected.push((cref, cvs)),
                 Ok(Err(e)) => return Err(e),
-                Err(_) => {
-                    return Err(RuntimeError::WorkerPanicked { component: cref.to_string() })
-                }
+                Err(_) => return Err(RuntimeError::WorkerPanicked { component: cref.to_string() }),
             }
         }
         Ok(collected)
@@ -255,11 +251,7 @@ pub fn run_threaded(cfg: &ThreadRunConfig) -> RuntimeResult<ThreadExecution> {
         }
     }
     staging.close();
-    Ok(ThreadExecution {
-        trace: recorder.into_trace(),
-        cv_series,
-        staging_stats: staging.stats(),
-    })
+    Ok(ThreadExecution { trace: recorder.into_trace(), cv_series, staging_stats: staging.stats() })
 }
 
 /// Minimal writer used by the simulation worker: the variable is
@@ -278,7 +270,8 @@ impl ManualWriter {
     }
 
     fn write(&mut self, step: u64, frame: &kernels::md::Frame) -> RuntimeResult<()> {
-        let chunk = dtl::Chunk::new(self.var, step, self.home_node, "md-frame-v1", frame.to_bytes());
+        let chunk =
+            dtl::Chunk::new(self.var, step, self.home_node, "md-frame-v1", frame.to_bytes());
         self.staging.put_timeout(chunk, self.timeout)?;
         Ok(())
     }
@@ -374,20 +367,41 @@ mod tests {
     }
 
     #[test]
+    fn eight_members_complete_with_balanced_stats() {
+        // An 8-member ensemble exercises eight independent staging
+        // shards at once (one writer + one reader each, 16 threads on
+        // the DTL). All members must stream to completion with exact
+        // per-member accounting — a member blocked on another member's
+        // lock would show up as a timeout here.
+        let spec = ensemble_core::EnsembleSpec::new(
+            (0..8)
+                .map(|node| {
+                    ensemble_core::MemberSpec::new(
+                        ensemble_core::ComponentSpec::simulation(16, node),
+                        vec![ensemble_core::ComponentSpec::analysis(8, node)],
+                    )
+                })
+                .collect(),
+        );
+        let exec = run_threaded(&quick(spec, 3)).unwrap();
+        assert_eq!(exec.trace.member_indexes(), (0..8).collect::<Vec<_>>());
+        assert_eq!(exec.staging_stats.puts, 8 * 3);
+        assert_eq!(exec.staging_stats.gets, 8 * 3);
+        for member in 0..8 {
+            let cvs = &exec.cv_series[&ComponentRef::analysis(member, 1)];
+            assert_eq!(cvs.len(), 3, "member {member} must consume every frame");
+        }
+    }
+
+    #[test]
     fn trace_respects_protocol_order() {
         let exec = run_threaded(&quick(ConfigId::Cf.build(), 3)).unwrap();
         let sim = ComponentRef::simulation(0);
         let ana = ComponentRef::analysis(0, 1);
-        let writes: Vec<_> = exec
-            .trace
-            .for_component(sim)
-            .filter(|iv| iv.kind == StageKind::Write)
-            .collect();
-        let reads: Vec<_> = exec
-            .trace
-            .for_component(ana)
-            .filter(|iv| iv.kind == StageKind::Read)
-            .collect();
+        let writes: Vec<_> =
+            exec.trace.for_component(sim).filter(|iv| iv.kind == StageKind::Write).collect();
+        let reads: Vec<_> =
+            exec.trace.for_component(ana).filter(|iv| iv.kind == StageKind::Read).collect();
         for (w, r) in writes.iter().zip(&reads) {
             assert!(r.end >= w.start, "read cannot finish before its write started");
         }

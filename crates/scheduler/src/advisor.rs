@@ -52,11 +52,7 @@ pub fn recommend_placement(
     } else {
         (greedy_search(&config)?, false)
     };
-    let colocated = best
-        .spec
-        .members
-        .iter()
-        .all(|m| (0..m.k()).all(|j| m.is_colocated(j)));
+    let colocated = best.spec.members.iter().all(|m| (0..m.k()).all(|j| m.is_colocated(j)));
     let rationale = format!(
         "{} search over ≤{} nodes ({} cores each): F(P^U,A,P) = {:.3e} on {} nodes; {}",
         if exhaustive { "exhaustive" } else { "greedy" },
@@ -91,8 +87,7 @@ pub fn recommend_with_core_sweep(
     let mut sweep_cfg = CoreSweepConfig::paper();
     sweep_cfg.sim_cores = sim_cores;
     let sweep = core_sweep(&sweep_cfg)?;
-    let mut rec =
-        recommend_placement(n, sim_cores, k, sweep.recommended_cores, budget, false)?;
+    let mut rec = recommend_placement(n, sim_cores, k, sweep.recommended_cores, budget, false)?;
     rec.analysis_cores = Some(sweep.recommended_cores);
     rec.rationale = format!(
         "core sweep (Eq. 4 + max E) chose {} analysis cores; {}",
@@ -107,15 +102,9 @@ mod tests {
 
     #[test]
     fn small_instance_recommends_colocation() {
-        let rec = recommend_placement(
-            2,
-            16,
-            1,
-            8,
-            NodeBudget { max_nodes: 3, cores_per_node: 32 },
-            true,
-        )
-        .unwrap();
+        let rec =
+            recommend_placement(2, 16, 1, 8, NodeBudget { max_nodes: 3, cores_per_node: 32 }, true)
+                .unwrap();
         assert!(rec.exhaustive);
         assert_eq!(rec.nodes_used, 2, "C1.5-style placement expected");
         assert!(rec.rationale.contains("co-located"));
@@ -126,15 +115,9 @@ mod tests {
 
     #[test]
     fn large_instance_falls_back_to_greedy() {
-        let rec = recommend_placement(
-            5,
-            16,
-            1,
-            8,
-            NodeBudget { max_nodes: 5, cores_per_node: 32 },
-            true,
-        )
-        .unwrap();
+        let rec =
+            recommend_placement(5, 16, 1, 8, NodeBudget { max_nodes: 5, cores_per_node: 32 }, true)
+                .unwrap();
         assert!(!rec.exhaustive);
         assert_eq!(rec.spec.n(), 5);
         assert!(rec.objective.is_finite());
@@ -142,14 +125,8 @@ mod tests {
 
     #[test]
     fn impossible_budget_errors() {
-        let err = recommend_placement(
-            2,
-            16,
-            1,
-            8,
-            NodeBudget { max_nodes: 1, cores_per_node: 32 },
-            true,
-        );
+        let err =
+            recommend_placement(2, 16, 1, 8, NodeBudget { max_nodes: 1, cores_per_node: 32 }, true);
         assert!(err.is_err());
     }
 }

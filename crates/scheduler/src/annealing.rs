@@ -25,12 +25,7 @@ pub struct AnnealingConfig {
 
 impl Default for AnnealingConfig {
     fn default() -> Self {
-        AnnealingConfig {
-            iterations: 2_000,
-            initial_temperature: 1e-2,
-            cooling: 0.995,
-            seed: 2021,
-        }
+        AnnealingConfig { iterations: 2_000, initial_temperature: 1e-2, cooling: 0.995, seed: 2021 }
     }
 }
 
@@ -73,8 +68,7 @@ fn initial_assignment(shape: &EnsembleShape, budget: NodeBudget) -> Option<Vec<u
             assignment.extend(std::iter::repeat_n(node, 1 + anas.len()));
         } else {
             for &c in std::iter::once(sim_cores).chain(anas.iter()) {
-                let node =
-                    (0..budget.max_nodes).find(|&n| load[n] + c <= budget.cores_per_node)?;
+                let node = (0..budget.max_nodes).find(|&n| load[n] + c <= budget.cores_per_node)?;
                 load[node] += c;
                 assignment.push(node);
             }
@@ -124,8 +118,7 @@ pub fn anneal_placement(
         }
         let candidate_score = score_of(&candidate)?;
         let delta = candidate_score - current_score;
-        let accept = delta >= 0.0
-            || rng.random::<f64>() < (delta / temperature.max(1e-12)).exp();
+        let accept = delta >= 0.0 || rng.random::<f64>() < (delta / temperature.max(1e-12)).exp();
         if accept {
             current = candidate;
             current_score = candidate_score;
@@ -175,8 +168,8 @@ mod tests {
         .unwrap();
         let search_cfg = SearchConfig::new(shape, budget).small_scale();
         let ranked = exhaustive_search(&search_cfg).unwrap();
-        let rel = (annealed.objective - ranked[0].objective).abs()
-            / ranked[0].objective.abs().max(1e-12);
+        let rel =
+            (annealed.objective - ranked[0].objective).abs() / ranked[0].objective.abs().max(1e-12);
         assert!(
             rel < 0.05,
             "annealed {} should approach exhaustive best {}",

@@ -81,10 +81,8 @@ pub fn core_sweep(config: &CoreSweepConfig) -> RuntimeResult<SweepResult> {
         run.jitter = 0.0;
         let exec = runtime::run_simulated(&run)?;
         let samples = exec.trace.member_samples(0, 1);
-        let times = ensemble_core::extract_steady_state(
-            &samples,
-            ensemble_core::WarmupPolicy::default(),
-        )?;
+        let times =
+            ensemble_core::extract_steady_state(&samples, ensemble_core::WarmupPolicy::default())?;
         let sim_busy = times.sim_busy();
         let ana_busy = times.analyses[0].busy();
         points.push(SweepPoint {
@@ -142,11 +140,8 @@ mod tests {
     #[test]
     fn efficiency_peaks_at_recommended_among_eq4_points() {
         let result = sweep();
-        let best = result
-            .points
-            .iter()
-            .find(|p| p.analysis_cores == result.recommended_cores)
-            .unwrap();
+        let best =
+            result.points.iter().find(|p| p.analysis_cores == result.recommended_cores).unwrap();
         for p in result.points.iter().filter(|p| p.satisfies_eq4) {
             assert!(p.efficiency <= best.efficiency + 1e-12);
         }

@@ -42,17 +42,12 @@ impl EnsembleShape {
     pub fn materialize(&self, assignment: &[usize]) -> EnsembleSpec {
         assert_eq!(assignment.len(), self.num_components());
         let mut members = Vec::with_capacity(self.members.len());
-        let mut idx = 0;
+        let mut slots = assignment.iter().copied();
         for (sim_cores, anas) in &self.members {
-            let sim = ComponentSpec::simulation(*sim_cores, assignment[idx]);
-            idx += 1;
+            let sim = ComponentSpec::simulation(*sim_cores, slots.next().expect("length checked"));
             let analyses = anas
                 .iter()
-                .map(|&c| {
-                    let a = ComponentSpec::analysis(c, assignment[idx]);
-                    idx += 1;
-                    a
-                })
+                .map(|&c| ComponentSpec::analysis(c, slots.next().expect("length checked")))
                 .collect();
             members.push(MemberSpec::new(sim, analyses));
         }
@@ -97,6 +92,7 @@ pub fn enumerate_placements(
     // Depth-first with the canonical-prefix rule: component `i` may use
     // node `t` only if t ≤ (max node used so far) + 1 — generating each
     // canonical labeling exactly once.
+    #[allow(clippy::too_many_arguments)] // recursion state spelled out beats a one-off struct
     fn dfs(
         i: usize,
         max_used: usize,

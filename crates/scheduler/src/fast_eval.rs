@@ -1,9 +1,7 @@
 //! Fast placement evaluation through the closed-form predictor — no
 //! discrete-event run, suitable for scanning thousands of candidates.
 
-use ensemble_core::{
-    aggregate, Aggregation, EnsembleSpec, IndicatorPath, MemberInputs,
-};
+use ensemble_core::{aggregate, Aggregation, EnsembleSpec, IndicatorPath, MemberInputs};
 use runtime::{predict, RuntimeResult, SimRunConfig};
 
 /// Predictor-based evaluation of one placement.
@@ -36,10 +34,7 @@ pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<Fas
         })
         .collect();
     let eq4_satisfied = prediction.members.iter().all(|m| {
-        m.stage_times
-            .analyses
-            .iter()
-            .all(|a| a.busy() <= m.stage_times.sim_busy() + 1e-12)
+        m.stage_times.analyses.iter().all(|a| a.busy() <= m.stage_times.sim_busy() + 1e-12)
     });
     Ok(FastScore {
         objective: aggregate(&values, Aggregation::MeanMinusStd),
@@ -65,18 +60,10 @@ mod tests {
             base.n_steps = 8;
             let fast = fast_score(&base, &spec).unwrap();
 
-            let report = EnsembleRunner::paper_config(id)
-                .small_scale()
-                .steps(8)
-                .jitter(0.0)
-                .run()
-                .unwrap();
-            let slow = score_report(
-                &report,
-                &spec,
-                &IndicatorPath::uap(),
-                Aggregation::MeanMinusStd,
-            );
+            let report =
+                EnsembleRunner::paper_config(id).small_scale().steps(8).jitter(0.0).run().unwrap();
+            let slow =
+                score_report(&report, &spec, &IndicatorPath::uap(), Aggregation::MeanMinusStd);
             let rel = (fast.objective - slow).abs() / slow.abs().max(1e-12);
             assert!(rel < 1e-4, "{id}: fast {} vs DES {}", fast.objective, slow);
         }

@@ -25,10 +25,12 @@ pub mod pareto;
 pub mod search;
 
 pub use advisor::{recommend_placement, recommend_with_core_sweep, Recommendation};
+pub use annealing::{anneal_placement, AnnealingConfig};
 pub use core_sweep::{core_sweep, CoreSweepConfig, SweepPoint, SweepResult};
 pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape};
-pub use annealing::{anneal_placement, AnnealingConfig};
 pub use fast_eval::{fast_score, FastScore};
 pub use moldable::{moldable_search, MoldablePoint, MoldableResult};
 pub use pareto::{frontier_only, pareto_front, ParetoPoint};
-pub use search::{exhaustive_search, greedy_search, score_report, NodeBudget, ScoredPlacement, SearchConfig};
+pub use search::{
+    exhaustive_search, greedy_search, score_report, NodeBudget, ScoredPlacement, SearchConfig,
+};

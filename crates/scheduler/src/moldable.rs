@@ -55,9 +55,7 @@ pub fn moldable_search(
     for &cores in candidate_cores {
         let shape = EnsembleShape::uniform(n, sim_cores, k, cores);
         let mut best_here: Option<MoldablePoint> = None;
-        for assignment in
-            enumerate_placements(&shape, budget.max_nodes, budget.cores_per_node)
-        {
+        for assignment in enumerate_placements(&shape, budget.max_nodes, budget.cores_per_node) {
             let spec = shape.materialize(&assignment);
             let score = fast_score(base, &spec)?;
             let point = MoldablePoint {

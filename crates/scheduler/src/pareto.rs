@@ -57,9 +57,7 @@ pub fn pareto_front(
         });
     }
     points.sort_by(|a, b| {
-        a.nodes_used
-            .cmp(&b.nodes_used)
-            .then(a.ensemble_makespan.total_cmp(&b.ensemble_makespan))
+        a.nodes_used.cmp(&b.nodes_used).then(a.ensemble_makespan.total_cmp(&b.ensemble_makespan))
     });
     Ok(points)
 }
@@ -85,8 +83,7 @@ mod tests {
     fn frontier_is_nonempty_and_monotone() {
         let shape = EnsembleShape::uniform(2, 16, 1, 8);
         let points =
-            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 })
-                .unwrap();
+            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 }).unwrap();
         assert!(!points.is_empty());
         let frontier = frontier_only(&points);
         assert!(!frontier.is_empty());
@@ -103,8 +100,7 @@ mod tests {
     fn dominated_points_are_marked() {
         let shape = EnsembleShape::uniform(2, 16, 1, 8);
         let points =
-            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 })
-                .unwrap();
+            pareto_front(&base(), &shape, NodeBudget { max_nodes: 3, cores_per_node: 32 }).unwrap();
         // With contention, at least one 3-node scatter placement is
         // dominated by the 2-node full co-location (C1.5 pattern).
         assert!(points.iter().any(|p| p.dominated), "some placement must be dominated");

@@ -111,8 +111,7 @@ pub fn exhaustive_search(config: &SearchConfig) -> RuntimeResult<Vec<ScoredPlace
             config.steps,
             ensemble_core::WarmupPolicy::default(),
         )?;
-        let objective =
-            score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
+        let objective = score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
         scored.push(ScoredPlacement {
             nodes_used: spec.num_nodes(),
             ensemble_makespan: report.ensemble_makespan,
@@ -142,14 +141,15 @@ pub fn greedy_search(config: &SearchConfig) -> RuntimeResult<ScoredPlacement> {
             assignment.extend(std::iter::repeat_n(node, anas.len()));
         } else {
             for &cores in std::iter::once(sim_cores).chain(anas.iter()) {
-                let node = least_loaded_fitting(&load, cores, config.budget.cores_per_node)
-                    .ok_or(runtime::RuntimeError::Platform(
+                let node = least_loaded_fitting(&load, cores, config.budget.cores_per_node).ok_or(
+                    runtime::RuntimeError::Platform(
                         hpc_platform::PlatformError::InsufficientCores {
                             node: 0,
                             requested: cores,
                             available: 0,
                         },
-                    ))?;
+                    ),
+                )?;
                 load[node] += cores;
                 assignment.push(node);
             }
@@ -207,7 +207,11 @@ mod tests {
         assert!(!ranked.is_empty());
         let best = &ranked[0];
         for (i, m) in best.spec.members.iter().enumerate() {
-            assert!(m.is_colocated(0), "best placement must co-locate member {i}: {:?}", best.assignment);
+            assert!(
+                m.is_colocated(0),
+                "best placement must co-locate member {i}: {:?}",
+                best.assignment
+            );
         }
         // Scores are sorted descending.
         for w in ranked.windows(2) {

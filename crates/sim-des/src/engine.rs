@@ -323,11 +323,7 @@ mod tests {
         assert!(engine.is_finished(pid));
         assert_eq!(
             engine.state(),
-            &vec![
-                SimTime::ZERO,
-                SimTime::from_secs_f64(5.0),
-                SimTime::from_secs_f64(10.0)
-            ]
+            &vec![SimTime::ZERO, SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(10.0)]
         );
     }
 

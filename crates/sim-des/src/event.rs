@@ -29,10 +29,13 @@ pub(crate) struct ScheduledEvent<S> {
     pub(crate) cancelled: bool,
 }
 
+/// A boxed event callback run against the shared state and engine context.
+pub(crate) type EventCallback<S> = Box<dyn FnOnce(&mut S, &mut crate::engine::Context) + Send>;
+
 /// The kinds of work an event can carry.
 pub(crate) enum EventAction<S> {
     /// Run an arbitrary closure against the shared state.
-    Call(Box<dyn FnOnce(&mut S, &mut crate::engine::Context) + Send>),
+    Call(EventCallback<S>),
     /// Poll a registered process.
     PollProcess(crate::process::ProcessId),
 }

@@ -15,11 +15,15 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// An absolute instant on the simulation clock.
 ///
 /// `SimTime::ZERO` is the epoch at which every run starts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span between two [`SimTime`] instants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -283,19 +287,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total_on_nanos() {
-        let mut v = vec![
-            SimTime::from_nanos(5),
-            SimTime::from_nanos(1),
-            SimTime::from_nanos(3),
-        ];
+        let mut v = vec![SimTime::from_nanos(5), SimTime::from_nanos(1), SimTime::from_nanos(3)];
         v.sort();
-        assert_eq!(
-            v,
-            vec![
-                SimTime::from_nanos(1),
-                SimTime::from_nanos(3),
-                SimTime::from_nanos(5)
-            ]
-        );
+        assert_eq!(v, vec![SimTime::from_nanos(1), SimTime::from_nanos(3), SimTime::from_nanos(5)]);
     }
 }

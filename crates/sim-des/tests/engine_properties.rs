@@ -2,7 +2,7 @@
 //! causal ordering, and clock monotonicity under arbitrary schedules.
 
 use proptest::prelude::*;
-use sim_des::{Context, Engine, Poll, Process, SimDuration, SimTime, Signal};
+use sim_des::{Context, Engine, Poll, Process, Signal, SimDuration, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

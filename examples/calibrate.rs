@@ -51,10 +51,16 @@ fn main() {
         WarmupPolicy::FixedSteps(2),
     )
     .expect("analysis fit");
-    println!("measured S* = {:.2} ms -> fitted {:.3e} instructions/step",
-        sim_fit.measured_seconds * 1e3, sim_fit.workload.instructions_per_step);
-    println!("measured A* = {:.2} ms -> fitted {:.3e} instructions/step",
-        ana_fit.measured_seconds * 1e3, ana_fit.workload.instructions_per_step);
+    println!(
+        "measured S* = {:.2} ms -> fitted {:.3e} instructions/step",
+        sim_fit.measured_seconds * 1e3,
+        sim_fit.workload.instructions_per_step
+    );
+    println!(
+        "measured A* = {:.2} ms -> fitted {:.3e} instructions/step",
+        ana_fit.measured_seconds * 1e3,
+        ana_fit.workload.instructions_per_step
+    );
 
     // 3. Simulate this machine's member on the modeled platform and
     //    compare the predicted steady state with the measurement.
@@ -64,15 +70,16 @@ fn main() {
     run.workloads.set_override(ComponentRef::simulation(0), sim_fit.workload.clone());
     run.workloads.set_override(ComponentRef::analysis(0, 1), ana_fit.workload.clone());
     let sim_exec = run_simulated(&run).expect("simulated run");
-    let times = extract_steady_state(
-        &sim_exec.trace.member_samples(0, 1),
-        WarmupPolicy::FixedSteps(2),
-    )
-    .expect("steady state");
+    let times =
+        extract_steady_state(&sim_exec.trace.member_samples(0, 1), WarmupPolicy::FixedSteps(2))
+            .expect("steady state");
     println!("\nsimulated platform with fitted profiles:");
     println!("  S* = {:.2} ms (measured {:.2} ms)", times.s * 1e3, sim_fit.measured_seconds * 1e3);
-    println!("  A* = {:.2} ms (measured {:.2} ms)",
-        times.analyses[0].a * 1e3, ana_fit.measured_seconds * 1e3);
+    println!(
+        "  A* = {:.2} ms (measured {:.2} ms)",
+        times.analyses[0].a * 1e3,
+        ana_fit.measured_seconds * 1e3
+    );
     println!("  sigma* = {:.2} ms, E = {:.4}", sigma_star(&times) * 1e3, efficiency(&times));
 
     // 4. The fitted profiles can now drive any what-if: e.g. how would
@@ -80,6 +87,9 @@ fn main() {
     let mut coloc = run.clone();
     coloc.spec = ConfigId::Cc.build();
     let what_if = insitu_ensembles::runtime::predict(&coloc).expect("prediction");
-    println!("\nwhat-if (co-located on one node): sigma* = {:.2} ms, E = {:.4}",
-        what_if.members[0].sigma_star * 1e3, what_if.members[0].efficiency);
+    println!(
+        "\nwhat-if (co-located on one node): sigma* = {:.2} ms, E = {:.4}",
+        what_if.members[0].sigma_star * 1e3,
+        what_if.members[0].efficiency
+    );
 }

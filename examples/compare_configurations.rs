@@ -20,11 +20,8 @@ fn main() {
     let mut best: Option<(String, f64)> = None;
     for id in ConfigId::all() {
         let spec = id.build();
-        let report = EnsembleRunner::paper_config(id)
-            .steps(37)
-            .jitter(0.0)
-            .run()
-            .expect("run failed");
+        let report =
+            EnsembleRunner::paper_config(id).steps(37).jitter(0.0).run().expect("run failed");
         let mean_e: f64 =
             report.members.iter().map(|m| m.efficiency).sum::<f64>() / report.n as f64;
         let mean_cp: f64 = report.members.iter().map(|m| m.cp).sum::<f64>() / report.n as f64;

@@ -35,13 +35,19 @@ fn main() {
     let ana = ComponentRef::analysis(0, 1);
     let sync_span = sync.trace.component_span(sim).map(|(s, e)| e - s).unwrap_or_default();
     let sync_idle = sync.trace.total_in_stage(sim, StageKind::SimIdle);
-    println!("synchronous  : {} frames produced, {} analyzed, 0 lost", 12, sync.cv_series[&ana].len());
-    println!("               simulation span {:.2}s (idle {:.2}s waiting on the analysis)", sync_span, sync_idle);
+    println!(
+        "synchronous  : {} frames produced, {} analyzed, 0 lost",
+        12,
+        sync.cv_series[&ana].len()
+    );
+    println!(
+        "               simulation span {:.2}s (idle {:.2}s waiting on the analysis)",
+        sync_span, sync_idle
+    );
 
     // --- Asynchronous: same workload, bounded queue, free-running sim. ---
     let in_transit = run_threaded_in_transit(&config).expect("in-transit run");
-    let async_span =
-        in_transit.trace.component_span(sim).map(|(s, e)| e - s).unwrap_or_default();
+    let async_span = in_transit.trace.component_span(sim).map(|(s, e)| e - s).unwrap_or_default();
     let consumed = in_transit.cv_series[&ana].len();
     println!(
         "asynchronous : {} frames produced, {} analyzed, {} lost",

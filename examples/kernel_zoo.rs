@@ -16,11 +16,8 @@ fn main() {
     println!("in situ kernel zoo over one LJ-MD trajectory");
     println!("=============================================\n");
 
-    let mut sim = MdSimulation::new(&MdConfig {
-        atoms_per_side: 6,
-        stride: 25,
-        ..Default::default()
-    });
+    let mut sim =
+        MdSimulation::new(&MdConfig { atoms_per_side: 6, stride: 25, ..Default::default() });
     let atoms = sim.num_atoms();
     let mut kernels: Vec<Box<dyn FrameKernel>> = vec![
         Box::new(EigenAnalysis::interleaved(atoms, 64, 1.2)),

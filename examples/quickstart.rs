@@ -31,8 +31,10 @@ fn main() {
         println!("  S* + W*      = {:.3} s", t.sim_busy());
         println!("  R* + A*      = {:.3} s", t.analyses[0].busy());
         println!("  sigma*       = {:.3} s   (Eq. 1)", sigma_star(t));
-        println!("  makespan     = {:.1} s   (Eq. 2 model: {:.1} s)",
-            member_report.makespan, member_report.makespan_model);
+        println!(
+            "  makespan     = {:.1} s   (Eq. 2 model: {:.1} s)",
+            member_report.makespan, member_report.makespan_model
+        );
         println!("  efficiency E = {:.4}    (Eq. 3)", efficiency(t));
         println!("  CP           = {:.3}    (Eq. 6)", placement_indicator(member_spec));
         let inputs = MemberInputs::from_specs(member_spec, &spec, member_report.efficiency);

@@ -21,11 +21,7 @@ fn drive<B: insitu_ensembles::dtl::staging::ChunkStore + 'static>(
     staging: Arc<SyncStaging<B>>,
 ) -> (f64, u64) {
     let var = staging
-        .register(VariableSpec {
-            name: "trajectory".into(),
-            expected_readers: 1,
-            home_node: 0,
-        })
+        .register(VariableSpec { name: "trajectory".into(), expected_readers: 1, home_node: 0 })
         .expect("register");
     let started = Instant::now();
     let producer = {
@@ -33,9 +29,7 @@ fn drive<B: insitu_ensembles::dtl::staging::ChunkStore + 'static>(
         std::thread::spawn(move || {
             let payload = Bytes::from(vec![7u8; CHUNK_BYTES]);
             for step in 0..STEPS {
-                staging
-                    .put(Chunk::new(var, step, 0, "raw", payload.clone()))
-                    .expect("put");
+                staging.put(Chunk::new(var, step, 0, "raw", payload.clone())).expect("put");
             }
         })
     };

@@ -31,8 +31,10 @@ fn main() {
 
     let sim = ComponentRef::simulation(0);
     let ana = ComponentRef::analysis(0, 1);
-    println!("staging: {} puts, {} gets, {} bytes staged",
-        exec.staging_stats.puts, exec.staging_stats.gets, exec.staging_stats.bytes_staged);
+    println!(
+        "staging: {} puts, {} gets, {} bytes staged",
+        exec.staging_stats.puts, exec.staging_stats.gets, exec.staging_stats.bytes_staged
+    );
 
     let s = exec.trace.stage_series(sim, StageKind::Simulate);
     let w = exec.trace.stage_series(sim, StageKind::Write);
@@ -54,14 +56,24 @@ fn main() {
     // Reduce to the paper's steady-state model exactly as for simulated
     // runs.
     let samples = exec.trace.member_samples(0, 1);
-    let times = insitu_ensembles::model::extract_steady_state(&samples, WarmupPolicy::FixedSteps(2))
-        .expect("steady state");
-    println!("\nsteady state: S*+W* = {:.2} ms, R*+A* = {:.2} ms",
-        times.sim_busy() * 1e3, times.analyses[0].busy() * 1e3);
-    println!("sigma* = {:.2} ms, efficiency E = {:.4}", sigma_star(&times) * 1e3, efficiency(&times));
+    let times =
+        insitu_ensembles::model::extract_steady_state(&samples, WarmupPolicy::FixedSteps(2))
+            .expect("steady state");
+    println!(
+        "\nsteady state: S*+W* = {:.2} ms, R*+A* = {:.2} ms",
+        times.sim_busy() * 1e3,
+        times.analyses[0].busy() * 1e3
+    );
+    println!(
+        "sigma* = {:.2} ms, efficiency E = {:.4}",
+        sigma_star(&times) * 1e3,
+        efficiency(&times)
+    );
     match insitu_ensembles::model::coupling_scenario(&times, 0) {
         CouplingScenario::IdleAnalyzer => println!("coupling: idle-analyzer (analysis waits)"),
-        CouplingScenario::IdleSimulation => println!("coupling: idle-simulation (simulation waits)"),
+        CouplingScenario::IdleSimulation => {
+            println!("coupling: idle-simulation (simulation waits)")
+        }
         CouplingScenario::Balanced => println!("coupling: balanced"),
     }
 

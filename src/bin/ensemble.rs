@@ -73,8 +73,9 @@ fn load_run(target: &str, args: &[String]) -> Result<(String, SimRunConfig), Str
     let mut cfg = if let Some(id) = parse_config(target) {
         (id.label().to_string(), SimRunConfig::paper(id.build()))
     } else {
-        let json = std::fs::read_to_string(target)
-            .map_err(|e| format!("'{target}' is neither a config label nor a readable file: {e}"))?;
+        let json = std::fs::read_to_string(target).map_err(|e| {
+            format!("'{target}' is neither a config label nor a readable file: {e}")
+        })?;
         let spec = ExperimentSpec::from_json(&json).map_err(|e| e.to_string())?;
         let run = spec.to_run_config().map_err(|e| e.to_string())?;
         (spec.name, run)
@@ -111,14 +112,14 @@ fn cmd_run(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let report =
-        match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("report failed: {e}");
-                return 1;
-            }
-        };
+    let report = match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default())
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            return 1;
+        }
+    };
     println!("{}", report.to_table());
 
     // The full indicator per member plus F.
@@ -304,14 +305,14 @@ fn cmd_diagnose(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let report =
-        match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("diagnose report failed: {e}");
-                return 1;
-            }
-        };
+    let report = match build_report(&label, &spec, &exec, run_cfg.n_steps, WarmupPolicy::default())
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diagnose report failed: {e}");
+            return 1;
+        }
+    };
     let findings = insitu_ensembles::runtime::diagnose(
         &report,
         &insitu_ensembles::runtime::DiagnosticConfig::default(),
@@ -343,8 +344,7 @@ fn cmd_energy(args: &[String]) -> i32 {
     let cores: HashMap<_, _> =
         exec.allocations.iter().map(|(c, a)| (*c, a.total_cores())).collect();
     let nodes: HashMap<_, _> = exec.allocations.iter().map(|(c, a)| (*c, a.node)).collect();
-    let report =
-        measurement::run_energy(&exec.trace, &run_cfg.power_model, &cores, &nodes);
+    let report = measurement::run_energy(&exec.trace, &run_cfg.power_model, &cores, &nodes);
     println!(
         "{label}: total {:.1} MJ over {:.1}s (average {:.0} W)",
         report.total_joules / 1e6,

@@ -59,14 +59,7 @@ fn run_from_experiment_json() {
     let spec_path = dir.join("exp.json");
     let spec = run_ok(&["example-spec"]);
     std::fs::write(&spec_path, &spec).unwrap();
-    let out = run_ok(&[
-        "run",
-        spec_path.to_str().unwrap(),
-        "--steps",
-        "4",
-        "--jitter",
-        "0",
-    ]);
+    let out = run_ok(&["run", spec_path.to_str().unwrap(), "--steps", "4", "--jitter", "0"]);
     assert!(out.contains("c1.5-example"));
     let _ = std::fs::remove_dir_all(&dir);
 }

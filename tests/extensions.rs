@@ -16,16 +16,10 @@ fn quick(id: ConfigId) -> EnsembleRunner {
 fn in_transit_simulated_mode_trades_stall_for_loss() {
     let mut runner = quick(ConfigId::Cf);
     // Slow the analysis so synchronous coupling stalls the simulation.
-    let mut heavy = runner
-        .config_mut()
-        .workloads
-        .workload_for(ComponentRef::analysis(0, 1))
-        .clone();
+    let mut heavy =
+        runner.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
     heavy.instructions_per_step *= 3.0;
-    runner
-        .config_mut()
-        .workloads
-        .set_override(ComponentRef::analysis(0, 1), heavy);
+    runner.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), heavy);
 
     let sync_report = runner.run().unwrap();
     assert_eq!(sync_report.members[0].lost_frames, 0);
@@ -67,12 +61,7 @@ fn energy_accounting_over_a_full_run() {
     let cores: HashMap<_, _> =
         exec.allocations.iter().map(|(c, a)| (*c, a.total_cores())).collect();
     let nodes: HashMap<_, _> = exec.allocations.iter().map(|(c, a)| (*c, a.node)).collect();
-    let energy = measurement::run_energy(
-        &exec.trace,
-        &PowerModel::default(),
-        &cores,
-        &nodes,
-    );
+    let energy = measurement::run_energy(&exec.trace, &PowerModel::default(), &cores, &nodes);
     assert!(energy.total_joules > 0.0);
     assert_eq!(energy.per_node_idle.len(), 2, "C1.5 runs on two nodes");
     // Simulations burn more than analyses (twice the cores, longer busy).
@@ -149,11 +138,8 @@ fn experiment_spec_documents_itself() {
     let spec = insitu_ensembles::runtime::ExperimentSpec::example();
     let cfg = spec.to_run_config().unwrap();
     assert_eq!(cfg.spec.num_nodes(), 2);
-    let exec = run_simulated(&insitu_ensembles::runtime::SimRunConfig {
-        n_steps: 4,
-        jitter: 0.0,
-        ..cfg
-    })
-    .unwrap();
+    let exec =
+        run_simulated(&insitu_ensembles::runtime::SimRunConfig { n_steps: 4, jitter: 0.0, ..cfg })
+            .unwrap();
     assert_eq!(exec.trace.stage_series(ComponentRef::simulation(0), StageKind::Write).len(), 4);
 }

@@ -17,16 +17,10 @@ fn straggler_member_drags_the_objective_down() {
     let healthy_report = healthy.run().unwrap();
 
     let mut straggling = EnsembleRunner::paper_config(id).small_scale().steps(8).jitter(0.0);
-    let mut slow = straggling
-        .config_mut()
-        .workloads
-        .workload_for(ComponentRef::simulation(1))
-        .clone();
+    let mut slow =
+        straggling.config_mut().workloads.workload_for(ComponentRef::simulation(1)).clone();
     slow.instructions_per_step *= 1.5;
-    straggling
-        .config_mut()
-        .workloads
-        .set_override(ComponentRef::simulation(1), slow);
+    straggling.config_mut().workloads.set_override(ComponentRef::simulation(1), slow);
     let straggling_report = straggling.run().unwrap();
 
     let f = |report: &insitu_ensembles::measurement::EnsembleReport| {
@@ -55,23 +49,15 @@ fn straggler_member_drags_the_objective_down() {
 #[test]
 fn slow_analysis_flips_coupling_to_idle_simulation() {
     let mut runner = EnsembleRunner::paper_config(ConfigId::Cf).small_scale().steps(8).jitter(0.0);
-    let mut heavy = runner
-        .config_mut()
-        .workloads
-        .workload_for(ComponentRef::analysis(0, 1))
-        .clone();
+    let mut heavy =
+        runner.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
     heavy.instructions_per_step *= 4.0;
-    runner
-        .config_mut()
-        .workloads
-        .set_override(ComponentRef::analysis(0, 1), heavy);
+    runner.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), heavy);
     let report = runner.run().unwrap();
     assert_eq!(report.members[0].scenarios[0], Scenario::IdleSimulation);
     // The simulation now shows idle stages in the trace.
     let exec = runner.execute().unwrap();
-    let sim_idle = exec
-        .trace
-        .total_in_stage(ComponentRef::simulation(0), StageKind::SimIdle);
+    let sim_idle = exec.trace.total_in_stage(ComponentRef::simulation(0), StageKind::SimIdle);
     assert!(sim_idle > 0.0, "simulation must wait for the slow analysis");
 }
 
@@ -79,9 +65,8 @@ fn slow_analysis_flips_coupling_to_idle_simulation() {
 fn staging_timeout_surfaces_as_error_not_hang() {
     use insitu_ensembles::dtl::{staging, Chunk, VariableSpec};
     let s = Arc::new(staging::dimes());
-    let var = s
-        .register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 })
-        .unwrap();
+    let var =
+        s.register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 }).unwrap();
     s.put(Chunk::new(var, 0, 0, "raw", bytes::Bytes::from_static(b"a"))).unwrap();
     // No reader consumes; the next put must time out promptly.
     let started = std::time::Instant::now();
@@ -99,14 +84,11 @@ fn staging_timeout_surfaces_as_error_not_hang() {
 fn close_during_run_unblocks_all_parties() {
     use insitu_ensembles::dtl::{staging, VariableSpec};
     let s = Arc::new(staging::dimes());
-    let var = s
-        .register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 })
-        .unwrap();
+    let var =
+        s.register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 }).unwrap();
     let reader = {
         let s = Arc::clone(&s);
-        std::thread::spawn(move || {
-            s.get_timeout(var, 0, ReaderId(0), Duration::from_secs(30))
-        })
+        std::thread::spawn(move || s.get_timeout(var, 0, ReaderId(0), Duration::from_secs(30)))
     };
     std::thread::sleep(Duration::from_millis(30));
     s.close();
@@ -118,9 +100,8 @@ fn close_during_run_unblocks_all_parties() {
 fn protocol_violations_are_loud() {
     use insitu_ensembles::dtl::{staging, Chunk, VariableSpec};
     let s = staging::dimes();
-    let var = s
-        .register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 })
-        .unwrap();
+    let var =
+        s.register(VariableSpec { name: "x".into(), expected_readers: 1, home_node: 0 }).unwrap();
     // Writing step 3 first is a violation, not a wait.
     let err = s
         .put_timeout(

@@ -62,12 +62,7 @@ fn coupling_scenarios_match_figure6() {
 fn eqs_5_7_8_by_hand() {
     // E = 7/15, c = 32 (16 + 8 + 8), CP = 3/4 (one co-located, one not),
     // M = 3.
-    let inputs = MemberInputs {
-        efficiency: 7.0 / 15.0,
-        cores: 32,
-        cp: 0.75,
-        ensemble_nodes: 3,
-    };
+    let inputs = MemberInputs { efficiency: 7.0 / 15.0, cores: 32, cp: 0.75, ensemble_nodes: 3 };
     let p_u = insitu_ensembles::model::p_u(&inputs);
     let p_ua = insitu_ensembles::model::p_ua(&inputs);
     let p_uap = insitu_ensembles::model::p_uap(&inputs);
@@ -97,7 +92,7 @@ fn eq6_for_every_paper_configuration() {
         (ConfigId::C1_4, &[0.5, 0.5]),
         (ConfigId::C1_5, &[1.0, 1.0]),
         // Set two: K = 2, CP = (1/2)(1/|s∪a¹| + 1/|s∪a²|).
-        (ConfigId::C2_1, &[0.5, 0.5]),   // both analyses remote: (1/2)(1/2+1/2)
+        (ConfigId::C2_1, &[0.5, 0.5]), // both analyses remote: (1/2)(1/2+1/2)
         (ConfigId::C2_2, &[0.5, 0.5]),
         (ConfigId::C2_3, &[0.5, 0.5]),
         (ConfigId::C2_4, &[0.75, 0.75]), // each member: (1/2)(1 + 1/2)
@@ -111,10 +106,7 @@ fn eq6_for_every_paper_configuration() {
         assert_eq!(spec.members.len(), cps.len(), "{id}");
         for (m, &want) in spec.members.iter().zip(cps.iter()) {
             let got = placement_indicator(m);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "{id}: CP = {got}, hand-derived {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "{id}: CP = {got}, hand-derived {want}");
         }
     }
 }
@@ -138,18 +130,14 @@ fn member_counting_identities() {
     assert_eq!(c11.members.iter().map(|m| m.num_nodes()).sum::<usize>(), 4);
     // C1.5: no sharing, equality.
     let c15 = ConfigId::C1_5.build();
-    assert_eq!(
-        c15.num_nodes(),
-        c15.members.iter().map(|m| m.num_nodes()).sum::<usize>()
-    );
+    assert_eq!(c15.num_nodes(), c15.members.iter().map(|m| m.num_nodes()).sum::<usize>());
 }
 
 #[test]
 fn eq4_boundary_behaviour() {
     // Exactly at R+A = S+W the coupling is balanced and σ̄* = S+W: the
     // boundary case Eq. 4 admits.
-    let t = MemberStageTimes::new(10.0, 1.0, vec![AnalysisStageTimes { r: 1.0, a: 10.0 }])
-        .unwrap();
+    let t = MemberStageTimes::new(10.0, 1.0, vec![AnalysisStageTimes { r: 1.0, a: 10.0 }]).unwrap();
     assert_eq!(coupling_scenario(&t, 0), CouplingScenario::Balanced);
     assert_eq!(sigma_star(&t), 11.0);
     assert!((efficiency(&t) - 1.0).abs() < 1e-12, "balanced coupling has E = 1");

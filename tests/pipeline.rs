@@ -19,7 +19,11 @@ fn every_paper_configuration_runs_clean() {
         assert_eq!(report.members.len(), spec.n(), "{id}");
         for (mr, ms) in report.members.iter().zip(&spec.members) {
             assert!(mr.sigma_star > 0.0, "{id}");
-            assert!(mr.efficiency > 0.0 && mr.efficiency <= 1.0 + 1e-12, "{id}: E={}", mr.efficiency);
+            assert!(
+                mr.efficiency > 0.0 && mr.efficiency <= 1.0 + 1e-12,
+                "{id}: E={}",
+                mr.efficiency
+            );
             assert!((mr.cp - placement_indicator(ms)).abs() < 1e-12, "{id}");
             assert_eq!(mr.components.len(), 1 + ms.k(), "{id}");
             assert_eq!(mr.scenarios.len(), ms.k(), "{id}");
@@ -50,11 +54,7 @@ fn trace_contains_full_stage_structure() {
 #[test]
 fn ensemble_makespan_is_max_of_member_makespans() {
     let report = quick(ConfigId::C1_3).run().unwrap();
-    let max_member = report
-        .members
-        .iter()
-        .map(|m| m.makespan)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max_member = report.members.iter().map(|m| m.makespan).fold(f64::NEG_INFINITY, f64::max);
     assert!((report.ensemble_makespan - max_member).abs() < 1e-9);
 }
 
@@ -95,24 +95,15 @@ fn allocations_respect_node_capacity() {
 fn custom_ensembles_run_too() {
     // Three members with heterogeneous analysis counts.
     let spec = EnsembleSpec::new(vec![
-        MemberSpec::new(
-            ComponentSpec::simulation(16, 0),
-            vec![ComponentSpec::analysis(8, 0)],
-        ),
+        MemberSpec::new(ComponentSpec::simulation(16, 0), vec![ComponentSpec::analysis(8, 0)]),
         MemberSpec::new(
             ComponentSpec::simulation(16, 1),
             vec![ComponentSpec::analysis(8, 1), ComponentSpec::analysis(8, 1)],
         ),
-        MemberSpec::new(
-            ComponentSpec::simulation(16, 2),
-            vec![ComponentSpec::analysis(4, 3)],
-        ),
+        MemberSpec::new(ComponentSpec::simulation(16, 2), vec![ComponentSpec::analysis(4, 3)]),
     ]);
-    let report = EnsembleRunner::custom("hetero", spec.clone())
-        .small_scale()
-        .steps(5)
-        .run()
-        .unwrap();
+    let report =
+        EnsembleRunner::custom("hetero", spec.clone()).small_scale().steps(5).run().unwrap();
     assert_eq!(report.n, 3);
     assert_eq!(report.m, 4);
     assert_eq!(report.members[1].components.len(), 3);
@@ -135,7 +126,6 @@ fn report_serializes_to_json() {
     let report = quick(ConfigId::Cc).run().unwrap();
     let json = serde_json::to_string(&report).unwrap();
     assert!(json.contains("\"config\":\"C_c\""));
-    let back: insitu_ensembles::measurement::EnsembleReport =
-        serde_json::from_str(&json).unwrap();
+    let back: insitu_ensembles::measurement::EnsembleReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.ensemble_makespan, report.ensemble_makespan);
 }

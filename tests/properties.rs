@@ -14,11 +14,7 @@ fn stage_time() -> impl Strategy<Value = f64> {
 }
 
 fn member_times(max_k: usize) -> impl Strategy<Value = MemberStageTimes> {
-    (
-        stage_time(),
-        stage_time(),
-        prop::collection::vec((stage_time(), stage_time()), 1..=max_k),
-    )
+    (stage_time(), stage_time(), prop::collection::vec((stage_time(), stage_time()), 1..=max_k))
         .prop_map(|(s, w, ra)| {
             MemberStageTimes::new(
                 s,

@@ -121,10 +121,7 @@ fn p_up_cannot_separate_c1_4_from_c1_5_but_p_ua_can() {
         "P^UP should fail to elect C1.5 (C1.4 {up_14}, C1.5 {up_15})"
     );
     // With A, C1.5 wins decisively.
-    assert!(
-        ua_15 > ua_14 * 1.2,
-        "P^UA must clearly favour C1.5 (C1.4 {ua_14}, C1.5 {ua_15})"
-    );
+    assert!(ua_15 > ua_14 * 1.2, "P^UA must clearly favour C1.5 (C1.4 {ua_14}, C1.5 {ua_15})");
 }
 
 #[test]
@@ -136,10 +133,11 @@ fn figure9_c2_8_wins_and_node_groups_separate() {
         .iter()
         .map(|&id| objective_at(id, &up))
         .collect();
-    let three_node: Vec<f64> = [ConfigId::C2_1, ConfigId::C2_2, ConfigId::C2_3, ConfigId::C2_4, ConfigId::C2_5]
-        .iter()
-        .map(|&id| objective_at(id, &up))
-        .collect();
+    let three_node: Vec<f64> =
+        [ConfigId::C2_1, ConfigId::C2_2, ConfigId::C2_3, ConfigId::C2_4, ConfigId::C2_5]
+            .iter()
+            .map(|&id| objective_at(id, &up))
+            .collect();
     let min_two = two_node.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_three = three_node.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert!(
@@ -182,10 +180,8 @@ fn colocated_best_spread_worst_has_meaningful_magnitude() {
     // spread — we assert > 2x and document the difference in
     // EXPERIMENTS.md).
     let best = final_objective(ConfigId::C1_5);
-    let worst = ConfigId::set_one_pairs()
-        .into_iter()
-        .map(final_objective)
-        .fold(f64::INFINITY, f64::min);
+    let worst =
+        ConfigId::set_one_pairs().into_iter().map(final_objective).fold(f64::INFINITY, f64::min);
     assert!(
         best / worst > 2.0,
         "best/worst spread must be decisive: {best} / {worst} = {}",

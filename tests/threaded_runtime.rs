@@ -30,8 +30,7 @@ fn threaded_trace_feeds_the_model_pipeline() {
     // Eq. 2 prediction is within 2x of the wall-clock member makespan
     // (wall-clock noise on shared CI hardware can be large; the model
     // must still be the right order of magnitude).
-    let measured =
-        insitu_ensembles::measurement::member_makespan(&exec.trace, 0, 1).unwrap();
+    let measured = insitu_ensembles::measurement::member_makespan(&exec.trace, 0, 1).unwrap();
     let predicted = makespan(&times, 5);
     let ratio = predicted / measured;
     assert!((0.5..2.0).contains(&ratio), "Eq. 2 ratio {ratio} ({predicted} vs {measured})");

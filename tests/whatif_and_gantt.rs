@@ -7,16 +7,10 @@ use insitu_ensembles::prelude::*;
 
 fn bottlenecked_runner() -> EnsembleRunner {
     let mut runner = EnsembleRunner::paper_config(ConfigId::Cf).small_scale().steps(8).jitter(0.0);
-    let mut heavy = runner
-        .config_mut()
-        .workloads
-        .workload_for(ComponentRef::analysis(0, 1))
-        .clone();
+    let mut heavy =
+        runner.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
     heavy.instructions_per_step *= 2.0;
-    runner
-        .config_mut()
-        .workloads
-        .set_override(ComponentRef::analysis(0, 1), heavy);
+    runner.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), heavy);
     runner
 }
 
@@ -32,24 +26,14 @@ fn whatif_on_measured_times_predicts_the_fix() {
     let factor = factor_to_unblock(times, 0).expect("analysis dominates");
     assert!(factor < 1.0);
     let predicted = what_if(times, &Change::ScaleAnalysis { j: 0, factor });
-    assert!(
-        predicted.sigma_after < predicted.sigma_before,
-        "unblocking must shrink σ̄*"
-    );
+    assert!(predicted.sigma_after < predicted.sigma_before, "unblocking must shrink σ̄*");
 
     // Apply roughly the same scaling in a real run: compute time scales
     // ~linearly with instructions, so scale A's share of the workload.
     let mut fixed = bottlenecked_runner();
-    let mut w = fixed
-        .config_mut()
-        .workloads
-        .workload_for(ComponentRef::analysis(0, 1))
-        .clone();
+    let mut w = fixed.config_mut().workloads.workload_for(ComponentRef::analysis(0, 1)).clone();
     w.instructions_per_step *= factor * 0.95; // a little margin
-    fixed
-        .config_mut()
-        .workloads
-        .set_override(ComponentRef::analysis(0, 1), w);
+    fixed.config_mut().workloads.set_override(ComponentRef::analysis(0, 1), w);
     let fixed_report = fixed.run().unwrap();
     assert_eq!(
         fixed_report.members[0].scenarios[0],
@@ -77,12 +61,8 @@ fn gantt_shows_the_idle_pattern_changing_with_coupling_mode() {
     // In-transit: the simulation portion of the timeline has no idle
     // gaps until it finishes (trailing spaces after Done are blank, not
     // dots).
-    let busy_part: String =
-        sim_row.trim_end_matches(['|', ' ']).chars().collect();
-    assert!(
-        !busy_part.contains('.'),
-        "async run must not stall the simulation:\n{sim_row}"
-    );
+    let busy_part: String = sim_row.trim_end_matches(['|', ' ']).chars().collect();
+    assert!(!busy_part.contains('.'), "async run must not stall the simulation:\n{sim_row}");
 }
 
 #[test]
@@ -111,9 +91,7 @@ fn lost_frames_flow_into_reports_and_diagnostics() {
         &insitu_ensembles::runtime::DiagnosticConfig::default(),
     );
     assert!(
-        findings
-            .iter()
-            .any(|f| f.kind == insitu_ensembles::runtime::FindingKind::LostFrames),
+        findings.iter().any(|f| f.kind == insitu_ensembles::runtime::FindingKind::LostFrames),
         "{findings:#?}"
     );
 }
