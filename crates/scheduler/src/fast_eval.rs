@@ -18,12 +18,45 @@ pub struct FastScore {
     pub eq4_satisfied: bool,
 }
 
-/// Scores `spec` analytically under `base`'s platform and workloads.
-pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<FastScore> {
-    let mut cfg = base.clone();
-    cfg.spec = spec.clone();
-    cfg.jitter = 0.0;
-    let prediction = predict(&cfg)?;
+/// Reusable fast-evaluation context: clones the base run configuration
+/// (platform, workload map, run settings) **once**, then scores any
+/// number of candidate specs by swapping only the spec in. Candidate
+/// scans — the placement search and the provisioning service's score
+/// path — go through this instead of paying a full `SimRunConfig` clone
+/// per candidate.
+#[derive(Debug, Clone)]
+pub struct FastEvaluator {
+    cfg: SimRunConfig,
+}
+
+impl FastEvaluator {
+    /// Captures `base`'s platform, workloads, and settings (jitter is
+    /// forced to zero: the closed-form predictor is the deterministic
+    /// fixed point of the run).
+    pub fn new(base: &SimRunConfig) -> Self {
+        let mut cfg = base.clone();
+        cfg.jitter = 0.0;
+        FastEvaluator { cfg }
+    }
+
+    /// Scores one candidate spec. Only the spec is copied into the held
+    /// configuration (`clone_from` reuses member-vector allocations
+    /// across candidates of equal shape).
+    pub fn score(&mut self, spec: &EnsembleSpec) -> RuntimeResult<FastScore> {
+        self.cfg.spec.clone_from(spec);
+        score_config(&self.cfg)
+    }
+
+    /// The held configuration (for cache-key derivation).
+    pub fn config(&self) -> &SimRunConfig {
+        &self.cfg
+    }
+}
+
+/// Scores `cfg.spec` analytically under `cfg`'s platform and workloads.
+fn score_config(cfg: &SimRunConfig) -> RuntimeResult<FastScore> {
+    let prediction = predict(cfg)?;
+    let spec = &cfg.spec;
     let values: Vec<f64> = prediction
         .members
         .iter()
@@ -42,6 +75,14 @@ pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<Fas
         nodes_used: spec.num_nodes(),
         eq4_satisfied,
     })
+}
+
+/// Scores `spec` analytically under `base`'s platform and workloads.
+///
+/// One-shot convenience over [`FastEvaluator`]; when scoring many
+/// candidates, build one evaluator and reuse it.
+pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<FastScore> {
+    FastEvaluator::new(base).score(spec)
 }
 
 #[cfg(test)]
@@ -66,6 +107,42 @@ mod tests {
                 score_report(&report, &spec, &IndicatorPath::uap(), Aggregation::MeanMinusStd);
             let rel = (fast.objective - slow).abs() / slow.abs().max(1e-12);
             assert!(rel < 1e-4, "{id}: fast {} vs DES {}", fast.objective, slow);
+        }
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_one_shot_bitwise() {
+        let spec_a = ConfigId::C1_4.build();
+        let spec_b = ConfigId::C1_5.build();
+        let mut base = SimRunConfig::paper(spec_a.clone());
+        base.workloads = WorkloadMap::small_defaults();
+        base.n_steps = 8;
+        let mut eval = FastEvaluator::new(&base);
+        // Interleave shapes so spec swapping can't leak state between
+        // candidates.
+        for spec in [&spec_a, &spec_b, &spec_a, &spec_b] {
+            let reused = eval.score(spec).unwrap();
+            let fresh = fast_score(&base, spec).unwrap();
+            assert_eq!(reused.objective.to_bits(), fresh.objective.to_bits());
+            assert_eq!(reused.ensemble_makespan.to_bits(), fresh.ensemble_makespan.to_bits());
+            assert_eq!(reused.nodes_used, fresh.nodes_used);
+            assert_eq!(reused.eq4_satisfied, fresh.eq4_satisfied);
+        }
+    }
+
+    #[test]
+    fn fast_score_is_deterministic_across_repeated_calls() {
+        // The invariant the svc score cache relies on: identical inputs
+        // give bit-identical outputs (no HashMap-order or RNG leakage).
+        let spec = ConfigId::C2_8.build();
+        let mut base = SimRunConfig::paper(spec.clone());
+        base.workloads = WorkloadMap::small_defaults();
+        base.n_steps = 8;
+        let first = fast_score(&base, &spec).unwrap();
+        for _ in 0..20 {
+            let again = fast_score(&base, &spec).unwrap();
+            assert_eq!(first.objective.to_bits(), again.objective.to_bits());
+            assert_eq!(first.ensemble_makespan.to_bits(), again.ensemble_makespan.to_bits());
         }
     }
 

@@ -28,7 +28,7 @@ pub use advisor::{recommend_placement, recommend_with_core_sweep, Recommendation
 pub use annealing::{anneal_placement, AnnealingConfig};
 pub use core_sweep::{core_sweep, CoreSweepConfig, SweepPoint, SweepResult};
 pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape};
-pub use fast_eval::{fast_score, FastScore};
+pub use fast_eval::{fast_score, FastEvaluator, FastScore};
 pub use moldable::{moldable_search, MoldablePoint, MoldableResult};
 pub use pareto::{frontier_only, pareto_front, ParetoPoint};
 pub use search::{

@@ -97,12 +97,14 @@ pub fn exhaustive_search(config: &SearchConfig) -> RuntimeResult<Vec<ScoredPlace
     let placements =
         enumerate_placements(&config.shape, config.budget.max_nodes, config.budget.cores_per_node);
     let mut scored = Vec::with_capacity(placements.len());
+    // One config clone for the whole scan; per candidate only the spec
+    // changes (platform + workload map are shared run to run).
+    let mut run = config.base.clone();
+    run.n_steps = config.steps;
+    run.jitter = 0.0;
     for assignment in placements {
         let spec = config.shape.materialize(&assignment);
-        let mut run = config.base.clone();
-        run.spec = spec.clone();
-        run.n_steps = config.steps;
-        run.jitter = 0.0;
+        run.spec.clone_from(&spec);
         let exec = runtime::run_simulated(&run)?;
         let report = runtime::build_report(
             "candidate",
@@ -158,7 +160,7 @@ pub fn greedy_search(config: &SearchConfig) -> RuntimeResult<ScoredPlacement> {
     let assignment = crate::enumerate::canonicalize(&assignment);
     let spec = config.shape.materialize(&assignment);
     let mut run = config.base.clone();
-    run.spec = spec.clone();
+    run.spec.clone_from(&spec);
     run.n_steps = config.steps;
     run.jitter = 0.0;
     let exec = runtime::run_simulated(&run)?;

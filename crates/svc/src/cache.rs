@@ -1,0 +1,154 @@
+//! Memoized score cache.
+//!
+//! Score queries are pure functions of (spec shape, node budget,
+//! platform, workload map, evaluation settings) — `fast_score` is
+//! deterministic (see the scheduler's determinism tests), so identical
+//! queries can be answered from memory without touching the predictor.
+//! Keys are the *canonical description string* of the query, not a hash
+//! of it: collisions are then impossible by construction, and the key
+//! doubles as a debugging artifact.
+//!
+//! Eviction is FIFO at a fixed capacity — cheap, deterministic, and good
+//! enough for a cache whose entries are all equally expensive to rebuild.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Inner<V> {
+    map: HashMap<String, Arc<V>>,
+    order: VecDeque<String>,
+}
+
+/// A bounded memo table with hit/miss accounting.
+pub struct ScoreCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> ScoreCache<V> {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ScoreCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the oldest entry at
+    /// capacity. Racing inserts of the same key keep the newer value
+    /// (both are correct: entries are deterministic functions of the
+    /// key).
+    pub fn insert(&self, key: String, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key.clone(), Arc::clone(&value)).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+        value
+    }
+
+    /// Drops every entry (hit/miss counters keep running). Used by the
+    /// cold-path benchmark.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache: ScoreCache<u32> = ScoreCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), 1);
+        assert_eq!(*cache.get("a").unwrap(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let cache: ScoreCache<u32> = ScoreCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("c".into(), 3);
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow_order() {
+        let cache: ScoreCache<u32> = ScoreCache::new(2);
+        for _ in 0..10 {
+            cache.insert("a".into(), 1);
+        }
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache: ScoreCache<u32> = ScoreCache::new(4);
+        cache.insert("a".into(), 1);
+        cache.get("a");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+}

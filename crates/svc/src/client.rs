@@ -1,0 +1,66 @@
+//! Blocking JSON-lines TCP client (used by `ensemble query`, the
+//! integration tests, and the throughput benchmark).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+
+/// A connected client. One request at a time per client; open more
+/// clients for concurrency (the server pools them onto shared workers).
+pub struct SvcClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl SvcClient {
+    /// Connects to a running service.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<SvcClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(SvcClient { stream, reader })
+    }
+
+    /// Bounds how long [`request`](Self::request) waits for a response.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response line.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        let mut line = request.to_json();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_json(reply.trim_end()).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response line: {e}"))
+        })
+    }
+
+    /// Sends a raw line (malformed-input testing) and reads one response
+    /// line back.
+    pub fn request_raw(&mut self, raw_line: &str) -> std::io::Result<Response> {
+        self.stream.write_all(raw_line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_json(reply.trim_end()).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response line: {e}"))
+        })
+    }
+}

@@ -1,0 +1,51 @@
+//! # svc — the ensemble provisioning service
+//!
+//! A long-running, concurrent front end over the library's two
+//! evaluation paths, the shape the paper's §7 future work asks for
+//! ("leveraging the proposed indicators for scheduling in situ
+//! components … under resource constraints") and the shape ensemble
+//! managers like RADICAL Ensemble Toolkit take in practice: a manager
+//! that accepts provisioning queries, queues them under admission
+//! control, and executes them on a bounded worker pool.
+//!
+//! * **score** — ensemble shape + node budget → every canonical feasible
+//!   placement evaluated with the closed-form predictor
+//!   ([`scheduler::FastEvaluator`], no DES), ranked by `F(Pᵁ·ᴬ·ᴾ)`.
+//!   Results are memoized: `fast_score` is deterministic, so identical
+//!   queries are answered from the [`cache`] without touching the
+//!   predictor.
+//! * **run** — a fully placed spec → one simulated
+//!   [`runtime::EnsembleRunner`]-style execution, summarized per member.
+//!
+//! Requests travel either through the in-process API
+//! ([`Service::submit`]) or as JSON-lines over TCP ([`server::serve`] /
+//! [`SvcClient`]); both share one worker pool, queue, cache, and
+//! [metrics](stats::MetricsSnapshot). Backpressure is load-shedding, not
+//! blocking: a full queue answers `overloaded` with a retry hint
+//! immediately. Shutdown drains everything admitted.
+//!
+//! The wire codec is the crate's own minimal [`json`] module, so the
+//! protocol stays functional in build environments where `serde_json`
+//! is stubbed out.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use cache::ScoreCache;
+pub use client::SvcClient;
+pub use protocol::{
+    ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
+    ScoreRequest, Workloads,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{serve, ServerHandle};
+pub use service::{small_score_request, CancelToken, Pending, Rejected, Service, SvcConfig};
+pub use stats::{LatencyHistogram, MetricsSnapshot, SvcStats};

@@ -1,0 +1,717 @@
+//! Request/response schema of the provisioning service and its
+//! JSON-lines wire form.
+//!
+//! One request or response per line. Two work request kinds mirror the
+//! two evaluation paths the library offers:
+//!
+//! * `score` — ensemble shape + node budget → every canonical feasible
+//!   placement evaluated with the closed-form predictor
+//!   ([`scheduler::fast_eval`]), ranked by `F(Pᵁ·ᴬ·ᴾ)`, top-k returned.
+//! * `run` — a fully placed spec → one simulated execution through
+//!   [`runtime::EnsembleRunner`], summarized per member.
+//!
+//! Plus `metrics`, answered immediately from the live counters (it never
+//! queues, so it works under overload — that is the point of a health
+//! endpoint).
+//!
+//! ```text
+//! → {"type":"score","id":1,"members":[{"sim_cores":16,"analyses":[8]}],
+//!    "max_nodes":3,"cores_per_node":32,"top_k":3,"steps":6,"workloads":"small"}
+//! ← {"type":"score_result","id":1,"cached":false,"elapsed_ms":2.1,
+//!    "placements":[{"assignment":[0,0],"objective":0.93,...}]}
+//! ```
+
+use std::time::Duration;
+
+use ensemble_core::{ComponentSpec, EnsembleSpec, MemberSpec};
+use scheduler::{EnsembleShape, NodeBudget};
+
+use crate::json::{obj, Value};
+
+/// Which workload map a request evaluates under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workloads {
+    /// The paper's Cori-scale workloads (default).
+    #[default]
+    Paper,
+    /// Laptop-scale workloads (same contention shapes, ~1000× less
+    /// virtual work) — what tests and benchmarks use.
+    Small,
+}
+
+impl Workloads {
+    fn tag(self) -> &'static str {
+        match self {
+            Workloads::Paper => "paper",
+            Workloads::Small => "small",
+        }
+    }
+}
+
+/// A `score` request: rank placements of `shape` under `budget`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreRequest {
+    /// Component structure to place.
+    pub shape: EnsembleShape,
+    /// Node/core budget constraining the enumeration.
+    pub budget: NodeBudget,
+    /// Placements to return (best-first). Zero means all.
+    pub top_k: usize,
+    /// Steps assumed by the closed-form evaluation.
+    pub steps: u64,
+    /// Workload scale.
+    pub workloads: Workloads,
+}
+
+/// A `run` request: simulate one fully placed spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// The placed ensemble.
+    pub spec: EnsembleSpec,
+    /// In situ steps to simulate.
+    pub steps: u64,
+    /// Per-step jitter fraction.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Workload scale.
+    pub workloads: Workloads,
+}
+
+/// The work carried by a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Rank placements analytically.
+    Score(ScoreRequest),
+    /// Full simulated run.
+    Run(RunRequest),
+    /// Metrics snapshot (served out-of-band, never queued).
+    Metrics,
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Relative deadline; expired requests are answered with a
+    /// `deadline` error instead of (or part-way through) executing.
+    pub deadline: Option<Duration>,
+    /// The work.
+    pub body: RequestBody,
+}
+
+/// One ranked placement in a score response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPlacement {
+    /// Flattened node assignment (member-major, simulation first).
+    pub assignment: Vec<usize>,
+    /// Objective `F(Pᵁ·ᴬ·ᴾ)`.
+    pub objective: f64,
+    /// Nodes provisioned.
+    pub nodes_used: usize,
+    /// Predicted ensemble makespan, seconds.
+    pub ensemble_makespan: f64,
+    /// Whether the paper's Eq. 4 holds for every coupling.
+    pub eq4_satisfied: bool,
+}
+
+/// Per-member summary of a run response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberSummary {
+    /// `σ̄*`, seconds.
+    pub sigma_star: f64,
+    /// `E` (Eq. 3).
+    pub efficiency: f64,
+    /// `CP` (Eq. 6).
+    pub cp: f64,
+    /// Member makespan, seconds.
+    pub makespan: f64,
+}
+
+/// Structured error kinds a request can be answered with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON or not a valid request.
+    Malformed,
+    /// The deadline expired before a result was produced.
+    Deadline,
+    /// The request was cancelled (client gone, explicit cancel).
+    Cancelled,
+    /// The spec/budget was structurally invalid or infeasible.
+    Invalid,
+    /// Evaluation failed internally.
+    Internal,
+    /// The service is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::Internal => "internal",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "malformed" => ErrorKind::Malformed,
+            "deadline" => ErrorKind::Deadline,
+            "cancelled" => ErrorKind::Cancelled,
+            "invalid" => ErrorKind::Invalid,
+            "internal" => ErrorKind::Internal,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// One service response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked placements for a score request.
+    ScoreResult {
+        /// Echoed request id.
+        id: u64,
+        /// Best-first placements.
+        placements: Vec<RankedPlacement>,
+        /// True when served from the score cache.
+        cached: bool,
+        /// Submit→response latency, milliseconds.
+        elapsed_ms: f64,
+    },
+    /// Summary of a completed simulated run.
+    RunResult {
+        /// Echoed request id.
+        id: u64,
+        /// Ensemble makespan, seconds.
+        ensemble_makespan: f64,
+        /// Per-member summaries, member order.
+        members: Vec<MemberSummary>,
+        /// Submit→response latency, milliseconds.
+        elapsed_ms: f64,
+    },
+    /// Metrics snapshot rows.
+    Metrics {
+        /// Echoed request id.
+        id: u64,
+        /// `(metric, value)` rows (see `MetricsSnapshot::rows`).
+        rows: Vec<(String, f64)>,
+    },
+    /// Admission refused: the queue is full. Retry after the hint.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Structured failure.
+    Error {
+        /// Echoed request id (zero when the request had none).
+        id: u64,
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::ScoreResult { id, .. }
+            | Response::RunResult { id, .. }
+            | Response::Metrics { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?.as_u64().ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?.as_f64().ok_or_else(|| format!("field '{key}' must be a number"))
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(&str, Value)> = Vec::new();
+        match &self.body {
+            RequestBody::Score(s) => {
+                fields.push(("type", "score".into()));
+                fields.push(("id", self.id.into()));
+                fields.push((
+                    "members",
+                    Value::Arr(
+                        s.shape
+                            .members
+                            .iter()
+                            .map(|(sim, anas)| {
+                                obj(vec![
+                                    ("sim_cores", u64::from(*sim).into()),
+                                    (
+                                        "analyses",
+                                        Value::Arr(
+                                            anas.iter().map(|&a| u64::from(a).into()).collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push(("max_nodes", s.budget.max_nodes.into()));
+                fields.push(("cores_per_node", u64::from(s.budget.cores_per_node).into()));
+                fields.push(("top_k", s.top_k.into()));
+                fields.push(("steps", s.steps.into()));
+                fields.push(("workloads", s.workloads.tag().into()));
+            }
+            RequestBody::Run(r) => {
+                fields.push(("type", "run".into()));
+                fields.push(("id", self.id.into()));
+                fields.push((
+                    "members",
+                    Value::Arr(
+                        r.spec
+                            .members
+                            .iter()
+                            .map(|m| {
+                                let sim_node =
+                                    m.simulation.nodes.iter().next().copied().unwrap_or(0);
+                                obj(vec![
+                                    ("sim_cores", u64::from(m.simulation.cores).into()),
+                                    ("sim_node", sim_node.into()),
+                                    (
+                                        "analyses",
+                                        Value::Arr(
+                                            m.analyses
+                                                .iter()
+                                                .map(|a| {
+                                                    let node =
+                                                        a.nodes.iter().next().copied().unwrap_or(0);
+                                                    obj(vec![
+                                                        ("cores", u64::from(a.cores).into()),
+                                                        ("node", node.into()),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push(("steps", r.steps.into()));
+                fields.push(("jitter", r.jitter.into()));
+                fields.push(("seed", r.seed.into()));
+                fields.push(("workloads", r.workloads.tag().into()));
+            }
+            RequestBody::Metrics => {
+                fields.push(("type", "metrics".into()));
+                fields.push(("id", self.id.into()));
+            }
+        }
+        if let Some(d) = self.deadline {
+            fields.push(("deadline_ms", (d.as_millis() as u64).into()));
+        }
+        obj(fields).to_json()
+    }
+
+    /// Decodes a request from a parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<Request, String> {
+        let id = match v.get("id") {
+            Some(idv) => idv.as_u64().ok_or("field 'id' must be a non-negative integer")?,
+            None => 0,
+        };
+        let deadline = match v.get("deadline_ms") {
+            Some(d) => Some(Duration::from_millis(
+                d.as_u64().ok_or("field 'deadline_ms' must be a non-negative integer")?,
+            )),
+            None => None,
+        };
+        let kind = field(v, "type")?.as_str().ok_or("field 'type' must be a string")?;
+        let workloads = match v.get("workloads").and_then(Value::as_str) {
+            None | Some("paper") => Workloads::Paper,
+            Some("small") => Workloads::Small,
+            Some(other) => return Err(format!("unknown workloads '{other}'")),
+        };
+        let body = match kind {
+            "metrics" => RequestBody::Metrics,
+            "score" => {
+                let members =
+                    field(v, "members")?.as_arr().ok_or("field 'members' must be an array")?;
+                if members.is_empty() {
+                    return Err("score request needs at least one member".into());
+                }
+                let mut shape_members = Vec::with_capacity(members.len());
+                for m in members {
+                    let sim = u64_field(m, "sim_cores")?;
+                    let anas = field(m, "analyses")?
+                        .as_arr()
+                        .ok_or("field 'analyses' must be an array")?
+                        .iter()
+                        .map(|a| {
+                            a.as_u64()
+                                .and_then(|c| u32::try_from(c).ok())
+                                .ok_or("analysis core counts must be small integers")
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    let sim = u32::try_from(sim).map_err(|_| "sim_cores too large".to_string())?;
+                    shape_members.push((sim, anas));
+                }
+                RequestBody::Score(ScoreRequest {
+                    shape: EnsembleShape { members: shape_members },
+                    budget: NodeBudget {
+                        max_nodes: u64_field(v, "max_nodes")? as usize,
+                        cores_per_node: u32::try_from(u64_field(v, "cores_per_node")?)
+                            .map_err(|_| "cores_per_node too large".to_string())?,
+                    },
+                    top_k: v.get("top_k").and_then(Value::as_usize).unwrap_or(0),
+                    steps: v.get("steps").and_then(Value::as_u64).unwrap_or(6),
+                    workloads,
+                })
+            }
+            "run" => {
+                let members =
+                    field(v, "members")?.as_arr().ok_or("field 'members' must be an array")?;
+                if members.is_empty() {
+                    return Err("run request needs at least one member".into());
+                }
+                let mut specs = Vec::with_capacity(members.len());
+                for m in members {
+                    let sim_cores = u32::try_from(u64_field(m, "sim_cores")?)
+                        .map_err(|_| "sim_cores too large".to_string())?;
+                    let sim_node = u64_field(m, "sim_node")? as usize;
+                    let analyses = field(m, "analyses")?
+                        .as_arr()
+                        .ok_or("field 'analyses' must be an array")?
+                        .iter()
+                        .map(|a| {
+                            let cores = u32::try_from(u64_field(a, "cores")?)
+                                .map_err(|_| "analysis cores too large".to_string())?;
+                            let node = u64_field(a, "node")? as usize;
+                            Ok(ComponentSpec::analysis(cores, node))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    specs.push(MemberSpec::new(
+                        ComponentSpec::simulation(sim_cores, sim_node),
+                        analyses,
+                    ));
+                }
+                RequestBody::Run(RunRequest {
+                    spec: EnsembleSpec::new(specs),
+                    steps: v.get("steps").and_then(Value::as_u64).unwrap_or(8),
+                    jitter: v.get("jitter").and_then(Value::as_f64).unwrap_or(0.0),
+                    seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                    workloads,
+                })
+            }
+            other => return Err(format!("unknown request type '{other}'")),
+        };
+        Ok(Request { id, deadline, body })
+    }
+
+    /// Decodes a request from one JSON line.
+    pub fn from_json(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line).map_err(|e| e.to_string())?;
+        Request::from_value(&v)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Response::ScoreResult { id, placements, cached, elapsed_ms } => obj(vec![
+                ("type", "score_result".into()),
+                ("id", (*id).into()),
+                ("cached", (*cached).into()),
+                ("elapsed_ms", (*elapsed_ms).into()),
+                (
+                    "placements",
+                    Value::Arr(
+                        placements
+                            .iter()
+                            .map(|p| {
+                                obj(vec![
+                                    (
+                                        "assignment",
+                                        Value::Arr(
+                                            p.assignment.iter().map(|&n| n.into()).collect(),
+                                        ),
+                                    ),
+                                    ("objective", p.objective.into()),
+                                    ("nodes_used", p.nodes_used.into()),
+                                    ("ensemble_makespan", p.ensemble_makespan.into()),
+                                    ("eq4_satisfied", p.eq4_satisfied.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::RunResult { id, ensemble_makespan, members, elapsed_ms } => obj(vec![
+                ("type", "run_result".into()),
+                ("id", (*id).into()),
+                ("ensemble_makespan", (*ensemble_makespan).into()),
+                ("elapsed_ms", (*elapsed_ms).into()),
+                (
+                    "members",
+                    Value::Arr(
+                        members
+                            .iter()
+                            .map(|m| {
+                                obj(vec![
+                                    ("sigma_star", m.sigma_star.into()),
+                                    ("efficiency", m.efficiency.into()),
+                                    ("cp", m.cp.into()),
+                                    ("makespan", m.makespan.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Metrics { id, rows } => obj(vec![
+                ("type", "metrics".into()),
+                ("id", (*id).into()),
+                ("rows", Value::Obj(rows.iter().map(|(k, v)| (k.clone(), (*v).into())).collect())),
+            ]),
+            Response::Overloaded { id, retry_after_ms } => obj(vec![
+                ("type", "overloaded".into()),
+                ("id", (*id).into()),
+                ("retry_after_ms", (*retry_after_ms).into()),
+            ]),
+            Response::Error { id, kind, message } => obj(vec![
+                ("type", "error".into()),
+                ("id", (*id).into()),
+                ("kind", kind.tag().into()),
+                ("message", message.as_str().into()),
+            ]),
+        };
+        v.to_json()
+    }
+
+    /// Decodes a response from one JSON line (the client side).
+    pub fn from_json(line: &str) -> Result<Response, String> {
+        let v = Value::parse(line).map_err(|e| e.to_string())?;
+        let id = u64_field(&v, "id")?;
+        match field(&v, "type")?.as_str().ok_or("field 'type' must be a string")? {
+            "score_result" => {
+                let placements = field(&v, "placements")?
+                    .as_arr()
+                    .ok_or("field 'placements' must be an array")?
+                    .iter()
+                    .map(|p| {
+                        Ok(RankedPlacement {
+                            assignment: field(p, "assignment")?
+                                .as_arr()
+                                .ok_or("assignment must be an array")?
+                                .iter()
+                                .map(|n| n.as_usize().ok_or("assignment entries must be ints"))
+                                .collect::<Result<Vec<_>, _>>()?,
+                            objective: f64_field(p, "objective")?,
+                            nodes_used: u64_field(p, "nodes_used")? as usize,
+                            ensemble_makespan: f64_field(p, "ensemble_makespan")?,
+                            eq4_satisfied: field(p, "eq4_satisfied")?
+                                .as_bool()
+                                .ok_or("eq4_satisfied must be a bool")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::ScoreResult {
+                    id,
+                    placements,
+                    cached: field(&v, "cached")?.as_bool().ok_or("cached must be a bool")?,
+                    elapsed_ms: f64_field(&v, "elapsed_ms")?,
+                })
+            }
+            "run_result" => {
+                let members = field(&v, "members")?
+                    .as_arr()
+                    .ok_or("field 'members' must be an array")?
+                    .iter()
+                    .map(|m| {
+                        Ok(MemberSummary {
+                            sigma_star: f64_field(m, "sigma_star")?,
+                            efficiency: f64_field(m, "efficiency")?,
+                            cp: f64_field(m, "cp")?,
+                            makespan: f64_field(m, "makespan")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::RunResult {
+                    id,
+                    ensemble_makespan: f64_field(&v, "ensemble_makespan")?,
+                    members,
+                    elapsed_ms: f64_field(&v, "elapsed_ms")?,
+                })
+            }
+            "metrics" => {
+                let rows = match field(&v, "rows")? {
+                    Value::Obj(fields) => fields
+                        .iter()
+                        .map(|(k, val)| {
+                            val.as_f64()
+                                .map(|n| (k.clone(), n))
+                                .ok_or("metric values must be numbers")
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("field 'rows' must be an object".into()),
+                };
+                Ok(Response::Metrics { id, rows })
+            }
+            "overloaded" => {
+                Ok(Response::Overloaded { id, retry_after_ms: u64_field(&v, "retry_after_ms")? })
+            }
+            "error" => Ok(Response::Error {
+                id,
+                kind: ErrorKind::from_tag(
+                    field(&v, "kind")?.as_str().ok_or("kind must be a string")?,
+                )
+                .ok_or("unknown error kind")?,
+                message: field(&v, "message")?
+                    .as_str()
+                    .ok_or("message must be a string")?
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response type '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score_request() -> Request {
+        Request {
+            id: 42,
+            deadline: Some(Duration::from_millis(750)),
+            body: RequestBody::Score(ScoreRequest {
+                shape: EnsembleShape::uniform(2, 16, 1, 8),
+                budget: NodeBudget { max_nodes: 3, cores_per_node: 32 },
+                top_k: 5,
+                steps: 6,
+                workloads: Workloads::Small,
+            }),
+        }
+    }
+
+    #[test]
+    fn score_request_roundtrips() {
+        let req = score_request();
+        let decoded = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn run_request_roundtrips() {
+        let req = Request {
+            id: 7,
+            deadline: None,
+            body: RequestBody::Run(RunRequest {
+                spec: ensemble_core::ConfigId::C1_5.build(),
+                steps: 8,
+                jitter: 0.01,
+                seed: 3,
+                workloads: Workloads::Paper,
+            }),
+        };
+        let decoded = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = vec![
+            Response::ScoreResult {
+                id: 1,
+                placements: vec![RankedPlacement {
+                    assignment: vec![0, 0, 1, 1],
+                    objective: 0.875,
+                    nodes_used: 2,
+                    ensemble_makespan: 123.5,
+                    eq4_satisfied: true,
+                }],
+                cached: true,
+                elapsed_ms: 0.25,
+            },
+            Response::RunResult {
+                id: 2,
+                ensemble_makespan: 760.0,
+                members: vec![MemberSummary {
+                    sigma_star: 20.5,
+                    efficiency: 0.93,
+                    cp: 1.0,
+                    makespan: 758.5,
+                }],
+                elapsed_ms: 14.0,
+            },
+            Response::Metrics {
+                id: 3,
+                rows: vec![("queue_depth".into(), 2.0), ("cache_hit_rate".into(), 0.5)],
+            },
+            Response::Overloaded { id: 4, retry_after_ms: 40 },
+            Response::Error {
+                id: 5,
+                kind: ErrorKind::Deadline,
+                message: "deadline expired after 3 of 17 candidates".into(),
+            },
+        ];
+        for r in responses {
+            let decoded = Response::from_json(&r.to_json()).unwrap();
+            assert_eq!(decoded, r);
+            assert_eq!(decoded.id(), r.id());
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("{\"id\":1}", "type"),
+            ("{\"type\":\"frobnicate\",\"id\":1}", "unknown request type"),
+            ("{\"type\":\"score\",\"id\":1}", "members"),
+            ("{\"type\":\"score\",\"id\":1,\"members\":[]}", "at least one member"),
+            ("{\"type\":\"run\",\"id\":\"x\"}", "id"),
+            ("not json at all", "at byte"),
+        ] {
+            let err = Request::from_json(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let req = Request::from_json(
+            r#"{"type":"score","members":[{"sim_cores":16,"analyses":[8]}],"max_nodes":2,"cores_per_node":32}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.deadline, None);
+        match req.body {
+            RequestBody::Score(s) => {
+                assert_eq!(s.top_k, 0);
+                assert_eq!(s.steps, 6);
+                assert_eq!(s.workloads, Workloads::Paper);
+            }
+            other => panic!("expected score, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! JSON-lines-over-TCP front end.
+//!
+//! One request per line, one response line per request, answered in
+//! order per connection; concurrency comes from concurrent connections
+//! feeding the shared worker pool. Malformed lines get a structured
+//! `error` response instead of killing the connection (or a worker). A
+//! client that disconnects before its response is delivered cancels its
+//! in-flight work cooperatively; the write failure is absorbed.
+//!
+//! Shutdown: stop accepting, wake connection readers via their read
+//! timeout, drain the service (everything admitted is still answered),
+//! then join every thread.
+
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{ErrorKind, Request, RequestBody, Response};
+use crate::service::{Service, SvcConfig};
+
+/// Poll interval connection readers use to observe shutdown.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// A request line longer than this is refused as malformed.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+struct ServerShared {
+    service: Service,
+    stopping: AtomicBool,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running TCP server; dropping it (or calling
+/// [`shutdown`](ServerHandle::shutdown)) drains and stops everything.
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// requests on top of a freshly started [`Service`].
+pub fn serve(addr: &str, config: SvcConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        service: Service::start(config),
+        stopping: AtomicBool::new(false),
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("svc-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn acceptor");
+    Ok(ServerHandle { shared, addr: local, accept_thread: Some(accept_thread) })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live metrics of the underlying service.
+    pub fn metrics(&self) -> crate::stats::MetricsSnapshot {
+        self.shared.service.metrics()
+    }
+
+    /// Direct access to the underlying service (in-process submissions
+    /// share the pool and cache with TCP clients).
+    pub fn service(&self) -> &Service {
+        &self.shared.service
+    }
+
+    /// Graceful shutdown: refuse new connections and requests, drain
+    /// admitted work, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drain admitted work; pending replies unblock connection
+        // threads waiting on them.
+        self.shared.service.shutdown();
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    while !shared.stopping.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("svc-conn".into())
+                    .spawn(move || connection_loop(stream, &conn_shared))
+                    .expect("spawn connection");
+                shared.conns.lock().expect("conns lock").push(handle);
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                std::thread::sleep(READ_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Serve every complete line already buffered.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = handle_line(shared, &line);
+            let mut out = response.to_json();
+            out.push('\n');
+            if stream.write_all(out.as_bytes()).is_err() {
+                // Client gone mid-response; nothing left to deliver.
+                break 'conn;
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let refuse = Response::Error {
+                id: 0,
+                kind: ErrorKind::Malformed,
+                message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            };
+            let _ = stream.write_all(format!("{}\n", refuse.to_json()).as_bytes());
+            break 'conn;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break 'conn, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break 'conn;
+                }
+            }
+            Err(_) => break 'conn,
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Response {
+    let request = match Request::from_json(line) {
+        Ok(r) => r,
+        Err(message) => {
+            // Best effort at echoing an id even from a broken request.
+            let id = crate::json::Value::parse(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(crate::json::Value::as_u64))
+                .unwrap_or(0);
+            return Response::Error { id, kind: ErrorKind::Malformed, message };
+        }
+    };
+    let id = request.id;
+    if matches!(request.body, RequestBody::Metrics) {
+        // Health endpoint: answered inline, never queued, works under
+        // overload.
+        let rows =
+            shared.service.metrics().rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        return Response::Metrics { id, rows };
+    }
+    match shared.service.submit(request) {
+        Ok(pending) => {
+            // Requests on one connection are answered in order; the
+            // blocking wait is bounded by service drain on shutdown.
+            pending.wait()
+        }
+        Err(rejected) => rejected.to_response(id),
+    }
+}

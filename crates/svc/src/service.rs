@@ -1,0 +1,668 @@
+//! The service core: a bounded worker pool fed by an admission-controlled
+//! queue, with score caching, per-request deadlines, cooperative
+//! cancellation, and graceful drain.
+//!
+//! Life of a request: [`Service::submit`] stamps it, tries the bounded
+//! queue — full means an immediate [`Rejected`] with a retry hint (the
+//! caller never blocks) — and hands back a [`Pending`] reply handle. A
+//! worker pops the job, re-checks deadline and cancellation, executes
+//! (score requests first consult the memo cache), and sends exactly one
+//! [`Response`] to the handle. [`Service::shutdown`] closes admissions,
+//! lets workers drain everything already accepted, and joins them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ensemble_core::WarmupPolicy;
+use runtime::{SimRunConfig, WorkloadMap};
+use scheduler::{enumerate_placements, FastEvaluator};
+
+use crate::cache::ScoreCache;
+use crate::protocol::{
+    ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
+    ScoreRequest, Workloads,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{MetricsSnapshot, SvcStats};
+
+/// Tuning of the service.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Worker threads. Zero means "size to host cores minus one".
+    pub workers: usize,
+    /// Bounded submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Score-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that carry none.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig { workers: 0, queue_capacity: 64, cache_capacity: 256, default_deadline: None }
+    }
+}
+
+fn host_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(1).max(1)
+}
+
+/// Cooperative cancellation flag shared between a reply handle and the
+/// worker executing the request.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Requests cancellation; workers observe it at their next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Admission refusal returned by [`Service::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// Queue full: shed with a back-off hint.
+    Overloaded {
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The service stopped admitting work.
+    ShuttingDown,
+}
+
+impl Rejected {
+    /// The wire response for this refusal.
+    pub fn to_response(&self, id: u64) -> Response {
+        match self {
+            Rejected::Overloaded { retry_after_ms } => {
+                Response::Overloaded { id, retry_after_ms: *retry_after_ms }
+            }
+            Rejected::ShuttingDown => Response::Error {
+                id,
+                kind: ErrorKind::ShuttingDown,
+                message: "service is shutting down".into(),
+            },
+        }
+    }
+}
+
+/// Reply handle for an accepted request.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Response>,
+    cancel: CancelToken,
+}
+
+impl Pending {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("worker always responds before exiting")
+    }
+
+    /// Blocks up to `timeout`; `Err(self)` hands the handle back.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response, Pending> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("worker always responds before exiting")
+            }
+        }
+    }
+
+    /// Requests cooperative cancellation of the pending work. The
+    /// response still arrives (as a `cancelled` error if the worker saw
+    /// the flag in time, or the real result if it had already finished).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The cancellation token (for wiring into connection teardown).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+struct Job {
+    request: Request,
+    submitted: Instant,
+    deadline_at: Option<Instant>,
+    cancel: CancelToken,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    stats: SvcStats,
+    cache: ScoreCache<Vec<RankedPlacement>>,
+    workers: usize,
+}
+
+/// The ensemble provisioning service. Cheap to clone handles are not
+/// provided; share it behind an [`Arc`] (the TCP front end does).
+pub struct Service {
+    shared: Arc<Shared>,
+    config: SvcConfig,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(mut config: SvcConfig) -> Service {
+        if config.workers == 0 {
+            config.workers = host_workers();
+        }
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: SvcStats::default(),
+            cache: ScoreCache::new(config.cache_capacity),
+            workers: config.workers,
+        });
+        let mut handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Service { shared, config, handles: Mutex::new(handles) }
+    }
+
+    /// Offers a request for admission. Never blocks: a full queue sheds
+    /// the request with [`Rejected::Overloaded`].
+    pub fn submit(&self, mut request: Request) -> Result<Pending, Rejected> {
+        let stats = &self.shared.stats;
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if request.deadline.is_none() {
+            request.deadline = self.config.default_deadline;
+        }
+        let submitted = Instant::now();
+        let deadline_at = request.deadline.map(|d| submitted + d);
+        let cancel = CancelToken::default();
+        let (tx, rx) = mpsc::channel();
+        let job = Job { request, submitted, deadline_at, cancel: cancel.clone(), reply: tx };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { rx, cancel })
+            }
+            Err(PushError::Full(_)) => {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::Overloaded { retry_after_ms: self.retry_after_hint_ms() })
+            }
+            Err(PushError::Closed(_)) => Err(Rejected::ShuttingDown),
+        }
+    }
+
+    /// Suggested back-off for a shed request: the time one queue's worth
+    /// of work takes the pool at the observed mean service time.
+    pub fn retry_after_hint_ms(&self) -> u64 {
+        let mean = self.shared.stats.mean_service_time();
+        let backlog = (self.shared.queue.len() + 1) as u64;
+        let per_worker = backlog.div_ceil(self.shared.workers as u64);
+        (mean.as_millis() as u64).saturating_mul(per_worker).max(1)
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = &self.shared.stats;
+        MetricsSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            accepted: s.accepted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
+            errored: s.errored.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len(),
+            queue_capacity: self.shared.queue.capacity(),
+            in_flight: s.in_flight.load(Ordering::Relaxed),
+            workers: self.shared.workers,
+            latency_p50_ms: s.latency.quantile_ms(0.50),
+            latency_p95_ms: s.latency.quantile_ms(0.95),
+            latency_p99_ms: s.latency.quantile_ms(0.99),
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            cache_entries: self.shared.cache.len(),
+        }
+    }
+
+    /// Empties the score cache (benchmark cold path).
+    pub fn clear_cache(&self) {
+        self.shared.cache.clear();
+    }
+
+    /// Worker pool size.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Graceful shutdown: stop admitting, drain everything accepted,
+    /// join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let started = Instant::now();
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let response = execute(shared, &job);
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.stats.busy_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.stats.latency.record(job.submitted.elapsed());
+        match &response {
+            Response::Error { kind: ErrorKind::Deadline, .. } => {
+                shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error { kind: ErrorKind::Cancelled, .. } => {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error { .. } => {
+                shared.stats.errored.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // The receiver may be gone (client disconnected) — that is fine.
+        let _ = job.reply.send(response);
+    }
+}
+
+enum ExecError {
+    Deadline(String),
+    Cancelled,
+    Invalid(String),
+    Internal(String),
+}
+
+impl ExecError {
+    fn to_response(&self, id: u64) -> Response {
+        let (kind, message) = match self {
+            ExecError::Deadline(detail) => (ErrorKind::Deadline, detail.clone()),
+            ExecError::Cancelled => (ErrorKind::Cancelled, "request cancelled".to_string()),
+            ExecError::Invalid(detail) => (ErrorKind::Invalid, detail.clone()),
+            ExecError::Internal(detail) => (ErrorKind::Internal, detail.clone()),
+        };
+        Response::Error { id, kind, message }
+    }
+}
+
+fn checkpoint(job: &Job, progress: impl Fn() -> String) -> Result<(), ExecError> {
+    if job.cancel.is_cancelled() {
+        return Err(ExecError::Cancelled);
+    }
+    if let Some(at) = job.deadline_at {
+        if Instant::now() >= at {
+            return Err(ExecError::Deadline(format!("deadline expired {}", progress())));
+        }
+    }
+    Ok(())
+}
+
+fn execute(shared: &Shared, job: &Job) -> Response {
+    let id = job.request.id;
+    let result = match &job.request.body {
+        RequestBody::Score(score) => {
+            execute_score(shared, job, score).map(|(placements, cached)| Response::ScoreResult {
+                id,
+                placements,
+                cached,
+                elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+            })
+        }
+        RequestBody::Run(run) => {
+            execute_run(job, run).map(|(makespan, members)| Response::RunResult {
+                id,
+                ensemble_makespan: makespan,
+                members,
+                elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+            })
+        }
+        // Metrics requests are answered by the front end without
+        // queueing; one arriving here is still served correctly.
+        RequestBody::Metrics => Ok(Response::Metrics { id, rows: Vec::new() }),
+    };
+    result.unwrap_or_else(|e| e.to_response(id))
+}
+
+fn base_config(spec: ensemble_core::EnsembleSpec, workloads: Workloads) -> SimRunConfig {
+    let mut cfg = SimRunConfig::paper(spec);
+    if workloads == Workloads::Small {
+        cfg.workloads = WorkloadMap::small_defaults();
+    }
+    cfg
+}
+
+/// Canonical cache key of a score request under the service's platform.
+/// Built from the full query description plus the platform/workload
+/// fingerprint — two keys are equal iff `fast_score` is guaranteed to
+/// return bit-identical results (it is deterministic; see the
+/// scheduler's determinism tests).
+fn score_cache_key(score: &ScoreRequest, cfg: &SimRunConfig) -> String {
+    format!(
+        "score:v1|shape={:?}|max_nodes={}|cores_per_node={}|steps={}|wl={:?}|chunk={}|node={:?}|net={:?}|interf={:?}|bind={:?}",
+        score.shape.members,
+        score.budget.max_nodes,
+        score.budget.cores_per_node,
+        score.steps,
+        score.workloads,
+        cfg.workloads.chunk_bytes,
+        cfg.node_spec,
+        cfg.network,
+        cfg.interference,
+        cfg.bind_policy,
+    )
+}
+
+fn execute_score(
+    shared: &Shared,
+    job: &Job,
+    score: &ScoreRequest,
+) -> Result<(Vec<RankedPlacement>, bool), ExecError> {
+    checkpoint(job, || "before evaluation started".to_string())?;
+    let placeholder = score.shape.materialize(&vec![0; score.shape.num_components()]);
+    let mut cfg = base_config(placeholder, score.workloads);
+    cfg.n_steps = score.steps;
+    let key = score_cache_key(score, &cfg);
+    if let Some(ranked) = shared.cache.get(&key) {
+        let mut placements: Vec<RankedPlacement> = (*ranked).clone();
+        if score.top_k > 0 {
+            placements.truncate(score.top_k);
+        }
+        return Ok((placements, true));
+    }
+
+    let assignments =
+        enumerate_placements(&score.shape, score.budget.max_nodes, score.budget.cores_per_node);
+    let total = assignments.len();
+    let mut evaluator = FastEvaluator::new(&cfg);
+    let mut ranked = Vec::with_capacity(total);
+    for (done, assignment) in assignments.into_iter().enumerate() {
+        checkpoint(job, || format!("after {done} of {total} candidates"))?;
+        let spec = score.shape.materialize(&assignment);
+        let fs = evaluator
+            .score(&spec)
+            .map_err(|e| ExecError::Invalid(format!("candidate {assignment:?}: {e}")))?;
+        ranked.push(RankedPlacement {
+            assignment,
+            objective: fs.objective,
+            nodes_used: fs.nodes_used,
+            ensemble_makespan: fs.ensemble_makespan,
+            eq4_satisfied: fs.eq4_satisfied,
+        });
+    }
+    ranked.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    shared.cache.insert(key, ranked.clone());
+    if score.top_k > 0 {
+        ranked.truncate(score.top_k);
+    }
+    Ok((ranked, false))
+}
+
+fn execute_run(job: &Job, run: &RunRequest) -> Result<(f64, Vec<MemberSummary>), ExecError> {
+    checkpoint(job, || "before the simulated run started".to_string())?;
+    run.spec.validate(None).map_err(|e| ExecError::Invalid(format!("invalid spec: {e}")))?;
+    let mut cfg = base_config(run.spec.clone(), run.workloads);
+    cfg.n_steps = run.steps;
+    cfg.jitter = run.jitter;
+    cfg.seed = run.seed;
+    let spec = cfg.spec.clone();
+    // The DES run itself is not interruptible; deadlines are enforced at
+    // the checkpoints around it (and per candidate on the score path).
+    let exec =
+        runtime::run_simulated(&cfg).map_err(|e| ExecError::Invalid(format!("run failed: {e}")))?;
+    checkpoint(job, || "after the simulated run, before reporting".to_string())?;
+    let report =
+        runtime::build_report("svc-run", &spec, &exec, cfg.n_steps, WarmupPolicy::default())
+            .map_err(|e| ExecError::Internal(format!("report failed: {e}")))?;
+    let members = report
+        .members
+        .iter()
+        .map(|m| MemberSummary {
+            sigma_star: m.sigma_star,
+            efficiency: m.efficiency,
+            cp: m.cp,
+            makespan: m.makespan,
+        })
+        .collect();
+    Ok((report.ensemble_makespan, members))
+}
+
+/// Convenience: score request against the small workloads (tests,
+/// benches, examples).
+pub fn small_score_request(
+    id: u64,
+    n: usize,
+    sim_cores: u32,
+    k: usize,
+    ana_cores: u32,
+    max_nodes: usize,
+) -> Request {
+    Request {
+        id,
+        deadline: None,
+        body: RequestBody::Score(ScoreRequest {
+            shape: scheduler::EnsembleShape::uniform(n, sim_cores, k, ana_cores),
+            budget: scheduler::NodeBudget { max_nodes, cores_per_node: 32 },
+            top_k: 0,
+            steps: 6,
+            workloads: Workloads::Small,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ensemble_core::ConfigId;
+
+    fn tiny_service(workers: usize, queue: usize) -> Service {
+        Service::start(SvcConfig {
+            workers,
+            queue_capacity: queue,
+            cache_capacity: 16,
+            default_deadline: None,
+        })
+    }
+
+    fn run_request(id: u64, steps: u64) -> Request {
+        Request {
+            id,
+            deadline: None,
+            body: RequestBody::Run(RunRequest {
+                spec: ConfigId::C1_5.build(),
+                steps,
+                jitter: 0.0,
+                seed: 1,
+                workloads: Workloads::Small,
+            }),
+        }
+    }
+
+    #[test]
+    fn score_request_returns_ranked_placements() {
+        let svc = tiny_service(2, 8);
+        let pending = svc.submit(small_score_request(9, 2, 16, 1, 8, 3)).unwrap();
+        match pending.wait() {
+            Response::ScoreResult { id, placements, cached, .. } => {
+                assert_eq!(id, 9);
+                assert!(!cached);
+                assert!(!placements.is_empty());
+                for w in placements.windows(2) {
+                    assert!(w[0].objective >= w[1].objective, "ranked best-first");
+                }
+                // The paper's conclusion: the best placement co-locates
+                // each member on its own node.
+                assert_eq!(placements[0].nodes_used, 2);
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_scores_hit_the_cache() {
+        let svc = tiny_service(2, 8);
+        let first = svc.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait();
+        let second = svc.submit(small_score_request(2, 2, 16, 1, 8, 3)).unwrap().wait();
+        match (&first, &second) {
+            (
+                Response::ScoreResult { cached: c1, placements: p1, .. },
+                Response::ScoreResult { cached: c2, placements: p2, .. },
+            ) => {
+                assert!(!c1);
+                assert!(c2, "second identical query must be served from cache");
+                assert_eq!(p1.len(), p2.len());
+                for (a, b) in p1.iter().zip(p2) {
+                    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!((m.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_request_summarizes_report() {
+        let svc = tiny_service(1, 4);
+        match svc.submit(run_request(5, 6)).unwrap().wait() {
+            Response::RunResult { id, ensemble_makespan, members, .. } => {
+                assert_eq!(id, 5);
+                assert!(ensemble_makespan > 0.0);
+                assert_eq!(members.len(), 2);
+                for m in &members {
+                    assert!(m.efficiency > 0.0 && m.efficiency <= 1.0);
+                    assert!((m.cp - 1.0).abs() < 1e-12, "C1.5 is fully co-located");
+                }
+            }
+            other => panic!("expected run result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_blocking() {
+        // One worker busy with a long run; capacity-1 queue holds one
+        // more; the next submit must shed immediately.
+        let svc = tiny_service(1, 1);
+        let slow = svc.submit(run_request(1, 400)).unwrap();
+        // Wait until the slow job occupies the worker so queue slots are
+        // observable deterministically.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.metrics().in_flight == 0 {
+            assert!(Instant::now() < deadline, "worker never picked up the job");
+            std::thread::yield_now();
+        }
+        let queued = svc.submit(small_score_request(2, 2, 16, 1, 8, 3)).unwrap();
+        let before = Instant::now();
+        let shed = svc.submit(small_score_request(3, 2, 16, 1, 8, 3));
+        assert!(before.elapsed() < Duration::from_millis(100), "shedding must not block");
+        match shed {
+            Err(Rejected::Overloaded { retry_after_ms }) => assert!(retry_after_ms >= 1),
+            other => panic!("expected overload, got {other:?}"),
+        }
+        assert!(matches!(slow.wait(), Response::RunResult { .. }));
+        assert!(matches!(queued.wait(), Response::ScoreResult { .. }));
+        let m = svc.metrics();
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.accepted, 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_executed() {
+        let svc = tiny_service(1, 4);
+        let mut req = run_request(1, 6);
+        req.deadline = Some(Duration::ZERO);
+        match svc.submit(req).unwrap().wait() {
+            Response::Error { kind: ErrorKind::Deadline, message, .. } => {
+                assert!(message.contains("deadline expired"), "{message}");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().deadline_expired, 1);
+    }
+
+    #[test]
+    fn cancellation_is_cooperative() {
+        let svc = tiny_service(1, 4);
+        // Occupy the worker so the target request sits queued when the
+        // cancel lands — deterministic cancellation-before-execution.
+        let blocker = svc.submit(run_request(1, 200)).unwrap();
+        let victim = svc.submit(small_score_request(2, 2, 16, 1, 8, 3)).unwrap();
+        victim.cancel();
+        assert!(matches!(blocker.wait(), Response::RunResult { .. }));
+        match victim.wait() {
+            Response::Error { kind: ErrorKind::Cancelled, .. } => {}
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().cancelled, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let svc = tiny_service(1, 8);
+        let mut pendings = Vec::new();
+        for i in 0..4 {
+            pendings.push(svc.submit(small_score_request(i, 2, 16, 1, 8, 2)).unwrap());
+        }
+        svc.shutdown();
+        // Every accepted request still gets its real answer.
+        for p in pendings {
+            assert!(matches!(p.wait(), Response::ScoreResult { .. }));
+        }
+        // New work is refused once shut down.
+        assert_eq!(
+            svc.submit(small_score_request(99, 2, 16, 1, 8, 2)).err(),
+            Some(Rejected::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_invalid_error() {
+        let svc = tiny_service(1, 4);
+        // 2×(16+8) cores cannot fit one 32-core node → empty enumeration
+        // → empty ranking (not an error), while a malformed spec errors.
+        match svc.submit(small_score_request(1, 2, 16, 1, 8, 1)).unwrap().wait() {
+            Response::ScoreResult { placements, .. } => assert!(placements.is_empty()),
+            other => panic!("expected empty score result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_populate() {
+        let svc = tiny_service(2, 8);
+        for i in 0..6 {
+            let _ = svc.submit(small_score_request(i, 2, 16, 1, 8, 2)).unwrap().wait();
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, 6);
+        assert!(m.latency_p50_ms > 0.0);
+        assert!(m.latency_p50_ms <= m.latency_p95_ms);
+        assert!(m.latency_p95_ms <= m.latency_p99_ms);
+    }
+}

@@ -1,0 +1,255 @@
+//! Request-level service metrics: counters, gauges, and a latency
+//! histogram with percentile extraction.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot path pays a handful
+//! of relaxed increments. The histogram uses power-of-two microsecond
+//! buckets — coarse, but percentiles of a service latency distribution
+//! only need order-of-magnitude resolution, and recording is one atomic
+//! add at any concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40; // 2⁰ µs … 2³⁹ µs ≈ 9 days; saturating top.
+
+/// Concurrent latency histogram over power-of-two microsecond buckets.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().max(1) as u64;
+        let idx = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// containing it, in milliseconds. Zero when no samples exist.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &count) in snapshot.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (1u64 << (idx + 1)) as f64 / 1000.0;
+            }
+        }
+        (1u64 << BUCKETS) as f64 / 1000.0
+    }
+}
+
+/// Live counters of the service (see [`MetricsSnapshot`] for the
+/// point-in-time view).
+#[derive(Default)]
+pub struct SvcStats {
+    /// Requests offered to admission (accepted + rejected).
+    pub submitted: AtomicU64,
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests shed with `Overloaded`.
+    pub rejected: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests cancelled cooperatively before completion.
+    pub cancelled: AtomicU64,
+    /// Requests whose deadline expired before or during execution.
+    pub deadline_expired: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errored: AtomicU64,
+    /// Requests currently executing on a worker.
+    pub in_flight: AtomicU64,
+    /// Cumulative busy nanoseconds across workers (drives the
+    /// retry-after hint).
+    pub busy_nanos: AtomicU64,
+    /// Submit→response latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl SvcStats {
+    /// Mean execution time of finished requests.
+    pub fn mean_service_time(&self) -> Duration {
+        let done = self.completed.load(Ordering::Relaxed)
+            + self.errored.load(Ordering::Relaxed)
+            + self.deadline_expired.load(Ordering::Relaxed)
+            + self.cancelled.load(Ordering::Relaxed);
+        if done == 0 {
+            return Duration::from_millis(25);
+        }
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed) / done.max(1))
+    }
+}
+
+/// Point-in-time metrics view, exported via `metrics::export::kv_csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests offered to admission.
+    pub submitted: u64,
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests shed with `Overloaded`.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests cancelled before completion.
+    pub cancelled: u64,
+    /// Requests that hit their deadline.
+    pub deadline_expired: u64,
+    /// Requests answered with a structured error.
+    pub errored: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Admission capacity of the queue.
+    pub queue_capacity: usize,
+    /// Requests executing right now.
+    pub in_flight: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Median submit→response latency, milliseconds (bucket upper bound).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Score-cache hits.
+    pub cache_hits: u64,
+    /// Score-cache misses.
+    pub cache_misses: u64,
+    /// Entries resident in the score cache.
+    pub cache_entries: usize,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate in `[0, 1]` (zero before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as `(metric, value)` rows, stable order.
+    pub fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("requests_submitted", self.submitted as f64),
+            ("requests_accepted", self.accepted as f64),
+            ("requests_rejected_overload", self.rejected as f64),
+            ("requests_completed", self.completed as f64),
+            ("requests_cancelled", self.cancelled as f64),
+            ("requests_deadline_expired", self.deadline_expired as f64),
+            ("requests_errored", self.errored as f64),
+            ("queue_depth", self.queue_depth as f64),
+            ("queue_capacity", self.queue_capacity as f64),
+            ("in_flight", self.in_flight as f64),
+            ("workers", self.workers as f64),
+            ("latency_p50_ms", self.latency_p50_ms),
+            ("latency_p95_ms", self.latency_p95_ms),
+            ("latency_p99_ms", self.latency_p99_ms),
+            ("cache_hits", self.cache_hits as f64),
+            ("cache_misses", self.cache_misses as f64),
+            ("cache_entries", self.cache_entries as f64),
+            ("cache_hit_rate", self.cache_hit_rate()),
+        ]
+    }
+
+    /// CSV rendering through the shared metrics exporter.
+    pub fn to_csv(&self) -> String {
+        metrics::export::kv_csv(&self.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket 2⁶ = 64–128 µs
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50)); // ~2¹⁵ µs bucket
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        assert!((0.1..1.0).contains(&p50), "p50 {p50}ms should sit near 100µs");
+        let p99 = h.quantile_ms(0.99);
+        assert!(p99 >= 50.0, "p99 {p99}ms should reach the slow samples");
+        assert!(h.quantile_ms(0.50) <= h.quantile_ms(0.95));
+        assert!(h.quantile_ms(0.95) <= h.quantile_ms(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn sub_microsecond_samples_land_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_ms(1.0) <= 0.01);
+    }
+
+    #[test]
+    fn snapshot_rows_and_hit_rate() {
+        let snap = MetricsSnapshot {
+            submitted: 10,
+            accepted: 8,
+            rejected: 2,
+            completed: 7,
+            cancelled: 0,
+            deadline_expired: 1,
+            errored: 0,
+            queue_depth: 0,
+            queue_capacity: 16,
+            in_flight: 0,
+            workers: 2,
+            latency_p50_ms: 1.0,
+            latency_p95_ms: 4.0,
+            latency_p99_ms: 8.0,
+            cache_hits: 3,
+            cache_misses: 1,
+            cache_entries: 1,
+        };
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let rows = snap.rows();
+        assert_eq!(rows.len(), 18);
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("cache_hit_rate,0.75"));
+        assert!(csv.contains("latency_p95_ms,4"));
+    }
+
+    #[test]
+    fn mean_service_time_defaults_before_data() {
+        let stats = SvcStats::default();
+        assert_eq!(stats.mean_service_time(), Duration::from_millis(25));
+        stats.completed.store(2, Ordering::Relaxed);
+        stats.busy_nanos.store(4_000_000, Ordering::Relaxed);
+        assert_eq!(stats.mean_service_time(), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,385 @@
+//! End-to-end tests of the JSON-lines-over-TCP service front end.
+//!
+//! Everything binds `127.0.0.1:0` (ephemeral ports) and drives the real
+//! server through real sockets: concurrent clients under mixed load,
+//! admission-control shedding, graceful-shutdown draining, and the
+//! failure paths (deadline expiry, client disconnect, malformed input).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ensemble_core::ConfigId;
+use svc::{
+    serve, small_score_request, ErrorKind, Request, RequestBody, Response, RunRequest,
+    ServerHandle, SvcClient, SvcConfig, Workloads,
+};
+
+fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        SvcConfig { workers, queue_capacity, cache_capacity: 64, default_deadline: None },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn run_request(id: u64, steps: u64) -> Request {
+    Request {
+        id,
+        deadline: None,
+        body: RequestBody::Run(RunRequest {
+            spec: ConfigId::C1_5.build(),
+            steps,
+            jitter: 0.0,
+            seed: 1,
+            workloads: Workloads::Small,
+        }),
+    }
+}
+
+fn metrics_row(handle: &ServerHandle, client: &mut SvcClient, name: &str) -> f64 {
+    let _ = handle; // metrics go over the wire on purpose
+    match client.request(&Request { id: 0, deadline: None, body: RequestBody::Metrics }) {
+        Ok(Response::Metrics { rows, .. }) => rows
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric '{name}' missing from {rows:?}")),
+        other => panic!("expected metrics response, got {other:?}"),
+    }
+}
+
+/// Polls the wire metrics endpoint until `pred` holds or the deadline
+/// passes (metrics are served inline, so this works even under load).
+fn wait_for_metric(
+    handle: &ServerHandle,
+    client: &mut SvcClient,
+    name: &str,
+    pred: impl Fn(f64) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if pred(metrics_row(handle, client, name)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting on metric '{name}'");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn eight_concurrent_clients_mixed_score_and_run() {
+    let handle = server(2, 32);
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(8));
+    let threads: Vec<_> = (0..8u64)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = SvcClient::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                barrier.wait();
+                let mut responses = Vec::new();
+                for round in 0..2u64 {
+                    let id = 100 * i + round;
+                    // Even clients score (all identical → cache hits),
+                    // odd clients run short simulations.
+                    let request = if i % 2 == 0 {
+                        small_score_request(id, 2, 16, 1, 8, 3)
+                    } else {
+                        run_request(id, 4)
+                    };
+                    responses.push((id, client.request(&request).expect("response")));
+                }
+                responses
+            })
+        })
+        .collect();
+    let mut scores = 0;
+    let mut runs = 0;
+    let mut cached = 0;
+    for t in threads {
+        for (id, response) in t.join().expect("client thread") {
+            assert_eq!(response.id(), id, "ids must be echoed");
+            match response {
+                Response::ScoreResult { placements, cached: c, .. } => {
+                    scores += 1;
+                    cached += usize::from(c);
+                    assert!(!placements.is_empty());
+                    for w in placements.windows(2) {
+                        assert!(w[0].objective >= w[1].objective);
+                    }
+                }
+                Response::RunResult { ensemble_makespan, members, .. } => {
+                    runs += 1;
+                    assert!(ensemble_makespan > 0.0);
+                    assert_eq!(members.len(), 2);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    assert_eq!(scores, 8);
+    assert_eq!(runs, 8);
+    assert!(cached >= 6, "identical score queries must hit the cache, got {cached} hits");
+
+    // The full snapshot is visible over the wire: percentiles populated
+    // and ordered, cache hit rate consistent with what clients saw.
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+    assert_eq!(metrics_row(&handle, &mut probe, "requests_completed"), 16.0);
+    let p50 = metrics_row(&handle, &mut probe, "latency_p50_ms");
+    let p95 = metrics_row(&handle, &mut probe, "latency_p95_ms");
+    let p99 = metrics_row(&handle, &mut probe, "latency_p99_ms");
+    assert!(p50 > 0.0, "p50 must populate after 16 requests");
+    assert!(p50 <= p95 && p95 <= p99, "percentiles must be ordered: {p50} {p95} {p99}");
+    let hit_rate = metrics_row(&handle, &mut probe, "cache_hit_rate");
+    assert!(hit_rate > 0.0 && hit_rate <= 1.0, "hit rate {hit_rate} out of range");
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_excess_clients_without_blocking() {
+    // One worker, one queue slot: with the worker pinned by a long run,
+    // at most one of the concurrent clients can be admitted — everyone
+    // else must get `overloaded` immediately, never a stalled socket.
+    let handle = server(1, 1);
+    let addr = handle.addr();
+
+    let blocker = std::thread::spawn(move || {
+        let mut client = SvcClient::connect(addr).expect("connect blocker");
+        client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+        client.request(&run_request(1, 8000)).expect("blocker response")
+    });
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+    wait_for_metric(&handle, &mut probe, "in_flight", |v| v >= 1.0);
+
+    let barrier = Arc::new(Barrier::new(8));
+    let overloaded = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..8u64)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            let overloaded = Arc::clone(&overloaded);
+            std::thread::spawn(move || {
+                let mut client = SvcClient::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+                barrier.wait();
+                let started = Instant::now();
+                let response = client.request(&small_score_request(10 + i, 2, 16, 1, 8, 3));
+                let elapsed = started.elapsed();
+                match response.expect("every client gets an answer") {
+                    Response::Overloaded { retry_after_ms, .. } => {
+                        assert!(retry_after_ms >= 1, "hint must be actionable");
+                        assert!(
+                            elapsed < Duration::from_secs(5),
+                            "shed responses must be prompt, took {elapsed:?}"
+                        );
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::ScoreResult { .. } => {} // the one admitted
+                    other => panic!("unexpected response {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no client thread may panic");
+    }
+    let shed = overloaded.load(Ordering::Relaxed);
+    assert!(shed >= 7, "queue capacity 1 admits at most one of 8; shed {shed}");
+    assert!(matches!(blocker.join().expect("blocker"), Response::RunResult { .. }));
+    assert!(metrics_row(&handle, &mut probe, "requests_rejected_overload") >= 7.0);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_tcp_requests() {
+    let handle = server(1, 8);
+    let addr = handle.addr();
+
+    // Pin the worker, then queue three more requests behind it.
+    let blocker = std::thread::spawn(move || {
+        let mut client = SvcClient::connect(addr).expect("connect blocker");
+        client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+        client.request(&run_request(1, 8000)).expect("blocker response")
+    });
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+    wait_for_metric(&handle, &mut probe, "in_flight", |v| v >= 1.0);
+    let queued: Vec<_> = (0..3u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = SvcClient::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+                client.request(&small_score_request(20 + i, 2, 16, 1, 8, 3)).expect("drained")
+            })
+        })
+        .collect();
+    wait_for_metric(&handle, &mut probe, "requests_accepted", |v| v >= 4.0);
+    drop(probe);
+
+    // Graceful shutdown must still answer all four admitted requests.
+    handle.shutdown();
+    assert!(matches!(blocker.join().expect("blocker"), Response::RunResult { .. }));
+    for t in queued {
+        assert!(matches!(t.join().expect("queued client"), Response::ScoreResult { .. }));
+    }
+
+    // And the endpoint is gone: connects are refused (or any surviving
+    // socket yields no response).
+    match SvcClient::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            late.set_timeout(Some(Duration::from_millis(200))).unwrap();
+            assert!(late.request(&small_score_request(99, 2, 16, 1, 8, 3)).is_err());
+        }
+    }
+}
+
+#[test]
+fn deadline_expiry_is_a_structured_error() {
+    let handle = server(1, 8);
+    let addr = handle.addr();
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+
+    // An already-expired deadline is deterministic in every
+    // interleaving: the worker's checkpoint fires before (or during)
+    // evaluation and answers with the structured deadline error.
+    let mut victim = SvcClient::connect(addr).expect("connect victim");
+    victim.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut request = small_score_request(42, 2, 16, 1, 8, 3);
+    request.deadline = Some(Duration::ZERO);
+    match victim.request(&request).expect("victim response") {
+        Response::Error { id, kind: ErrorKind::Deadline, message } => {
+            assert_eq!(id, 42);
+            assert!(message.contains("deadline expired"), "{message}");
+        }
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    assert!(metrics_row(&handle, &mut probe, "requests_deadline_expired") >= 1.0);
+
+    // The connection (and service) keep working after the expiry.
+    match victim.request(&small_score_request(43, 2, 16, 1, 8, 3)).expect("next request") {
+        Response::ScoreResult { id, .. } => assert_eq!(id, 43),
+        other => panic!("expected score result, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn client_disconnect_before_response_leaves_server_healthy() {
+    let handle = server(2, 8);
+    let addr = handle.addr();
+
+    // Fire a long run and vanish before the answer can be written.
+    {
+        use std::io::Write;
+        let mut doomed = std::net::TcpStream::connect(addr).expect("connect doomed");
+        let mut line = run_request(7, 400).to_json();
+        line.push('\n');
+        doomed.write_all(line.as_bytes()).expect("send then vanish");
+    } // dropped: socket closed with the request in flight
+
+    // The server keeps serving new clients while (and after) absorbing
+    // the failed response write.
+    let mut client = SvcClient::connect(addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    match client.request(&small_score_request(8, 2, 16, 1, 8, 3)).expect("healthy response") {
+        Response::ScoreResult { id, placements, .. } => {
+            assert_eq!(id, 8);
+            assert!(!placements.is_empty());
+        }
+        other => panic!("expected score result, got {other:?}"),
+    }
+    // The orphaned run still completes and is accounted for.
+    wait_for_metric(&handle, &mut client, "requests_completed", |v| v >= 2.0);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_json_yields_structured_error_not_a_dead_connection() {
+    let handle = server(1, 8);
+    let addr = handle.addr();
+    let mut client = SvcClient::connect(addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    for (raw, expect_id) in [
+        ("this is not json", 0),
+        ("{\"type\":\"score\"", 0),
+        ("{\"type\":\"frobnicate\",\"id\":7}", 7),
+        ("{\"type\":\"score\",\"id\":9,\"members\":[]}", 9),
+    ] {
+        match client.request_raw(raw).expect("structured error line") {
+            Response::Error { id, kind: ErrorKind::Malformed, message } => {
+                assert_eq!(id, expect_id, "id echoed when recoverable: {raw}");
+                assert!(!message.is_empty());
+            }
+            other => panic!("{raw:?}: expected malformed error, got {other:?}"),
+        }
+    }
+
+    // Same connection still serves valid work afterwards.
+    match client.request(&small_score_request(11, 2, 16, 1, 8, 3)).expect("recovered") {
+        Response::ScoreResult { id, .. } => assert_eq!(id, 11),
+        other => panic!("expected score result, got {other:?}"),
+    }
+    // Malformed lines are refused at the protocol layer, before
+    // admission: the service's work counters only see the valid request.
+    assert_eq!(metrics_row(&handle, &mut client, "requests_submitted"), 1.0);
+    handle.shutdown();
+}
+
+/// Sustained mixed load with retry-on-overload from a dozen clients.
+/// Slow by design; run with `cargo test -p svc -- --ignored`.
+#[test]
+#[ignore = "soak test: minutes of sustained load, exercised by the nightly CI step"]
+fn soak_sustained_mixed_load_stays_consistent() {
+    let handle = server(2, 4);
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(12));
+    let threads: Vec<_> = (0..12u64)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = SvcClient::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+                barrier.wait();
+                let mut completed = 0u64;
+                for round in 0..30u64 {
+                    let id = 1000 * i + round;
+                    let request = match (i + round) % 3 {
+                        0 => small_score_request(id, 2, 16, 1, 8, 3),
+                        1 => small_score_request(id, 3, 16, 1, 8, (2 + round % 3) as usize + 2),
+                        _ => run_request(id, 4 + round % 4),
+                    };
+                    // Honor the backpressure contract: back off and retry
+                    // on overload, bounded so the soak always terminates.
+                    for _attempt in 0..50 {
+                        match client.request(&request).expect("response under soak") {
+                            Response::Overloaded { retry_after_ms, .. } => {
+                                std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                            }
+                            Response::ScoreResult { .. } | Response::RunResult { .. } => {
+                                completed += 1;
+                                break;
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+    let completed: u64 = threads.into_iter().map(|t| t.join().expect("soak client")).sum();
+    assert_eq!(completed, 12 * 30, "every request eventually lands under retry");
+
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+    let submitted = metrics_row(&handle, &mut probe, "requests_submitted");
+    let accepted = metrics_row(&handle, &mut probe, "requests_accepted");
+    let rejected = metrics_row(&handle, &mut probe, "requests_rejected_overload");
+    assert_eq!(submitted, accepted + rejected, "admission accounting must balance");
+    assert!(metrics_row(&handle, &mut probe, "requests_completed") >= 360.0);
+    assert!(metrics_row(&handle, &mut probe, "latency_p99_ms") > 0.0);
+    assert!(metrics_row(&handle, &mut probe, "cache_hit_rate") > 0.0);
+    drop(probe);
+    handle.shutdown();
+}

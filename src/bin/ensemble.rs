@@ -7,6 +7,10 @@
 //! ensemble sweep
 //! ensemble advise --members N --k K --nodes M [--cores 32]
 //! ensemble energy C1.5 [--cap WATTS]
+//! ensemble serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ensemble query score --members N --k K --nodes M [--addr HOST:PORT] [...]
+//! ensemble query run C1.5 [--addr HOST:PORT] [--steps N] [--seed S]
+//! ensemble query metrics [--addr HOST:PORT]
 //! ensemble example-spec
 //! ensemble list
 //! ```
@@ -28,6 +32,8 @@ fn main() {
         Some("advise") => cmd_advise(&args[1..]),
         Some("energy") => cmd_energy(&args[1..]),
         Some("diagnose") => cmd_diagnose(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("example-spec") => {
             println!("{}", ExperimentSpec::example().to_json());
             0
@@ -41,7 +47,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: ensemble <run|predict|sweep|advise|energy|diagnose|example-spec|list> [...]\n\
+                "usage: ensemble <run|predict|sweep|advise|energy|diagnose|serve|query|example-spec|list> [...]\n\
                  see the module docs of src/bin/ensemble.rs for flags"
             );
             2
@@ -320,6 +326,218 @@ fn cmd_diagnose(args: &[String]) -> i32 {
     println!("{label}:");
     print!("{}", insitu_ensembles::runtime::render_findings(&findings));
     0
+}
+
+const DEFAULT_SVC_ADDR: &str = "127.0.0.1:7717";
+
+fn cmd_serve(args: &[String]) -> i32 {
+    use insitu_ensembles::service::SvcConfig;
+
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
+    let mut config = SvcConfig::default();
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|e| format!("{name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    config.workers = match parse_usize("--workers", config.workers) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    config.queue_capacity = match parse_usize("--queue", config.queue_capacity) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    config.cache_capacity = match parse_usize("--cache", config.cache_capacity) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    if let Some(ms) = flag_value(args, "--deadline") {
+        match ms.parse::<u64>() {
+            Ok(ms) => config.default_deadline = Some(std::time::Duration::from_millis(ms)),
+            Err(e) => {
+                eprintln!("serve: --deadline: {e}");
+                return 2;
+            }
+        }
+    }
+    let handle = match insitu_ensembles::service::serve(addr, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "ensemble service listening on {} ({} workers, queue {}); close stdin for graceful drain",
+        handle.addr(),
+        handle.service().workers(),
+        handle.metrics().queue_capacity,
+    );
+    // Serve until stdin closes (Ctrl-D, or the end of a piped script),
+    // then drain: everything already admitted still gets its answer.
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let m = handle.metrics();
+    println!(
+        "draining: {} completed, {} rejected, cache hit rate {:.2}",
+        m.completed,
+        m.rejected,
+        m.cache_hit_rate()
+    );
+    handle.shutdown();
+    0
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    use insitu_ensembles::service::{
+        Request, RequestBody, Response, RunRequest, ScoreRequest, SvcClient, Workloads,
+    };
+
+    let Some(kind) = args.first().map(String::as_str) else {
+        eprintln!("query: missing request kind (score|run|metrics)");
+        return 2;
+    };
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
+    let id = flag_value(args, "--id").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let deadline = flag_value(args, "--deadline")
+        .and_then(|v| v.parse().ok())
+        .map(std::time::Duration::from_millis);
+    let workloads = if has_flag(args, "--small") { Workloads::Small } else { Workloads::Paper };
+    let parse = |name: &str, default: usize| -> usize {
+        flag_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+
+    let body = match kind {
+        "metrics" => RequestBody::Metrics,
+        "score" => RequestBody::Score(ScoreRequest {
+            shape: scheduling::EnsembleShape::uniform(
+                parse("--members", 2),
+                parse("--sim-cores", 16) as u32,
+                parse("--k", 1),
+                parse("--ana-cores", 8) as u32,
+            ),
+            budget: scheduling::NodeBudget {
+                max_nodes: parse("--nodes", 3),
+                cores_per_node: parse("--cores", 32) as u32,
+            },
+            top_k: parse("--top-k", 5),
+            steps: parse("--steps", 6) as u64,
+            workloads,
+        }),
+        "run" => {
+            let Some(target) = args.get(1) else {
+                eprintln!("query run: missing config label (e.g. C1.5)");
+                return 2;
+            };
+            let Some(config_id) = parse_config(target) else {
+                eprintln!("query run: unknown config label '{target}' (see `ensemble list`)");
+                return 2;
+            };
+            RequestBody::Run(RunRequest {
+                spec: config_id.build(),
+                steps: parse("--steps", 8) as u64,
+                jitter: flag_value(args, "--jitter").and_then(|v| v.parse().ok()).unwrap_or(0.0),
+                seed: parse("--seed", 0) as u64,
+                workloads,
+            })
+        }
+        other => {
+            eprintln!("query: unknown request kind '{other}' (score|run|metrics)");
+            return 2;
+        }
+    };
+    let request = Request { id, deadline, body };
+
+    let mut client = match SvcClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("query: cannot connect to {addr}: {e} (is `ensemble serve` running?)");
+            return 1;
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return 1;
+        }
+    };
+    if has_flag(args, "--json") {
+        println!("{}", response.to_json());
+        return match response {
+            Response::Error { .. } => 1,
+            Response::Overloaded { .. } => 3,
+            _ => 0,
+        };
+    }
+    match response {
+        Response::ScoreResult { placements, cached, elapsed_ms, .. } => {
+            println!(
+                "{} placements ({}; {:.2} ms)",
+                placements.len(),
+                if cached { "cached" } else { "evaluated" },
+                elapsed_ms
+            );
+            println!("rank  nodes  objective     makespan  Eq.4  assignment");
+            for (rank, p) in placements.iter().enumerate() {
+                println!(
+                    "{:>4} {:>6} {:>10.4e} {:>10.2}s  {:>4}  {:?}",
+                    rank + 1,
+                    p.nodes_used,
+                    p.objective,
+                    p.ensemble_makespan,
+                    if p.eq4_satisfied { "yes" } else { "no" },
+                    p.assignment
+                );
+            }
+            0
+        }
+        Response::RunResult { ensemble_makespan, members, elapsed_ms, .. } => {
+            println!("ensemble makespan {ensemble_makespan:.2}s ({elapsed_ms:.2} ms)");
+            for (i, m) in members.iter().enumerate() {
+                println!(
+                    "  EM{}: sigma* {:.3}s, E {:.4}, CP {:.3}, makespan {:.2}s",
+                    i + 1,
+                    m.sigma_star,
+                    m.efficiency,
+                    m.cp,
+                    m.makespan
+                );
+            }
+            0
+        }
+        Response::Metrics { rows, .. } => {
+            for (name, value) in rows {
+                println!("{name} {value}");
+            }
+            0
+        }
+        Response::Overloaded { retry_after_ms, .. } => {
+            eprintln!("service overloaded; retry after {retry_after_ms} ms");
+            3
+        }
+        Response::Error { kind, message, .. } => {
+            eprintln!("request failed ({}): {message}", kind.tag());
+            1
+        }
+    }
 }
 
 fn cmd_energy(args: &[String]) -> i32 {

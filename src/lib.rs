@@ -19,6 +19,7 @@
 //! | [`platform`] | `hpc-platform` | Cori-like machine model with co-location interference |
 //! | [`measurement`] | `metrics` | traces, Table 1 metrics, makespans, reports |
 //! | [`scheduling`] | `scheduler` | §3.4 core sweep + indicator-guided placement search |
+//! | [`service`] | `svc` | concurrent provisioning-query service (admission control, score cache, TCP front end) |
 //! | [`des`] | `sim-des` | deterministic discrete-event engine |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use metrics as measurement;
 pub use runtime;
 pub use scheduler as scheduling;
 pub use sim_des as des;
+pub use svc as service;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -68,4 +70,5 @@ pub mod prelude {
         anneal_placement, core_sweep, exhaustive_search, pareto_front, recommend_placement,
         AnnealingConfig, CoreSweepConfig, EnsembleShape, NodeBudget, SearchConfig,
     };
+    pub use svc::{serve, Service, SvcClient, SvcConfig};
 }
