@@ -17,7 +17,13 @@ use std::hint::black_box;
 use svc::{serve, small_score_request, Response, Service, SvcClient, SvcConfig};
 
 fn config() -> SvcConfig {
-    SvcConfig { workers: 2, queue_capacity: 32, cache_capacity: 64, default_deadline: None }
+    SvcConfig {
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 64,
+        default_deadline: None,
+        journal: None,
+    }
 }
 
 /// The benched query: 3 members × (16+8) cores on up to 4×32-core

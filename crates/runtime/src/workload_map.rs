@@ -54,6 +54,26 @@ impl WorkloadMap {
         })
     }
 
+    /// A canonical, deterministic description of this map, suitable as a
+    /// cache-key component. Two maps with equal contents always produce
+    /// byte-identical fingerprints: the `overrides` HashMap is serialized
+    /// in sorted `ComponentRef` order, never in hash-iteration order
+    /// (which varies between otherwise-identical maps and would silently
+    /// turn any cache keyed on it into a miss machine).
+    pub fn canonical_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "sim={:?}|ana={:?}|chunk={}",
+            self.sim_default, self.analysis_default, self.chunk_bytes
+        );
+        let mut overrides: Vec<_> = self.overrides.iter().collect();
+        overrides.sort_by_key(|(c, _)| **c);
+        for (c, w) in overrides {
+            let _ = write!(out, "|ov[{},{}]={:?}", c.member, c.slot, w);
+        }
+        out
+    }
+
     /// Enumerates `(component, workload)` for every component of `spec`,
     /// members in order, simulation before analyses.
     pub fn assignments(&self, spec: &EnsembleSpec) -> Vec<(ComponentRef, Workload)> {
@@ -103,6 +123,34 @@ mod tests {
         assert_eq!(a.len(), 6, "2 members × (1 sim + 2 analyses)");
         assert!(a[0].0.is_simulation());
         assert!(!a[1].0.is_simulation());
+    }
+
+    #[test]
+    fn fingerprint_is_independent_of_override_insertion_order() {
+        // Two maps with the same overrides inserted in different orders
+        // hold HashMaps with different internal layouts — the
+        // fingerprint must not leak that.
+        let refs = [
+            ComponentRef::analysis(3, 2),
+            ComponentRef::simulation(0),
+            ComponentRef::analysis(1, 1),
+        ];
+        let mut slow = WorkloadMap::small_defaults().workload_for(refs[0]).clone();
+        slow.instructions_per_step *= 7.0;
+        let mut forward = WorkloadMap::small_defaults();
+        for r in refs {
+            forward.set_override(r, slow.clone());
+        }
+        let mut backward = WorkloadMap::small_defaults();
+        for r in refs.iter().rev() {
+            backward.set_override(*r, slow.clone());
+        }
+        assert_eq!(forward.canonical_fingerprint(), backward.canonical_fingerprint());
+        // And the overrides actually participate.
+        assert_ne!(
+            forward.canonical_fingerprint(),
+            WorkloadMap::small_defaults().canonical_fingerprint()
+        );
     }
 
     #[test]

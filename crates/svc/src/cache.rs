@@ -56,18 +56,24 @@ impl<V> ScoreCache<V> {
     }
 
     /// Inserts `value` under `key`, evicting the oldest entry at
-    /// capacity. Racing inserts of the same key keep the newer value
-    /// (both are correct: entries are deterministic functions of the
-    /// key).
+    /// capacity. Re-inserting an existing key refreshes its FIFO slot —
+    /// the entry becomes the newest, not a candidate carrying its
+    /// original age into the next eviction. Racing inserts of the same
+    /// key keep the newer value (both are correct: entries are
+    /// deterministic functions of the key).
     pub fn insert(&self, key: String, value: V) -> Arc<V> {
         let value = Arc::new(value);
         let mut inner = self.inner.lock().expect("cache lock");
-        if inner.map.insert(key.clone(), Arc::clone(&value)).is_none() {
-            inner.order.push_back(key);
-            if inner.order.len() > self.capacity {
-                if let Some(evicted) = inner.order.pop_front() {
-                    inner.map.remove(&evicted);
-                }
+        if inner.map.insert(key.clone(), Arc::clone(&value)).is_some() {
+            // Refresh: drop the stale slot so the push below re-ages it.
+            if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+                inner.order.remove(pos);
+            }
+        }
+        inner.order.push_back(key);
+        if inner.order.len() > self.capacity {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.map.remove(&evicted);
             }
         }
         value
@@ -138,6 +144,22 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.get("a").is_some());
         assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn reinserting_refreshes_the_fifo_slot() {
+        // Regression: a re-inserted key used to keep its original FIFO
+        // position, so a just-refreshed entry could be evicted as if it
+        // were the oldest.
+        let cache: ScoreCache<u32> = ScoreCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 10); // refresh: "b" is now the oldest
+        cache.insert("c".into(), 3); // evicts "b", not "a"
+        assert_eq!(cache.get("a").as_deref(), Some(&10), "refreshed entry survives");
+        assert!(cache.get("b").is_none(), "oldest-by-refresh is the one evicted");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -46,6 +46,17 @@ impl SvcClient {
         })
     }
 
+    /// Re-fetches a completed `run` by its job id (the request id the
+    /// original `run` carried) — works across service restarts when the
+    /// server journals.
+    pub fn attach(&mut self, id: u64, job: u64) -> std::io::Result<Response> {
+        self.request(&Request {
+            id,
+            deadline: None,
+            body: crate::protocol::RequestBody::Attach { job },
+        })
+    }
+
     /// Sends a raw line (malformed-input testing) and reads one response
     /// line back.
     pub fn request_raw(&mut self, raw_line: &str) -> std::io::Result<Response> {

@@ -1,0 +1,565 @@
+//! Append-only on-disk journal: the service's restart persistence.
+//!
+//! Every admitted request and every completed result is appended as one
+//! JSON line (the crate-local [`crate::json`] codec — no new
+//! dependencies), so a restarted service can replay the file to warm
+//! the score cache and rebuild the completed-job index that backs the
+//! `attach { job }` wire request. Three record kinds:
+//!
+//! ```text
+//! {"rec":"admit","request":{...}}                  // request admitted
+//! {"rec":"score","key":"...","placements":[...]}   // score evaluated (full ranking)
+//! {"rec":"run","job":7,"response":{...}}           // run completed
+//! ```
+//!
+//! Durability is configurable ([`FsyncPolicy`]): fsync after every
+//! record, or batched every N records (flushed again on rotation and
+//! drop). Replay tolerates a torn tail — a final line truncated by a
+//! crash mid-append parses as garbage and is dropped, never fatal, and
+//! [`Journal::open`] seals the tear by truncating the file back to the
+//! last newline so later appends start a fresh line. The same parse
+//! lenience covers corrupt interior lines, each counted in
+//! [`JournalStats::replay_dropped`].
+//!
+//! Size-based rotation keeps the file bounded: once an append pushes
+//! the journal past `max_bytes`, it is compacted in place — rewritten
+//! keeping only the newest `retain_scores` score records (deduplicated
+//! by cache key, last write wins) and the newest `retain_runs` run
+//! records (deduplicated by job id); admit records, having served their
+//! forensic purpose for the previous epoch, are dropped. The rewrite
+//! goes through a temp file + rename so a crash during compaction
+//! leaves either the old or the new journal, never a half-written one.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::{obj, Value};
+use crate::protocol::{
+    placement_from_value, placement_to_value, RankedPlacement, Request, Response,
+};
+
+/// When appended records are fsynced to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: maximum durability, one disk
+    /// round-trip per request.
+    PerRecord,
+    /// `fdatasync` every `n` records (and on rotation and drop): bounded
+    /// data loss of at most `n` records on an OS crash, near-zero
+    /// steady-state cost. A process crash alone loses nothing — writes
+    /// reach the page cache immediately.
+    Batched(u32),
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Batched(64)
+    }
+}
+
+/// Where and how the journal persists.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Journal file path (created if absent; replayed if present).
+    pub path: PathBuf,
+    /// Fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Size threshold that triggers rotation + compaction.
+    pub max_bytes: u64,
+    /// Score records surviving compaction (wire this to the score-cache
+    /// capacity: retaining more than the cache can hold is waste).
+    pub retain_scores: usize,
+    /// Run records surviving compaction (bounds the completed-job index
+    /// a replay rebuilds).
+    pub retain_runs: usize,
+}
+
+impl JournalConfig {
+    /// Defaults: batched fsync, 8 MiB rotation threshold, 256 retained
+    /// records of each kind.
+    pub fn new(path: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            path: path.into(),
+            fsync: FsyncPolicy::default(),
+            max_bytes: 8 << 20,
+            retain_scores: 256,
+            retain_runs: 256,
+        }
+    }
+}
+
+/// What a replay recovered, in file (= chronological) order with
+/// duplicates collapsed to their newest occurrence.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// `(cache key, full ranking)` pairs to warm the score cache.
+    pub scores: Vec<(String, Vec<RankedPlacement>)>,
+    /// `(job id, run result)` pairs to rebuild the completed-job index.
+    pub runs: Vec<(u64, Response)>,
+    /// Admit records seen (no replay action; forensic count).
+    pub admits: u64,
+    /// Torn or corrupt lines dropped.
+    pub dropped: u64,
+}
+
+/// Point-in-time journal counters for the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JournalStats {
+    /// Records appended since open.
+    pub appended: u64,
+    /// Appends that failed at the I/O layer (service kept running).
+    pub append_errors: u64,
+    /// Current journal file size, bytes.
+    pub bytes: u64,
+    /// Rotation + compaction passes since open.
+    pub rotations: u64,
+    /// Score records recovered by the open-time replay.
+    pub replayed_scores: u64,
+    /// Run records recovered by the open-time replay.
+    pub replayed_runs: u64,
+    /// Torn/corrupt lines the replay dropped.
+    pub replay_dropped: u64,
+}
+
+enum ParsedRecord {
+    Admit,
+    Score { key: String, placements: Vec<RankedPlacement> },
+    Run { job: u64, response: Response },
+}
+
+struct Inner {
+    file: File,
+    bytes: u64,
+    since_sync: u32,
+}
+
+/// The append side of the journal (replay happens once, at
+/// [`Journal::open`]).
+pub struct Journal {
+    inner: Mutex<Inner>,
+    config: JournalConfig,
+    appended: AtomicU64,
+    append_errors: AtomicU64,
+    rotations: AtomicU64,
+    replayed_scores: u64,
+    replayed_runs: u64,
+    replay_dropped: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `config.path`, replays
+    /// any existing records, and returns the append handle plus what
+    /// the replay recovered. A torn final line is dropped, not fatal.
+    pub fn open(config: JournalConfig) -> std::io::Result<(Journal, JournalReplay)> {
+        let existing = match std::fs::read(&config.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (records, dropped) = parse_records(&existing);
+        let replay = build_replay(records, dropped);
+        let file = OpenOptions::new().create(true).append(true).open(&config.path)?;
+        let mut bytes = file.metadata()?.len();
+        // Seal a torn tail: everything past the last newline is a
+        // half-written record from a crash mid-append. It is already
+        // dropped from the replay; physically truncating it keeps the
+        // next append from merging into the fragment and corrupting a
+        // good record.
+        let sealed = existing.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0) as u64;
+        if sealed < bytes {
+            file.set_len(sealed)?;
+            bytes = sealed;
+        }
+        let journal = Journal {
+            inner: Mutex::new(Inner { file, bytes, since_sync: 0 }),
+            replayed_scores: replay.scores.len() as u64,
+            replayed_runs: replay.runs.len() as u64,
+            replay_dropped: replay.dropped,
+            appended: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+            config,
+        };
+        Ok((journal, replay))
+    }
+
+    /// Journals an admitted request.
+    pub fn append_admit(&self, request: &Request) {
+        self.append_line(&obj(vec![("rec", "admit".into()), ("request", request.to_value())]));
+    }
+
+    /// Journals a freshly evaluated score ranking under its cache key
+    /// (the full, untruncated ranking — what the cache holds).
+    pub fn append_score(&self, key: &str, placements: &[RankedPlacement]) {
+        self.append_line(&score_record(key, placements));
+    }
+
+    /// Journals a completed run result under its job id.
+    pub fn append_run(&self, job: u64, response: &Response) {
+        self.append_line(&run_record(job, response));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended: self.appended.load(Ordering::Relaxed),
+            append_errors: self.append_errors.load(Ordering::Relaxed),
+            bytes: self.inner.lock().expect("journal lock").bytes,
+            rotations: self.rotations.load(Ordering::Relaxed),
+            replayed_scores: self.replayed_scores,
+            replayed_runs: self.replayed_runs,
+            replay_dropped: self.replay_dropped,
+        }
+    }
+
+    fn append_line(&self, record: &Value) {
+        let mut line = record.to_json();
+        line.push('\n');
+        let mut inner = self.inner.lock().expect("journal lock");
+        if let Err(e) = inner.file.write_all(line.as_bytes()) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("svc journal: append failed: {e}");
+            return;
+        }
+        inner.bytes += line.len() as u64;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        match self.config.fsync {
+            FsyncPolicy::PerRecord => {
+                let _ = inner.file.sync_data();
+            }
+            FsyncPolicy::Batched(n) => {
+                inner.since_sync += 1;
+                if inner.since_sync >= n.max(1) {
+                    let _ = inner.file.sync_data();
+                    inner.since_sync = 0;
+                }
+            }
+        }
+        if inner.bytes > self.config.max_bytes {
+            if let Err(e) = self.rotate_locked(&mut inner) {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("svc journal: rotation failed: {e}");
+            }
+        }
+    }
+
+    /// Compacts the journal in place: keep the newest `retain_scores` /
+    /// `retain_runs` records of each kind (deduplicated, last write
+    /// wins), drop admit records, rewrite through a temp file + rename.
+    fn rotate_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        let _ = inner.file.sync_data();
+        let existing = std::fs::read(&self.config.path)?;
+        let (records, _dropped) = parse_records(&existing);
+        let replay = build_replay(records, 0);
+        let mut compacted = String::new();
+        let skip = replay.scores.len().saturating_sub(self.config.retain_scores);
+        for (key, placements) in replay.scores.iter().skip(skip) {
+            compacted.push_str(&score_record(key, placements).to_json());
+            compacted.push('\n');
+        }
+        let skip = replay.runs.len().saturating_sub(self.config.retain_runs);
+        for (job, response) in replay.runs.iter().skip(skip) {
+            compacted.push_str(&run_record(*job, response).to_json());
+            compacted.push('\n');
+        }
+        let tmp = self.config.path.with_extension("journal-compact");
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(compacted.as_bytes())?;
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.config.path)?;
+        inner.file = OpenOptions::new().append(true).open(&self.config.path)?;
+        inner.bytes = compacted.len() as u64;
+        inner.since_sync = 0;
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.lock() {
+            let _ = inner.file.sync_data();
+        }
+    }
+}
+
+fn score_record(key: &str, placements: &[RankedPlacement]) -> Value {
+    obj(vec![
+        ("rec", "score".into()),
+        ("key", key.into()),
+        ("placements", Value::Arr(placements.iter().map(placement_to_value).collect())),
+    ])
+}
+
+fn run_record(job: u64, response: &Response) -> Value {
+    obj(vec![("rec", "run".into()), ("job", job.into()), ("response", response.to_value())])
+}
+
+/// Splits `bytes` into newline-terminated records, dropping (and
+/// counting) corrupt lines and the torn unterminated tail.
+fn parse_records(bytes: &[u8]) -> (Vec<ParsedRecord>, u64) {
+    let mut records = Vec::new();
+    let mut dropped = 0u64;
+    let mut start = 0usize;
+    while let Some(pos) = bytes[start..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[start..start + pos];
+        start += pos + 1;
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        match parse_record(line) {
+            Some(r) => records.push(r),
+            None => dropped += 1,
+        }
+    }
+    // No trailing newline: the final append was interrupted. Drop it.
+    if !bytes[start..].iter().all(u8::is_ascii_whitespace) {
+        dropped += 1;
+    }
+    (records, dropped)
+}
+
+fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    let v = Value::parse(text).ok()?;
+    match v.get("rec")?.as_str()? {
+        "admit" => {
+            Request::from_value(v.get("request")?).ok()?;
+            Some(ParsedRecord::Admit)
+        }
+        "score" => {
+            let key = v.get("key")?.as_str()?.to_string();
+            let placements = v
+                .get("placements")?
+                .as_arr()?
+                .iter()
+                .map(placement_from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .ok()?;
+            Some(ParsedRecord::Score { key, placements })
+        }
+        "run" => {
+            let job = v.get("job")?.as_u64()?;
+            let response = Response::from_value(v.get("response")?).ok()?;
+            // Only completed run results are attachable; anything else
+            // in a run record is corruption.
+            matches!(response, Response::RunResult { .. }).then_some(())?;
+            Some(ParsedRecord::Run { job, response })
+        }
+        _ => None,
+    }
+}
+
+/// Collapses records to their newest occurrence per key/job while
+/// preserving chronological order (so FIFO cache warm-up keeps the
+/// newest entries when over capacity).
+fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
+    let mut replay = JournalReplay { dropped, ..JournalReplay::default() };
+    let mut score_slot: HashMap<String, usize> = HashMap::new();
+    let mut run_slot: HashMap<u64, usize> = HashMap::new();
+    let mut scores: Vec<Option<(String, Vec<RankedPlacement>)>> = Vec::new();
+    let mut runs: Vec<Option<(u64, Response)>> = Vec::new();
+    for record in records {
+        match record {
+            ParsedRecord::Admit => replay.admits += 1,
+            ParsedRecord::Score { key, placements } => {
+                if let Some(&old) = score_slot.get(&key) {
+                    scores[old] = None;
+                }
+                score_slot.insert(key.clone(), scores.len());
+                scores.push(Some((key, placements)));
+            }
+            ParsedRecord::Run { job, response } => {
+                if let Some(&old) = run_slot.get(&job) {
+                    runs[old] = None;
+                }
+                run_slot.insert(job, runs.len());
+                runs.push(Some((job, response)));
+            }
+        }
+    }
+    replay.scores = scores.into_iter().flatten().collect();
+    replay.runs = runs.into_iter().flatten().collect();
+    replay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MemberSummary;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let path = std::env::temp_dir()
+            .join(format!("svc-journal-unit-{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn ranking(objective: f64) -> Vec<RankedPlacement> {
+        vec![RankedPlacement {
+            assignment: vec![0, 1],
+            objective,
+            nodes_used: 2,
+            ensemble_makespan: 100.0,
+            eq4_satisfied: true,
+        }]
+    }
+
+    fn run_result(id: u64) -> Response {
+        Response::RunResult {
+            id,
+            ensemble_makespan: 42.0,
+            members: vec![MemberSummary {
+                sigma_star: 1.0,
+                efficiency: 0.9,
+                cp: 1.0,
+                makespan: 41.0,
+            }],
+            elapsed_ms: 5.0,
+        }
+    }
+
+    #[test]
+    fn roundtrips_scores_and_runs_across_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let (journal, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+            assert!(replay.scores.is_empty() && replay.runs.is_empty());
+            journal.append_score("k1", &ranking(0.5));
+            journal.append_score("k2", &ranking(0.7));
+            journal.append_run(7, &run_result(7));
+            assert_eq!(journal.stats().appended, 3);
+        }
+        let (journal, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.scores.len(), 2);
+        assert_eq!(replay.scores[0].0, "k1");
+        assert_eq!(replay.scores[1].1[0].objective.to_bits(), 0.7f64.to_bits());
+        assert_eq!(replay.runs.len(), 1);
+        assert_eq!(replay.runs[0].0, 7);
+        assert_eq!(replay.runs[0].1, run_result(7));
+        assert_eq!(journal.stats().replayed_scores, 2);
+        assert_eq!(journal.stats().replayed_runs, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_keys_replay_newest_only() {
+        let path = temp_path("dedup");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_score("k", &ranking(0.1));
+            journal.append_score("k", &ranking(0.9));
+            journal.append_run(3, &run_result(3));
+            journal.append_run(3, &run_result(3));
+        }
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.scores.len(), 1);
+        assert_eq!(replay.scores[0].1[0].objective.to_bits(), 0.9f64.to_bits());
+        assert_eq!(replay.runs.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_score("whole", &ranking(0.5));
+        }
+        // Simulate a crash mid-append: a final line with no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"rec\":\"score\",\"key\":\"torn").unwrap();
+        drop(f);
+        let (journal, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.scores.len(), 1, "intact record survives");
+        assert_eq!(replay.scores[0].0, "whole");
+        assert_eq!(replay.dropped, 1, "torn tail dropped, not fatal");
+        assert_eq!(journal.stats().replay_dropped, 1);
+        // Open sealed the tear (truncated to the last newline), so the
+        // next append starts a fresh line instead of merging into the
+        // fragment and corrupting itself.
+        journal.append_score("after-tear", &ranking(0.6));
+        drop(journal);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.dropped, 0, "the fragment was physically removed at the previous open");
+        assert!(replay.scores.iter().any(|(k, _)| k == "whole"));
+        assert!(replay.scores.iter().any(|(k, _)| k == "after-tear"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_lines_are_skipped() {
+        let path = temp_path("corrupt");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_score("a", &ranking(0.5));
+        }
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json at all\n{\"rec\":\"mystery\"}\n").unwrap();
+        drop(f);
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_score("b", &ranking(0.6));
+        }
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.scores.len(), 2);
+        assert_eq!(replay.dropped, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_compacts_to_newest_entries_under_the_cap() {
+        let path = temp_path("rotate");
+        let mut config = JournalConfig::new(&path);
+        config.max_bytes = 4096;
+        config.retain_scores = 4;
+        config.retain_runs = 2;
+        let (journal, _) = Journal::open(config).unwrap();
+        for i in 0..200 {
+            journal.append_score(&format!("key-{i}"), &ranking(i as f64));
+            journal.append_run(i, &run_result(i));
+        }
+        let stats = journal.stats();
+        assert!(stats.rotations >= 1, "rotation must have triggered");
+        assert!(
+            stats.bytes <= 4096 + 1024,
+            "file stays near the cap after compaction, got {} bytes",
+            stats.bytes
+        );
+        drop(journal);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        // The resident set is the retained records of the last compaction
+        // plus whatever was appended since — bounded by the byte cap,
+        // nowhere near the 200 written.
+        assert!(replay.scores.len() < 40, "bounded by rotation, got {}", replay.scores.len());
+        assert!(!replay.scores.iter().any(|(k, _)| k == "key-0"), "oldest score compacted away");
+        assert!(replay.scores.iter().any(|(k, _)| k == "key-199"), "newest score survives");
+        assert!(replay.runs.iter().any(|(j, _)| *j == 199), "newest run survives");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_record_fsync_policy_appends_fine() {
+        let path = temp_path("fsync");
+        let mut config = JournalConfig::new(&path);
+        config.fsync = FsyncPolicy::PerRecord;
+        let (journal, _) = Journal::open(config).unwrap();
+        journal.append_admit(&crate::service::small_score_request(1, 2, 16, 1, 8, 3));
+        journal.append_score("k", &ranking(0.5));
+        assert_eq!(journal.stats().appended, 2);
+        assert_eq!(journal.stats().append_errors, 0);
+        drop(journal);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.admits, 1);
+        assert_eq!(replay.scores.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -24,6 +24,12 @@
 //! blocking: a full queue answers `overloaded` with a retry hint
 //! immediately. Shutdown drains everything admitted.
 //!
+//! With a [`journal`] configured, answered scores and completed runs
+//! also persist as an append-only JSON-lines file: a restarted service
+//! replays it to warm the score cache and to rebuild the completed-run
+//! index behind the `attach { job }` request, so clients re-fetch
+//! results produced by a previous process.
+//!
 //! The wire codec is the crate's own minimal [`json`] module, so the
 //! protocol stays functional in build environments where `serde_json`
 //! is stubbed out.
@@ -32,6 +38,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod queue;
@@ -41,6 +48,7 @@ pub mod stats;
 
 pub use cache::ScoreCache;
 pub use client::SvcClient;
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats};
 pub use protocol::{
     ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
     ScoreRequest, Workloads,

@@ -85,6 +85,13 @@ pub enum RequestBody {
     Score(ScoreRequest),
     /// Full simulated run.
     Run(RunRequest),
+    /// Re-fetch the result of a completed `run` by its job id (the
+    /// request id the original `run` carried). Served from the
+    /// completed-job index, which the journal rebuilds across restarts.
+    Attach {
+        /// Job id of the completed run to fetch.
+        job: u64,
+    },
     /// Metrics snapshot (served out-of-band, never queued).
     Metrics,
 }
@@ -142,6 +149,8 @@ pub enum ErrorKind {
     Invalid,
     /// Evaluation failed internally.
     Internal,
+    /// An `attach` named a job the completed-run index does not hold.
+    NotFound,
     /// The service is shutting down and no longer admits work.
     ShuttingDown,
 }
@@ -155,6 +164,7 @@ impl ErrorKind {
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::Invalid => "invalid",
             ErrorKind::Internal => "internal",
+            ErrorKind::NotFound => "not_found",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }
@@ -166,6 +176,7 @@ impl ErrorKind {
             "cancelled" => ErrorKind::Cancelled,
             "invalid" => ErrorKind::Invalid,
             "internal" => ErrorKind::Internal,
+            "not_found" => ErrorKind::NotFound,
             "shutting_down" => ErrorKind::ShuttingDown,
             _ => return None,
         })
@@ -250,6 +261,12 @@ fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
 impl Request {
     /// Encodes the request as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Encodes the request as a JSON value (the journal embeds requests
+    /// inside its own records).
+    pub fn to_value(&self) -> Value {
         let mut fields: Vec<(&str, Value)> = Vec::new();
         match &self.body {
             RequestBody::Score(s) => {
@@ -322,6 +339,11 @@ impl Request {
                 fields.push(("seed", r.seed.into()));
                 fields.push(("workloads", r.workloads.tag().into()));
             }
+            RequestBody::Attach { job } => {
+                fields.push(("type", "attach".into()));
+                fields.push(("id", self.id.into()));
+                fields.push(("job", (*job).into()));
+            }
             RequestBody::Metrics => {
                 fields.push(("type", "metrics".into()));
                 fields.push(("id", self.id.into()));
@@ -330,7 +352,7 @@ impl Request {
         if let Some(d) = self.deadline {
             fields.push(("deadline_ms", (d.as_millis() as u64).into()));
         }
-        obj(fields).to_json()
+        obj(fields)
     }
 
     /// Decodes a request from a parsed JSON value.
@@ -353,6 +375,7 @@ impl Request {
         };
         let body = match kind {
             "metrics" => RequestBody::Metrics,
+            "attach" => RequestBody::Attach { job: u64_field(v, "job")? },
             "score" => {
                 let members =
                     field(v, "members")?.as_arr().ok_or("field 'members' must be an array")?;
@@ -434,37 +457,52 @@ impl Request {
     }
 }
 
+/// Encodes one ranked placement as a JSON value (shared between score
+/// responses and journal records).
+pub(crate) fn placement_to_value(p: &RankedPlacement) -> Value {
+    obj(vec![
+        ("assignment", Value::Arr(p.assignment.iter().map(|&n| n.into()).collect())),
+        ("objective", p.objective.into()),
+        ("nodes_used", p.nodes_used.into()),
+        ("ensemble_makespan", p.ensemble_makespan.into()),
+        ("eq4_satisfied", p.eq4_satisfied.into()),
+    ])
+}
+
+/// Decodes one ranked placement from a JSON value.
+pub(crate) fn placement_from_value(p: &Value) -> Result<RankedPlacement, String> {
+    Ok(RankedPlacement {
+        assignment: field(p, "assignment")?
+            .as_arr()
+            .ok_or("assignment must be an array")?
+            .iter()
+            .map(|n| n.as_usize().ok_or("assignment entries must be ints"))
+            .collect::<Result<Vec<_>, _>>()?,
+        objective: f64_field(p, "objective")?,
+        nodes_used: u64_field(p, "nodes_used")? as usize,
+        ensemble_makespan: f64_field(p, "ensemble_makespan")?,
+        eq4_satisfied: field(p, "eq4_satisfied")?
+            .as_bool()
+            .ok_or("eq4_satisfied must be a bool")?,
+    })
+}
+
 impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
-        let v = match self {
+        self.to_value().to_json()
+    }
+
+    /// Encodes the response as a JSON value (the journal embeds
+    /// responses inside its own records).
+    pub fn to_value(&self) -> Value {
+        match self {
             Response::ScoreResult { id, placements, cached, elapsed_ms } => obj(vec![
                 ("type", "score_result".into()),
                 ("id", (*id).into()),
                 ("cached", (*cached).into()),
                 ("elapsed_ms", (*elapsed_ms).into()),
-                (
-                    "placements",
-                    Value::Arr(
-                        placements
-                            .iter()
-                            .map(|p| {
-                                obj(vec![
-                                    (
-                                        "assignment",
-                                        Value::Arr(
-                                            p.assignment.iter().map(|&n| n.into()).collect(),
-                                        ),
-                                    ),
-                                    ("objective", p.objective.into()),
-                                    ("nodes_used", p.nodes_used.into()),
-                                    ("ensemble_makespan", p.ensemble_makespan.into()),
-                                    ("eq4_satisfied", p.eq4_satisfied.into()),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("placements", Value::Arr(placements.iter().map(placement_to_value).collect())),
             ]),
             Response::RunResult { id, ensemble_makespan, members, elapsed_ms } => obj(vec![
                 ("type", "run_result".into()),
@@ -504,46 +542,35 @@ impl Response {
                 ("kind", kind.tag().into()),
                 ("message", message.as_str().into()),
             ]),
-        };
-        v.to_json()
+        }
     }
 
     /// Decodes a response from one JSON line (the client side).
     pub fn from_json(line: &str) -> Result<Response, String> {
         let v = Value::parse(line).map_err(|e| e.to_string())?;
-        let id = u64_field(&v, "id")?;
-        match field(&v, "type")?.as_str().ok_or("field 'type' must be a string")? {
+        Response::from_value(&v)
+    }
+
+    /// Decodes a response from a parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<Response, String> {
+        let id = u64_field(v, "id")?;
+        match field(v, "type")?.as_str().ok_or("field 'type' must be a string")? {
             "score_result" => {
-                let placements = field(&v, "placements")?
+                let placements = field(v, "placements")?
                     .as_arr()
                     .ok_or("field 'placements' must be an array")?
                     .iter()
-                    .map(|p| {
-                        Ok(RankedPlacement {
-                            assignment: field(p, "assignment")?
-                                .as_arr()
-                                .ok_or("assignment must be an array")?
-                                .iter()
-                                .map(|n| n.as_usize().ok_or("assignment entries must be ints"))
-                                .collect::<Result<Vec<_>, _>>()?,
-                            objective: f64_field(p, "objective")?,
-                            nodes_used: u64_field(p, "nodes_used")? as usize,
-                            ensemble_makespan: f64_field(p, "ensemble_makespan")?,
-                            eq4_satisfied: field(p, "eq4_satisfied")?
-                                .as_bool()
-                                .ok_or("eq4_satisfied must be a bool")?,
-                        })
-                    })
+                    .map(placement_from_value)
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::ScoreResult {
                     id,
                     placements,
-                    cached: field(&v, "cached")?.as_bool().ok_or("cached must be a bool")?,
-                    elapsed_ms: f64_field(&v, "elapsed_ms")?,
+                    cached: field(v, "cached")?.as_bool().ok_or("cached must be a bool")?,
+                    elapsed_ms: f64_field(v, "elapsed_ms")?,
                 })
             }
             "run_result" => {
-                let members = field(&v, "members")?
+                let members = field(v, "members")?
                     .as_arr()
                     .ok_or("field 'members' must be an array")?
                     .iter()
@@ -558,13 +585,13 @@ impl Response {
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::RunResult {
                     id,
-                    ensemble_makespan: f64_field(&v, "ensemble_makespan")?,
+                    ensemble_makespan: f64_field(v, "ensemble_makespan")?,
                     members,
-                    elapsed_ms: f64_field(&v, "elapsed_ms")?,
+                    elapsed_ms: f64_field(v, "elapsed_ms")?,
                 })
             }
             "metrics" => {
-                let rows = match field(&v, "rows")? {
+                let rows = match field(v, "rows")? {
                     Value::Obj(fields) => fields
                         .iter()
                         .map(|(k, val)| {
@@ -578,15 +605,15 @@ impl Response {
                 Ok(Response::Metrics { id, rows })
             }
             "overloaded" => {
-                Ok(Response::Overloaded { id, retry_after_ms: u64_field(&v, "retry_after_ms")? })
+                Ok(Response::Overloaded { id, retry_after_ms: u64_field(v, "retry_after_ms")? })
             }
             "error" => Ok(Response::Error {
                 id,
                 kind: ErrorKind::from_tag(
-                    field(&v, "kind")?.as_str().ok_or("kind must be a string")?,
+                    field(v, "kind")?.as_str().ok_or("kind must be a string")?,
                 )
                 .ok_or("unknown error kind")?,
-                message: field(&v, "message")?
+                message: field(v, "message")?
                     .as_str()
                     .ok_or("message must be a string")?
                     .to_string(),
@@ -636,6 +663,28 @@ mod tests {
         };
         let decoded = Request::from_json(&req.to_json()).unwrap();
         assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn attach_request_roundtrips() {
+        let req = Request { id: 3, deadline: None, body: RequestBody::Attach { job: 77 } };
+        let line = req.to_json();
+        assert!(line.contains("\"type\":\"attach\""), "{line}");
+        assert!(line.contains("\"job\":77"), "{line}");
+        let decoded = Request::from_json(&line).unwrap();
+        assert_eq!(decoded, req);
+        // A missing job id is malformed, not a silent default.
+        assert!(Request::from_json(r#"{"type":"attach","id":3}"#).unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn not_found_error_roundtrips() {
+        let r = Response::Error {
+            id: 9,
+            kind: ErrorKind::NotFound,
+            message: "no completed run with job id 9".into(),
+        };
+        assert_eq!(Response::from_json(&r.to_json()).unwrap(), r);
     }
 
     #[test]

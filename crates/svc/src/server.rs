@@ -46,7 +46,7 @@ pub fn serve(addr: &str, config: SvcConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let shared = Arc::new(ServerShared {
-        service: Service::start(config),
+        service: Service::try_start(config)?,
         stopping: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
     });
@@ -183,6 +183,12 @@ fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Response {
         let rows =
             shared.service.metrics().rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         return Response::Metrics { id, rows };
+    }
+    if let RequestBody::Attach { job } = request.body {
+        // A cheap index lookup, answered inline like metrics — so a
+        // client can re-fetch its finished run even while the queue is
+        // shedding new work.
+        return shared.service.attach(id, job);
     }
     match shared.service.submit(request) {
         Ok(pending) => {

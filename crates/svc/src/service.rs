@@ -19,12 +19,13 @@ use runtime::{SimRunConfig, WorkloadMap};
 use scheduler::{enumerate_placements, FastEvaluator};
 
 use crate::cache::ScoreCache;
+use crate::journal::{Journal, JournalConfig};
 use crate::protocol::{
     ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
     ScoreRequest, Workloads,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{MetricsSnapshot, SvcStats};
+use crate::stats::{MetricsSnapshot, SvcStats, COLD_START_SERVICE_TIME};
 
 /// Tuning of the service.
 #[derive(Debug, Clone)]
@@ -37,11 +38,21 @@ pub struct SvcConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that carry none.
     pub default_deadline: Option<Duration>,
+    /// Optional on-disk journal. When set, admitted requests and
+    /// completed results persist across restarts: the score cache is
+    /// warmed and the attachable-run index rebuilt by replay at start.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for SvcConfig {
     fn default() -> Self {
-        SvcConfig { workers: 0, queue_capacity: 64, cache_capacity: 256, default_deadline: None }
+        SvcConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline: None,
+            journal: None,
+        }
     }
 }
 
@@ -143,6 +154,11 @@ struct Shared {
     queue: BoundedQueue<Job>,
     stats: SvcStats,
     cache: ScoreCache<Vec<RankedPlacement>>,
+    /// Completed run results by job id (the original request id), the
+    /// index behind `attach`. Bounded FIFO like the score cache; the
+    /// journal rebuilds it across restarts.
+    runs: ScoreCache<Response>,
+    journal: Option<Journal>,
     workers: usize,
 }
 
@@ -155,15 +171,43 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool.
-    pub fn start(mut config: SvcConfig) -> Service {
+    /// Starts the worker pool. Panics if the configured journal cannot
+    /// be opened — use [`Service::try_start`] to handle that gracefully.
+    pub fn start(config: SvcConfig) -> Service {
+        Service::try_start(config).expect("open journal")
+    }
+
+    /// Starts the worker pool, opening (and replaying) the journal when
+    /// one is configured. Replay warms the score cache — the first
+    /// post-restart `score` of a previously-seen query is a hit — and
+    /// rebuilds the completed-run index behind `attach`.
+    pub fn try_start(mut config: SvcConfig) -> std::io::Result<Service> {
         if config.workers == 0 {
             config.workers = host_workers();
         }
+        let cache = ScoreCache::new(config.cache_capacity);
+        let runs = ScoreCache::new(config.cache_capacity);
+        let journal = match config.journal.clone() {
+            Some(journal_config) => {
+                let (journal, replay) = Journal::open(journal_config)?;
+                // Chronological order + FIFO eviction: when the replay
+                // holds more than the cache fits, the newest survive.
+                for (key, placements) in replay.scores {
+                    cache.insert(key, placements);
+                }
+                for (job, response) in replay.runs {
+                    runs.insert(job.to_string(), response);
+                }
+                Some(journal)
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: SvcStats::default(),
-            cache: ScoreCache::new(config.cache_capacity),
+            cache,
+            runs,
+            journal,
             workers: config.workers,
         });
         let mut handles = Vec::with_capacity(config.workers);
@@ -176,7 +220,7 @@ impl Service {
                     .expect("spawn worker"),
             );
         }
-        Service { shared, config, handles: Mutex::new(handles) }
+        Ok(Service { shared, config, handles: Mutex::new(handles) })
     }
 
     /// Offers a request for admission. Never blocks: a full queue sheds
@@ -191,10 +235,16 @@ impl Service {
         let deadline_at = request.deadline.map(|d| submitted + d);
         let cancel = CancelToken::default();
         let (tx, rx) = mpsc::channel();
+        // Only *admitted* requests are journaled; clone up front because
+        // the job owns the request once pushed.
+        let admit_copy = self.shared.journal.as_ref().map(|_| request.clone());
         let job = Job { request, submitted, deadline_at, cancel: cancel.clone(), reply: tx };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
+                if let (Some(journal), Some(request)) = (&self.shared.journal, &admit_copy) {
+                    journal.append_admit(request);
+                }
                 Ok(Pending { rx, cancel })
             }
             Err(PushError::Full(_)) => {
@@ -206,17 +256,34 @@ impl Service {
     }
 
     /// Suggested back-off for a shed request: the time one queue's worth
-    /// of work takes the pool at the observed mean service time.
+    /// of work takes the pool at the observed mean service time. Before
+    /// any request has finished, the mean is seeded with the default
+    /// deadline budget (or [`COLD_START_SERVICE_TIME`]) so a cold-start
+    /// overload still produces a hint proportional to backlog — the old
+    /// zero-mean estimate told every shed client "retry in 1 ms",
+    /// inviting a thundering herd. Computed in nanoseconds so sub-ms
+    /// means still scale with backlog instead of truncating to zero.
     pub fn retry_after_hint_ms(&self) -> u64 {
-        let mean = self.shared.stats.mean_service_time();
+        let fallback = self.config.default_deadline.unwrap_or(COLD_START_SERVICE_TIME);
+        let mean = self.shared.stats.mean_service_time_or(fallback);
         let backlog = (self.shared.queue.len() + 1) as u64;
         let per_worker = backlog.div_ceil(self.shared.workers as u64);
-        (mean.as_millis() as u64).saturating_mul(per_worker).max(1)
+        (mean.as_nanos() as u64).saturating_mul(per_worker).div_ceil(1_000_000).max(1)
+    }
+
+    /// Serves an `attach { job }` lookup against the completed-run
+    /// index: the stored result re-emitted under the attach request's
+    /// own correlation id, or a `not_found` error. Served inline by the
+    /// front end (like `metrics`) — it never queues, so re-attaching
+    /// works even under overload.
+    pub fn attach(&self, id: u64, job: u64) -> Response {
+        attach_response(&self.shared, id, job)
     }
 
     /// Point-in-time metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         let s = &self.shared.stats;
+        let j = self.shared.journal.as_ref().map(|j| j.stats()).unwrap_or_default();
         MetricsSnapshot {
             submitted: s.submitted.load(Ordering::Relaxed),
             accepted: s.accepted.load(Ordering::Relaxed),
@@ -235,6 +302,15 @@ impl Service {
             cache_hits: self.shared.cache.hits(),
             cache_misses: self.shared.cache.misses(),
             cache_entries: self.shared.cache.len(),
+            run_index_entries: self.shared.runs.len(),
+            journal_enabled: self.shared.journal.is_some(),
+            journal_appended: j.appended,
+            journal_append_errors: j.append_errors,
+            journal_bytes: j.bytes,
+            journal_rotations: j.rotations,
+            journal_replayed_scores: j.replayed_scores,
+            journal_replayed_runs: j.replayed_runs,
+            journal_replay_dropped: j.replay_dropped,
         }
     }
 
@@ -287,8 +363,44 @@ fn worker_loop(shared: &Shared) {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Completed runs become attachable by their job id (the request
+        // id), and durable when a journal is attached.
+        if let Response::RunResult { .. } = &response {
+            let job_id = job.request.id;
+            shared.runs.insert(job_id.to_string(), response.clone());
+            if let Some(journal) = &shared.journal {
+                journal.append_run(job_id, &response);
+            }
+        }
         // The receiver may be gone (client disconnected) — that is fine.
         let _ = job.reply.send(response);
+    }
+}
+
+/// The `attach` lookup shared between [`Service::attach`] (the inline
+/// front-end path) and queued execution.
+fn attach_response(shared: &Shared, id: u64, job: u64) -> Response {
+    match shared.runs.get(&job.to_string()) {
+        Some(stored) => match &*stored {
+            Response::RunResult { ensemble_makespan, members, elapsed_ms, .. } => {
+                Response::RunResult {
+                    id,
+                    ensemble_makespan: *ensemble_makespan,
+                    members: members.clone(),
+                    elapsed_ms: *elapsed_ms,
+                }
+            }
+            other => Response::Error {
+                id,
+                kind: ErrorKind::Internal,
+                message: format!("run index held a non-run response for job {job}: {other:?}"),
+            },
+        },
+        None => Response::Error {
+            id,
+            kind: ErrorKind::NotFound,
+            message: format!("no completed run with job id {job}"),
+        },
     }
 }
 
@@ -342,6 +454,10 @@ fn execute(shared: &Shared, job: &Job) -> Response {
                 elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
             })
         }
+        // Attach requests are answered by the front end without
+        // queueing (like metrics); one arriving here is still served
+        // correctly from the same index.
+        RequestBody::Attach { job: target } => Ok(attach_response(shared, id, *target)),
         // Metrics requests are answered by the front end without
         // queueing; one arriving here is still served correctly.
         RequestBody::Metrics => Ok(Response::Metrics { id, rows: Vec::new() }),
@@ -362,15 +478,22 @@ fn base_config(spec: ensemble_core::EnsembleSpec, workloads: Workloads) -> SimRu
 /// fingerprint — two keys are equal iff `fast_score` is guaranteed to
 /// return bit-identical results (it is deterministic; see the
 /// scheduler's determinism tests).
+///
+/// Every part serializes in a fixed order — in particular the workload
+/// map goes through [`WorkloadMap::canonical_fingerprint`], which sorts
+/// its per-component override HashMap before rendering. Nothing here may
+/// ever iterate a HashMap in hash order: the key doubles as the journal
+/// replay key, so a nondeterministic rendering would silently turn both
+/// the cache and the restart warm-up into a miss machine.
 fn score_cache_key(score: &ScoreRequest, cfg: &SimRunConfig) -> String {
     format!(
-        "score:v1|shape={:?}|max_nodes={}|cores_per_node={}|steps={}|wl={:?}|chunk={}|node={:?}|net={:?}|interf={:?}|bind={:?}",
+        "score:v2|shape={:?}|max_nodes={}|cores_per_node={}|steps={}|wl={:?}|wlmap={}|node={:?}|net={:?}|interf={:?}|bind={:?}",
         score.shape.members,
         score.budget.max_nodes,
         score.budget.cores_per_node,
         score.steps,
         score.workloads,
-        cfg.workloads.chunk_bytes,
+        cfg.workloads.canonical_fingerprint(),
         cfg.node_spec,
         cfg.network,
         cfg.interference,
@@ -416,6 +539,11 @@ fn execute_score(
         });
     }
     ranked.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    if let Some(journal) = &shared.journal {
+        // The full ranking, pre-truncation — exactly what the cache
+        // holds and what a replay re-inserts.
+        journal.append_score(&key, &ranked);
+    }
     shared.cache.insert(key, ranked.clone());
     if score.top_k > 0 {
         ranked.truncate(score.top_k);
@@ -486,6 +614,7 @@ mod tests {
             queue_capacity: queue,
             cache_capacity: 16,
             default_deadline: None,
+            journal: None,
         })
     }
 
@@ -651,6 +780,94 @@ mod tests {
             Response::ScoreResult { placements, .. } => assert!(placements.is_empty()),
             other => panic!("expected empty score result, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cold_start_retry_hint_scales_with_backlog() {
+        // Regression: before any request completes, the hint used to
+        // collapse to 1 ms regardless of backlog (zero observed mean ×
+        // anything = 0, floored to 1) — every shed client retried at
+        // once. The cold-start seed must make it scale with queue depth.
+        let svc = tiny_service(1, 8);
+        let empty_hint = svc.retry_after_hint_ms();
+        let cold_ms = COLD_START_SERVICE_TIME.as_millis() as u64;
+        assert!(empty_hint >= cold_ms, "empty-queue cold hint {empty_hint} < seed {cold_ms}");
+        // Occupy the single worker so queued work stays queued.
+        let blocker = svc.submit(run_request(1, 400)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.metrics().in_flight == 0 {
+            assert!(Instant::now() < deadline, "worker never picked up the job");
+            std::thread::yield_now();
+        }
+        let mut queued = Vec::new();
+        for i in 0..8 {
+            queued.push(svc.submit(small_score_request(10 + i, 2, 16, 1, 8, 3)).unwrap());
+        }
+        let full_hint = svc.retry_after_hint_ms();
+        assert!(
+            full_hint >= empty_hint.saturating_mul(8),
+            "hint must scale with backlog: empty {empty_hint}ms, 8-deep {full_hint}ms"
+        );
+        assert!(matches!(blocker.wait(), Response::RunResult { .. }));
+        for p in queued {
+            assert!(matches!(p.wait(), Response::ScoreResult { .. }));
+        }
+    }
+
+    #[test]
+    fn deadline_budget_seeds_the_cold_start_hint() {
+        let svc = Service::start(SvcConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            default_deadline: Some(Duration::from_secs(2)),
+            journal: None,
+        });
+        assert!(
+            svc.retry_after_hint_ms() >= 2000,
+            "a configured deadline budget outranks the generic cold-start seed"
+        );
+    }
+
+    #[test]
+    fn independently_built_identical_queries_share_a_cache_key() {
+        // Byte-identical keys from independently built (but equal)
+        // specs: nothing in the key builder may iterate a HashMap in
+        // hash order. String equality is byte equality.
+        let key_of = || {
+            let req = small_score_request(1, 2, 16, 1, 8, 3);
+            let RequestBody::Score(score) = req.body else { unreachable!() };
+            let placeholder = score.shape.materialize(&vec![0; score.shape.num_components()]);
+            let mut cfg = base_config(placeholder, score.workloads);
+            cfg.n_steps = score.steps;
+            score_cache_key(&score, &cfg)
+        };
+        let (a, b) = (key_of(), key_of());
+        assert_eq!(a, b);
+        assert!(a.contains("wlmap="), "key carries the workload-map fingerprint: {a}");
+    }
+
+    #[test]
+    fn attach_replays_a_completed_run_in_process() {
+        let svc = tiny_service(1, 4);
+        let done = svc.submit(run_request(41, 6)).unwrap().wait();
+        let Response::RunResult { ensemble_makespan, .. } = &done else {
+            panic!("expected run result, got {done:?}");
+        };
+        match svc.attach(7, 41) {
+            Response::RunResult { id, ensemble_makespan: m, .. } => {
+                assert_eq!(id, 7, "attach answers under its own correlation id");
+                assert_eq!(m.to_bits(), ensemble_makespan.to_bits());
+            }
+            other => panic!("expected run result, got {other:?}"),
+        }
+        match svc.attach(8, 999) {
+            Response::Error { kind: ErrorKind::NotFound, message, .. } => {
+                assert!(message.contains("999"), "{message}");
+            }
+            other => panic!("expected not_found, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().run_index_entries, 1);
     }
 
     #[test]

@@ -36,8 +36,14 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
-    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
-    /// containing it, in milliseconds. Zero when no samples exist.
+    /// The `q`-quantile (`0 < q ≤ 1`) as the *geometric midpoint* of the
+    /// power-of-two bucket containing it, in milliseconds. Zero when no
+    /// samples exist.
+    ///
+    /// Bucket `i` covers `[2^i, 2^{i+1})` µs; reporting its geometric
+    /// midpoint `2^{i+1/2}` bounds the multiplicative error at `≤ √2`
+    /// in either direction (the bucket's upper bound, by contrast,
+    /// overstates the true quantile by up to 2×).
     pub fn quantile_ms(&self, q: f64) -> f64 {
         let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         let total: u64 = snapshot.iter().sum();
@@ -49,10 +55,10 @@ impl LatencyHistogram {
         for (idx, &count) in snapshot.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return (1u64 << (idx + 1)) as f64 / 1000.0;
+                return bucket_midpoint_ms(idx);
             }
         }
-        (1u64 << BUCKETS) as f64 / 1000.0
+        bucket_midpoint_ms(BUCKETS - 1)
     }
 }
 
@@ -83,17 +89,35 @@ pub struct SvcStats {
     pub latency: LatencyHistogram,
 }
 
+/// Geometric midpoint of power-of-two µs bucket `idx`, in ms.
+fn bucket_midpoint_ms(idx: usize) -> f64 {
+    (1u64 << idx) as f64 * std::f64::consts::SQRT_2 / 1000.0
+}
+
+/// Seed for the mean-service-time estimate before any request finishes
+/// (see [`SvcStats::mean_service_time_or`]).
+pub const COLD_START_SERVICE_TIME: Duration = Duration::from_millis(25);
+
 impl SvcStats {
-    /// Mean execution time of finished requests.
+    /// Mean execution time of finished requests, seeded with
+    /// [`COLD_START_SERVICE_TIME`] before the first completion.
     pub fn mean_service_time(&self) -> Duration {
+        self.mean_service_time_or(COLD_START_SERVICE_TIME)
+    }
+
+    /// Mean execution time of finished requests, or `fallback` while no
+    /// sample exists yet. The fallback keeps the overload retry hint
+    /// proportional to backlog at cold start instead of collapsing to
+    /// the 1 ms floor (a thundering-herd invitation).
+    pub fn mean_service_time_or(&self, fallback: Duration) -> Duration {
         let done = self.completed.load(Ordering::Relaxed)
             + self.errored.load(Ordering::Relaxed)
             + self.deadline_expired.load(Ordering::Relaxed)
             + self.cancelled.load(Ordering::Relaxed);
         if done == 0 {
-            return Duration::from_millis(25);
+            return fallback;
         }
-        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed) / done.max(1))
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed) / done)
     }
 }
 
@@ -122,7 +146,8 @@ pub struct MetricsSnapshot {
     pub in_flight: u64,
     /// Worker pool size.
     pub workers: usize,
-    /// Median submit→response latency, milliseconds (bucket upper bound).
+    /// Median submit→response latency, milliseconds (geometric midpoint
+    /// of the histogram bucket, ≤ √2 ratio error).
     pub latency_p50_ms: f64,
     /// 95th-percentile latency, milliseconds.
     pub latency_p95_ms: f64,
@@ -134,6 +159,25 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Entries resident in the score cache.
     pub cache_entries: usize,
+    /// Completed runs held in the attachable-job index.
+    pub run_index_entries: usize,
+    /// Whether a journal is attached (all `journal_*` rows are zero
+    /// when not).
+    pub journal_enabled: bool,
+    /// Journal records appended since open.
+    pub journal_appended: u64,
+    /// Journal appends that failed at the I/O layer.
+    pub journal_append_errors: u64,
+    /// Journal file size, bytes.
+    pub journal_bytes: u64,
+    /// Journal rotation/compaction passes since open.
+    pub journal_rotations: u64,
+    /// Score records recovered by the open-time replay.
+    pub journal_replayed_scores: u64,
+    /// Run records recovered by the open-time replay.
+    pub journal_replayed_runs: u64,
+    /// Torn/corrupt journal lines the replay dropped.
+    pub journal_replay_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -168,6 +212,15 @@ impl MetricsSnapshot {
             ("cache_misses", self.cache_misses as f64),
             ("cache_entries", self.cache_entries as f64),
             ("cache_hit_rate", self.cache_hit_rate()),
+            ("run_index_entries", self.run_index_entries as f64),
+            ("journal_enabled", f64::from(u8::from(self.journal_enabled))),
+            ("journal_appended", self.journal_appended as f64),
+            ("journal_append_errors", self.journal_append_errors as f64),
+            ("journal_bytes", self.journal_bytes as f64),
+            ("journal_rotations", self.journal_rotations as f64),
+            ("journal_replayed_scores", self.journal_replayed_scores as f64),
+            ("journal_replayed_runs", self.journal_replayed_runs as f64),
+            ("journal_replay_dropped", self.journal_replay_dropped as f64),
         ]
     }
 
@@ -188,15 +241,38 @@ mod tests {
             h.record(Duration::from_micros(100)); // bucket 2⁶ = 64–128 µs
         }
         for _ in 0..10 {
-            h.record(Duration::from_millis(50)); // ~2¹⁵ µs bucket
+            h.record(Duration::from_millis(50)); // 2¹⁵ µs bucket: 32.8–65.5 ms
         }
         assert_eq!(h.count(), 100);
         let p50 = h.quantile_ms(0.50);
-        assert!((0.1..1.0).contains(&p50), "p50 {p50}ms should sit near 100µs");
+        assert!((0.064..0.128).contains(&p50), "p50 {p50}ms must sit inside the 100µs bucket");
         let p99 = h.quantile_ms(0.99);
-        assert!(p99 >= 50.0, "p99 {p99}ms should reach the slow samples");
+        assert!((32.768..65.536).contains(&p99), "p99 {p99}ms must sit inside the 50ms bucket");
         assert!(h.quantile_ms(0.50) <= h.quantile_ms(0.95));
         assert!(h.quantile_ms(0.95) <= h.quantile_ms(0.99));
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_true_bucket_bounds() {
+        // Regression: quantile_ms used to return the bucket's *upper*
+        // bound, overstating every percentile by up to 2×. A uniform
+        // burst of known-latency samples must now report quantiles
+        // within the true bounds of the bucket holding them.
+        let h = LatencyHistogram::default();
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(300)); // bucket 2⁸ = 256–512 µs
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let ms = h.quantile_ms(q);
+            assert!(
+                (0.256..0.512).contains(&ms),
+                "q={q}: {ms}ms escapes the [0.256, 0.512)ms bucket"
+            );
+        }
+        // And the documented error bound: within √2 of the true 0.3ms.
+        let p50 = h.quantile_ms(0.5);
+        let ratio = (p50 / 0.3).max(0.3 / p50);
+        assert!(ratio <= std::f64::consts::SQRT_2 + 1e-9, "ratio error {ratio} exceeds √2");
     }
 
     #[test]
@@ -234,22 +310,39 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             cache_entries: 1,
+            run_index_entries: 2,
+            journal_enabled: true,
+            journal_appended: 12,
+            journal_append_errors: 0,
+            journal_bytes: 4096,
+            journal_rotations: 1,
+            journal_replayed_scores: 3,
+            journal_replayed_runs: 2,
+            journal_replay_dropped: 1,
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 18);
+        assert_eq!(rows.len(), 27);
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
         assert!(csv.contains("latency_p95_ms,4"));
+        assert!(csv.contains("journal_enabled,1"));
+        assert!(csv.contains("journal_replayed_scores,3"));
     }
 
     #[test]
     fn mean_service_time_defaults_before_data() {
         let stats = SvcStats::default();
-        assert_eq!(stats.mean_service_time(), Duration::from_millis(25));
+        assert_eq!(stats.mean_service_time(), COLD_START_SERVICE_TIME);
+        assert_eq!(
+            stats.mean_service_time_or(Duration::from_millis(300)),
+            Duration::from_millis(300)
+        );
         stats.completed.store(2, Ordering::Relaxed);
         stats.busy_nanos.store(4_000_000, Ordering::Relaxed);
         assert_eq!(stats.mean_service_time(), Duration::from_millis(2));
+        // Once real samples exist the fallback is ignored.
+        assert_eq!(stats.mean_service_time_or(Duration::from_secs(9)), Duration::from_millis(2));
     }
 }

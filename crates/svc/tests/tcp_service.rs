@@ -18,7 +18,13 @@ use svc::{
 fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
     serve(
         "127.0.0.1:0",
-        SvcConfig { workers, queue_capacity, cache_capacity: 64, default_deadline: None },
+        SvcConfig {
+            workers,
+            queue_capacity,
+            cache_capacity: 64,
+            default_deadline: None,
+            journal: None,
+        },
     )
     .expect("bind ephemeral port")
 }

@@ -8,8 +8,11 @@
 //! ensemble advise --members N --k K --nodes M [--cores 32]
 //! ensemble energy C1.5 [--cap WATTS]
 //! ensemble serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                [--journal FILE] [--journal-fsync per-record|batched[:N]]
+//!                [--journal-max-bytes N]
 //! ensemble query score --members N --k K --nodes M [--addr HOST:PORT] [...]
 //! ensemble query run C1.5 [--addr HOST:PORT] [--steps N] [--seed S]
+//! ensemble query attach --job ID [--addr HOST:PORT]
 //! ensemble query metrics [--addr HOST:PORT]
 //! ensemble example-spec
 //! ensemble list
@@ -371,19 +374,64 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(path) = flag_value(args, "--journal") {
+        use insitu_ensembles::service::{FsyncPolicy, JournalConfig};
+        let mut journal = JournalConfig::new(path);
+        // Score and run retention track the cache so compaction keeps
+        // exactly what a restart can re-use.
+        journal.retain_scores = config.cache_capacity;
+        journal.retain_runs = config.cache_capacity;
+        if let Some(policy) = flag_value(args, "--journal-fsync") {
+            journal.fsync = match policy.split_once(':') {
+                None if policy == "per-record" => FsyncPolicy::PerRecord,
+                None if policy == "batched" => FsyncPolicy::default(),
+                Some(("batched", n)) => match n.parse::<u32>() {
+                    Ok(n) if n > 0 => FsyncPolicy::Batched(n),
+                    _ => {
+                        eprintln!("serve: --journal-fsync batched:N needs a positive integer N");
+                        return 2;
+                    }
+                },
+                _ => {
+                    eprintln!(
+                        "serve: --journal-fsync must be 'per-record' or 'batched[:N]', got '{policy}'"
+                    );
+                    return 2;
+                }
+            };
+        }
+        if let Some(bytes) = flag_value(args, "--journal-max-bytes") {
+            match bytes.parse::<u64>() {
+                Ok(b) if b > 0 => journal.max_bytes = b,
+                _ => {
+                    eprintln!("serve: --journal-max-bytes needs a positive integer");
+                    return 2;
+                }
+            }
+        }
+        config.journal = Some(journal);
+    }
+    let journaled = config.journal.as_ref().map(|j| j.path.display().to_string());
     let handle = match insitu_ensembles::service::serve(addr, config) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("serve: cannot bind {addr}: {e}");
+            eprintln!("serve: cannot bind {addr} or open the journal: {e}");
             return 1;
         }
     };
+    let m = handle.metrics();
     println!(
         "ensemble service listening on {} ({} workers, queue {}); close stdin for graceful drain",
         handle.addr(),
         handle.service().workers(),
-        handle.metrics().queue_capacity,
+        m.queue_capacity,
     );
+    if let Some(path) = journaled {
+        println!(
+            "journal {path}: replayed {} scores, {} runs ({} lines dropped)",
+            m.journal_replayed_scores, m.journal_replayed_runs, m.journal_replay_dropped
+        );
+    }
     // Serve until stdin closes (Ctrl-D, or the end of a piped script),
     // then drain: everything already admitted still gets its answer.
     let mut sink = String::new();
@@ -411,7 +459,7 @@ fn cmd_query(args: &[String]) -> i32 {
     };
 
     let Some(kind) = args.first().map(String::as_str) else {
-        eprintln!("query: missing request kind (score|run|metrics)");
+        eprintln!("query: missing request kind (score|run|attach|metrics)");
         return 2;
     };
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
@@ -426,6 +474,15 @@ fn cmd_query(args: &[String]) -> i32 {
 
     let body = match kind {
         "metrics" => RequestBody::Metrics,
+        "attach" => {
+            let Some(job) = flag_value(args, "--job").and_then(|v| v.parse().ok()) else {
+                eprintln!(
+                    "query attach: --job ID (the request id of the original run) is required"
+                );
+                return 2;
+            };
+            RequestBody::Attach { job }
+        }
         "score" => RequestBody::Score(ScoreRequest {
             shape: scheduling::EnsembleShape::uniform(
                 parse("--members", 2),
@@ -459,7 +516,7 @@ fn cmd_query(args: &[String]) -> i32 {
             })
         }
         other => {
-            eprintln!("query: unknown request kind '{other}' (score|run|metrics)");
+            eprintln!("query: unknown request kind '{other}' (score|run|attach|metrics)");
             return 2;
         }
     };
