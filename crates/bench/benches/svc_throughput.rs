@@ -23,6 +23,7 @@ fn config() -> SvcConfig {
         cache_capacity: 64,
         default_deadline: None,
         journal: None,
+        panic_on_request_id: None,
     }
 }
 

@@ -8,6 +8,13 @@ pub enum DtlError {
     /// The staging area was closed (producer finished or run aborted)
     /// and no further chunks will arrive.
     Closed,
+    /// One variable was hard-closed (its member failed and was not
+    /// restarted) while the rest of the staging area keeps running.
+    /// Peers blocked on the variable unblock with this error.
+    VariableClosed {
+        /// The closed variable.
+        variable: String,
+    },
     /// A blocking operation exceeded its timeout.
     Timeout {
         /// The operation that timed out.
@@ -42,6 +49,9 @@ impl fmt::Display for DtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DtlError::Closed => write!(f, "staging area closed"),
+            DtlError::VariableClosed { variable } => {
+                write!(f, "variable '{variable}' closed (member failed)")
+            }
             DtlError::Timeout { operation, variable, step } => {
                 write!(f, "{operation} timed out (variable '{variable}', step {step})")
             }

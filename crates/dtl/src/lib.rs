@@ -31,6 +31,7 @@
 
 pub mod chunk;
 pub mod error;
+pub mod fault;
 pub mod marshal;
 pub mod plugin;
 pub mod protocol;
@@ -40,9 +41,14 @@ pub mod variable;
 
 pub use chunk::{Chunk, ChunkId, ChunkMeta};
 pub use error::{DtlError, DtlResult};
+pub use fault::{
+    FaultAction, FaultInjector, FaultOp, FaultPlan, FaultRule, FaultStats, MemberKill,
+};
 pub use marshal::{ChunkCodec, F32ArrayCodec, F64ArrayCodec, RawCodec};
 pub use plugin::{DtlReader, DtlWriter};
 pub use protocol::{ReaderId, StepProtocol};
-pub use staging::{AsyncStaging, InMemoryStaging, PfsStaging, StagingStats, SyncStaging};
+pub use staging::{
+    AsyncStaging, InMemoryStaging, PfsStaging, RetryPolicy, StagingStats, SyncStaging,
+};
 pub use transport::StagingCostModel;
 pub use variable::{VariableId, VariableRegistry, VariableSpec};

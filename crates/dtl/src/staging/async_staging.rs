@@ -13,6 +13,13 @@
 //! mutex and condition variable, so independent members never contend.
 //! A `put` wakes only the readers of that variable; consuming a chunk
 //! wakes nobody (puts never block, so nothing waits on consumption).
+//!
+//! Payloads live in a [`ChunkStore`] backing tier (in-memory by
+//! default), so the queue holds handles, not bytes — and the fallible
+//! store/load hop can carry a [`RetryPolicy`] for transient I/O faults,
+//! with the same error-path guarantee as the synchronous tier: a failed
+//! store drops no frames and a failed load leaves the reader's cursor
+//! untouched, so the op stays retryable.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -22,14 +29,24 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::chunk::Chunk;
+use crate::chunk::{Chunk, ChunkId, ChunkMeta};
 use crate::error::{DtlError, DtlResult};
 use crate::protocol::ReaderId;
+use crate::staging::retry::{op_key, run_with_retry, RetryPolicy};
+use crate::staging::store::{ChunkStore, MemoryStore};
 use crate::variable::{VariableId, VariableRegistry, VariableSpec};
 
-struct AsyncVar {
-    /// Retained chunks, oldest first.
-    queue: VecDeque<Chunk>,
+/// A queued frame: identity + metadata in the queue, payload in the
+/// backing store.
+struct Staged<H> {
+    id: ChunkId,
+    meta: ChunkMeta,
+    handle: H,
+}
+
+struct AsyncVar<H> {
+    /// Retained frames, oldest first.
+    queue: VecDeque<Staged<H>>,
     /// Highest step each reader has consumed (readers skip forward).
     last_consumed: HashMap<ReaderId, Option<u64>>,
     /// Frames dropped because the queue was full.
@@ -41,37 +58,76 @@ struct AsyncVar {
 }
 
 /// One variable's queue with its own lock and reader wakeup channel.
-struct AsyncShard {
-    state: Mutex<AsyncVar>,
+struct AsyncShard<H> {
+    state: Mutex<AsyncVar<H>>,
     /// Readers block here for new data, `finish`, or `close`.
     cv: Condvar,
 }
 
 /// A bounded non-blocking staging area with drop-oldest overflow.
-pub struct AsyncStaging {
+pub struct AsyncStaging<B: ChunkStore = MemoryStore> {
     capacity: usize,
+    store: B,
+    retry: Option<RetryPolicy>,
     /// Read-mostly: written only by `register`.
-    registry: RwLock<Registry>,
+    registry: RwLock<Registry<B::Handle>>,
     closed: AtomicBool,
     total_lost: AtomicU64,
+    retries: AtomicU64,
+    giveups: AtomicU64,
 }
 
-struct Registry {
+struct Registry<H> {
     names: VariableRegistry,
     /// Indexed by `VariableId` (dense ids, registration order).
-    shards: Vec<Arc<AsyncShard>>,
+    shards: Vec<Arc<AsyncShard<H>>>,
 }
 
-impl AsyncStaging {
-    /// Creates an area retaining at most `capacity` chunks per variable.
+impl AsyncStaging<MemoryStore> {
+    /// Creates an in-memory area retaining at most `capacity` chunks per
+    /// variable.
     pub fn new(capacity: usize) -> Self {
+        AsyncStaging::with_store(MemoryStore::new(), capacity)
+    }
+}
+
+impl<B: ChunkStore> AsyncStaging<B> {
+    /// Creates an area over `store` retaining at most `capacity` chunks
+    /// per variable.
+    pub fn with_store(store: B, capacity: usize) -> Self {
         assert!(capacity > 0);
         AsyncStaging {
             capacity,
+            store,
+            retry: None,
             registry: RwLock::new(Registry { names: VariableRegistry::new(), shards: Vec::new() }),
             closed: AtomicBool::new(false),
             total_lost: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
         }
+    }
+
+    /// Enables retries of transient store errors on `put`/`next`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &B {
+        &self.store
+    }
+
+    /// Store/load retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Transient errors returned to callers because the retry budget ran
+    /// out.
+    pub fn giveups(&self) -> u64 {
+        self.giveups.load(Ordering::Relaxed)
     }
 
     /// Registers a variable.
@@ -96,7 +152,7 @@ impl AsyncStaging {
     }
 
     /// The shard of `var`, or `UnknownVariable`.
-    fn shard(&self, var: VariableId) -> DtlResult<Arc<AsyncShard>> {
+    fn shard(&self, var: VariableId) -> DtlResult<Arc<AsyncShard<B::Handle>>> {
         self.registry
             .read()
             .shards
@@ -106,7 +162,9 @@ impl AsyncStaging {
     }
 
     /// Stages a chunk without blocking. If the queue is full the oldest
-    /// retained chunk is dropped (a lost frame).
+    /// retained chunk is dropped (a lost frame). A failed store drops
+    /// nothing: the queue and counters are untouched, so the put stays
+    /// retryable.
     pub fn put(&self, chunk: Chunk) -> DtlResult<()> {
         if self.closed.load(Ordering::Acquire) {
             return Err(DtlError::Closed);
@@ -119,13 +177,23 @@ impl AsyncStaging {
                 detail: "producer already finished this variable".into(),
             });
         }
+        let handle = run_with_retry(
+            self.retry.as_ref(),
+            None,
+            op_key(var, chunk.id.step, 1),
+            &self.retries,
+            &self.giveups,
+            || self.store.store(chunk.id, chunk.data.clone()),
+        )?;
         if state.queue.len() >= self.capacity {
-            state.queue.pop_front();
+            if let Some(victim) = state.queue.pop_front() {
+                let _ = self.store.remove(victim.handle);
+            }
             state.lost += 1;
             self.total_lost.fetch_add(1, Ordering::Relaxed);
         }
         state.produced += 1;
-        state.queue.push_back(chunk);
+        state.queue.push_back(Staged { id: chunk.id, meta: chunk.meta, handle });
         // Wake only this variable's readers.
         shard.cv.notify_all();
         Ok(())
@@ -143,7 +211,9 @@ impl AsyncStaging {
 
     /// Fetches the next chunk newer than the reader's last one, blocking
     /// until one exists. Returns `Ok(None)` at end of stream. Frames the
-    /// reader skipped (dropped before it arrived) are simply absent.
+    /// reader skipped (dropped before it arrived) are simply absent. A
+    /// failed load leaves the reader's cursor untouched, so the next
+    /// call retries the same frame.
     pub fn next(
         &self,
         var: VariableId,
@@ -157,10 +227,21 @@ impl AsyncStaging {
             let last = *state.last_consumed.get(&reader).ok_or_else(|| {
                 DtlError::ProtocolViolation { detail: format!("unknown reader {reader:?}") }
             })?;
-            let candidate =
-                state.queue.iter().find(|c| last.is_none_or(|l| c.id.step > l)).cloned();
-            if let Some(chunk) = candidate {
-                state.last_consumed.insert(reader, Some(chunk.id.step));
+            let found = state.queue.iter().position(|c| last.is_none_or(|l| c.id.step > l));
+            if let Some(idx) = found {
+                let id = state.queue[idx].id;
+                let meta = state.queue[idx].meta.clone();
+                // Load before mutating the cursor (the error-path
+                // guarantee): a failed load leaves the frame consumable.
+                let data = run_with_retry(
+                    self.retry.as_ref(),
+                    Some(deadline),
+                    op_key(var, id.step, 0),
+                    &self.retries,
+                    &self.giveups,
+                    || self.store.load(&state.queue[idx].handle),
+                )?;
+                state.last_consumed.insert(reader, Some(id.step));
                 // Garbage-collect chunks every reader has passed. Nobody
                 // waits on consumption (puts never block), so no wakeup.
                 let min_last: Option<u64> =
@@ -169,11 +250,13 @@ impl AsyncStaging {
                 if all_started {
                     if let Some(min_last) = min_last {
                         while state.queue.front().is_some_and(|c| c.id.step <= min_last) {
-                            state.queue.pop_front();
+                            if let Some(dead) = state.queue.pop_front() {
+                                let _ = self.store.remove(dead.handle);
+                            }
                         }
                     }
                 }
-                return Ok(Some(chunk));
+                return Ok(Some(Chunk { id, meta, data }));
             }
             if state.finished {
                 return Ok(None);
@@ -347,5 +430,50 @@ mod tests {
             Err(DtlError::UnknownVariable { .. })
         ));
         assert!(matches!(s.finish(bogus), Err(DtlError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn consumed_and_dropped_frames_release_store_bytes() {
+        let s = AsyncStaging::new(2);
+        let var = s.register(spec(1)).unwrap();
+        for step in 0..6 {
+            s.put(chunk(var, step)).unwrap();
+        }
+        // Overflow drops released their payloads: only 2 frames held.
+        assert_eq!(s.store().bytes_held(), 2);
+        s.finish(var).unwrap();
+        while s.next(var, ReaderId(0), Duration::from_millis(50)).unwrap().is_some() {}
+        assert_eq!(s.store().bytes_held(), 0, "drained queue holds no payloads");
+    }
+
+    #[test]
+    fn retry_clears_transient_faults_on_both_sides() {
+        use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(11)
+            .with_rule(FaultRule::fail(FaultOp::Store).first_attempts(1))
+            .with_rule(FaultRule::fail(FaultOp::Load).first_attempts(1));
+        let s = AsyncStaging::with_store(FaultInjector::new(MemoryStore::new(), plan), 4)
+            .with_retry(RetryPolicy::with_attempts(3));
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0)).unwrap();
+        let got = s.next(var, ReaderId(0), Duration::from_millis(500)).unwrap().unwrap();
+        assert_eq!(got.id.step, 0);
+        assert_eq!(s.retries(), 2, "one store retry + one load retry");
+        assert_eq!(s.giveups(), 0);
+        assert_eq!(s.produced_frames(var), 1);
+    }
+
+    #[test]
+    fn failed_store_drops_no_frames() {
+        use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(0).with_rule(FaultRule::fail(FaultOp::Store).first_attempts(1));
+        let s = AsyncStaging::with_store(FaultInjector::new(MemoryStore::new(), plan), 1);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0)).unwrap_err();
+        assert_eq!(s.produced_frames(var), 0);
+        assert_eq!(s.lost_frames(var), 0, "a failed store must not evict the queue");
+        // The same put succeeds on retry by the caller.
+        s.put(chunk(var, 0)).unwrap();
+        assert_eq!(s.produced_frames(var), 1);
     }
 }

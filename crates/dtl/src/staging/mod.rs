@@ -15,10 +15,12 @@
 //! staging areas. See `DESIGN.md` §4c for the full concurrency model.
 
 pub mod async_staging;
+pub mod retry;
 pub mod store;
 pub mod sync_staging;
 
 pub use async_staging::AsyncStaging;
+pub use retry::RetryPolicy;
 pub use store::{ChunkStore, FileStore, MemoryStore};
 pub use sync_staging::{StagingStats, SyncStaging, DEFAULT_TIMEOUT};
 

@@ -23,6 +23,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use crate::chunk::{Chunk, ChunkId, ChunkMeta};
 use crate::error::{DtlError, DtlResult};
 use crate::protocol::{ReaderId, StepProtocol};
+use crate::staging::retry::{op_key as retry_key, run_with_retry, RetryPolicy};
 use crate::staging::store::ChunkStore;
 use crate::variable::{VariableId, VariableRegistry, VariableSpec};
 
@@ -37,6 +38,11 @@ pub struct StagingStats {
     pub bytes_staged: u64,
     /// Payload bytes served to readers.
     pub bytes_served: u64,
+    /// Transient store errors cleared by a retry.
+    pub retries: u64,
+    /// Transient store errors returned to the caller because the retry
+    /// budget (attempts or deadline) ran out.
+    pub giveups: u64,
 }
 
 struct Slot<H> {
@@ -51,6 +57,8 @@ struct VarState<H> {
     protocol: StepProtocol,
     slots: Vec<Slot<H>>,
     expected_readers: u32,
+    /// Hard-closed independently of the whole area (member failure).
+    closed: bool,
 }
 
 /// One variable's share of the staging area: its protocol state behind
@@ -72,6 +80,8 @@ struct VarShard<H> {
 pub struct SyncStaging<B: ChunkStore> {
     store: B,
     capacity: u64,
+    /// Retry policy for transient store errors; `None` = fail fast.
+    retry: Option<RetryPolicy>,
     /// Read-mostly: written only by `register`, read on every operation.
     registry: RwLock<Registry<B::Handle>>,
     closed: AtomicBool,
@@ -79,6 +89,8 @@ pub struct SyncStaging<B: ChunkStore> {
     gets: AtomicU64,
     bytes_staged: AtomicU64,
     bytes_served: AtomicU64,
+    retries: AtomicU64,
+    giveups: AtomicU64,
 }
 
 struct Registry<H> {
@@ -99,13 +111,30 @@ impl<B: ChunkStore> SyncStaging<B> {
         SyncStaging {
             store,
             capacity,
+            retry: None,
             registry: RwLock::new(Registry { names: VariableRegistry::new(), shards: Vec::new() }),
             closed: AtomicBool::new(false),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             bytes_staged: AtomicU64::new(0),
             bytes_served: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
         }
+    }
+
+    /// Enables retry of transient store errors on the put/get paths.
+    /// Backoff sleeps happen with only the affected variable's shard
+    /// locked: the peer of that variable cannot progress until the op
+    /// settles anyway, and other variables are untouched.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The active retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
     }
 
     /// The physical tier name ("memory", "pfs", …).
@@ -124,6 +153,7 @@ impl<B: ChunkStore> SyncStaging<B> {
                     protocol: StepProtocol::new(readers, self.capacity),
                     slots: Vec::new(),
                     expected_readers: readers,
+                    closed: false,
                 }),
                 writer_cv: Condvar::new(),
                 reader_cv: Condvar::new(),
@@ -168,6 +198,9 @@ impl<B: ChunkStore> SyncStaging<B> {
         let step = chunk.id.step;
         let shard = self.shard(var)?;
         let mut state = shard.state.lock();
+        if state.closed {
+            return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
+        }
         // Fail fast on out-of-sequence writes: they can never become valid.
         if step != state.protocol.next_write_step() {
             return Err(DtlError::ProtocolViolation {
@@ -181,13 +214,25 @@ impl<B: ChunkStore> SyncStaging<B> {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
+            if state.closed {
+                return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
+            }
             if state.protocol.may_write(step) {
                 // Persist the payload before advancing the protocol so a
                 // failing store leaves the protocol state untouched and
-                // the writer can retry.
+                // the writer can retry. A configured retry policy does
+                // that retrying in place (still before any protocol
+                // mutation), budgeted against this op's deadline.
                 let remaining = state.expected_readers;
                 let data_len = chunk.data.len() as u64;
-                let handle = self.store.store(chunk.id, chunk.data)?;
+                let handle = run_with_retry(
+                    self.retry.as_ref(),
+                    Some(deadline),
+                    retry_key(var, step, 1),
+                    &self.retries,
+                    &self.giveups,
+                    || self.store.store(chunk.id, chunk.data.clone()),
+                )?;
                 state.protocol.record_write(step).expect("may_write checked under the same lock");
                 state.slots.push(Slot {
                     id: chunk.id,
@@ -234,6 +279,9 @@ impl<B: ChunkStore> SyncStaging<B> {
         let shard = self.shard(var)?;
         let mut state = shard.state.lock();
         {
+            if state.closed {
+                return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
+            }
             let expected = state.protocol.next_read_step(reader)?;
             if step != expected {
                 return Err(DtlError::ProtocolViolation {
@@ -249,10 +297,14 @@ impl<B: ChunkStore> SyncStaging<B> {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
+            if state.closed {
+                return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
+            }
             if state.protocol.may_read(reader, step) {
                 // Load the payload *before* touching any protocol state:
                 // if the store fails here nothing has been consumed and
-                // the reader may retry.
+                // the reader may retry. A configured retry policy does
+                // that retrying in place, still ahead of any mutation.
                 let slot = state
                     .slots
                     .iter_mut()
@@ -260,7 +312,14 @@ impl<B: ChunkStore> SyncStaging<B> {
                     .expect("protocol admitted a read, slot must exist");
                 let handle_ref =
                     slot.handle.as_ref().expect("payload present while readers remain");
-                let data = self.store.load(handle_ref)?;
+                let data = run_with_retry(
+                    self.retry.as_ref(),
+                    Some(deadline),
+                    retry_key(var, step, 0),
+                    &self.retries,
+                    &self.giveups,
+                    || self.store.load(handle_ref),
+                )?;
                 let chunk = Chunk { id: slot.id, meta: slot.meta.clone(), data };
                 slot.remaining -= 1;
                 slot.consumed_by.push(reader);
@@ -314,6 +373,9 @@ impl<B: ChunkStore> SyncStaging<B> {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
             }
+            if state.closed {
+                return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
+            }
             if state.protocol.may_write(step) {
                 return Ok(());
             }
@@ -342,6 +404,9 @@ impl<B: ChunkStore> SyncStaging<B> {
         loop {
             if self.closed.load(Ordering::Acquire) {
                 return Err(DtlError::Closed);
+            }
+            if state.closed {
+                return Err(DtlError::VariableClosed { variable: format!("id {}", var.0) });
             }
             if state.protocol.may_read(reader, step) {
                 return Ok(());
@@ -379,6 +444,45 @@ impl<B: ChunkStore> SyncStaging<B> {
         self.closed.load(Ordering::Acquire)
     }
 
+    /// Hard-closes one variable while the rest of the area keeps
+    /// running: pending and future operations on it — puts *and* gets —
+    /// fail with [`DtlError::VariableClosed`]. Used by member
+    /// supervision to unblock a failed member's peer without tearing
+    /// the whole run down.
+    pub fn close_variable(&self, var: VariableId) -> DtlResult<()> {
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
+        state.closed = true;
+        shard.writer_cv.notify_all();
+        shard.reader_cv.notify_all();
+        Ok(())
+    }
+
+    /// Whether `var` is hard-closed (individually or via the area).
+    pub fn is_variable_closed(&self, var: VariableId) -> bool {
+        self.is_closed() || self.shard(var).map(|shard| shard.state.lock().closed).unwrap_or(false)
+    }
+
+    /// Reopens `var` with fresh protocol state and no staged chunks —
+    /// the supervisor's restart path (the member reruns from step 0).
+    /// Must only be called once the variable's old writer and readers
+    /// have all returned.
+    pub fn reset_variable(&self, var: VariableId) -> DtlResult<()> {
+        let shard = self.shard(var)?;
+        let mut state = shard.state.lock();
+        state.closed = false;
+        let readers = state.expected_readers;
+        state.protocol = StepProtocol::new(readers, self.capacity);
+        for slot in state.slots.drain(..) {
+            if let Some(handle) = slot.handle {
+                // Best effort: a store that fails to release a payload
+                // must not block the restart.
+                let _ = self.store.remove(handle);
+            }
+        }
+        Ok(())
+    }
+
     /// Snapshot of the operation counters.
     pub fn stats(&self) -> StagingStats {
         StagingStats {
@@ -386,6 +490,8 @@ impl<B: ChunkStore> SyncStaging<B> {
             gets: self.gets.load(Ordering::Relaxed),
             bytes_staged: self.bytes_staged.load(Ordering::Relaxed),
             bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            giveups: self.giveups.load(Ordering::Relaxed),
         }
     }
 
@@ -608,6 +714,85 @@ mod tests {
             s.get_timeout(bogus, 0, ReaderId(0), Duration::from_millis(10)),
             Err(DtlError::UnknownVariable { .. })
         ));
+    }
+
+    #[test]
+    fn close_variable_poisons_only_that_variable() {
+        let s = staging(1);
+        let a = s.register(spec(1)).unwrap();
+        let b = s
+            .register(VariableSpec { name: "other".into(), expected_readers: 1, home_node: 0 })
+            .unwrap();
+        s.close_variable(a).unwrap();
+        assert!(s.is_variable_closed(a));
+        assert!(!s.is_variable_closed(b));
+        assert!(matches!(s.put(chunk(a, 0, b"x")), Err(DtlError::VariableClosed { .. })));
+        assert!(matches!(
+            s.get_timeout(a, 0, ReaderId(0), Duration::from_millis(10)),
+            Err(DtlError::VariableClosed { .. })
+        ));
+        // The sibling variable still works end to end.
+        s.put(chunk(b, 0, b"y")).unwrap();
+        assert_eq!(s.get(b, 0, ReaderId(0)).unwrap().data, Bytes::from_static(b"y"));
+    }
+
+    #[test]
+    fn close_variable_wakes_blocked_peer() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.get_timeout(var, 0, ReaderId(0), Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        s.close_variable(var).unwrap();
+        assert!(matches!(reader.join().unwrap(), Err(DtlError::VariableClosed { .. })));
+        assert!(!s.is_closed(), "the area itself stays open");
+    }
+
+    #[test]
+    fn reset_variable_reopens_with_fresh_protocol() {
+        let s = staging(1);
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"stale")).unwrap();
+        s.close_variable(var).unwrap();
+        s.reset_variable(var).unwrap();
+        assert!(!s.is_variable_closed(var));
+        // The protocol restarted from step 0 and the stale chunk is gone.
+        s.put(chunk(var, 0, b"fresh")).unwrap();
+        assert_eq!(s.get(var, 0, ReaderId(0)).unwrap().data, Bytes::from_static(b"fresh"));
+        assert_eq!(s.store().bytes_held(), 0, "stale payload was released");
+    }
+
+    #[test]
+    fn retry_policy_clears_transient_store_faults() {
+        use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(5)
+            .with_rule(FaultRule::fail(FaultOp::Store).first_attempts(1))
+            .with_rule(FaultRule::fail(FaultOp::Load).first_attempts(2));
+        let s = SyncStaging::with_capacity(FaultInjector::new(MemoryStore::new(), plan), 1)
+            .with_retry(crate::staging::retry::RetryPolicy::with_attempts(4));
+        let var = s.register(spec(1)).unwrap();
+        s.put(chunk(var, 0, b"frame")).unwrap();
+        let got = s.get(var, 0, ReaderId(0)).unwrap();
+        assert_eq!(got.data, Bytes::from_static(b"frame"));
+        let stats = s.stats();
+        assert_eq!(stats.retries, 3, "one store retry + two load retries");
+        assert_eq!(stats.giveups, 0);
+        assert_eq!((stats.puts, stats.gets), (1, 1));
+    }
+
+    #[test]
+    fn exhausted_retries_count_as_giveups() {
+        use crate::fault::{FaultInjector, FaultOp, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(0).with_rule(FaultRule::fail(FaultOp::Store));
+        let s = SyncStaging::with_capacity(FaultInjector::new(MemoryStore::new(), plan), 1)
+            .with_retry(crate::staging::retry::RetryPolicy::with_attempts(2));
+        let var = s.register(spec(1)).unwrap();
+        let err = s.put_timeout(chunk(var, 0, b"x"), Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, DtlError::Io(_)), "{err}");
+        let stats = s.stats();
+        assert_eq!((stats.retries, stats.giveups, stats.puts), (1, 1, 0));
     }
 
     #[test]

@@ -1,65 +1,22 @@
-//! Error-path regressions for the staging protocol.
+//! Error-path regressions for the staging protocol, driven by the
+//! library's own fault injector.
 //!
 //! The protocol state machine must only advance when the operation it
 //! gates actually happened. A store that fails mid-operation (the PFS
 //! tier does real I/O) must leave the protocol exactly where it was, so
 //! the caller can retry — not silently consume a read it never served.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
-use dtl::staging::{ChunkStore, MemoryStore, SyncStaging};
-use dtl::{Chunk, ChunkId, DtlError, ReaderId, VariableSpec};
+use dtl::staging::{MemoryStore, SyncStaging};
+use dtl::{Chunk, DtlError, FaultInjector, FaultOp, FaultPlan, FaultRule, ReaderId, VariableSpec};
 
-/// A memory store whose `load`/`store` can be made to fail on demand —
-/// stands in for a flaky parallel file system.
-#[derive(Default)]
-struct FlakyStore {
-    inner: MemoryStore,
-    fail_loads: AtomicBool,
-    fail_stores: AtomicBool,
-    loads_attempted: AtomicU64,
-}
-
-impl FlakyStore {
-    fn fail_loads(&self, on: bool) {
-        self.fail_loads.store(on, Ordering::SeqCst);
-    }
-    fn fail_stores(&self, on: bool) {
-        self.fail_stores.store(on, Ordering::SeqCst);
-    }
-}
-
-impl ChunkStore for FlakyStore {
-    type Handle = Bytes;
-
-    fn store(&self, id: ChunkId, data: Bytes) -> Result<Bytes, DtlError> {
-        if self.fail_stores.load(Ordering::SeqCst) {
-            return Err(std::io::Error::other("injected store failure").into());
-        }
-        self.inner.store(id, data)
-    }
-
-    fn load(&self, handle: &Bytes) -> Result<Bytes, DtlError> {
-        self.loads_attempted.fetch_add(1, Ordering::SeqCst);
-        if self.fail_loads.load(Ordering::SeqCst) {
-            return Err(std::io::Error::other("injected load failure").into());
-        }
-        self.inner.load(handle)
-    }
-
-    fn remove(&self, handle: Bytes) -> Result<(), DtlError> {
-        self.inner.remove(handle)
-    }
-
-    fn tier(&self) -> &'static str {
-        "flaky"
-    }
-}
-
-fn staging() -> SyncStaging<FlakyStore> {
-    SyncStaging::with_capacity(FlakyStore::default(), 1)
+/// Staging over a fault-injecting memory store — stands in for a flaky
+/// parallel file system. Each rule's `first_attempts(1)` window models
+/// a transient fault that clears on retry.
+fn staging(plan: FaultPlan) -> SyncStaging<FaultInjector<MemoryStore>> {
+    SyncStaging::with_capacity(FaultInjector::new(MemoryStore::new(), plan), 1)
 }
 
 fn spec(readers: u32) -> VariableSpec {
@@ -72,38 +29,39 @@ fn chunk(var: dtl::VariableId, step: u64, payload: &'static [u8]) -> Chunk {
 
 #[test]
 fn failed_load_leaves_the_read_retryable() {
-    let s = staging();
+    let plan = FaultPlan::new(1).with_rule(FaultRule::fail(FaultOp::Load).first_attempts(1));
+    let s = staging(plan);
     let var = s.register(spec(1)).unwrap();
     s.put(chunk(var, 0, b"frame0")).unwrap();
 
-    // First read attempt hits a store failure.
-    s.store().fail_loads(true);
+    // First read attempt hits the injected store failure.
     let err = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(50)).unwrap_err();
     assert!(matches!(err, DtlError::Io(_)), "load failure must surface as Io, got {err}");
-    assert_eq!(s.store().loads_attempted.load(Ordering::SeqCst), 1);
+    assert_eq!(s.store().stats().loads, 1);
 
     // Nothing was consumed: no get recorded, no bytes served.
     let stats = s.stats();
     assert_eq!(stats.gets, 0, "a failed load must not count as a served read");
     assert_eq!(stats.bytes_served, 0);
 
-    // The store recovers; the *same* step must still be readable.
-    s.store().fail_loads(false);
+    // The fault window has passed; the *same* step must still be
+    // readable.
     let got = s
         .get_timeout(var, 0, ReaderId(0), Duration::from_millis(200))
         .expect("step 0 must remain consumable after a transient load failure");
     assert_eq!(got.data, Bytes::from_static(b"frame0"));
     let stats = s.stats();
     assert_eq!((stats.gets, stats.bytes_served), (1, 6));
+    assert_eq!(s.store().stats().injected_failures, 1);
 }
 
 #[test]
 fn failed_load_does_not_unblock_the_writer() {
-    let s = staging();
+    let plan = FaultPlan::new(2).with_rule(FaultRule::fail(FaultOp::Load).first_attempts(1));
+    let s = staging(plan);
     let var = s.register(spec(1)).unwrap();
     s.put(chunk(var, 0, b"a")).unwrap();
 
-    s.store().fail_loads(true);
     let _ = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(50)).unwrap_err();
 
     // Step 0 was *not* consumed, so capacity-1 staging must still refuse
@@ -115,22 +73,22 @@ fn failed_load_does_not_unblock_the_writer() {
     );
 
     // After a successful retry the writer proceeds.
-    s.store().fail_loads(false);
     s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(200)).unwrap();
     s.put_timeout(chunk(var, 1, b"b"), Duration::from_millis(200)).unwrap();
 }
 
 #[test]
 fn failed_load_with_two_readers_only_retries_the_failed_one() {
-    let s = staging();
+    // Reader 0's load is the key's first attempt (passes); reader 1's is
+    // the second (fails); reader 1's retry is the third (passes again).
+    let plan = FaultPlan::new(3)
+        .with_rule(FaultRule::fail(FaultOp::Load).after_attempts(1).first_attempts(1));
+    let s = staging(plan);
     let var = s.register(spec(2)).unwrap();
     s.put(chunk(var, 0, b"xy")).unwrap();
 
-    // Reader 0 succeeds, then reader 1 hits the failure.
     s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(200)).unwrap();
-    s.store().fail_loads(true);
     let _ = s.get_timeout(var, 0, ReaderId(1), Duration::from_millis(50)).unwrap_err();
-    s.store().fail_loads(false);
 
     // Reader 1 retries its step; reader 0 must not be able to re-read.
     s.get_timeout(var, 0, ReaderId(1), Duration::from_millis(200)).unwrap();
@@ -144,18 +102,18 @@ fn failed_load_with_two_readers_only_retries_the_failed_one() {
 
 #[test]
 fn failed_store_leaves_the_write_retryable() {
-    let s = staging();
+    let plan = FaultPlan::new(4).with_rule(FaultRule::fail(FaultOp::Store).first_attempts(1));
+    let s = staging(plan);
     let var = s.register(spec(1)).unwrap();
 
-    s.store().fail_stores(true);
     let err = s.put_timeout(chunk(var, 0, b"a"), Duration::from_millis(50)).unwrap_err();
     assert!(matches!(err, DtlError::Io(_)), "{err}");
     assert_eq!(s.stats().puts, 0, "a failed store must not count as staged");
 
-    // Same step writes fine once the store recovers — the protocol never
-    // advanced.
-    s.store().fail_stores(false);
+    // Same step writes fine once the fault window passes — the protocol
+    // never advanced.
     s.put_timeout(chunk(var, 0, b"a"), Duration::from_millis(200)).unwrap();
     let got = s.get_timeout(var, 0, ReaderId(0), Duration::from_millis(200)).unwrap();
     assert_eq!(got.data, Bytes::from_static(b"a"));
+    assert_eq!(s.store().stats().injected_failures, 1);
 }

@@ -102,6 +102,9 @@ mod tests {
                 lost_frames: 0,
                 components: vec![],
             }],
+            staging_retries: 0,
+            staging_giveups: 0,
+            faults_injected: 0,
         }
     }
 

@@ -63,6 +63,17 @@ pub struct EnsembleReport {
     pub ensemble_makespan: f64,
     /// Per-member results.
     pub members: Vec<MemberReport>,
+    /// Staging store retries performed across the run (nonzero only in
+    /// threaded runs with a retry policy).
+    #[serde(default)]
+    pub staging_retries: u64,
+    /// Transient staging errors surfaced after the retry budget ran out.
+    #[serde(default)]
+    pub staging_giveups: u64,
+    /// Faults injected by the run's fault plan (failures + delays +
+    /// corruptions), 0 for fault-free runs.
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 impl EnsembleReport {
@@ -124,6 +135,9 @@ mod tests {
             n_steps: 37,
             ensemble_makespan: 760.0,
             members: vec![member_report()],
+            staging_retries: 3,
+            staging_giveups: 1,
+            faults_injected: 2,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: EnsembleReport = serde_json::from_str(&json).unwrap();
@@ -141,6 +155,9 @@ mod tests {
             n_steps: 10,
             ensemble_makespan: 205.0,
             members: vec![member_report()],
+            staging_retries: 0,
+            staging_giveups: 0,
+            faults_injected: 0,
         };
         let table = r.to_table();
         assert!(table.contains("C_f"));

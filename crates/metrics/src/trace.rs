@@ -45,6 +45,11 @@ impl ExecutionTrace {
         ExecutionTrace { intervals }
     }
 
+    /// Consumes the trace, yielding its intervals in recording order.
+    pub fn into_intervals(self) -> Vec<StageInterval> {
+        self.intervals
+    }
+
     /// All intervals, in recording order.
     pub fn intervals(&self) -> &[StageInterval] {
         &self.intervals
@@ -156,6 +161,14 @@ impl TraceRecorder {
     /// True when nothing was recorded yet.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
+    }
+
+    /// Merges every interval of `trace` into this recorder. Used by the
+    /// supervised runtime: each member attempt records into its own
+    /// recorder, and only a successful attempt is absorbed into the
+    /// run's trace (failed attempts leave no intervals behind).
+    pub fn absorb(&self, trace: ExecutionTrace) {
+        self.inner.lock().extend(trace.into_intervals());
     }
 
     /// Finishes recording and produces the trace.

@@ -96,6 +96,9 @@ mod tests {
             staging_capacity: 1,
             timeout: Duration::from_secs(60),
             kernel: None,
+            fault_plan: None,
+            retry: None,
+            restart: None,
         };
         let exec = run_threaded(&cfg).unwrap();
         let node = hpc_platform::cori::cori_node();
@@ -144,6 +147,9 @@ mod tests {
             staging_capacity: 1,
             timeout: Duration::from_secs(60),
             kernel: None,
+            fault_plan: None,
+            retry: None,
+            restart: None,
         };
         let exec = run_threaded(&cfg).unwrap();
         let node = hpc_platform::cori::cori_node();

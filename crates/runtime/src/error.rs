@@ -22,6 +22,13 @@ pub enum RuntimeError {
         /// Component whose worker died.
         component: String,
     },
+    /// A fault plan killed this member's component mid-run.
+    InjectedKill {
+        /// Member that was killed.
+        member: usize,
+        /// Step at which the kill fired.
+        step: u64,
+    },
     /// The run produced no usable samples (e.g. zero steps requested).
     NoSamples,
 }
@@ -37,6 +44,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerPanicked { component } => {
                 write!(f, "worker thread for {component} panicked")
+            }
+            RuntimeError::InjectedKill { member, step } => {
+                write!(f, "injected kill (member {member}, step {step})")
             }
             RuntimeError::NoSamples => write!(f, "run produced no samples (n_steps must be ≥ 1)"),
         }

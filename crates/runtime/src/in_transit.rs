@@ -188,6 +188,9 @@ mod tests {
             staging_capacity: capacity,
             timeout: Duration::from_secs(60),
             kernel: None,
+            fault_plan: None,
+            retry: None,
+            restart: None,
         }
     }
 

@@ -45,5 +45,8 @@ pub use predictor::{predict, EnsemblePrediction, MemberPrediction};
 pub use report_builder::{build_report, build_threaded_report};
 pub use runner::EnsembleRunner;
 pub use sim_exec::{run_simulated, CouplingMode, SimExecution, SimRunConfig};
-pub use thread_exec::{run_threaded, KernelChoice, ThreadExecution, ThreadRunConfig};
+pub use thread_exec::{
+    run_threaded, ChaosStaging, KernelChoice, MemberOutcome, RestartPolicy, ThreadExecution,
+    ThreadRunConfig,
+};
 pub use workload_map::WorkloadMap;

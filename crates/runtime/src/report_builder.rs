@@ -7,13 +7,11 @@ use ensemble_core::{
     placement_indicator, sigma_star, ComponentRef, EnsembleSpec, WarmupPolicy,
 };
 use hpc_platform::HwCounters;
-use metrics::{
-    member_makespan, ComponentReport, EnsembleReport, ExecutionTrace, MemberReport,
-    TraditionalMetrics,
-};
+use metrics::{member_makespan, ComponentReport, EnsembleReport, MemberReport, TraditionalMetrics};
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::sim_exec::SimExecution;
+use crate::thread_exec::ThreadExecution;
 
 /// Builds the report of a simulated run.
 pub fn build_report(
@@ -77,22 +75,32 @@ pub fn build_report(
         n_steps,
         ensemble_makespan,
         members,
+        staging_retries: 0,
+        staging_giveups: 0,
+        faults_injected: 0,
     })
 }
 
 /// Per-member trace from a threaded run reduced to a report (no
 /// synthetic counters — real executions have no modeled counters, so
 /// Table 1's counter metrics are zeroed and only times are filled).
+/// Members whose outcome is `Failed` are omitted from the member rows
+/// (they have no steady state to extract); the run's retry and fault
+/// counters are carried onto the report.
 pub fn build_threaded_report(
     config_label: &str,
     spec: &EnsembleSpec,
-    trace: &ExecutionTrace,
+    exec: &ThreadExecution,
     n_steps: u64,
     warmup: WarmupPolicy,
 ) -> RuntimeResult<EnsembleReport> {
+    let trace = &exec.trace;
     let mut members = Vec::with_capacity(spec.members.len());
     let mut ensemble_makespan = 0.0f64;
     for (i, member) in spec.members.iter().enumerate() {
+        if exec.member_outcomes.get(i).is_some_and(|o| o.is_failed()) {
+            continue;
+        }
         let samples = trace.member_samples(i, member.k());
         let stage_times = extract_steady_state(&samples, warmup)?;
         let sigma = sigma_star(&stage_times);
@@ -119,5 +127,8 @@ pub fn build_threaded_report(
         n_steps,
         ensemble_makespan,
         members,
+        staging_retries: exec.staging_stats.retries,
+        staging_giveups: exec.staging_stats.giveups,
+        faults_injected: exec.fault_stats.total_injected(),
     })
 }

@@ -7,6 +7,34 @@ use std::time::Duration;
 
 use crate::protocol::{Request, Response};
 
+/// How [`SvcClient::submit`] reacts to `overloaded` responses: retry up
+/// to `max_attempts` total sends, honouring the server's
+/// `retry_after_ms` hint, doubled per retry and capped at
+/// `max_backoff`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total send attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Ceiling on one backoff sleep, however large the server's hint or
+    /// the exponential growth.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, max_backoff: Duration::from_secs(2) }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (1-based) given the
+    /// server's `retry_after_ms` hint: hint × 2^(retry−1), capped.
+    fn backoff(&self, retry: u32, retry_after_ms: u64) -> Duration {
+        let doubled = retry_after_ms.saturating_mul(1u64 << (retry - 1).min(16));
+        Duration::from_millis(doubled).min(self.max_backoff)
+    }
+}
+
 /// A connected client. One request at a time per client; open more
 /// clients for concurrency (the server pools them onto shared workers).
 pub struct SvcClient {
@@ -46,6 +74,26 @@ impl SvcClient {
         })
     }
 
+    /// Sends one request, retrying on `overloaded` per `policy`. Any
+    /// other response (including errors) returns immediately; when the
+    /// attempt budget runs out the last `overloaded` response is
+    /// returned so the caller still sees the server's hint.
+    pub fn submit(&mut self, request: &Request, policy: &RetryPolicy) -> std::io::Result<Response> {
+        let attempts = policy.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            let response = self.request(request)?;
+            let Response::Overloaded { retry_after_ms, .. } = response else {
+                return Ok(response);
+            };
+            retry += 1;
+            if retry >= attempts {
+                return Ok(response);
+            }
+            std::thread::sleep(policy.backoff(retry, retry_after_ms));
+        }
+    }
+
     /// Re-fetches a completed `run` by its job id (the request id the
     /// original `run` carried) — works across service restarts when the
     /// server journals.
@@ -73,5 +121,94 @@ impl SvcClient {
         Response::from_json(reply.trim_end()).map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response line: {e}"))
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RequestBody;
+    use std::net::TcpListener;
+
+    /// A scripted one-connection server: answers the i-th request line
+    /// with the i-th canned response, then keeps the socket open.
+    fn scripted_server(
+        responses: Vec<Response>,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut served = 0usize;
+            for response in responses {
+                let mut line = String::new();
+                if reader.read_line(&mut line).expect("read request") == 0 {
+                    break;
+                }
+                let mut out = response.to_json();
+                out.push('\n');
+                stream.write_all(out.as_bytes()).expect("write response");
+                served += 1;
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    fn metrics_request(id: u64) -> Request {
+        Request { id, deadline: None, body: RequestBody::Metrics }
+    }
+
+    #[test]
+    fn submit_retries_past_overloaded_responses() {
+        let (addr, server) = scripted_server(vec![
+            Response::Overloaded { id: 7, retry_after_ms: 1 },
+            Response::Overloaded { id: 7, retry_after_ms: 1 },
+            Response::Metrics { id: 7, rows: vec![] },
+        ]);
+        let mut client = SvcClient::connect(addr).expect("connect");
+        let policy = RetryPolicy { max_attempts: 4, max_backoff: Duration::from_millis(20) };
+        let response = client.submit(&metrics_request(7), &policy).expect("submit");
+        assert!(matches!(response, Response::Metrics { id: 7, .. }), "got {response:?}");
+        assert_eq!(server.join().expect("server"), 3, "two retries after the initial send");
+    }
+
+    #[test]
+    fn submit_returns_the_last_overloaded_when_attempts_run_out() {
+        let (addr, server) = scripted_server(vec![
+            Response::Overloaded { id: 3, retry_after_ms: 1 },
+            Response::Overloaded { id: 3, retry_after_ms: 5 },
+        ]);
+        let mut client = SvcClient::connect(addr).expect("connect");
+        let policy = RetryPolicy { max_attempts: 2, max_backoff: Duration::from_millis(20) };
+        let response = client.submit(&metrics_request(3), &policy).expect("submit");
+        assert!(
+            matches!(response, Response::Overloaded { id: 3, retry_after_ms: 5 }),
+            "the caller sees the server's final hint, got {response:?}"
+        );
+        assert_eq!(server.join().expect("server"), 2);
+    }
+
+    #[test]
+    fn submit_with_one_attempt_never_retries() {
+        let (addr, server) =
+            scripted_server(vec![Response::Overloaded { id: 1, retry_after_ms: 1 }]);
+        let mut client = SvcClient::connect(addr).expect("connect");
+        let policy = RetryPolicy { max_attempts: 1, max_backoff: Duration::from_millis(20) };
+        let response = client.submit(&metrics_request(1), &policy).expect("submit");
+        assert!(matches!(response, Response::Overloaded { .. }));
+        assert_eq!(server.join().expect("server"), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy { max_attempts: 8, max_backoff: Duration::from_millis(100) };
+        assert_eq!(policy.backoff(1, 10), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, 10), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, 10), Duration::from_millis(40));
+        assert_eq!(policy.backoff(5, 10), Duration::from_millis(100), "capped");
+        assert_eq!(policy.backoff(1, 500), Duration::from_millis(100), "hint itself is capped");
     }
 }

@@ -47,7 +47,7 @@ pub mod service;
 pub mod stats;
 
 pub use cache::ScoreCache;
-pub use client::SvcClient;
+pub use client::{RetryPolicy as ClientRetryPolicy, SvcClient};
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats};
 pub use protocol::{
     ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,

@@ -134,7 +134,17 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             if line.trim().is_empty() {
                 continue;
             }
-            let response = handle_line(shared, &line);
+            // A panic while handling one request must cost exactly that
+            // request, not the connection (and certainly not the
+            // server): contain it and answer with a structured error.
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_line(shared, &line)
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                id: line_request_id(&line),
+                kind: ErrorKind::Internal,
+                message: "request handler panicked".into(),
+            });
             let mut out = response.to_json();
             out.push('\n');
             if stream.write_all(out.as_bytes()).is_err() {
@@ -164,19 +174,26 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     }
 }
 
+/// Best effort at extracting an id even from a broken request line.
+fn line_request_id(line: &str) -> u64 {
+    crate::json::Value::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(crate::json::Value::as_u64))
+        .unwrap_or(0)
+}
+
 fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Response {
     let request = match Request::from_json(line) {
         Ok(r) => r,
         Err(message) => {
-            // Best effort at echoing an id even from a broken request.
-            let id = crate::json::Value::parse(line)
-                .ok()
-                .and_then(|v| v.get("id").and_then(crate::json::Value::as_u64))
-                .unwrap_or(0);
+            let id = line_request_id(line);
             return Response::Error { id, kind: ErrorKind::Malformed, message };
         }
     };
     let id = request.id;
+    if shared.service.panic_on_request_id() == Some(id) {
+        panic!("injected front-end panic (request {id})");
+    }
     if matches!(request.body, RequestBody::Metrics) {
         // Health endpoint: answered inline, never queued, works under
         // overload.

@@ -42,6 +42,10 @@ pub struct SvcConfig {
     /// completed results persist across restarts: the score cache is
     /// warmed and the attachable-run index rebuilt by replay at start.
     pub journal: Option<JournalConfig>,
+    /// Fault-injection hook: the front end panics while handling the
+    /// request with this id. Exercises the server's panic containment
+    /// in tests; leave `None` in production.
+    pub panic_on_request_id: Option<u64>,
 }
 
 impl Default for SvcConfig {
@@ -52,6 +56,7 @@ impl Default for SvcConfig {
             cache_capacity: 256,
             default_deadline: None,
             journal: None,
+            panic_on_request_id: None,
         }
     }
 }
@@ -317,6 +322,12 @@ impl Service {
     /// Empties the score cache (benchmark cold path).
     pub fn clear_cache(&self) {
         self.shared.cache.clear();
+    }
+
+    /// The configured fault-injection request id, if any (see
+    /// [`SvcConfig::panic_on_request_id`]).
+    pub fn panic_on_request_id(&self) -> Option<u64> {
+        self.config.panic_on_request_id
     }
 
     /// Worker pool size.
@@ -615,6 +626,7 @@ mod tests {
             cache_capacity: 16,
             default_deadline: None,
             journal: None,
+            panic_on_request_id: None,
         })
     }
 
@@ -822,6 +834,7 @@ mod tests {
             cache_capacity: 16,
             default_deadline: Some(Duration::from_secs(2)),
             journal: None,
+            panic_on_request_id: None,
         });
         assert!(
             svc.retry_after_hint_ms() >= 2000,

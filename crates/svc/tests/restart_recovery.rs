@@ -30,6 +30,7 @@ fn config_with_journal(journal: JournalConfig) -> SvcConfig {
         cache_capacity: 32,
         default_deadline: None,
         journal: Some(journal),
+        panic_on_request_id: None,
     }
 }
 

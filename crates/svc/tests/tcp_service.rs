@@ -24,6 +24,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             cache_capacity: 64,
             default_deadline: None,
             journal: None,
+            panic_on_request_id: None,
         },
     )
     .expect("bind ephemeral port")
@@ -330,6 +331,84 @@ fn malformed_json_yields_structured_error_not_a_dead_connection() {
     // Malformed lines are refused at the protocol layer, before
     // admission: the service's work counters only see the valid request.
     assert_eq!(metrics_row(&handle, &mut client, "requests_submitted"), 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn handler_panic_is_a_structured_internal_error_not_a_dead_connection() {
+    // The fault-injection hook panics the front end on request id 66;
+    // the server must contain it to that one request.
+    let handle = serve(
+        "127.0.0.1:0",
+        SvcConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            default_deadline: None,
+            journal: None,
+            panic_on_request_id: Some(66),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+    let mut client = SvcClient::connect(addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+    match client.request(&small_score_request(66, 2, 16, 1, 8, 3)).expect("contained panic") {
+        Response::Error { id, kind: ErrorKind::Internal, message } => {
+            assert_eq!(id, 66, "the poisoned request's id is echoed");
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("expected internal error, got {other:?}"),
+    }
+
+    // The same connection — and fresh ones — still serve valid work.
+    match client.request(&small_score_request(67, 2, 16, 1, 8, 3)).expect("same connection") {
+        Response::ScoreResult { id, .. } => assert_eq!(id, 67),
+        other => panic!("expected score result, got {other:?}"),
+    }
+    let mut fresh = SvcClient::connect(addr).expect("connect after panic");
+    fresh.set_timeout(Some(Duration::from_secs(60))).unwrap();
+    match fresh.request(&small_score_request(68, 2, 16, 1, 8, 3)).expect("fresh connection") {
+        Response::ScoreResult { id, .. } => assert_eq!(id, 68),
+        other => panic!("expected score result, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn client_submit_rides_out_real_overload() {
+    // One worker, one queue slot, a long run pinning the worker: a
+    // `submit` with a generous retry budget eventually lands where a
+    // bare `request` would have returned `overloaded`.
+    let handle = server(1, 1);
+    let addr = handle.addr();
+    let blocker = std::thread::spawn(move || {
+        let mut client = SvcClient::connect(addr).expect("connect blocker");
+        client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+        client.request(&run_request(1, 2000)).expect("blocker response")
+    });
+    let mut probe = SvcClient::connect(addr).expect("connect probe");
+    wait_for_metric(&handle, &mut probe, "in_flight", |v| v >= 1.0);
+    // Occupy the single queue slot too, so the submit below is shed at
+    // least once before the backlog drains.
+    let filler = std::thread::spawn(move || {
+        let mut client = SvcClient::connect(addr).expect("connect filler");
+        client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+        client.request(&small_score_request(4, 3, 16, 1, 8, 3)).expect("filler response")
+    });
+    wait_for_metric(&handle, &mut probe, "requests_accepted", |v| v >= 2.0);
+
+    let mut client = SvcClient::connect(addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    let policy =
+        svc::ClientRetryPolicy { max_attempts: 2000, max_backoff: Duration::from_millis(50) };
+    match client.submit(&small_score_request(5, 2, 16, 1, 8, 3), &policy).expect("submit") {
+        Response::ScoreResult { id, .. } => assert_eq!(id, 5),
+        other => panic!("expected the retried score to land, got {other:?}"),
+    }
+    assert!(matches!(blocker.join().expect("blocker"), Response::RunResult { .. }));
+    assert!(matches!(filler.join().expect("filler"), Response::ScoreResult { .. }));
     handle.shutdown();
 }
 

@@ -26,6 +26,9 @@ fn main() {
         staging_capacity: 1,
         timeout: Duration::from_secs(120),
         kernel: None,
+        fault_plan: None,
+        retry: None,
+        restart: None,
     };
     let exec = run_threaded(&threaded).expect("threaded run");
     let node = insitu_ensembles::platform::cori::cori_node();

@@ -27,6 +27,9 @@ fn main() {
         staging_capacity: 1,
         timeout: Duration::from_secs(120),
         kernel: None,
+        fault_plan: None,
+        retry: None,
+        restart: None,
     };
 
     // --- Synchronous: the paper's protocol. ---

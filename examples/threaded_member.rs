@@ -26,6 +26,9 @@ fn main() {
         staging_capacity: 1,
         timeout: Duration::from_secs(60),
         kernel: None,
+        fault_plan: None,
+        retry: None,
+        restart: None,
     };
     let exec = run_threaded(&config).expect("threaded run failed");
 

@@ -3,6 +3,8 @@
 //! ```text
 //! ensemble run C1.5 [--steps N] [--jitter J] [--gantt] [--csv DIR] [--json FILE]
 //! ensemble run experiment.json [...]
+//! ensemble run C1.5 --threaded [--steps N] [--fault-plan SPEC]
+//!                              [--retry-attempts N] [--restarts N]
 //! ensemble predict C2.8
 //! ensemble sweep
 //! ensemble advise --members N --k K --nodes M [--cores 32]
@@ -106,6 +108,9 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("run: missing config label or experiment file");
         return 2;
     };
+    if has_flag(args, "--threaded") {
+        return cmd_run_threaded(target, args);
+    }
     let (label, run_cfg) = match load_run(target, args) {
         Ok(v) => v,
         Err(e) => {
@@ -200,6 +205,119 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// `ensemble run <config> --threaded`: run the real-kernel runtime,
+/// optionally under a fault plan, and report per-member outcomes plus
+/// retry/fault counters alongside the usual report table.
+fn cmd_run_threaded(target: &str, args: &[String]) -> i32 {
+    use insitu_ensembles::runtime::build_threaded_report;
+
+    let Some(id) = parse_config(target) else {
+        eprintln!("run --threaded: '{target}' is not a config label (see `ensemble list`)");
+        return 2;
+    };
+    let mut cfg = ThreadRunConfig {
+        spec: id.build(),
+        md: MdConfig { atoms_per_side: 5, stride: 10, ..Default::default() },
+        analysis_group_size: 32,
+        n_steps: 6,
+        ..Default::default()
+    };
+    if let Some(steps) = flag_value(args, "--steps") {
+        match steps.parse() {
+            Ok(n) => cfg.n_steps = n,
+            Err(e) => {
+                eprintln!("run --threaded: --steps: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => cfg.fault_plan = Some(plan),
+            Err(e) => {
+                eprintln!("run --threaded: --fault-plan: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(attempts) = flag_value(args, "--retry-attempts") {
+        match attempts.parse() {
+            Ok(n) => cfg.retry = Some(RetryPolicy::with_attempts(n)),
+            Err(e) => {
+                eprintln!("run --threaded: --retry-attempts: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(restarts) = flag_value(args, "--restarts") {
+        match restarts.parse() {
+            Ok(n) => cfg.restart = Some(RestartPolicy { max_restarts: n }),
+            Err(e) => {
+                eprintln!("run --threaded: --restarts: {e}");
+                return 2;
+            }
+        }
+    }
+
+    let spec = cfg.spec.clone();
+    let exec = match run_threaded(&cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("run --threaded failed: {e}");
+            return 1;
+        }
+    };
+    for (i, outcome) in exec.member_outcomes.iter().enumerate() {
+        match outcome {
+            MemberOutcome::Completed => println!("EM{}: completed", i + 1),
+            MemberOutcome::Restarted { attempts } => {
+                println!("EM{}: completed after {attempts} restart(s)", i + 1);
+            }
+            MemberOutcome::Failed { step, cause } => {
+                println!("EM{}: FAILED at step {step}: {cause}", i + 1);
+            }
+        }
+    }
+    println!(
+        "staging: {} puts, {} gets, {} retries, {} giveups; faults injected: {}",
+        exec.staging_stats.puts,
+        exec.staging_stats.gets,
+        exec.staging_stats.retries,
+        exec.staging_stats.giveups,
+        exec.fault_stats.total_injected(),
+    );
+    match build_threaded_report(id.label(), &spec, &exec, cfg.n_steps, WarmupPolicy::default()) {
+        Ok(report) => {
+            println!("{}", report.to_table());
+            if let Some(path) = flag_value(args, "--json") {
+                match serde_json::to_string_pretty(&report) {
+                    Ok(body) => {
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("--json: {e}");
+                            return 1;
+                        }
+                        println!("wrote report to {path}");
+                    }
+                    Err(e) => {
+                        eprintln!("--json: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if exec.member_outcomes.iter().any(|o| o.is_failed()) {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            // Every member failing leaves nothing to report on.
+            eprintln!("report failed: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_predict(args: &[String]) -> i32 {

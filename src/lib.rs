@@ -53,7 +53,10 @@ pub use svc as service;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use dtl::{DtlReader, DtlWriter, InMemoryStaging, ReaderId, VariableSpec};
+    pub use dtl::{
+        DtlReader, DtlWriter, FaultInjector, FaultOp, FaultPlan, FaultRule, InMemoryStaging,
+        MemberKill, ReaderId, RetryPolicy, VariableSpec,
+    };
     pub use ensemble_core::{
         aggregate, efficiency, indicator, makespan, objective, placement_indicator, sigma_star,
         Aggregation, ComponentRef, ComponentSpec, ConfigId, CouplingScenario, EnsembleSpec,
@@ -64,7 +67,7 @@ pub mod prelude {
     pub use metrics::{EnsembleReport, ExecutionTrace, TraceRecorder};
     pub use runtime::{
         predict, run_simulated, run_threaded, run_threaded_in_transit, CouplingMode,
-        EnsembleRunner, SimRunConfig, ThreadRunConfig, WorkloadMap,
+        EnsembleRunner, MemberOutcome, RestartPolicy, SimRunConfig, ThreadRunConfig, WorkloadMap,
     };
     pub use scheduler::{
         anneal_placement, core_sweep, exhaustive_search, pareto_front, recommend_placement,

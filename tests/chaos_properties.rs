@@ -1,0 +1,145 @@
+//! Property-based chaos tests: random seeded fault plans over small
+//! ensembles never hang the threaded runtime, and survivors are always
+//! bit-identical to the fault-free run with the same seeds.
+//!
+//! Plans here are restricted to failures, delays, and kills — payload
+//! corruption changes survivor data by design and is exercised by the
+//! unit tests instead.
+
+use insitu_ensembles::model::{ComponentSpec, EnsembleSpec, MemberSpec};
+use insitu_ensembles::prelude::*;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+const STEPS: u64 = 3;
+/// Per-op staging timeout; a run is "hung" when it exceeds a generous
+/// multiple of this plus kernel time.
+const OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn two_member_spec() -> EnsembleSpec {
+    EnsembleSpec::new(vec![
+        MemberSpec::new(ComponentSpec::simulation(4, 0), vec![ComponentSpec::analysis(2, 0)]),
+        MemberSpec::new(ComponentSpec::simulation(4, 1), vec![ComponentSpec::analysis(2, 1)]),
+    ])
+}
+
+fn config(fault_plan: Option<FaultPlan>, retry: Option<RetryPolicy>) -> ThreadRunConfig {
+    ThreadRunConfig {
+        spec: two_member_spec(),
+        md: MdConfig { atoms_per_side: 4, stride: 5, ..Default::default() },
+        analysis_group_size: 16,
+        analysis_sigma: 1.2,
+        n_steps: STEPS,
+        staging_capacity: 1,
+        timeout: OP_TIMEOUT,
+        kernel: None,
+        fault_plan,
+        retry,
+        restart: None,
+    }
+}
+
+/// A store rule drawn from failures and small delays only.
+fn rule() -> impl Strategy<Value = FaultRule> {
+    let op = prop_oneof![Just(FaultOp::Load), Just(FaultOp::Store)];
+    (op, 0u32..2, 0u64..STEPS, 0u64..2, 1u64..3, prop::bool::ANY).prop_map(
+        |(op, var, step, after, first, delay)| {
+            let action = if delay {
+                FaultAction::Delay(Duration::from_millis(2))
+            } else {
+                FaultAction::Fail
+            };
+            FaultRule {
+                variable: Some(var),
+                step: Some(step),
+                op: Some(op),
+                action,
+                probability: 1.0,
+                after,
+                first: Some(first),
+            }
+        },
+    )
+}
+
+fn plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1000,
+        prop::collection::vec(rule(), 0..3),
+        prop::option::of((0usize..2, 0u64..STEPS, prop::bool::ANY)),
+    )
+        .prop_map(|(seed, rules, kill)| {
+            let mut plan = FaultPlan::new(seed);
+            for r in rules {
+                plan = plan.with_rule(r);
+            }
+            if let Some((member, step, panic)) = kill {
+                plan = plan.with_kill(MemberKill { member, step, panic });
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the plan injects, the run returns well before the hang
+    /// horizon, and every member reports a definite outcome.
+    #[test]
+    fn chaos_never_hangs_and_every_member_has_an_outcome(plan in plan()) {
+        let started = Instant::now();
+        let exec = run_threaded(&config(Some(plan), Some(RetryPolicy::with_attempts(2))))
+            .expect("a chaos run completes instead of erroring out");
+        prop_assert!(
+            started.elapsed() < OP_TIMEOUT * 4,
+            "run exceeded the hang horizon: {:?}",
+            started.elapsed()
+        );
+        prop_assert_eq!(exec.member_outcomes.len(), 2);
+    }
+
+    /// Members couple through disjoint variables, so a fault plan can
+    /// only ever affect the members it names: survivors' CV series are
+    /// bit-identical to the fault-free run with the same seeds.
+    #[test]
+    fn survivors_match_the_fault_free_run_bit_for_bit(plan in plan()) {
+        let baseline = run_threaded(&config(None, None)).expect("fault-free run");
+        let exec = run_threaded(&config(Some(plan), Some(RetryPolicy::with_attempts(3))))
+            .expect("chaos run");
+        for (i, outcome) in exec.member_outcomes.iter().enumerate() {
+            if outcome.is_failed() {
+                continue;
+            }
+            let ana = ComponentRef::analysis(i, 1);
+            prop_assert_eq!(
+                &exec.cv_series[&ana],
+                &baseline.cv_series[&ana],
+                "member {} survived but its CV series diverged",
+                i
+            );
+        }
+    }
+}
+
+/// Long-running chaos soak: many random plans, run with
+/// `cargo test --test chaos_properties -- --ignored`.
+#[test]
+#[ignore = "soak test: minutes of repeated chaos runs, exercised by the nightly CI step"]
+fn soak_many_seeded_plans_stay_contained() {
+    for seed in 0..20u64 {
+        let plan = FaultPlan::new(seed)
+            .with_rule(FaultRule::fail(FaultOp::Store).with_probability(0.2).first_attempts(2))
+            .with_kill(MemberKill {
+                member: (seed % 2) as usize,
+                step: seed % STEPS,
+                panic: seed % 3 == 0,
+            });
+        let exec = run_threaded(&config(Some(plan), Some(RetryPolicy::with_attempts(3))))
+            .unwrap_or_else(|e| panic!("seed {seed}: chaos run errored: {e}"));
+        assert_eq!(exec.member_outcomes.len(), 2, "seed {seed}");
+        assert!(
+            exec.member_outcomes.iter().any(|o| !o.is_failed()),
+            "seed {seed}: the unnamed member must survive"
+        );
+    }
+}

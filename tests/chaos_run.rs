@@ -1,0 +1,118 @@
+//! End-to-end chaos acceptance: a seeded fault plan kills one member
+//! mid-run and makes the staging store flaky, and the run still
+//! completes — survivors unaffected bit-for-bit, the failure reported
+//! with step and cause, and the retry/fault counters visible both in
+//! the staging stats and in the built report.
+
+use insitu_ensembles::model::StageKind;
+use insitu_ensembles::prelude::*;
+use insitu_ensembles::runtime::build_threaded_report;
+use std::time::Duration;
+
+const STEPS: u64 = 4;
+
+fn config(fault_plan: Option<FaultPlan>, retry: Option<RetryPolicy>) -> ThreadRunConfig {
+    ThreadRunConfig {
+        spec: ConfigId::C1_5.build(), // two members, disjoint variables
+        md: MdConfig { atoms_per_side: 5, stride: 10, ..Default::default() },
+        analysis_group_size: 32,
+        analysis_sigma: 1.2,
+        n_steps: STEPS,
+        staging_capacity: 1,
+        timeout: Duration::from_secs(120),
+        kernel: None,
+        fault_plan,
+        retry,
+        restart: None,
+    }
+}
+
+#[test]
+fn seeded_chaos_run_contains_the_blast_radius() {
+    // Baseline: the same ensemble, fault-free.
+    let baseline = run_threaded(&config(None, None)).expect("fault-free run");
+    assert!(baseline.member_outcomes.iter().all(|o| !o.is_failed()));
+
+    // Chaos: kill member 1's simulation at step 1, and fail every
+    // store's first attempt (cleared by the retry policy).
+    let plan = FaultPlan::new(42)
+        .with_kill(MemberKill { member: 1, step: 1, panic: false })
+        .with_rule(FaultRule::fail(FaultOp::Store).first_attempts(1));
+    let chaos = run_threaded(&config(Some(plan), Some(RetryPolicy::with_attempts(3))))
+        .expect("chaos run must complete, not tear down");
+
+    // The failed member reports where and why it died.
+    match &chaos.member_outcomes[1] {
+        MemberOutcome::Failed { step, cause } => {
+            assert_eq!(*step, 1, "the kill fired at step 1");
+            assert!(cause.contains("injected kill"), "root cause must name the kill: {cause}");
+        }
+        other => panic!("member 1 must report Failed, got {other:?}"),
+    }
+    assert_eq!(chaos.failed_members(), vec![1]);
+
+    // The survivor is bit-identical to its fault-free self: same CV
+    // series (the MD is seeded per member), same trace structure.
+    let survivor = ComponentRef::analysis(0, 1);
+    assert_eq!(
+        chaos.cv_series[&survivor], baseline.cv_series[&survivor],
+        "survivor CV series must be unaffected by the other member's death"
+    );
+    for kind in [StageKind::Simulate, StageKind::Write, StageKind::Read, StageKind::Analyze] {
+        let sim = ComponentRef::simulation(0);
+        let c = if matches!(kind, StageKind::Simulate | StageKind::Write) { sim } else { survivor };
+        assert_eq!(
+            chaos.trace.stage_series(c, kind).len(),
+            baseline.trace.stage_series(c, kind).len(),
+            "survivor {c} must record the same number of {kind:?} stages"
+        );
+    }
+    // The victim produced nothing past the kill step.
+    assert!(!chaos.cv_series.contains_key(&ComponentRef::analysis(1, 1)));
+
+    // Retry and fault counters are visible in the staging stats…
+    assert!(chaos.staging_stats.retries > 0, "every first store attempt was retried");
+    assert_eq!(chaos.staging_stats.giveups, 0, "3 attempts clear a 1-attempt fault window");
+    assert!(chaos.fault_stats.injected_failures > 0);
+
+    // …and ride onto the built report, which carries only the survivor.
+    let spec = ConfigId::C1_5.build();
+    let report =
+        build_threaded_report("C1.5-chaos", &spec, &chaos, STEPS, WarmupPolicy::FixedSteps(1))
+            .expect("report over the surviving member");
+    assert_eq!(report.members.len(), 1, "failed members are omitted from the report rows");
+    assert_eq!(report.members[0].member, 0);
+    assert_eq!(report.staging_retries, chaos.staging_stats.retries);
+    assert!(report.staging_retries > 0);
+    assert_eq!(report.faults_injected, chaos.fault_stats.total_injected());
+}
+
+#[test]
+fn chaos_run_without_retry_gives_up_and_fails_the_member() {
+    // Same transient fault but no retry policy: the writer surfaces the
+    // injected error, only that member dies, and the giveup is counted.
+    let plan = FaultPlan::new(7)
+        .with_rule(FaultRule::fail(FaultOp::Store).on_variable(0).first_attempts(1));
+    let exec = run_threaded(&config(Some(plan), None)).expect("run completes");
+    assert!(exec.member_outcomes[0].is_failed());
+    assert!(!exec.member_outcomes[1].is_failed(), "variable 1 was never touched");
+    assert_eq!(exec.staging_stats.retries, 0);
+}
+
+#[test]
+fn restart_policy_recovers_the_killed_member_end_to_end() {
+    let plan = FaultPlan::new(11).with_kill(MemberKill { member: 0, step: 1, panic: false });
+    let mut cfg = config(Some(plan), None);
+    cfg.restart = Some(RestartPolicy { max_restarts: 1 });
+    let exec = run_threaded(&cfg).expect("run completes");
+    assert!(
+        matches!(exec.member_outcomes[0], MemberOutcome::Restarted { attempts: 1 }),
+        "got {:?}",
+        exec.member_outcomes[0]
+    );
+    // The restarted member's CV series matches a fault-free run: the
+    // rerun starts from step 0 with the same seed.
+    let baseline = run_threaded(&config(None, None)).expect("fault-free run");
+    let ana = ComponentRef::analysis(0, 1);
+    assert_eq!(exec.cv_series[&ana], baseline.cv_series[&ana]);
+}

@@ -146,6 +146,9 @@ fn threaded_runtime_survives_bursty_consumers() {
         staging_capacity: 1,
         timeout: Duration::from_secs(60),
         kernel: None,
+        fault_plan: None,
+        retry: None,
+        restart: None,
     };
     let exec = run_threaded(&cfg).unwrap();
     assert_eq!(exec.staging_stats.puts, 5);

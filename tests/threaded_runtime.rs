@@ -15,6 +15,9 @@ fn config(spec: EnsembleSpec, steps: u64) -> ThreadRunConfig {
         staging_capacity: 1,
         timeout: Duration::from_secs(120),
         kernel: None,
+        fault_plan: None,
+        retry: None,
+        restart: None,
     }
 }
 
@@ -43,7 +46,7 @@ fn report_builder_works_on_threaded_traces() {
     let report = insitu_ensembles::runtime::build_threaded_report(
         "C1.5-threaded",
         &spec,
-        &exec.trace,
+        &exec,
         4,
         WarmupPolicy::FixedSteps(1),
     )
