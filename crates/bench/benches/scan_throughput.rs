@@ -1,0 +1,177 @@
+//! Throughput of the parallel placement-scan engine: serial versus
+//! parallel at 1/2/4/all cores, on both evaluation paths (the
+//! closed-form fast evaluator and the DES-scored exhaustive search).
+//!
+//! Plain `main` + `std::time::Instant` instead of criterion: the
+//! quantity of interest is whole-scan wall time at controlled worker
+//! counts, and the output must be machine-readable. Results land in
+//! `BENCH_scan.json` at the workspace root (override with
+//! `ENSEMBLE_BENCH_OUT`); `ENSEMBLE_SCAN_BENCH_QUICK=1` shrinks reps
+//! and the candidate space for CI smoke runs.
+//!
+//! Every timed configuration is first checked bit-identical to the
+//! serial scan — a benchmark of a wrong answer is worthless.
+
+use std::time::Instant;
+
+use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
+use scheduler::{
+    exhaustive_search_with, scan_placements, EnsembleShape, FastEvaluator, NodeBudget, ScanOptions,
+    SearchConfig,
+};
+
+struct Sample {
+    workers: usize,
+    candidates: usize,
+    secs: f64,
+    speedup: f64,
+}
+
+fn worker_counts(host_cores: usize) -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&host_cores) {
+        counts.push(host_cores);
+    }
+    counts
+}
+
+fn median_secs(reps: usize, mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut times = Vec::with_capacity(reps);
+    let mut candidates = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        candidates = run();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], candidates)
+}
+
+fn fast_scan(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    workers: usize,
+) -> Vec<u64> {
+    let opts = ScanOptions { workers, ..Default::default() };
+    scan_placements(
+        shape,
+        budget,
+        &opts,
+        || FastEvaluator::new(base),
+        |evaluator: &mut FastEvaluator, _, assignment: &[usize]| -> RuntimeResult<Option<f64>> {
+            let spec = shape.materialize(assignment);
+            Ok(Some(evaluator.score(&spec)?.objective))
+        },
+        |objective| *objective,
+        || false,
+    )
+    .expect("fast scan")
+    .into_values()
+    .into_iter()
+    .map(f64::to_bits)
+    .collect()
+}
+
+fn bench_fast_path(quick: bool, host_cores: usize) -> Vec<Sample> {
+    // A space large enough that per-candidate work dominates chunk
+    // handoff: 8 components over up to 6 nodes.
+    let (members, max_nodes) = if quick { (3, 3) } else { (4, 6) };
+    let shape = EnsembleShape::uniform(members, 8, 1, 4);
+    let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+    let base = {
+        let mut cfg = SimRunConfig::paper(shape.materialize(&vec![0; shape.num_components()]));
+        cfg.workloads = WorkloadMap::small_defaults();
+        cfg
+    };
+    let reference = fast_scan(&base, &shape, budget, 1);
+    let reps = if quick { 3 } else { 7 };
+    let mut samples = Vec::new();
+    let mut serial_secs = 0.0;
+    for workers in worker_counts(host_cores) {
+        assert_eq!(fast_scan(&base, &shape, budget, workers), reference, "bit-identity broken");
+        let (secs, candidates) =
+            median_secs(reps, || fast_scan(&base, &shape, budget, workers).len());
+        if workers == 1 {
+            serial_secs = secs;
+        }
+        samples.push(Sample { workers, candidates, secs, speedup: serial_secs / secs });
+    }
+    samples
+}
+
+fn bench_des_path(quick: bool, host_cores: usize) -> Vec<Sample> {
+    let config = SearchConfig::new(
+        EnsembleShape::uniform(2, 16, 1, 8),
+        NodeBudget { max_nodes: 3, cores_per_node: 32 },
+    )
+    .small_scale();
+    let reps = if quick { 1 } else { 3 };
+    let run = |workers: usize| -> Vec<u64> {
+        exhaustive_search_with(&config, &ScanOptions { workers, ..Default::default() })
+            .expect("des scan")
+            .into_values()
+            .into_iter()
+            .map(|p| p.objective.to_bits())
+            .collect()
+    };
+    let reference = run(1);
+    let mut samples = Vec::new();
+    let mut serial_secs = 0.0;
+    for workers in worker_counts(host_cores) {
+        assert_eq!(run(workers), reference, "bit-identity broken");
+        let (secs, candidates) = median_secs(reps, || run(workers).len());
+        if workers == 1 {
+            serial_secs = secs;
+        }
+        samples.push(Sample { workers, candidates, secs, speedup: serial_secs / secs });
+    }
+    samples
+}
+
+fn render(samples: &[Sample]) -> String {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"workers\": {}, \"candidates\": {}, \"secs\": {:.6}, \"speedup_vs_serial\": {:.3}}}",
+                s.workers, s.candidates, s.secs, s.speedup
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+fn main() {
+    let quick = std::env::var("ENSEMBLE_SCAN_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("scan_throughput: host_cores={host_cores} quick={quick}");
+
+    let fast = bench_fast_path(quick, host_cores);
+    for s in &fast {
+        eprintln!(
+            "  fast  workers={:<2} candidates={:<6} {:.4}s  {:.2}x",
+            s.workers, s.candidates, s.secs, s.speedup
+        );
+    }
+    let des = bench_des_path(quick, host_cores);
+    for s in &des {
+        eprintln!(
+            "  des   workers={:<2} candidates={:<6} {:.4}s  {:.2}x",
+            s.workers, s.candidates, s.secs, s.speedup
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scan_throughput\",\n  \"host_cores\": {host_cores},\n  \"quick\": {quick},\n  \"fast_path\": {},\n  \"des_path\": {}\n}}\n",
+        render(&fast),
+        render(&des),
+    );
+    let out = std::env::var("ENSEMBLE_BENCH_OUT").unwrap_or_else(|_| {
+        // cargo bench runs with the package as cwd; anchor the default
+        // at the workspace root instead.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json").into()
+    });
+    std::fs::write(&out, &json).expect("write bench output");
+    eprintln!("wrote {out}");
+}

@@ -24,6 +24,7 @@ fn config() -> SvcConfig {
         default_deadline: None,
         journal: None,
         panic_on_request_id: None,
+        scan_workers: 0,
     }
 }
 

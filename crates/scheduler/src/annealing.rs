@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use runtime::{RuntimeResult, SimRunConfig};
 
 use crate::enumerate::{canonicalize, EnsembleShape};
-use crate::fast_eval::fast_score;
+use crate::fast_eval::FastEvaluator;
 use crate::search::{NodeBudget, ScoredPlacement};
 
 /// Annealing parameters.
@@ -78,12 +78,40 @@ fn initial_assignment(shape: &EnsembleShape, budget: NodeBudget) -> Option<Vec<u
 }
 
 /// Anneals toward a placement maximizing `F(Pᵁ·ᴬ·ᴾ)` under the budget.
+/// One [`FastEvaluator`] is built up front and reused for every move, so
+/// no candidate pays a per-evaluation `SimRunConfig` clone.
 pub fn anneal_placement(
     base: &SimRunConfig,
     shape: &EnsembleShape,
     budget: NodeBudget,
     config: &AnnealingConfig,
 ) -> RuntimeResult<ScoredPlacement> {
+    let mut evaluator = FastEvaluator::new(base);
+    let best = anneal_core(shape, budget, config, |assignment| {
+        let spec = shape.materialize(&canonicalize(assignment));
+        Ok(evaluator.score(&spec)?.objective)
+    })?;
+    let assignment = canonicalize(&best);
+    let spec = shape.materialize(&assignment);
+    let fs = evaluator.score(&spec)?;
+    Ok(ScoredPlacement {
+        nodes_used: fs.nodes_used,
+        ensemble_makespan: fs.ensemble_makespan,
+        assignment,
+        spec,
+        objective: fs.objective,
+    })
+}
+
+/// The annealing loop itself, generic over the scoring closure so tests
+/// can pin the evaluator-reuse path against the one-shot reference.
+/// Returns the best (not yet canonicalized) assignment found.
+fn anneal_core(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    config: &AnnealingConfig,
+    mut score_of: impl FnMut(&[usize]) -> RuntimeResult<f64>,
+) -> RuntimeResult<Vec<usize>> {
     let cores = component_cores(shape);
     let mut current = initial_assignment(shape, budget).ok_or_else(|| {
         runtime::RuntimeError::Platform(hpc_platform::PlatformError::InsufficientCores {
@@ -92,10 +120,6 @@ pub fn anneal_placement(
             available: budget.cores_per_node * budget.max_nodes as u32,
         })
     })?;
-    let score_of = |assignment: &[usize]| -> RuntimeResult<f64> {
-        let spec = shape.materialize(&canonicalize(assignment));
-        Ok(fast_score(base, &spec)?.objective)
-    };
     let mut current_score = score_of(&current)?;
     let mut best = current.clone();
     let mut best_score = current_score;
@@ -130,16 +154,7 @@ pub fn anneal_placement(
         temperature *= config.cooling;
     }
 
-    let assignment = canonicalize(&best);
-    let spec = shape.materialize(&assignment);
-    let fs = fast_score(base, &spec)?;
-    Ok(ScoredPlacement {
-        nodes_used: fs.nodes_used,
-        ensemble_makespan: fs.ensemble_makespan,
-        assignment,
-        spec,
-        objective: fs.objective,
-    })
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -205,6 +220,40 @@ mod tests {
         let shape = EnsembleShape::uniform(2, 16, 1, 8);
         let budget = NodeBudget { max_nodes: 1, cores_per_node: 32 };
         assert!(anneal_placement(&base(), &shape, budget, &AnnealingConfig::default()).is_err());
+    }
+
+    #[test]
+    fn evaluator_reuse_matches_the_one_shot_trajectory_bitwise() {
+        // Regression for the per-move `fast_score(base, …)` clone: the
+        // reused evaluator must produce the same scores (bit for bit)
+        // at every move, so the whole annealing trajectory — and thus
+        // the returned placement — is unchanged.
+        let base = base();
+        let shape = EnsembleShape::uniform(3, 16, 1, 8);
+        let budget = NodeBudget { max_nodes: 4, cores_per_node: 32 };
+        let cfg = AnnealingConfig { iterations: 400, ..Default::default() };
+        let mut one_shot_scores = Vec::new();
+        let one_shot_best = anneal_core(&shape, budget, &cfg, |assignment| {
+            let spec = shape.materialize(&canonicalize(assignment));
+            let objective = crate::fast_eval::fast_score(&base, &spec)?.objective;
+            one_shot_scores.push(objective.to_bits());
+            Ok(objective)
+        })
+        .unwrap();
+        let mut evaluator = FastEvaluator::new(&base);
+        let mut reused_scores = Vec::new();
+        let reused_best = anneal_core(&shape, budget, &cfg, |assignment| {
+            let spec = shape.materialize(&canonicalize(assignment));
+            let objective = evaluator.score(&spec)?.objective;
+            reused_scores.push(objective.to_bits());
+            Ok(objective)
+        })
+        .unwrap();
+        assert_eq!(one_shot_scores, reused_scores, "every move must score identically");
+        assert_eq!(one_shot_best, reused_best);
+        // And the public entry point agrees with the reference run.
+        let placed = anneal_placement(&base, &shape, budget, &cfg).unwrap();
+        assert_eq!(placed.assignment, canonicalize(&one_shot_best));
     }
 
     #[test]

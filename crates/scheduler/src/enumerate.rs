@@ -29,7 +29,7 @@ impl EnsembleShape {
 
     /// Core demand of component `idx` in flattened order (member-major,
     /// simulation first).
-    fn component_cores(&self) -> Vec<u32> {
+    pub(crate) fn component_cores(&self) -> Vec<u32> {
         let mut v = Vec::with_capacity(self.num_components());
         for (sim, anas) in &self.members {
             v.push(*sim);
@@ -57,19 +57,154 @@ impl EnsembleShape {
 
 /// Canonicalizes an assignment by relabeling nodes in order of first
 /// appearance: `[2, 0, 2, 1]` → `[0, 1, 0, 2]`.
+///
+/// Linear: one pass to size a node→label table, one pass to fill and
+/// apply it (the old inner `position` scan made this quadratic in the
+/// number of distinct nodes, which the annealing inner loop felt).
 pub fn canonicalize(assignment: &[usize]) -> Vec<usize> {
-    let mut mapping: Vec<usize> = Vec::new();
+    const UNLABELED: usize = usize::MAX;
+    let table_len = assignment.iter().max().map_or(0, |&m| m + 1);
+    let mut label = vec![UNLABELED; table_len];
+    let mut next = 0usize;
     assignment
         .iter()
         .map(|&n| {
-            if let Some(pos) = mapping.iter().position(|&m| m == n) {
-                pos
-            } else {
-                mapping.push(n);
-                mapping.len() - 1
+            if label[n] == UNLABELED {
+                label[n] = next;
+                next += 1;
             }
+            label[n]
         })
         .collect()
+}
+
+/// Lazy, resumable enumerator of canonical feasible placements — the
+/// streaming form of [`enumerate_placements`].
+///
+/// Depth-first with the canonical-prefix rule (component `i` may use
+/// node `t` only if `t ≤ max-node-used-so-far + 1`), held as an explicit
+/// backtracking stack so enumeration can pause after any assignment and
+/// resume where it left off. Candidates are produced in exactly the
+/// order the old recursive enumeration materialized them, one at a
+/// time: no `O(candidates)` allocation up front, which is what lets the
+/// parallel scan engine ([`crate::scan`]) stream chunks to workers at
+/// paper scale (millions of candidates).
+#[derive(Debug, Clone)]
+pub struct PlacementIter {
+    cores: Vec<u32>,
+    max_nodes: usize,
+    cores_per_node: u32,
+    /// Current (partial) assignment; positions `< depth` are placed.
+    assignment: Vec<usize>,
+    /// Core load per node under the current partial assignment.
+    used: Vec<u32>,
+    /// Per depth: the next node index to try when (re)entering it.
+    next: Vec<usize>,
+    /// Per depth: number of distinct nodes used by the prefix before it
+    /// (the recursive formulation's `max_used` argument).
+    prefix_max: Vec<usize>,
+    depth: usize,
+    /// True while `assignment` holds the just-yielded complete leaf.
+    at_leaf: bool,
+    done: bool,
+    yielded: usize,
+}
+
+impl PlacementIter {
+    /// Starts enumeration of `shape` onto at most `max_nodes` nodes of
+    /// `cores_per_node` cores.
+    pub fn new(shape: &EnsembleShape, max_nodes: usize, cores_per_node: u32) -> Self {
+        let cores = shape.component_cores();
+        let n = cores.len();
+        PlacementIter {
+            assignment: vec![0; n],
+            used: vec![0; max_nodes],
+            next: vec![0; n + 1],
+            prefix_max: vec![0; n + 1],
+            depth: 0,
+            at_leaf: false,
+            done: n == 0 || max_nodes == 0,
+            yielded: 0,
+            cores,
+            max_nodes,
+            cores_per_node,
+        }
+    }
+
+    /// Assignments yielded so far — the enumeration index of the *next*
+    /// assignment [`advance`](Self::advance) will return.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Advances to the next canonical feasible assignment. The returned
+    /// slice aliases internal state and is valid until the next call;
+    /// callers that keep it must copy it out.
+    pub fn advance(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        let n = self.cores.len();
+        if self.at_leaf {
+            // Backtrack off the leaf yielded by the previous call.
+            self.at_leaf = false;
+            self.depth -= 1;
+            self.used[self.assignment[self.depth]] -= self.cores[self.depth];
+        }
+        loop {
+            if self.depth == n {
+                self.at_leaf = true;
+                self.yielded += 1;
+                return Some(&self.assignment);
+            }
+            let limit = self.prefix_max[self.depth].min(self.max_nodes - 1);
+            let mut t = self.next[self.depth];
+            while t <= limit && self.used[t] + self.cores[self.depth] > self.cores_per_node {
+                t += 1;
+            }
+            if t <= limit {
+                self.used[t] += self.cores[self.depth];
+                self.assignment[self.depth] = t;
+                self.next[self.depth] = t + 1;
+                self.prefix_max[self.depth + 1] = self.prefix_max[self.depth].max(t + 1);
+                self.depth += 1;
+                self.next[self.depth] = 0;
+            } else if self.depth == 0 {
+                self.done = true;
+                return None;
+            } else {
+                self.depth -= 1;
+                self.used[self.assignment[self.depth]] -= self.cores[self.depth];
+            }
+        }
+    }
+
+    /// Appends up to `n` `(enumeration index, assignment)` pairs to
+    /// `out`, returning how many were produced (short only at
+    /// exhaustion). The batching primitive the scan engine's chunk feed
+    /// is built on.
+    pub fn next_chunk(&mut self, out: &mut Vec<(usize, Vec<usize>)>, n: usize) -> usize {
+        let mut got = 0;
+        while got < n {
+            let index = self.yielded;
+            match self.advance() {
+                Some(assignment) => {
+                    out.push((index, assignment.to_vec()));
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+}
+
+impl Iterator for PlacementIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        self.advance().map(<[usize]>::to_vec)
+    }
 }
 
 /// Enumerates all canonical feasible placements of `shape` onto at most
@@ -77,61 +212,15 @@ pub fn canonicalize(assignment: &[usize]) -> Vec<usize> {
 ///
 /// Returned assignments are flattened node indexes (member-major,
 /// simulation first), each canonical under node relabeling, each
-/// respecting per-node core capacity.
+/// respecting per-node core capacity. Materializes the whole space —
+/// prefer [`PlacementIter`] (or [`crate::scan`]) when the space is
+/// large.
 pub fn enumerate_placements(
     shape: &EnsembleShape,
     max_nodes: usize,
     cores_per_node: u32,
 ) -> Vec<Vec<usize>> {
-    let cores = shape.component_cores();
-    let n = cores.len();
-    let mut out: Vec<Vec<usize>> = Vec::new();
-    let mut assignment = vec![0usize; n];
-    let mut used = vec![0u32; max_nodes];
-
-    // Depth-first with the canonical-prefix rule: component `i` may use
-    // node `t` only if t ≤ (max node used so far) + 1 — generating each
-    // canonical labeling exactly once.
-    #[allow(clippy::too_many_arguments)] // recursion state spelled out beats a one-off struct
-    fn dfs(
-        i: usize,
-        max_used: usize,
-        cores: &[u32],
-        cores_per_node: u32,
-        max_nodes: usize,
-        assignment: &mut Vec<usize>,
-        used: &mut Vec<u32>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
-        if i == cores.len() {
-            out.push(assignment.clone());
-            return;
-        }
-        let limit = max_used.min(max_nodes - 1);
-        for t in 0..=limit {
-            if used[t] + cores[i] > cores_per_node {
-                continue;
-            }
-            used[t] += cores[i];
-            assignment[i] = t;
-            dfs(
-                i + 1,
-                max_used.max(t + 1),
-                cores,
-                cores_per_node,
-                max_nodes,
-                assignment,
-                used,
-                out,
-            );
-            used[t] -= cores[i];
-        }
-    }
-
-    if n > 0 && max_nodes > 0 {
-        dfs(0, 0, &cores, cores_per_node, max_nodes, &mut assignment, &mut used, &mut out);
-    }
-    out
+    PlacementIter::new(shape, max_nodes, cores_per_node).collect()
 }
 
 #[cfg(test)]
@@ -211,5 +300,69 @@ mod tests {
     #[test]
     fn component_count() {
         assert_eq!(EnsembleShape::uniform(2, 16, 2, 8).num_components(), 6);
+    }
+
+    #[test]
+    fn placement_iter_streams_the_materialized_enumeration() {
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let materialized = enumerate_placements(&shape, 3, 32);
+        let streamed: Vec<Vec<usize>> = PlacementIter::new(&shape, 3, 32).collect();
+        assert_eq!(streamed, materialized, "identical content in identical order");
+    }
+
+    #[test]
+    fn placement_iter_chunked_pulls_reassemble_exactly() {
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let materialized = enumerate_placements(&shape, 3, 32);
+        for chunk in [1usize, 2, 3, 7, 100] {
+            let mut it = PlacementIter::new(&shape, 3, 32);
+            let mut out = Vec::new();
+            loop {
+                let got = it.next_chunk(&mut out, chunk);
+                if got < chunk {
+                    break;
+                }
+            }
+            assert_eq!(out.len(), materialized.len(), "chunk={chunk}");
+            for (i, (index, assignment)) in out.iter().enumerate() {
+                assert_eq!(*index, i, "indexes are the enumeration order");
+                assert_eq!(assignment, &materialized[i], "chunk={chunk}");
+            }
+            assert_eq!(it.yielded(), materialized.len());
+            // Once drained, the iterator stays drained.
+            assert_eq!(it.next_chunk(&mut out, chunk), 0);
+        }
+    }
+
+    #[test]
+    fn placement_iter_degenerate_spaces_are_empty() {
+        let shape = EnsembleShape::uniform(1, 16, 1, 8);
+        assert_eq!(PlacementIter::new(&shape, 0, 32).count(), 0, "zero nodes");
+        let empty = EnsembleShape { members: vec![] };
+        assert_eq!(PlacementIter::new(&empty, 3, 32).count(), 0, "zero components");
+    }
+
+    #[test]
+    fn canonicalize_matches_first_appearance_reference() {
+        // Reference: the old quadratic position-scan implementation.
+        fn reference(assignment: &[usize]) -> Vec<usize> {
+            let mut mapping: Vec<usize> = Vec::new();
+            assignment
+                .iter()
+                .map(|&n| {
+                    if let Some(pos) = mapping.iter().position(|&m| m == n) {
+                        pos
+                    } else {
+                        mapping.push(n);
+                        mapping.len() - 1
+                    }
+                })
+                .collect()
+        }
+        for case in
+            [vec![], vec![0], vec![9], vec![3, 3, 3], vec![2, 0, 2, 1], vec![7, 0, 7, 3, 3, 1, 0]]
+        {
+            assert_eq!(canonicalize(&case), reference(&case), "{case:?}");
+        }
     }
 }

@@ -12,6 +12,13 @@
 //!   (Eqs. 8–9), with a greedy fallback for large ensembles. The search
 //!   independently rediscovers the paper's conclusion: fully co-locate
 //!   each member.
+//!
+//! Placement evaluation runs on [`scan`], a streaming parallel scan
+//! engine: candidates are enumerated lazily ([`PlacementIter`]), fanned
+//! out to scoped worker threads in chunks, and merged by enumeration
+//! index — output order and every float are bit-identical to a serial
+//! scan at any worker count. Bounded top-K selection and cooperative
+//! cancellation come for free at every call site.
 
 #![warn(missing_docs)]
 
@@ -22,15 +29,18 @@ pub mod enumerate;
 pub mod fast_eval;
 pub mod moldable;
 pub mod pareto;
+pub mod scan;
 pub mod search;
 
 pub use advisor::{recommend_placement, recommend_with_core_sweep, Recommendation};
 pub use annealing::{anneal_placement, AnnealingConfig};
 pub use core_sweep::{core_sweep, CoreSweepConfig, SweepPoint, SweepResult};
-pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape};
+pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape, PlacementIter};
 pub use fast_eval::{fast_score, FastEvaluator, FastScore};
-pub use moldable::{moldable_search, MoldablePoint, MoldableResult};
-pub use pareto::{frontier_only, pareto_front, ParetoPoint};
+pub use moldable::{moldable_search, moldable_search_with, MoldablePoint, MoldableResult};
+pub use pareto::{frontier_only, pareto_front, pareto_front_with, ParetoPoint};
+pub use scan::{scan_placements, ScanHit, ScanOptions, ScanOutcome, SCAN_WORKERS_ENV};
 pub use search::{
-    exhaustive_search, greedy_search, score_report, NodeBudget, ScoredPlacement, SearchConfig,
+    exhaustive_search, exhaustive_search_with, greedy_search, score_report, NodeBudget,
+    ScoredPlacement, SearchConfig,
 };

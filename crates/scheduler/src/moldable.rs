@@ -10,8 +10,9 @@
 use runtime::{RuntimeResult, SimRunConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::enumerate::{enumerate_placements, EnsembleShape};
-use crate::fast_eval::fast_score;
+use crate::enumerate::EnsembleShape;
+use crate::fast_eval::FastEvaluator;
+use crate::scan::{scan_placements, ScanOptions};
 use crate::search::NodeBudget;
 
 /// One point of the joint search.
@@ -41,7 +42,9 @@ pub struct MoldableResult {
 }
 
 /// Searches core counts × placements for `n` members of
-/// `sim_cores + k` analyses under `budget`.
+/// `sim_cores + k` analyses under `budget`. Runs the parallel scan
+/// engine at its default worker count — see [`moldable_search_with`]
+/// for explicit control.
 pub fn moldable_search(
     base: &SimRunConfig,
     n: usize,
@@ -50,28 +53,53 @@ pub fn moldable_search(
     candidate_cores: &[u32],
     budget: NodeBudget,
 ) -> RuntimeResult<MoldableResult> {
+    moldable_search_with(base, n, sim_cores, k, candidate_cores, budget, &ScanOptions::default())
+}
+
+/// [`moldable_search`] with explicit scan options. Each core count runs
+/// one top-1 scan: per-worker [`FastEvaluator`]s score the candidates
+/// and the engine's bounded selection keeps the earliest-enumerated
+/// maximum — exactly the placement the old strictly-greater serial loop
+/// kept, at any worker count.
+pub fn moldable_search_with(
+    base: &SimRunConfig,
+    n: usize,
+    sim_cores: u32,
+    k: usize,
+    candidate_cores: &[u32],
+    budget: NodeBudget,
+    opts: &ScanOptions,
+) -> RuntimeResult<MoldableResult> {
     assert!(!candidate_cores.is_empty());
+    let opts = ScanOptions { top_k: 1, ..*opts };
     let mut per_size = Vec::new();
     for &cores in candidate_cores {
         let shape = EnsembleShape::uniform(n, sim_cores, k, cores);
-        let mut best_here: Option<MoldablePoint> = None;
-        for assignment in enumerate_placements(&shape, budget.max_nodes, budget.cores_per_node) {
-            let spec = shape.materialize(&assignment);
-            let score = fast_score(base, &spec)?;
-            let point = MoldablePoint {
-                analysis_cores: cores,
-                assignment,
-                objective: score.objective,
-                ensemble_makespan: score.ensemble_makespan,
-                nodes_used: score.nodes_used,
-                eq4_satisfied: score.eq4_satisfied,
-            };
-            if best_here.as_ref().is_none_or(|b| point.objective > b.objective) {
-                best_here = Some(point);
-            }
-        }
-        if let Some(p) = best_here {
-            per_size.push(p);
+        let outcome = scan_placements(
+            &shape,
+            budget,
+            &opts,
+            || FastEvaluator::new(base),
+            |evaluator: &mut FastEvaluator,
+             _,
+             assignment: &[usize]|
+             -> RuntimeResult<Option<MoldablePoint>> {
+                let spec = shape.materialize(assignment);
+                let score = evaluator.score(&spec)?;
+                Ok(Some(MoldablePoint {
+                    analysis_cores: cores,
+                    assignment: assignment.to_vec(),
+                    objective: score.objective,
+                    ensemble_makespan: score.ensemble_makespan,
+                    nodes_used: score.nodes_used,
+                    eq4_satisfied: score.eq4_satisfied,
+                }))
+            },
+            |p: &MoldablePoint| p.objective,
+            || false,
+        )?;
+        if let Some(best) = outcome.into_values().into_iter().next() {
+            per_size.push(best);
         }
     }
     // The paper's methodology (§3.4): first restrict to sizes that
@@ -121,6 +149,61 @@ mod tests {
         assert_eq!(result.best.analysis_cores, 8, "{:#?}", result.per_size);
         // The winner co-locates: 2 nodes.
         assert_eq!(result.best.nodes_used, 2);
+    }
+
+    #[test]
+    fn scan_matches_the_one_shot_reference_bitwise() {
+        // Regression for the per-candidate `fast_score(base, …)` the old
+        // loop paid: the top-1 scan must pick the same placement, with
+        // bit-identical floats, as the strictly-greater serial reference
+        // over one-shot scores — at several worker counts.
+        let base = base();
+        let budget = NodeBudget { max_nodes: 3, cores_per_node: 32 };
+        let reference: Vec<MoldablePoint> = [4u32, 8, 16]
+            .iter()
+            .map(|&cores| {
+                let shape = EnsembleShape::uniform(2, 16, 1, cores);
+                let mut best: Option<MoldablePoint> = None;
+                for assignment in
+                    crate::enumerate::enumerate_placements(&shape, budget.max_nodes, 32)
+                {
+                    let spec = shape.materialize(&assignment);
+                    let score = crate::fast_eval::fast_score(&base, &spec).unwrap();
+                    let point = MoldablePoint {
+                        analysis_cores: cores,
+                        assignment,
+                        objective: score.objective,
+                        ensemble_makespan: score.ensemble_makespan,
+                        nodes_used: score.nodes_used,
+                        eq4_satisfied: score.eq4_satisfied,
+                    };
+                    if best.as_ref().is_none_or(|b| point.objective > b.objective) {
+                        best = Some(point);
+                    }
+                }
+                best.unwrap()
+            })
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let result = moldable_search_with(
+                &base,
+                2,
+                16,
+                1,
+                &[4, 8, 16],
+                budget,
+                &ScanOptions { workers, chunk: 2, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(result.per_size.len(), reference.len());
+            for (got, want) in result.per_size.iter().zip(&reference) {
+                assert_eq!(got.analysis_cores, want.analysis_cores, "workers={workers}");
+                assert_eq!(got.assignment, want.assignment, "workers={workers}");
+                assert_eq!(got.objective.to_bits(), want.objective.to_bits());
+                assert_eq!(got.ensemble_makespan.to_bits(), want.ensemble_makespan.to_bits());
+                assert_eq!(got.eq4_satisfied, want.eq4_satisfied);
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 use runtime::{RuntimeResult, SimRunConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::enumerate::{enumerate_placements, EnsembleShape};
-use crate::fast_eval::fast_score;
+use crate::enumerate::EnsembleShape;
+use crate::fast_eval::FastEvaluator;
+use crate::scan::{scan_placements, ScanOptions, ScanOutcome};
 use crate::search::NodeBudget;
 
 /// One placement with its two objectives.
@@ -27,24 +28,50 @@ pub struct ParetoPoint {
 
 /// Evaluates every canonical feasible placement and marks the Pareto
 /// frontier over (nodes, makespan). Points are returned sorted by node
-/// count then makespan.
+/// count then makespan. Runs the parallel scan engine at its default
+/// worker count — see [`pareto_front_with`] for explicit control.
 pub fn pareto_front(
     base: &SimRunConfig,
     shape: &EnsembleShape,
     budget: NodeBudget,
 ) -> RuntimeResult<Vec<ParetoPoint>> {
-    let mut points = Vec::new();
-    for assignment in enumerate_placements(shape, budget.max_nodes, budget.cores_per_node) {
-        let spec = shape.materialize(&assignment);
-        let score = fast_score(base, &spec)?;
-        points.push(ParetoPoint {
-            assignment,
-            nodes_used: score.nodes_used,
-            ensemble_makespan: score.ensemble_makespan,
-            objective: score.objective,
-            dominated: false,
-        });
-    }
+    pareto_front_with(base, shape, budget, &ScanOptions::default())
+}
+
+/// [`pareto_front`] with explicit scan options. `top_k` is ignored —
+/// dominance marking needs every point. Each scan worker owns one
+/// reusable [`FastEvaluator`], so no candidate pays a per-evaluation
+/// `SimRunConfig` clone.
+pub fn pareto_front_with(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+) -> RuntimeResult<Vec<ParetoPoint>> {
+    let opts = ScanOptions { top_k: 0, ..*opts };
+    let outcome = scan_placements(
+        shape,
+        budget,
+        &opts,
+        || FastEvaluator::new(base),
+        |evaluator: &mut FastEvaluator,
+         _,
+         assignment: &[usize]|
+         -> RuntimeResult<Option<ParetoPoint>> {
+            let spec = shape.materialize(assignment);
+            let score = evaluator.score(&spec)?;
+            Ok(Some(ParetoPoint {
+                assignment: assignment.to_vec(),
+                nodes_used: score.nodes_used,
+                ensemble_makespan: score.ensemble_makespan,
+                objective: score.objective,
+                dominated: false,
+            }))
+        },
+        |p: &ParetoPoint| p.objective,
+        || false,
+    )?;
+    let mut points = ScanOutcome::into_values(outcome);
     // Dominance: fewer-or-equal nodes AND shorter-or-equal makespan,
     // strictly better in one.
     for i in 0..points.len() {
@@ -92,6 +119,46 @@ mod tests {
         for w in frontier.windows(2) {
             if w[1].nodes_used > w[0].nodes_used {
                 assert!(w[1].ensemble_makespan <= w[0].ensemble_makespan + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_the_one_shot_path_bitwise_at_any_worker_count() {
+        // Regression for the per-candidate `fast_score(base, …)` clone
+        // the serial loop used to pay: the reused per-worker evaluator
+        // must reproduce the one-shot scores bit for bit, at every
+        // worker count.
+        let shape = EnsembleShape::uniform(2, 16, 1, 8);
+        let budget = NodeBudget { max_nodes: 3, cores_per_node: 32 };
+        let base = base();
+        let serial = pareto_front_with(
+            &base,
+            &shape,
+            budget,
+            &ScanOptions { workers: 1, ..Default::default() },
+        )
+        .unwrap();
+        for p in &serial {
+            let one_shot = crate::fast_eval::fast_score(&base, &shape.materialize(&p.assignment))
+                .expect("one-shot score");
+            assert_eq!(p.objective.to_bits(), one_shot.objective.to_bits(), "{:?}", p.assignment);
+            assert_eq!(p.ensemble_makespan.to_bits(), one_shot.ensemble_makespan.to_bits());
+        }
+        for workers in [2usize, 8] {
+            let parallel = pareto_front_with(
+                &base,
+                &shape,
+                budget,
+                &ScanOptions { workers, chunk: 2, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.iter().zip(&serial) {
+                assert_eq!(a.assignment, b.assignment, "workers={workers}");
+                assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                assert_eq!(a.ensemble_makespan.to_bits(), b.ensemble_makespan.to_bits());
+                assert_eq!(a.dominated, b.dominated);
             }
         }
     }

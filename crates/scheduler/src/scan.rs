@@ -1,0 +1,468 @@
+//! Parallel streaming placement-scan engine.
+//!
+//! Every candidate scan in this crate — the DES-scored exhaustive
+//! search, the service's closed-form `score` path, the Pareto sweep, and
+//! the moldable joint search — has the same shape: enumerate canonical
+//! placements, evaluate each one independently, rank the results. This
+//! module is that shape, made reusable and parallel:
+//!
+//! * **Streaming enumeration.** Candidates come from
+//!   [`PlacementIter`], pulled in chunks under a mutex — no
+//!   `O(candidates)` materialization up front.
+//! * **Scoped worker threads.** `std::thread::scope` fans chunks out to
+//!   `workers` threads (default: available parallelism, overridable per
+//!   call or via the `ENSEMBLE_SCAN_WORKERS` environment variable). No
+//!   new dependencies — plain `std` threads, like the rest of the
+//!   workspace. Each worker owns its own evaluation state (built once
+//!   by `init`), so the per-candidate cost stays allocation-free.
+//! * **Deterministic merge.** Every result is tagged with its
+//!   enumeration index; the merge sorts by that index, so the output
+//!   order **and every float bit** are identical to a serial scan at
+//!   any worker count. (Each candidate's evaluation is a pure function
+//!   of `(evaluation state, assignment)` — see the determinism suite in
+//!   `tests/scan_properties.rs`.)
+//! * **Bounded top-K.** With `top_k > 0` each worker keeps a fixed-size
+//!   heap ordered by `(objective desc, enumeration index asc)`; merged
+//!   heaps reproduce exactly the first K rows of the full stable
+//!   ranking, in `O(K)` memory per worker.
+//! * **Cooperative cancellation.** The `cancel` probe is checked
+//!   between chunks; once it fires, all workers stop pulling and the
+//!   outcome reports how far the scan got.
+
+use std::sync::Mutex;
+
+use crate::enumerate::{EnsembleShape, PlacementIter};
+use crate::search::NodeBudget;
+
+/// Environment variable overriding the default worker count (used by CI
+/// to sweep the determinism suite across 1/2/8 workers without an API
+/// change). Explicit [`ScanOptions::workers`] wins over it.
+pub const SCAN_WORKERS_ENV: &str = "ENSEMBLE_SCAN_WORKERS";
+
+/// Tuning of one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Worker threads. Zero means "auto": the [`SCAN_WORKERS_ENV`]
+    /// environment variable if set, else available parallelism.
+    pub workers: usize,
+    /// Candidates handed to a worker per feed pull. Smaller chunks probe
+    /// cancellation more often; larger ones amortize the feed lock.
+    pub chunk: usize,
+    /// Keep only the best K results (by objective, ties broken by
+    /// enumeration index). Zero keeps everything, in enumeration order.
+    pub top_k: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { workers: 0, chunk: 32, top_k: 0 }
+    }
+}
+
+impl ScanOptions {
+    /// The worker count this scan will actually run with.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        if let Some(n) = workers_from_env(std::env::var(SCAN_WORKERS_ENV).ok().as_deref()) {
+            return n;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Parses a worker-count override; `None` for unset/unparseable/zero.
+fn workers_from_env(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// One scanned candidate: its enumeration index and evaluation result.
+#[derive(Debug, Clone)]
+pub struct ScanHit<T> {
+    /// Position in the canonical enumeration order.
+    pub index: usize,
+    /// What the evaluator produced.
+    pub value: T,
+}
+
+/// What a scan produced.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome<T> {
+    /// Evaluation results. With `top_k == 0`: every feasible candidate,
+    /// in enumeration order. With `top_k > 0`: the best K, ranked
+    /// best-first (objective descending, enumeration index breaking
+    /// ties) — exactly the first K rows of the full stable ranking.
+    pub results: Vec<ScanHit<T>>,
+    /// Candidates handed to an evaluator (cancelled scans stop short of
+    /// the full enumeration).
+    pub scanned: usize,
+    /// Candidates whose evaluator returned a result (`scanned` minus
+    /// those filtered out by an evaluator returning `None`).
+    pub feasible: usize,
+    /// True when the cancellation probe stopped the scan early.
+    pub cancelled: bool,
+    /// Worker threads the scan ran with.
+    pub workers: usize,
+}
+
+impl<T> ScanOutcome<T> {
+    /// The results stripped of their enumeration indexes.
+    pub fn into_values(self) -> Vec<T> {
+        self.results.into_iter().map(|h| h.value).collect()
+    }
+}
+
+/// Rank key for top-K selection: better = higher objective, ties broken
+/// toward the earlier enumeration index — the same total order a stable
+/// descending sort of the full result set induces, which is what makes
+/// bounded top-K bit-identical to `full ranking → truncate(K)`.
+#[derive(Debug, Clone, Copy)]
+struct Rank {
+    objective: f64,
+    index: usize,
+}
+
+impl Rank {
+    /// True when `self` ranks strictly worse than `other`.
+    fn worse_than(&self, other: &Rank) -> bool {
+        match self.objective.total_cmp(&other.objective) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.index > other.index,
+        }
+    }
+}
+
+/// Fixed-capacity keeper of the best K `(Rank, T)` pairs. Insertion is
+/// `O(K)` worst case — K is a client-requested top-k (tens), so a
+/// simple worst-slot scan beats heap bookkeeping at this size.
+struct TopK<T> {
+    capacity: usize,
+    kept: Vec<(Rank, T)>,
+}
+
+impl<T> TopK<T> {
+    fn new(capacity: usize) -> Self {
+        TopK { capacity, kept: Vec::with_capacity(capacity) }
+    }
+
+    fn offer(&mut self, rank: Rank, value: T) {
+        if self.kept.len() < self.capacity {
+            self.kept.push((rank, value));
+            return;
+        }
+        // Full: replace the worst kept entry if the offer beats it.
+        let worst = self
+            .kept
+            .iter()
+            .enumerate()
+            .max_by(|(_, (a, _)), (_, (b, _))| {
+                if a.worse_than(b) {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        if self.kept[worst].0.worse_than(&rank) {
+            self.kept[worst] = (rank, value);
+        }
+    }
+}
+
+/// The shared chunk feed: workers pull batches of candidates under this
+/// mutex; the first worker to observe cancellation (or an evaluation
+/// error) trips `stop` so the others cease pulling at their next visit.
+struct Feed {
+    iter: PlacementIter,
+    stop: bool,
+}
+
+/// Per-worker scan state returned to the merge step.
+struct WorkerOut<T, E> {
+    all: Vec<ScanHit<T>>,
+    top: Option<TopK<T>>,
+    scanned: usize,
+    feasible: usize,
+    cancelled: bool,
+    error: Option<(usize, E)>,
+}
+
+/// Scans every canonical feasible placement of `shape` under `budget`,
+/// in parallel, with deterministic output.
+///
+/// * `init` builds one evaluation state per worker (e.g. a
+///   [`crate::FastEvaluator`] or a reusable DES run configuration) —
+///   called once per worker thread, never shared.
+/// * `eval` scores one candidate: `(state, enumeration index,
+///   assignment) → Ok(Some(result))`, `Ok(None)` to skip it (it still
+///   counts as scanned, not as feasible), or `Err` to abort the scan.
+/// * `objective` extracts the ranking key used by top-K selection.
+/// * `cancel` is polled between chunks on every worker; returning
+///   `true` stops the scan and marks the outcome cancelled.
+///
+/// On error the scan stops and the error belonging to the **smallest
+/// enumeration index** is returned — the same error a serial scan would
+/// have surfaced first, regardless of which worker hit it.
+pub fn scan_placements<S, T, E>(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize, &[usize]) -> Result<Option<T>, E> + Sync,
+    objective: impl Fn(&T) -> f64 + Sync,
+    cancel: impl Fn() -> bool + Sync,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    let workers = opts.effective_workers();
+    let chunk = opts.chunk.max(1);
+    let feed = Mutex::new(Feed {
+        iter: PlacementIter::new(shape, budget.max_nodes, budget.cores_per_node),
+        stop: false,
+    });
+
+    let run_worker = || -> WorkerOut<T, E> {
+        let mut state = init();
+        let mut out = WorkerOut {
+            all: Vec::new(),
+            top: (opts.top_k > 0).then(|| TopK::new(opts.top_k)),
+            scanned: 0,
+            feasible: 0,
+            cancelled: false,
+            error: None,
+        };
+        let mut batch: Vec<(usize, Vec<usize>)> = Vec::with_capacity(chunk);
+        'pull: loop {
+            batch.clear();
+            {
+                let mut feed = feed.lock().expect("scan feed lock");
+                if feed.stop {
+                    break;
+                }
+                if cancel() {
+                    feed.stop = true;
+                    out.cancelled = true;
+                    break;
+                }
+                if feed.iter.next_chunk(&mut batch, chunk) == 0 {
+                    break;
+                }
+            }
+            for (index, assignment) in batch.drain(..) {
+                out.scanned += 1;
+                match eval(&mut state, index, &assignment) {
+                    Ok(Some(value)) => {
+                        out.feasible += 1;
+                        match &mut out.top {
+                            Some(top) => {
+                                top.offer(Rank { objective: objective(&value), index }, value)
+                            }
+                            None => out.all.push(ScanHit { index, value }),
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        out.error = Some((index, e));
+                        feed.lock().expect("scan feed lock").stop = true;
+                        break 'pull;
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let mut outputs: Vec<WorkerOut<T, E>> = if workers <= 1 {
+        vec![run_worker()]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect::<Vec<_>>();
+            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        })
+    };
+
+    // Propagate the error a serial scan would have hit first.
+    let mut first_error: Option<(usize, E)> = None;
+    for out in &mut outputs {
+        if let Some((index, _)) = &out.error {
+            let better = first_error.as_ref().is_none_or(|(best, _)| index < best);
+            if better {
+                first_error = out.error.take();
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    let scanned = outputs.iter().map(|o| o.scanned).sum();
+    let feasible = outputs.iter().map(|o| o.feasible).sum();
+    let cancelled = outputs.iter().any(|o| o.cancelled);
+    let results = if opts.top_k > 0 {
+        let mut merged: Vec<(Rank, T)> =
+            outputs.into_iter().flat_map(|o| o.top.expect("top-k mode").kept).collect();
+        merged.sort_by(|(a, _), (b, _)| {
+            b.objective.total_cmp(&a.objective).then(a.index.cmp(&b.index))
+        });
+        merged.truncate(opts.top_k);
+        merged.into_iter().map(|(rank, value)| ScanHit { index: rank.index, value }).collect()
+    } else {
+        let mut merged: Vec<ScanHit<T>> = outputs.into_iter().flat_map(|o| o.all).collect();
+        merged.sort_by_key(|h| h.index);
+        merged
+    };
+    Ok(ScanOutcome { results, scanned, feasible, cancelled, workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn shape() -> EnsembleShape {
+        EnsembleShape::uniform(2, 16, 1, 8)
+    }
+
+    fn budget() -> NodeBudget {
+        NodeBudget { max_nodes: 3, cores_per_node: 32 }
+    }
+
+    /// A deterministic toy objective so engine tests need no simulator.
+    fn toy_objective(assignment: &[usize]) -> f64 {
+        assignment.iter().enumerate().map(|(i, &n)| 1.0 / (1.0 + (i * n) as f64)).sum()
+    }
+
+    fn full_scan(workers: usize) -> ScanOutcome<(Vec<usize>, f64)> {
+        scan_placements(
+            &shape(),
+            budget(),
+            &ScanOptions { workers, chunk: 2, top_k: 0 },
+            || (),
+            |(), _, a| Ok::<_, ()>(Some((a.to_vec(), toy_objective(a)))),
+            |(_, obj)| *obj,
+            || false,
+        )
+        .expect("scan")
+    }
+
+    #[test]
+    fn results_arrive_in_enumeration_order_at_any_worker_count() {
+        let expected = crate::enumerate::enumerate_placements(&shape(), 3, 32);
+        for workers in [1, 2, 8] {
+            let outcome = full_scan(workers);
+            assert_eq!(outcome.workers, workers);
+            assert_eq!(outcome.scanned, expected.len());
+            assert_eq!(outcome.feasible, expected.len());
+            assert!(!outcome.cancelled);
+            for (i, hit) in outcome.results.iter().enumerate() {
+                assert_eq!(hit.index, i);
+                assert_eq!(hit.value.0, expected[i], "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_equals_first_k_of_the_full_stable_ranking() {
+        let full = full_scan(1);
+        let mut ranked = full.results.clone();
+        ranked.sort_by(|a, b| b.value.1.total_cmp(&a.value.1));
+        for workers in [1, 2, 8] {
+            for k in [1usize, 2, 3, 100] {
+                let outcome = scan_placements(
+                    &shape(),
+                    budget(),
+                    &ScanOptions { workers, chunk: 2, top_k: k },
+                    || (),
+                    |(), _, a| Ok::<_, ()>(Some((a.to_vec(), toy_objective(a)))),
+                    |(_, obj)| *obj,
+                    || false,
+                )
+                .expect("scan");
+                assert_eq!(outcome.results.len(), k.min(ranked.len()));
+                for (hit, expect) in outcome.results.iter().zip(&ranked) {
+                    assert_eq!(hit.index, expect.index, "workers={workers} k={k}");
+                    assert_eq!(hit.value.1.to_bits(), expect.value.1.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_between_chunks() {
+        let pulls = AtomicUsize::new(0);
+        let outcome = scan_placements(
+            &shape(),
+            budget(),
+            &ScanOptions { workers: 1, chunk: 1, top_k: 0 },
+            || (),
+            |(), _, a| Ok::<_, ()>(Some(a.to_vec())),
+            |_| 0.0,
+            || pulls.fetch_add(1, Ordering::SeqCst) >= 2,
+        )
+        .expect("scan");
+        assert!(outcome.cancelled);
+        let total = crate::enumerate::enumerate_placements(&shape(), 3, 32).len();
+        assert!(outcome.scanned < total, "{} of {total} scanned", outcome.scanned);
+        assert_eq!(outcome.results.len(), outcome.scanned);
+    }
+
+    #[test]
+    fn first_error_in_enumeration_order_wins() {
+        for workers in [1, 4] {
+            let err = scan_placements(
+                &shape(),
+                budget(),
+                &ScanOptions { workers, chunk: 1, top_k: 0 },
+                || (),
+                |(), index, _: &[usize]| {
+                    if index >= 1 {
+                        Err(index)
+                    } else {
+                        Ok(Some(index))
+                    }
+                },
+                |_| 0.0,
+                || false,
+            )
+            .expect_err("scan must fail");
+            assert_eq!(err, 1, "workers={workers}: smallest failing index wins");
+        }
+    }
+
+    #[test]
+    fn infeasible_candidates_count_as_scanned_not_feasible() {
+        let outcome = scan_placements(
+            &shape(),
+            budget(),
+            &ScanOptions { workers: 2, chunk: 2, top_k: 0 },
+            || (),
+            |(), index, _: &[usize]| Ok::<_, ()>((index % 2 == 0).then_some(index)),
+            |_| 0.0,
+            || false,
+        )
+        .expect("scan");
+        assert!(outcome.feasible < outcome.scanned);
+        assert_eq!(outcome.feasible, outcome.results.len());
+    }
+
+    #[test]
+    fn worker_env_override_parses_strictly() {
+        assert_eq!(workers_from_env(None), None);
+        assert_eq!(workers_from_env(Some("")), None);
+        assert_eq!(workers_from_env(Some("0")), None);
+        assert_eq!(workers_from_env(Some("nope")), None);
+        assert_eq!(workers_from_env(Some("4")), Some(4));
+        assert_eq!(workers_from_env(Some(" 2 ")), Some(2));
+    }
+
+    #[test]
+    fn explicit_workers_beat_the_default() {
+        assert_eq!(ScanOptions { workers: 3, ..Default::default() }.effective_workers(), 3);
+        assert!(ScanOptions::default().effective_workers() >= 1);
+    }
+}

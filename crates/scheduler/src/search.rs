@@ -10,7 +10,8 @@ use metrics::EnsembleReport;
 use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
 use serde::{Deserialize, Serialize};
 
-use crate::enumerate::{enumerate_placements, EnsembleShape};
+use crate::enumerate::EnsembleShape;
+use crate::scan::{scan_placements, ScanOptions, ScanOutcome};
 
 /// Resource constraints of the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,38 +93,68 @@ pub fn score_report(
 }
 
 /// Exhaustively evaluates every canonical feasible placement, returning
-/// them ranked best-first.
+/// them ranked best-first. Runs the parallel scan engine at its default
+/// worker count — see [`exhaustive_search_with`] for explicit control.
 pub fn exhaustive_search(config: &SearchConfig) -> RuntimeResult<Vec<ScoredPlacement>> {
-    let placements =
-        enumerate_placements(&config.shape, config.budget.max_nodes, config.budget.cores_per_node);
-    let mut scored = Vec::with_capacity(placements.len());
-    // One config clone for the whole scan; per candidate only the spec
-    // changes (platform + workload map are shared run to run).
-    let mut run = config.base.clone();
-    run.n_steps = config.steps;
-    run.jitter = 0.0;
-    for assignment in placements {
-        let spec = config.shape.materialize(&assignment);
-        run.spec.clone_from(&spec);
-        let exec = runtime::run_simulated(&run)?;
-        let report = runtime::build_report(
-            "candidate",
-            &spec,
-            &exec,
-            config.steps,
-            ensemble_core::WarmupPolicy::default(),
-        )?;
-        let objective = score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
-        scored.push(ScoredPlacement {
-            nodes_used: spec.num_nodes(),
-            ensemble_makespan: report.ensemble_makespan,
-            assignment,
-            spec,
-            objective,
-        });
+    exhaustive_search_with(config, &ScanOptions::default()).map(ScanOutcome::into_values)
+}
+
+/// [`exhaustive_search`] with explicit scan options: worker count, chunk
+/// size, bounded top-K. Output (order and float bits) is identical at
+/// every worker count; with `top_k > 0` it equals the first K rows of
+/// the full ranking.
+pub fn exhaustive_search_with(
+    config: &SearchConfig,
+    opts: &ScanOptions,
+) -> RuntimeResult<ScanOutcome<ScoredPlacement>> {
+    // One template clone for the whole scan; each worker clones it once
+    // and then per candidate only the spec changes (platform + workload
+    // map are shared run to run).
+    let mut template = config.base.clone();
+    template.n_steps = config.steps;
+    template.jitter = 0.0;
+    let mut outcome = scan_placements(
+        &config.shape,
+        config.budget,
+        opts,
+        || template.clone(),
+        |run: &mut SimRunConfig,
+         _,
+         assignment: &[usize]|
+         -> RuntimeResult<Option<ScoredPlacement>> {
+            let spec = config.shape.materialize(assignment);
+            run.spec.clone_from(&spec);
+            let exec = runtime::run_simulated(run)?;
+            let report = runtime::build_report(
+                "candidate",
+                &spec,
+                &exec,
+                config.steps,
+                ensemble_core::WarmupPolicy::default(),
+            )?;
+            let objective = score_report(&report, &spec, &IndicatorPath::uap(), config.aggregation);
+            Ok(Some(ScoredPlacement {
+                nodes_used: spec.num_nodes(),
+                ensemble_makespan: report.ensemble_makespan,
+                assignment: assignment.to_vec(),
+                spec,
+                objective,
+            }))
+        },
+        |p: &ScoredPlacement| p.objective,
+        || false,
+    )?;
+    if opts.top_k == 0 {
+        // The merge returns enumeration order; rank best-first exactly
+        // as the serial scan always has (stable sort, so equal
+        // objectives keep enumeration order).
+        sort_ranked(&mut outcome.results);
     }
-    scored.sort_by(|a, b| b.objective.total_cmp(&a.objective));
-    Ok(scored)
+    Ok(outcome)
+}
+
+fn sort_ranked(results: &mut [crate::scan::ScanHit<ScoredPlacement>]) {
+    results.sort_by(|a, b| b.value.objective.total_cmp(&a.value.objective));
 }
 
 /// Greedy search for larger ensembles: members are placed one at a time,

@@ -1,0 +1,173 @@
+//! Property-based tests of the parallel placement-scan engine.
+//!
+//! The engine's contract is *bit-identity*: at any worker count, the
+//! scan returns exactly what a serial evaluation of the enumeration
+//! returns — same order, same float bits — and bounded top-K equals the
+//! first K rows of the full stable ranking. These properties pin both
+//! across randomly generated shapes and budgets.
+//!
+//! CI runs this file under `ENSEMBLE_SCAN_WORKERS={1,2,8}`: every scan
+//! built from `ScanOptions::default()` resolves its worker count from
+//! the environment, so the same properties sweep the thread-count axis
+//! without code changes.
+
+use proptest::prelude::*;
+use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
+use scheduler::{
+    canonicalize, enumerate_placements, fast_score, scan_placements, EnsembleShape, FastEvaluator,
+    NodeBudget, PlacementIter, ScanOptions,
+};
+
+/// Small-but-varied ensemble shapes: 1–3 members, 1–2 analyses each,
+/// core counts spanning the paper's co-location regimes.
+fn shape_strategy() -> impl Strategy<Value = EnsembleShape> {
+    (
+        1usize..=3,                               // members
+        prop::sample::select(vec![8u32, 16, 24]), // sim cores
+        1usize..=2,                               // analyses per member
+        prop::sample::select(vec![4u32, 8]),      // analysis cores
+    )
+        .prop_map(|(n, sim, k, ana)| EnsembleShape::uniform(n, sim, k, ana))
+}
+
+fn base_config(spec: ensemble_core::EnsembleSpec) -> SimRunConfig {
+    let mut base = SimRunConfig::paper(spec);
+    base.workloads = WorkloadMap::small_defaults();
+    base
+}
+
+/// One scan of the whole space with per-worker reusable evaluators,
+/// returning `(assignment, objective bits)` in output order.
+fn scan_space(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+) -> Vec<(Vec<usize>, u64)> {
+    let outcome = scan_placements(
+        shape,
+        budget,
+        opts,
+        || FastEvaluator::new(base),
+        |evaluator: &mut FastEvaluator,
+         _,
+         assignment: &[usize]|
+         -> RuntimeResult<Option<(Vec<usize>, f64)>> {
+            let spec = shape.materialize(assignment);
+            Ok(Some((assignment.to_vec(), evaluator.score(&spec)?.objective)))
+        },
+        |(_, objective)| *objective,
+        || false,
+    )
+    .expect("scan");
+    outcome.into_values().into_iter().map(|(a, o)| (a, o.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The parallel scan is bit-identical to a serial evaluation of the
+    /// enumeration — at one, two, and eight workers, and at whatever
+    /// count `ENSEMBLE_SCAN_WORKERS` injects into the default options.
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial(
+        shape in shape_strategy(),
+        max_nodes in 1usize..=4,
+        chunk in 1usize..=8,
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let placements = enumerate_placements(&shape, max_nodes, 32);
+        prop_assume!(!placements.is_empty());
+        let base = base_config(shape.materialize(&placements[0]));
+        // The serial reference: one-shot scores in enumeration order.
+        let reference: Vec<(Vec<usize>, u64)> = placements
+            .iter()
+            .map(|a| {
+                let spec = shape.materialize(a);
+                (a.clone(), fast_score(&base, &spec).expect("score").objective.to_bits())
+            })
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let opts = ScanOptions { workers, chunk, ..Default::default() };
+            prop_assert_eq!(&scan_space(&base, &shape, budget, &opts), &reference,
+                "workers={} chunk={}", workers, chunk);
+        }
+        // Default options: worker count comes from the env override (or
+        // host parallelism) — the CI sweep axis.
+        let env_opts = ScanOptions { chunk, ..Default::default() };
+        prop_assert_eq!(&scan_space(&base, &shape, budget, &env_opts), &reference);
+    }
+
+    /// Bounded top-K equals the first K rows of the full ranking under
+    /// the stable best-first sort — truncation and bounded scan are
+    /// interchangeable, byte for byte.
+    #[test]
+    fn top_k_equals_first_k_of_the_full_ranking(
+        shape in shape_strategy(),
+        max_nodes in 1usize..=4,
+        top_k in 1usize..=6,
+        chunk in 1usize..=8,
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let placements = enumerate_placements(&shape, max_nodes, 32);
+        prop_assume!(!placements.is_empty());
+        let base = base_config(shape.materialize(&placements[0]));
+        let full_opts = ScanOptions { chunk, ..Default::default() };
+        let mut ranked = scan_space(&base, &shape, budget, &full_opts);
+        // Stable best-first sort: equal objectives keep enumeration
+        // order, exactly the tie-break the engine's top-K heap uses.
+        ranked.sort_by(|a, b| f64::from_bits(b.1).total_cmp(&f64::from_bits(a.1)));
+        ranked.truncate(top_k);
+        let bounded_opts = ScanOptions { top_k, chunk, ..Default::default() };
+        let bounded = scan_space(&base, &shape, budget, &bounded_opts);
+        prop_assert_eq!(bounded, ranked);
+    }
+
+    /// The lazy iterator streams exactly the materialized enumeration,
+    /// whatever chunk size reassembles it.
+    #[test]
+    fn placement_iter_streams_the_enumeration(
+        shape in shape_strategy(),
+        max_nodes in 0usize..=4,
+        chunk in 1usize..=7,
+    ) {
+        let reference = enumerate_placements(&shape, max_nodes, 32);
+        let mut iter = PlacementIter::new(&shape, max_nodes, 32);
+        let mut streamed = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if iter.next_chunk(&mut buf, chunk) == 0 {
+                break;
+            }
+            for (index, assignment) in buf.drain(..) {
+                prop_assert_eq!(index, streamed.len(), "indices are the enumeration order");
+                streamed.push(assignment);
+            }
+        }
+        prop_assert_eq!(streamed, reference);
+    }
+
+    /// The linear canonicalization matches the first-appearance
+    /// relabeling definition (the old quadratic scan).
+    #[test]
+    fn canonicalize_matches_the_first_appearance_reference(
+        assignment in prop::collection::vec(0usize..6, 0..12),
+    ) {
+        let reference: Vec<usize> = {
+            let mut order: Vec<usize> = Vec::new();
+            assignment
+                .iter()
+                .map(|&n| {
+                    if let Some(pos) = order.iter().position(|&o| o == n) {
+                        pos
+                    } else {
+                        order.push(n);
+                        order.len() - 1
+                    }
+                })
+                .collect()
+        };
+        prop_assert_eq!(canonicalize(&assignment), reference);
+    }
+}

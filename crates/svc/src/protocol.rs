@@ -61,6 +61,11 @@ pub struct ScoreRequest {
     pub steps: u64,
     /// Workload scale.
     pub workloads: Workloads,
+    /// Scan worker threads for this request. Zero defers to the
+    /// service's configured default. Never part of the cache key: the
+    /// scan is bit-identical at every worker count, so results are
+    /// shared across requests that differ only here.
+    pub workers: usize,
 }
 
 /// A `run` request: simulate one fully placed spec.
@@ -196,6 +201,12 @@ pub enum Response {
         cached: bool,
         /// Submit→response latency, milliseconds.
         elapsed_ms: f64,
+        /// Worker threads the scan actually ran with (zero for cache
+        /// hits — no scan happened).
+        scan_workers: u64,
+        /// Candidates the scan evaluated before finishing (or being
+        /// stopped by deadline/cancel). Zero for cache hits.
+        candidates_scanned: u64,
     },
     /// Summary of a completed simulated run.
     RunResult {
@@ -297,6 +308,9 @@ impl Request {
                 fields.push(("top_k", s.top_k.into()));
                 fields.push(("steps", s.steps.into()));
                 fields.push(("workloads", s.workloads.tag().into()));
+                if s.workers != 0 {
+                    fields.push(("workers", s.workers.into()));
+                }
             }
             RequestBody::Run(r) => {
                 fields.push(("type", "run".into()));
@@ -408,6 +422,7 @@ impl Request {
                     top_k: v.get("top_k").and_then(Value::as_usize).unwrap_or(0),
                     steps: v.get("steps").and_then(Value::as_u64).unwrap_or(6),
                     workloads,
+                    workers: v.get("workers").and_then(Value::as_usize).unwrap_or(0),
                 })
             }
             "run" => {
@@ -497,11 +512,20 @@ impl Response {
     /// responses inside its own records).
     pub fn to_value(&self) -> Value {
         match self {
-            Response::ScoreResult { id, placements, cached, elapsed_ms } => obj(vec![
+            Response::ScoreResult {
+                id,
+                placements,
+                cached,
+                elapsed_ms,
+                scan_workers,
+                candidates_scanned,
+            } => obj(vec![
                 ("type", "score_result".into()),
                 ("id", (*id).into()),
                 ("cached", (*cached).into()),
                 ("elapsed_ms", (*elapsed_ms).into()),
+                ("scan_workers", (*scan_workers).into()),
+                ("candidates_scanned", (*candidates_scanned).into()),
                 ("placements", Value::Arr(placements.iter().map(placement_to_value).collect())),
             ]),
             Response::RunResult { id, ensemble_makespan, members, elapsed_ms } => obj(vec![
@@ -567,6 +591,13 @@ impl Response {
                     placements,
                     cached: field(v, "cached")?.as_bool().ok_or("cached must be a bool")?,
                     elapsed_ms: f64_field(v, "elapsed_ms")?,
+                    // Absent on records written before the scan engine
+                    // existed (journal replay): default to zero.
+                    scan_workers: v.get("scan_workers").and_then(Value::as_u64).unwrap_or(0),
+                    candidates_scanned: v
+                        .get("candidates_scanned")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
                 })
             }
             "run_result" => {
@@ -637,6 +668,7 @@ mod tests {
                 top_k: 5,
                 steps: 6,
                 workloads: Workloads::Small,
+                workers: 0,
             }),
         }
     }
@@ -646,6 +678,19 @@ mod tests {
         let req = score_request();
         let decoded = Request::from_json(&req.to_json()).unwrap();
         assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn score_request_workers_roundtrip_and_default() {
+        let mut req = score_request();
+        // workers = 0 (service default) stays off the wire entirely.
+        assert!(!req.to_json().contains("workers"), "{}", req.to_json());
+        if let RequestBody::Score(ref mut s) = req.body {
+            s.workers = 4;
+        }
+        let line = req.to_json();
+        assert!(line.contains("\"workers\":4"), "{line}");
+        assert_eq!(Request::from_json(&line).unwrap(), req);
     }
 
     #[test]
@@ -701,6 +746,8 @@ mod tests {
                 }],
                 cached: true,
                 elapsed_ms: 0.25,
+                scan_workers: 2,
+                candidates_scanned: 17,
             },
             Response::RunResult {
                 id: 2,
@@ -728,6 +775,22 @@ mod tests {
             let decoded = Response::from_json(&r.to_json()).unwrap();
             assert_eq!(decoded, r);
             assert_eq!(decoded.id(), r.id());
+        }
+    }
+
+    #[test]
+    fn pre_scan_score_results_decode_with_zero_scan_fields() {
+        // Journal records written before the scan engine carry neither
+        // scan_workers nor candidates_scanned; replay must not reject
+        // them.
+        let line =
+            r#"{"type":"score_result","id":1,"cached":false,"elapsed_ms":1.5,"placements":[]}"#;
+        match Response::from_json(line).unwrap() {
+            Response::ScoreResult { scan_workers, candidates_scanned, .. } => {
+                assert_eq!(scan_workers, 0);
+                assert_eq!(candidates_scanned, 0);
+            }
+            other => panic!("expected score_result, got {other:?}"),
         }
     }
 

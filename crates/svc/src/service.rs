@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use ensemble_core::WarmupPolicy;
 use runtime::{SimRunConfig, WorkloadMap};
-use scheduler::{enumerate_placements, FastEvaluator};
+use scheduler::{scan_placements, FastEvaluator, ScanOptions};
 
 use crate::cache::ScoreCache;
 use crate::journal::{Journal, JournalConfig};
@@ -46,6 +46,10 @@ pub struct SvcConfig {
     /// request with this id. Exercises the server's panic containment
     /// in tests; leave `None` in production.
     pub panic_on_request_id: Option<u64>,
+    /// Scan worker threads per score request. Zero lets the scan engine
+    /// pick (env override, then host parallelism); a request carrying
+    /// its own nonzero `workers` outranks this default.
+    pub scan_workers: usize,
 }
 
 impl Default for SvcConfig {
@@ -57,6 +61,7 @@ impl Default for SvcConfig {
             default_deadline: None,
             journal: None,
             panic_on_request_id: None,
+            scan_workers: 0,
         }
     }
 }
@@ -165,6 +170,7 @@ struct Shared {
     runs: ScoreCache<Response>,
     journal: Option<Journal>,
     workers: usize,
+    scan_workers: usize,
 }
 
 /// The ensemble provisioning service. Cheap to clone handles are not
@@ -214,6 +220,7 @@ impl Service {
             runs,
             journal,
             workers: config.workers,
+            scan_workers: config.scan_workers,
         });
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -307,6 +314,7 @@ impl Service {
             cache_hits: self.shared.cache.hits(),
             cache_misses: self.shared.cache.misses(),
             cache_entries: self.shared.cache.len(),
+            candidates_scanned: s.candidates_scanned.load(Ordering::Relaxed),
             run_index_entries: self.shared.runs.len(),
             journal_enabled: self.shared.journal.is_some(),
             journal_appended: j.appended,
@@ -450,11 +458,13 @@ fn execute(shared: &Shared, job: &Job) -> Response {
     let id = job.request.id;
     let result = match &job.request.body {
         RequestBody::Score(score) => {
-            execute_score(shared, job, score).map(|(placements, cached)| Response::ScoreResult {
+            execute_score(shared, job, score).map(|out| Response::ScoreResult {
                 id,
-                placements,
-                cached,
+                placements: out.placements,
+                cached: out.cached,
                 elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+                scan_workers: out.scan_workers,
+                candidates_scanned: out.candidates_scanned,
             })
         }
         RequestBody::Run(run) => {
@@ -512,54 +522,100 @@ fn score_cache_key(score: &ScoreRequest, cfg: &SimRunConfig) -> String {
     )
 }
 
-fn execute_score(
-    shared: &Shared,
-    job: &Job,
-    score: &ScoreRequest,
-) -> Result<(Vec<RankedPlacement>, bool), ExecError> {
+/// What a score execution produced, beyond the placements themselves.
+struct ScoreExec {
+    placements: Vec<RankedPlacement>,
+    cached: bool,
+    /// Workers the scan ran with; zero on cache hits (no scan ran).
+    scan_workers: u64,
+    /// Candidates evaluated; zero on cache hits.
+    candidates_scanned: u64,
+}
+
+fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<ScoreExec, ExecError> {
     checkpoint(job, || "before evaluation started".to_string())?;
     let placeholder = score.shape.materialize(&vec![0; score.shape.num_components()]);
     let mut cfg = base_config(placeholder, score.workloads);
     cfg.n_steps = score.steps;
     let key = score_cache_key(score, &cfg);
+    // A full ranking serves any top_k by truncation. A bounded scan
+    // holds only its own first K, so it caches under a k-suffixed key
+    // that never masquerades as the full result (bounded top-K equals
+    // the first K of the stable full ranking, so truncation and bounded
+    // scan are byte-identical answers).
     if let Some(ranked) = shared.cache.get(&key) {
         let mut placements: Vec<RankedPlacement> = (*ranked).clone();
         if score.top_k > 0 {
             placements.truncate(score.top_k);
         }
-        return Ok((placements, true));
+        return Ok(ScoreExec { placements, cached: true, scan_workers: 0, candidates_scanned: 0 });
+    }
+    let bounded_key = (score.top_k > 0).then(|| format!("{key}|k={}", score.top_k));
+    if let Some(bk) = &bounded_key {
+        if let Some(ranked) = shared.cache.get(bk) {
+            return Ok(ScoreExec {
+                placements: (*ranked).clone(),
+                cached: true,
+                scan_workers: 0,
+                candidates_scanned: 0,
+            });
+        }
     }
 
-    let assignments =
-        enumerate_placements(&score.shape, score.budget.max_nodes, score.budget.cores_per_node);
-    let total = assignments.len();
-    let mut evaluator = FastEvaluator::new(&cfg);
-    let mut ranked = Vec::with_capacity(total);
-    for (done, assignment) in assignments.into_iter().enumerate() {
-        checkpoint(job, || format!("after {done} of {total} candidates"))?;
-        let spec = score.shape.materialize(&assignment);
-        let fs = evaluator
-            .score(&spec)
-            .map_err(|e| ExecError::Invalid(format!("candidate {assignment:?}: {e}")))?;
-        ranked.push(RankedPlacement {
-            assignment,
-            objective: fs.objective,
-            nodes_used: fs.nodes_used,
-            ensemble_makespan: fs.ensemble_makespan,
-            eq4_satisfied: fs.eq4_satisfied,
-        });
+    let opts = ScanOptions {
+        workers: if score.workers != 0 { score.workers } else { shared.scan_workers },
+        top_k: score.top_k,
+        ..ScanOptions::default()
+    };
+    let outcome = scan_placements(
+        &score.shape,
+        score.budget,
+        &opts,
+        || FastEvaluator::new(&cfg),
+        |evaluator: &mut FastEvaluator,
+         _,
+         assignment: &[usize]|
+         -> Result<Option<RankedPlacement>, ExecError> {
+            let spec = score.shape.materialize(assignment);
+            let fs = evaluator
+                .score(&spec)
+                .map_err(|e| ExecError::Invalid(format!("candidate {assignment:?}: {e}")))?;
+            Ok(Some(RankedPlacement {
+                assignment: assignment.to_vec(),
+                objective: fs.objective,
+                nodes_used: fs.nodes_used,
+                ensemble_makespan: fs.ensemble_makespan,
+                eq4_satisfied: fs.eq4_satisfied,
+            }))
+        },
+        |p: &RankedPlacement| p.objective,
+        || job.cancel.is_cancelled() || job.deadline_at.is_some_and(|at| Instant::now() >= at),
+    )?;
+    shared.stats.candidates_scanned.fetch_add(outcome.scanned as u64, Ordering::Relaxed);
+    if outcome.cancelled {
+        // The scan stopped between chunks; report which trigger fired
+        // (deadline beats cancel in `checkpoint`, matching the serial
+        // path's precedence).
+        let scanned = outcome.scanned;
+        checkpoint(job, || format!("after {scanned} candidates"))?;
+        return Err(ExecError::Cancelled);
     }
-    ranked.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    let scan_workers = outcome.workers as u64;
+    let candidates_scanned = outcome.scanned as u64;
+    let mut ranked = outcome.into_values();
+    if score.top_k == 0 {
+        // Enumeration order → ranked best-first, exactly as the serial
+        // path always sorted (stable: ties keep enumeration order).
+        ranked.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    }
+    let store_key = bounded_key.unwrap_or(key);
     if let Some(journal) = &shared.journal {
-        // The full ranking, pre-truncation — exactly what the cache
-        // holds and what a replay re-inserts.
-        journal.append_score(&key, &ranked);
+        // The ranking exactly as cached (full, or bounded under its
+        // k-suffixed key) — what a replay re-inserts.
+        journal.append_score(&store_key, &ranked);
     }
-    shared.cache.insert(key, ranked.clone());
-    if score.top_k > 0 {
-        ranked.truncate(score.top_k);
-    }
-    Ok((ranked, false))
+    shared.cache.insert(store_key, ranked.clone());
+    Ok(ScoreExec { placements: ranked, cached: false, scan_workers, candidates_scanned })
 }
 
 fn execute_run(job: &Job, run: &RunRequest) -> Result<(f64, Vec<MemberSummary>), ExecError> {
@@ -610,6 +666,7 @@ pub fn small_score_request(
             top_k: 0,
             steps: 6,
             workloads: Workloads::Small,
+            workers: 0,
         }),
     }
 }
@@ -627,6 +684,7 @@ mod tests {
             default_deadline: None,
             journal: None,
             panic_on_request_id: None,
+            scan_workers: 0,
         })
     }
 
@@ -835,6 +893,7 @@ mod tests {
             default_deadline: Some(Duration::from_secs(2)),
             journal: None,
             panic_on_request_id: None,
+            scan_workers: 0,
         });
         assert!(
             svc.retry_after_hint_ms() >= 2000,
@@ -881,6 +940,159 @@ mod tests {
             other => panic!("expected not_found, got {other:?}"),
         }
         assert_eq!(svc.metrics().run_index_entries, 1);
+    }
+
+    /// A score request over a space large enough that a short deadline
+    /// expires mid-scan (10 components on up to 8 nodes enumerate into
+    /// the hundreds of thousands).
+    fn big_score_request(id: u64) -> Request {
+        Request {
+            id,
+            deadline: None,
+            body: RequestBody::Score(ScoreRequest {
+                shape: scheduler::EnsembleShape::uniform(5, 4, 1, 4),
+                budget: scheduler::NodeBudget { max_nodes: 8, cores_per_node: 32 },
+                top_k: 0,
+                steps: 6,
+                workloads: Workloads::Small,
+                workers: 1,
+            }),
+        }
+    }
+
+    fn big_space_total() -> usize {
+        scheduler::enumerate_placements(&scheduler::EnsembleShape::uniform(5, 4, 1, 4), 8, 32).len()
+    }
+
+    #[test]
+    fn deadline_expiring_mid_scan_stops_the_scan() {
+        let svc = tiny_service(1, 4);
+        let mut req = big_score_request(1);
+        // Long enough to survive submit→pop, far too short for the full
+        // enumeration.
+        req.deadline = Some(Duration::from_millis(40));
+        match svc.submit(req).unwrap().wait() {
+            Response::Error { kind: ErrorKind::Deadline, message, .. } => {
+                assert!(message.contains("deadline expired"), "{message}");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        let scanned = svc.metrics().candidates_scanned;
+        let total = big_space_total() as u64;
+        assert!(
+            scanned < total / 2,
+            "the scan must stop well short of the full space: {scanned} of {total}"
+        );
+        assert_eq!(svc.metrics().deadline_expired, 1);
+    }
+
+    #[test]
+    fn cancellation_mid_scan_stops_the_scan() {
+        let svc = tiny_service(1, 4);
+        let pending = svc.submit(big_score_request(2)).unwrap();
+        // Wait until the scan is executing, then cancel: the probe
+        // between chunks must abandon the remaining space.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.metrics().in_flight == 0 {
+            assert!(Instant::now() < deadline, "worker never picked up the job");
+            std::thread::yield_now();
+        }
+        pending.cancel();
+        match pending.wait() {
+            Response::Error { kind: ErrorKind::Cancelled, .. } => {}
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+        let scanned = svc.metrics().candidates_scanned;
+        let total = big_space_total() as u64;
+        assert!(scanned < total, "cancel must stop before the full space: {scanned} of {total}");
+        assert_eq!(svc.metrics().cancelled, 1);
+    }
+
+    #[test]
+    fn score_responses_carry_scan_metadata() {
+        let svc = tiny_service(1, 4);
+        let total =
+            scheduler::enumerate_placements(&scheduler::EnsembleShape::uniform(2, 16, 1, 8), 3, 32)
+                .len() as u64;
+        match svc.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { cached, scan_workers, candidates_scanned, .. } => {
+                assert!(!cached);
+                assert!(scan_workers >= 1);
+                assert_eq!(candidates_scanned, total);
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().candidates_scanned, total);
+        // A cache hit scans nothing and says so.
+        match svc.submit(small_score_request(2, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { cached, scan_workers, candidates_scanned, .. } => {
+                assert!(cached);
+                assert_eq!(scan_workers, 0);
+                assert_eq!(candidates_scanned, 0);
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().candidates_scanned, total, "hits add nothing");
+    }
+
+    #[test]
+    fn request_workers_override_the_service_default() {
+        let svc = tiny_service(1, 4);
+        let mut req = small_score_request(1, 2, 16, 1, 8, 3);
+        if let RequestBody::Score(ref mut s) = req.body {
+            s.workers = 2;
+        }
+        match svc.submit(req).unwrap().wait() {
+            Response::ScoreResult { scan_workers, .. } => assert_eq!(scan_workers, 2),
+            other => panic!("expected score result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_top_k_matches_the_truncated_full_ranking() {
+        let svc = tiny_service(1, 8);
+        // Full ranking first, on its own service so the bounded query
+        // below starts cold.
+        let full = match svc.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { placements, .. } => placements,
+            other => panic!("expected score result, got {other:?}"),
+        };
+        assert!(full.len() > 3);
+        let cold = tiny_service(1, 8);
+        let mut bounded_req = small_score_request(2, 2, 16, 1, 8, 3);
+        if let RequestBody::Score(ref mut s) = bounded_req.body {
+            s.top_k = 3;
+        }
+        let bounded = match cold.submit(bounded_req.clone()).unwrap().wait() {
+            Response::ScoreResult { placements, cached, .. } => {
+                assert!(!cached);
+                placements
+            }
+            other => panic!("expected score result, got {other:?}"),
+        };
+        assert_eq!(bounded.len(), 3);
+        for (b, f) in bounded.iter().zip(&full) {
+            assert_eq!(b.assignment, f.assignment);
+            assert_eq!(b.objective.to_bits(), f.objective.to_bits());
+            assert_eq!(b.ensemble_makespan.to_bits(), f.ensemble_makespan.to_bits());
+        }
+        // The bounded result was cached under its k-key: a repeat hits.
+        match cold.submit(bounded_req).unwrap().wait() {
+            Response::ScoreResult { cached, placements, .. } => {
+                assert!(cached, "repeat bounded query must hit the k-keyed entry");
+                assert_eq!(placements.len(), 3);
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
+        // But a later full query must NOT be served from the bounded
+        // entry — it runs the full scan.
+        match cold.submit(small_score_request(3, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { cached, placements, .. } => {
+                assert!(!cached, "a bounded entry must never serve a full query");
+                assert_eq!(placements.len(), full.len());
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
     }
 
     #[test]

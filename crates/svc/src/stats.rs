@@ -85,6 +85,10 @@ pub struct SvcStats {
     /// Cumulative busy nanoseconds across workers (drives the
     /// retry-after hint).
     pub busy_nanos: AtomicU64,
+    /// Placement candidates pulled through the scan engine across all
+    /// score requests (cache hits add nothing; cancelled scans add only
+    /// what they actually evaluated).
+    pub candidates_scanned: AtomicU64,
     /// Submit→response latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -159,6 +163,8 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Entries resident in the score cache.
     pub cache_entries: usize,
+    /// Placement candidates evaluated by the scan engine, cumulative.
+    pub candidates_scanned: u64,
     /// Completed runs held in the attachable-job index.
     pub run_index_entries: usize,
     /// Whether a journal is attached (all `journal_*` rows are zero
@@ -212,6 +218,7 @@ impl MetricsSnapshot {
             ("cache_misses", self.cache_misses as f64),
             ("cache_entries", self.cache_entries as f64),
             ("cache_hit_rate", self.cache_hit_rate()),
+            ("candidates_scanned", self.candidates_scanned as f64),
             ("run_index_entries", self.run_index_entries as f64),
             ("journal_enabled", f64::from(u8::from(self.journal_enabled))),
             ("journal_appended", self.journal_appended as f64),
@@ -310,6 +317,7 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             cache_entries: 1,
+            candidates_scanned: 42,
             run_index_entries: 2,
             journal_enabled: true,
             journal_appended: 12,
@@ -322,10 +330,11 @@ mod tests {
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 27);
+        assert_eq!(rows.len(), 28);
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
+        assert!(csv.contains("candidates_scanned,42"));
         assert!(csv.contains("latency_p95_ms,4"));
         assert!(csv.contains("journal_enabled,1"));
         assert!(csv.contains("journal_replayed_scores,3"));

@@ -31,6 +31,7 @@ fn config_with_journal(journal: JournalConfig) -> SvcConfig {
         default_deadline: None,
         journal: Some(journal),
         panic_on_request_id: None,
+        scan_workers: 0,
     }
 }
 

@@ -25,6 +25,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             default_deadline: None,
             journal: None,
             panic_on_request_id: None,
+            scan_workers: 0,
         },
     )
     .expect("bind ephemeral port")
@@ -347,6 +348,7 @@ fn handler_panic_is_a_structured_internal_error_not_a_dead_connection() {
             default_deadline: None,
             journal: None,
             panic_on_request_id: Some(66),
+            scan_workers: 0,
         },
     )
     .expect("bind ephemeral port");

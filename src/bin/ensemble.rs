@@ -10,9 +10,11 @@
 //! ensemble advise --members N --k K --nodes M [--cores 32]
 //! ensemble energy C1.5 [--cap WATTS]
 //! ensemble serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                [--scan-workers N]
 //!                [--journal FILE] [--journal-fsync per-record|batched[:N]]
 //!                [--journal-max-bytes N]
-//! ensemble query score --members N --k K --nodes M [--addr HOST:PORT] [...]
+//! ensemble query score --members N --k K --nodes M [--top-k K] [--workers N]
+//!                      [--addr HOST:PORT] [...]
 //! ensemble query run C1.5 [--addr HOST:PORT] [--steps N] [--seed S]
 //! ensemble query attach --job ID [--addr HOST:PORT]
 //! ensemble query metrics [--addr HOST:PORT]
@@ -483,6 +485,13 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 2;
         }
     };
+    config.scan_workers = match parse_usize("--scan-workers", config.scan_workers) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
     if let Some(ms) = flag_value(args, "--deadline") {
         match ms.parse::<u64>() {
             Ok(ms) => config.default_deadline = Some(std::time::Duration::from_millis(ms)),
@@ -615,6 +624,7 @@ fn cmd_query(args: &[String]) -> i32 {
             top_k: parse("--top-k", 5),
             steps: parse("--steps", 6) as u64,
             workloads,
+            workers: parse("--workers", 0),
         }),
         "run" => {
             let Some(target) = args.get(1) else {
@@ -663,11 +673,22 @@ fn cmd_query(args: &[String]) -> i32 {
         };
     }
     match response {
-        Response::ScoreResult { placements, cached, elapsed_ms, .. } => {
+        Response::ScoreResult {
+            placements,
+            cached,
+            elapsed_ms,
+            scan_workers,
+            candidates_scanned,
+            ..
+        } => {
             println!(
                 "{} placements ({}; {:.2} ms)",
                 placements.len(),
-                if cached { "cached" } else { "evaluated" },
+                if cached {
+                    "cached".to_string()
+                } else {
+                    format!("{candidates_scanned} candidates scanned on {scan_workers} workers")
+                },
                 elapsed_ms
             );
             println!("rank  nodes  objective     makespan  Eq.4  assignment");
