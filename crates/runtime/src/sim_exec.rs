@@ -221,9 +221,15 @@ impl Coupling {
     }
 }
 
-struct SimState {
+struct SimState<'a> {
     couplings: Vec<Coupling>,
     intervals: Vec<StageInterval>,
+    /// Fired each time a member's simulation finishes writing a step
+    /// (`(member index, steps completed)`), in virtual-time order. The
+    /// no-op default keeps [`run_simulated`] allocation-free; the
+    /// provisioning service threads a progress forwarder through
+    /// [`run_simulated_observed`].
+    on_step: &'a mut dyn FnMut(usize, u64),
 }
 
 fn signal_of(member: usize) -> Signal {
@@ -249,8 +255,8 @@ struct SimProc {
     idle_started: f64,
 }
 
-impl Process<SimState> for SimProc {
-    fn poll(&mut self, state: &mut SimState, ctx: &mut Context) -> Poll {
+impl<'a> Process<SimState<'a>> for SimProc {
+    fn poll(&mut self, state: &mut SimState<'a>, ctx: &mut Context) -> Poll {
         let now = ctx.now().as_secs_f64();
         let me = ComponentRef::simulation(self.member);
         loop {
@@ -310,6 +316,7 @@ impl Process<SimState> for SimProc {
                     state.couplings[self.member].record_write(self.step);
                     ctx.emit(signal_of(self.member));
                     self.step += 1;
+                    (state.on_step)(self.member, self.step);
                     self.phase = SimPhase::StartStep;
                     // Loop: start the next step at the current instant.
                 }
@@ -347,8 +354,8 @@ struct AnaProc {
     idle_started: f64,
 }
 
-impl Process<SimState> for AnaProc {
-    fn poll(&mut self, state: &mut SimState, ctx: &mut Context) -> Poll {
+impl<'a> Process<SimState<'a>> for AnaProc {
+    fn poll(&mut self, state: &mut SimState<'a>, ctx: &mut Context) -> Poll {
         let now = ctx.now().as_secs_f64();
         let me = ComponentRef::analysis(self.member, self.slot);
         loop {
@@ -453,6 +460,18 @@ fn jittered(base: f64, steps: u64, jitter: f64, rng: &mut StdRng) -> Vec<f64> {
 
 /// Runs the ensemble on the simulated platform.
 pub fn run_simulated(cfg: &SimRunConfig) -> RuntimeResult<SimExecution> {
+    run_simulated_observed(cfg, &mut |_, _| {})
+}
+
+/// [`run_simulated`] with a per-step observer: `on_step(member, done)`
+/// fires each time member `member`'s simulation completes writing a
+/// step (`done` = steps completed so far), in virtual-time order. The
+/// observer runs inside the DES loop — keep it cheap. Observed and
+/// unobserved runs are bit-identical: the hook only reads progress.
+pub fn run_simulated_observed(
+    cfg: &SimRunConfig,
+    on_step: &mut dyn FnMut(usize, u64),
+) -> RuntimeResult<SimExecution> {
     cfg.spec.validate(Some(cfg.node_spec.cores_per_node()))?;
     if cfg.n_steps == 0 {
         return Err(RuntimeError::NoSamples);
@@ -541,6 +560,7 @@ pub fn run_simulated(cfg: &SimRunConfig) -> RuntimeResult<SimExecution> {
             })
             .collect(),
         intervals: Vec::new(),
+        on_step,
     };
     let mut engine = Engine::new(state);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -627,6 +647,31 @@ mod tests {
         assert_eq!(exec.trace.stage_series(ana, StageKind::Analyze).len(), 6);
         assert!(exec.estimates.contains_key(&sim));
         assert!(exec.allocations[&sim].total_cores() == 16);
+    }
+
+    #[test]
+    fn step_observer_reports_every_member_step_in_order() {
+        let cfg = quick_config(ConfigId::C1_5);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let observed = run_simulated_observed(&cfg, &mut |member, done| {
+            seen.push((member, done));
+        })
+        .unwrap();
+        let members = cfg.spec.members.len();
+        assert_eq!(seen.len(), members * cfg.n_steps as usize);
+        // Per member: exactly n_steps reports, counting 1..=n_steps.
+        for m in 0..members {
+            let counts: Vec<u64> =
+                seen.iter().filter(|(mem, _)| *mem == m).map(|(_, d)| *d).collect();
+            assert_eq!(counts, (1..=cfg.n_steps).collect::<Vec<_>>(), "member {m}");
+        }
+        // Observation must not perturb the run: bit-identical trace.
+        let plain = run_simulated(&cfg).unwrap();
+        assert_eq!(plain.trace.intervals().len(), observed.trace.intervals().len());
+        for (a, b) in plain.trace.intervals().iter().zip(observed.trace.intervals()) {
+            assert_eq!(a.start.to_bits(), b.start.to_bits());
+            assert_eq!(a.end.to_bits(), b.end.to_bits());
+        }
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape, Placement
 pub use fast_eval::{fast_score, FastEvaluator, FastScore};
 pub use moldable::{moldable_search, moldable_search_with, MoldablePoint, MoldableResult};
 pub use pareto::{frontier_only, pareto_front, pareto_front_with, ParetoPoint};
-pub use scan::{scan_placements, ScanHit, ScanOptions, ScanOutcome, SCAN_WORKERS_ENV};
+pub use scan::{
+    scan_placements, scan_placements_observed, ScanHit, ScanOptions, ScanOutcome, ScanProgress,
+    SCAN_WORKERS_ENV,
+};
 pub use search::{
     exhaustive_search, exhaustive_search_with, greedy_search, score_report, NodeBudget,
     ScoredPlacement, SearchConfig,

@@ -77,6 +77,23 @@ fn workers_from_env(raw: Option<&str>) -> Option<usize> {
     raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
 }
 
+/// A point-in-time view of a running scan, handed to the progress
+/// observer of [`scan_placements_observed`].
+///
+/// Produced under the feed lock at the same probe point cancellation
+/// uses (between chunks), so successive observations are monotone:
+/// `scanned` never decreases and `best_objective` never worsens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanProgress {
+    /// Candidates handed to an evaluator so far, across all workers.
+    pub scanned: usize,
+    /// Best objective seen so far (`None` until a feasible candidate
+    /// has been evaluated).
+    pub best_objective: Option<f64>,
+    /// Worker threads the scan is running with.
+    pub workers: usize,
+}
+
 /// One scanned candidate: its enumeration index and evaluation result.
 #[derive(Debug, Clone)]
 pub struct ScanHit<T> {
@@ -175,9 +192,14 @@ impl<T> TopK<T> {
 /// The shared chunk feed: workers pull batches of candidates under this
 /// mutex; the first worker to observe cancellation (or an evaluation
 /// error) trips `stop` so the others cease pulling at their next visit.
+/// The feed also aggregates cross-worker progress (`scanned`, `best`):
+/// each worker folds its previous batch in when it returns for the next
+/// one, which is where the progress observer fires.
 struct Feed {
     iter: PlacementIter,
     stop: bool,
+    scanned: usize,
+    best: Option<f64>,
 }
 
 /// Per-worker scan state returned to the merge step.
@@ -219,11 +241,41 @@ where
     T: Send,
     E: Send,
 {
+    scan_placements_observed(shape, budget, opts, init, eval, objective, cancel, |_| {})
+}
+
+/// [`scan_placements`] with a per-chunk progress observer.
+///
+/// `progress` fires under the feed lock at the same probe point
+/// cancellation uses — each time a worker returns for its next chunk
+/// and the global candidate count has advanced. Observations are
+/// strictly monotone in `scanned`. Keep the observer cheap (push to a
+/// channel, update an atomic): it briefly serializes workers. The last
+/// chunk of a completed scan is still reported (the worker that drains
+/// the iterator folds its final batch in first); use the returned
+/// [`ScanOutcome`] for authoritative totals.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_placements_observed<S, T, E>(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize, &[usize]) -> Result<Option<T>, E> + Sync,
+    objective: impl Fn(&T) -> f64 + Sync,
+    cancel: impl Fn() -> bool + Sync,
+    progress: impl Fn(&ScanProgress) + Sync,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+{
     let workers = opts.effective_workers();
     let chunk = opts.chunk.max(1);
     let feed = Mutex::new(Feed {
         iter: PlacementIter::new(shape, budget.max_nodes, budget.cores_per_node),
         stop: false,
+        scanned: 0,
+        best: None,
     });
 
     let run_worker = || -> WorkerOut<T, E> {
@@ -237,10 +289,25 @@ where
             error: None,
         };
         let mut batch: Vec<(usize, Vec<usize>)> = Vec::with_capacity(chunk);
+        // This worker's contribution since it last folded into the feed.
+        let mut batch_scanned = 0usize;
+        let mut batch_best: Option<f64> = None;
         'pull: loop {
             batch.clear();
             {
                 let mut feed = feed.lock().expect("scan feed lock");
+                if batch_scanned > 0 {
+                    feed.scanned += batch_scanned;
+                    batch_scanned = 0;
+                    if let Some(b) = batch_best.take() {
+                        feed.best = Some(feed.best.map_or(b, |cur: f64| cur.max(b)));
+                    }
+                    progress(&ScanProgress {
+                        scanned: feed.scanned,
+                        best_objective: feed.best,
+                        workers,
+                    });
+                }
                 if feed.stop {
                     break;
                 }
@@ -255,13 +322,14 @@ where
             }
             for (index, assignment) in batch.drain(..) {
                 out.scanned += 1;
+                batch_scanned += 1;
                 match eval(&mut state, index, &assignment) {
                     Ok(Some(value)) => {
                         out.feasible += 1;
+                        let obj = objective(&value);
+                        batch_best = Some(batch_best.map_or(obj, |cur| cur.max(obj)));
                         match &mut out.top {
-                            Some(top) => {
-                                top.offer(Rank { objective: objective(&value), index }, value)
-                            }
+                            Some(top) => top.offer(Rank { objective: obj, index }, value),
                             None => out.all.push(ScanHit { index, value }),
                         }
                     }
@@ -448,6 +516,62 @@ mod tests {
         .expect("scan");
         assert!(outcome.feasible < outcome.scanned);
         assert_eq!(outcome.feasible, outcome.results.len());
+    }
+
+    #[test]
+    fn progress_observations_are_monotone_and_cover_the_scan() {
+        let expected = crate::enumerate::enumerate_placements(&shape(), 3, 32);
+        for workers in [1, 2, 8] {
+            let seen: Mutex<Vec<ScanProgress>> = Mutex::new(Vec::new());
+            let outcome = scan_placements_observed(
+                &shape(),
+                budget(),
+                &ScanOptions { workers, chunk: 2, top_k: 0 },
+                || (),
+                |(), _, a| Ok::<_, ()>(Some((a.to_vec(), toy_objective(a)))),
+                |(_, obj)| *obj,
+                || false,
+                |p| seen.lock().unwrap().push(*p),
+            )
+            .expect("scan");
+            let seen = seen.into_inner().unwrap();
+            assert!(!seen.is_empty(), "workers={workers}: a multi-chunk scan must report");
+            let mut last = 0usize;
+            let mut last_best = f64::NEG_INFINITY;
+            for p in &seen {
+                assert!(p.scanned >= last, "scanned must be monotone");
+                last = p.scanned;
+                let best = p.best_objective.expect("toy eval always feasible");
+                assert!(best >= last_best, "best must never worsen");
+                last_best = best;
+                assert_eq!(p.workers, workers);
+            }
+            // The final observation covers the whole enumeration (the
+            // draining worker folds its last batch in before stopping).
+            assert_eq!(last, expected.len());
+            assert_eq!(outcome.scanned, expected.len());
+        }
+    }
+
+    #[test]
+    fn cancelled_scans_still_report_progress_up_to_the_stop() {
+        let pulls = AtomicUsize::new(0);
+        let seen = Mutex::new(Vec::new());
+        let outcome = scan_placements_observed(
+            &shape(),
+            budget(),
+            &ScanOptions { workers: 1, chunk: 1, top_k: 0 },
+            || (),
+            |(), _, a| Ok::<_, ()>(Some(a.to_vec())),
+            |_| 0.0,
+            || pulls.fetch_add(1, Ordering::SeqCst) >= 3,
+            |p: &ScanProgress| seen.lock().unwrap().push(p.scanned),
+        )
+        .expect("scan");
+        assert!(outcome.cancelled);
+        let seen = seen.into_inner().unwrap();
+        assert!(!seen.is_empty());
+        assert!(*seen.last().unwrap() <= outcome.scanned);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Frame, Progress, Request, Response};
 
 /// How [`SvcClient::submit`] reacts to `overloaded` responses: retry up
 /// to `max_attempts` total sends, honouring the server's
@@ -37,9 +37,17 @@ impl RetryPolicy {
 
 /// A connected client. One request at a time per client; open more
 /// clients for concurrency (the server pools them onto shared workers).
+///
+/// After any I/O failure mid-request — a read timeout most commonly —
+/// the client is *poisoned*: the stream may hold a partial or stale
+/// reply line (`BufReader::read_line` consumes bytes it cannot give
+/// back), so reusing it would hand request N+1 the response to request
+/// N. Every later call fails fast with a "reconnect" error instead of
+/// silently desyncing; open a fresh [`SvcClient::connect`] to recover.
 pub struct SvcClient {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    poisoned: bool,
 }
 
 impl SvcClient {
@@ -48,7 +56,7 @@ impl SvcClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(SvcClient { stream, reader })
+        Ok(SvcClient { stream, reader, poisoned: false })
     }
 
     /// Bounds how long [`request`](Self::request) waits for a response.
@@ -56,22 +64,83 @@ impl SvcClient {
         self.stream.set_read_timeout(timeout)
     }
 
-    /// Sends one request and blocks for its response line.
-    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
-        let mut line = request.to_json();
-        line.push('\n');
-        self.stream.write_all(line.as_bytes())?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
+    /// Whether a previous I/O failure left the connection unusable (see
+    /// the type docs). A poisoned client never un-poisons; reconnect.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> std::io::Result<()> {
+        if self.poisoned {
             return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
+                std::io::ErrorKind::BrokenPipe,
+                "client poisoned by an earlier I/O failure (stream may hold a stale reply); \
+                 reconnect with SvcClient::connect",
             ));
         }
-        Response::from_json(reply.trim_end()).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response line: {e}"))
+        Ok(())
+    }
+
+    /// Records that the stream is no longer at a frame boundary.
+    fn poison(&mut self, e: std::io::Error) -> std::io::Error {
+        self.poisoned = true;
+        e
+    }
+
+    /// Reads one protocol frame line. Any failure poisons the client.
+    fn read_frame(&mut self) -> std::io::Result<Frame> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).map_err(|e| self.poison(e))?;
+        if n == 0 {
+            return Err(self.poison(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Frame::from_json(reply.trim_end()).map_err(|e| {
+            self.poison(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            ))
         })
+    }
+
+    /// Sends one request and blocks for its final response, discarding
+    /// any progress frames (sent only if `request.progress` opted in).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.request_streaming(request, |_| {})
+    }
+
+    /// Sends one request and blocks for its final response, handing each
+    /// interim progress frame to `on_progress` as it arrives. A final
+    /// whose id does not match the request is dropped as stale (it can
+    /// only be a leftover from a poisoned predecessor on a server-side
+    /// connection replay; matching ids is cheap insurance either way).
+    pub fn request_streaming(
+        &mut self,
+        request: &Request,
+        mut on_progress: impl FnMut(&Progress),
+    ) -> std::io::Result<Response> {
+        self.check_poisoned()?;
+        let mut line = request.to_json();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes()).map_err(|e| self.poison(e))?;
+        loop {
+            match self.read_frame()? {
+                Frame::Progress(p) => {
+                    if p.id == request.id {
+                        on_progress(&p);
+                    }
+                }
+                Frame::Final(response) => {
+                    // Malformed-request errors may echo id 0 when the
+                    // server could not parse ours; accept those too.
+                    if response.id() == request.id || response.id() == 0 {
+                        return Ok(response);
+                    }
+                }
+            }
+        }
     }
 
     /// Sends one request, retrying on `overloaded` per `policy`. Any
@@ -101,6 +170,7 @@ impl SvcClient {
         self.request(&Request {
             id,
             deadline: None,
+            progress: None,
             body: crate::protocol::RequestBody::Attach { job },
         })
     }
@@ -108,19 +178,16 @@ impl SvcClient {
     /// Sends a raw line (malformed-input testing) and reads one response
     /// line back.
     pub fn request_raw(&mut self, raw_line: &str) -> std::io::Result<Response> {
-        self.stream.write_all(raw_line.as_bytes())?;
-        self.stream.write_all(b"\n")?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        self.check_poisoned()?;
+        self.stream.write_all(raw_line.as_bytes()).map_err(|e| self.poison(e))?;
+        self.stream.write_all(b"\n").map_err(|e| self.poison(e))?;
+        match self.read_frame()? {
+            Frame::Final(response) => Ok(response),
+            Frame::Progress(_) => Err(self.poison(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected progress frame for a raw request",
+            ))),
         }
-        Response::from_json(reply.trim_end()).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response line: {e}"))
-        })
     }
 }
 
@@ -158,7 +225,7 @@ mod tests {
     }
 
     fn metrics_request(id: u64) -> Request {
-        Request { id, deadline: None, body: RequestBody::Metrics }
+        Request { id, deadline: None, progress: None, body: RequestBody::Metrics }
     }
 
     #[test]
@@ -200,6 +267,119 @@ mod tests {
         let response = client.submit(&metrics_request(1), &policy).expect("submit");
         assert!(matches!(response, Response::Overloaded { .. }));
         assert_eq!(server.join().expect("server"), 1);
+    }
+
+    #[test]
+    fn timeout_poisons_the_client_instead_of_desyncing() {
+        // A server that answers the first request only after the
+        // client's read timeout has fired, then answers the second
+        // request promptly. Pre-fix, the client left request 1's reply
+        // in the pipe and handed it to request 2 — every later exchange
+        // was off by one.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request 1");
+            std::thread::sleep(Duration::from_millis(200));
+            let late = Response::Metrics { id: 1, rows: vec![] };
+            let _ = stream.write_all(format!("{}\n", late.to_json()).as_bytes());
+            // Keep the socket open long enough for a buggy client to
+            // read the late line as request 2's answer.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut client = SvcClient::connect(addr).expect("connect");
+        client.set_timeout(Some(Duration::from_millis(40))).expect("set timeout");
+        let err = client.request(&metrics_request(1)).expect_err("request 1 must time out");
+        assert!(
+            matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(client.is_poisoned(), "a timed-out read must poison the client");
+        let err2 = client
+            .request(&metrics_request(2))
+            .expect_err("a poisoned client must refuse request 2, not serve it a stale reply");
+        assert_eq!(err2.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(err2.to_string().contains("reconnect"), "got {err2}");
+        server.join().expect("server");
+        // Reconnecting (the documented recovery) gives a clean client.
+        // The server above is gone, so just assert the flag is sticky.
+        assert!(client.is_poisoned());
+    }
+
+    #[test]
+    fn finals_with_mismatched_ids_are_dropped_as_stale() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            let stale = Response::Metrics { id: 41, rows: vec![] };
+            let fresh = Response::Metrics { id: 42, rows: vec![] };
+            stream
+                .write_all(format!("{}\n{}\n", stale.to_json(), fresh.to_json()).as_bytes())
+                .expect("write responses");
+        });
+        let mut client = SvcClient::connect(addr).expect("connect");
+        let response = client.request(&metrics_request(42)).expect("request");
+        assert_eq!(response.id(), 42, "the stale id-41 line must be skipped, got {response:?}");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn request_streaming_hands_progress_frames_to_the_callback() {
+        use crate::protocol::{Progress, ProgressBody};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            let p1 = Progress {
+                id: 9,
+                body: ProgressBody::Score {
+                    candidates_scanned: 64,
+                    best_objective: Some(0.5),
+                    workers: 2,
+                },
+            };
+            let p2 = Progress {
+                id: 9,
+                body: ProgressBody::Score {
+                    candidates_scanned: 128,
+                    best_objective: Some(0.75),
+                    workers: 2,
+                },
+            };
+            let done = Response::Metrics { id: 9, rows: vec![] };
+            stream
+                .write_all(
+                    format!("{}\n{}\n{}\n", p1.to_json(), p2.to_json(), done.to_json())
+                        .as_bytes(),
+                )
+                .expect("write frames");
+        });
+        let mut client = SvcClient::connect(addr).expect("connect");
+        let mut scanned = Vec::new();
+        let response = client
+            .request_streaming(&metrics_request(9), |p| {
+                if let ProgressBody::Score { candidates_scanned, .. } = &p.body {
+                    scanned.push(*candidates_scanned);
+                }
+            })
+            .expect("request");
+        assert_eq!(response.id(), 9);
+        assert_eq!(scanned, vec![64, 128], "both progress frames observed, in order");
+        assert!(!client.is_poisoned());
+        server.join().expect("server");
     }
 
     #[test]

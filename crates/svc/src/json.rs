@@ -387,12 +387,27 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Advance one full UTF-8 scalar (input is &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Advance one full UTF-8 scalar. Decode only this
+                    // scalar's bytes (width from the lead byte) —
+                    // validating the whole remaining input per character
+                    // made string parsing O(n²), which turned multi-MB
+                    // response lines into minutes of CPU.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -486,6 +501,31 @@ mod tests {
     fn duplicate_keys_last_wins() {
         let v = Value::parse(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn parsing_large_string_heavy_documents_is_not_quadratic() {
+        // Regression: the string parser used to re-validate the entire
+        // remaining input for every character it consumed, so a multi-MB
+        // line (a streamed score result, say) took minutes. This 2 MB
+        // document parses in well under a second when parsing is linear
+        // and would hang the suite if the quadratic path came back.
+        let mut doc = String::from("[");
+        for i in 0..40_000 {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str("{\"key_with_some_length\":\"a value string with é and text\"}");
+        }
+        doc.push(']');
+        assert!(doc.len() > 2_000_000);
+        let v = Value::parse(&doc).expect("parse");
+        let items = v.as_arr().expect("array");
+        assert_eq!(items.len(), 40_000);
+        assert_eq!(
+            items[39_999].get("key_with_some_length").and_then(Value::as_str),
+            Some("a value string with é and text")
+        );
     }
 
     #[test]

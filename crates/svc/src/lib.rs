@@ -50,8 +50,8 @@ pub use cache::ScoreCache;
 pub use client::{RetryPolicy as ClientRetryPolicy, SvcClient};
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats};
 pub use protocol::{
-    ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
-    ScoreRequest, Workloads,
+    ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
+    Request, RequestBody, Response, RunRequest, ScoreRequest, Workloads,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{serve, ServerHandle};

@@ -101,6 +101,23 @@ pub enum RequestBody {
     Metrics,
 }
 
+/// Opt-in request for interim `progress` frames ahead of the final
+/// response. Absent from the wire entirely when not requested, so
+/// legacy clients see byte-identical behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgressSpec {
+    /// Emit a frame roughly every N candidates scanned (`score` only).
+    pub every_candidates: Option<u64>,
+    /// Emit a frame at most every T milliseconds of wall clock.
+    pub every_ms: Option<u64>,
+}
+
+impl ProgressSpec {
+    /// The throttle applied when `{"progress":{}}` names no cadence:
+    /// one frame per 100 ms.
+    pub const DEFAULT_EVERY_MS: u64 = 100;
+}
+
 /// One client request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -109,6 +126,9 @@ pub struct Request {
     /// Relative deadline; expired requests are answered with a
     /// `deadline` error instead of (or part-way through) executing.
     pub deadline: Option<Duration>,
+    /// When set, the server interleaves `progress` frames before the
+    /// final response on the same connection.
+    pub progress: Option<ProgressSpec>,
     /// The work.
     pub body: RequestBody,
 }
@@ -366,6 +386,16 @@ impl Request {
         if let Some(d) = self.deadline {
             fields.push(("deadline_ms", (d.as_millis() as u64).into()));
         }
+        if let Some(p) = self.progress {
+            let mut spec: Vec<(&str, Value)> = Vec::new();
+            if let Some(n) = p.every_candidates {
+                spec.push(("every_candidates", n.into()));
+            }
+            if let Some(t) = p.every_ms {
+                spec.push(("every_ms", t.into()));
+            }
+            fields.push(("progress", obj(spec)));
+        }
         obj(fields)
     }
 
@@ -380,6 +410,18 @@ impl Request {
                 d.as_u64().ok_or("field 'deadline_ms' must be a non-negative integer")?,
             )),
             None => None,
+        };
+        let progress = match v.get("progress") {
+            None => None,
+            Some(p) => {
+                if !matches!(p, Value::Obj(_)) {
+                    return Err("field 'progress' must be an object".into());
+                }
+                Some(ProgressSpec {
+                    every_candidates: p.get("every_candidates").and_then(Value::as_u64),
+                    every_ms: p.get("every_ms").and_then(Value::as_u64),
+                })
+            }
         };
         let kind = field(v, "type")?.as_str().ok_or("field 'type' must be a string")?;
         let workloads = match v.get("workloads").and_then(Value::as_str) {
@@ -462,7 +504,7 @@ impl Request {
             }
             other => return Err(format!("unknown request type '{other}'")),
         };
-        Ok(Request { id, deadline, body })
+        Ok(Request { id, deadline, progress, body })
     }
 
     /// Decodes a request from one JSON line.
@@ -654,6 +696,133 @@ impl Response {
     }
 }
 
+/// What an interim progress frame reports, by request kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressBody {
+    /// Scan progress of a `score` request.
+    Score {
+        /// Candidates evaluated so far.
+        candidates_scanned: u64,
+        /// Best objective seen so far (absent until one is feasible).
+        best_objective: Option<f64>,
+        /// Worker threads driving the scan.
+        workers: u64,
+    },
+    /// Step progress of a `run` simulation.
+    Run {
+        /// Lowest simulated step across members (the ensemble frontier).
+        steps: u64,
+        /// Current simulated step per member, member order.
+        member_steps: Vec<u64>,
+    },
+}
+
+/// One interim progress frame, sent before the final response of a
+/// progress-opted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// Echoed request id.
+    pub id: u64,
+    /// Kind-specific progress payload.
+    pub body: ProgressBody,
+}
+
+impl Progress {
+    /// Encodes the frame as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Encodes the frame as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(&str, Value)> =
+            vec![("type", "progress".into()), ("id", self.id.into())];
+        match &self.body {
+            ProgressBody::Score { candidates_scanned, best_objective, workers } => {
+                fields.push(("kind", "score".into()));
+                fields.push(("candidates_scanned", (*candidates_scanned).into()));
+                if let Some(best) = best_objective {
+                    fields.push(("best_objective", (*best).into()));
+                }
+                fields.push(("workers", (*workers).into()));
+            }
+            ProgressBody::Run { steps, member_steps } => {
+                fields.push(("kind", "run".into()));
+                fields.push(("steps", (*steps).into()));
+                fields.push((
+                    "member_steps",
+                    Value::Arr(member_steps.iter().map(|&s| s.into()).collect()),
+                ));
+            }
+        }
+        obj(fields)
+    }
+
+    /// Decodes a frame from a parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<Progress, String> {
+        let id = u64_field(v, "id")?;
+        let body = match field(v, "kind")?.as_str().ok_or("field 'kind' must be a string")? {
+            "score" => ProgressBody::Score {
+                candidates_scanned: u64_field(v, "candidates_scanned")?,
+                best_objective: v.get("best_objective").and_then(Value::as_f64),
+                workers: u64_field(v, "workers")?,
+            },
+            "run" => ProgressBody::Run {
+                steps: u64_field(v, "steps")?,
+                member_steps: field(v, "member_steps")?
+                    .as_arr()
+                    .ok_or("field 'member_steps' must be an array")?
+                    .iter()
+                    .map(|s| s.as_u64().ok_or("member_steps entries must be ints"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            other => return Err(format!("unknown progress kind '{other}'")),
+        };
+        Ok(Progress { id, body })
+    }
+}
+
+/// One wire frame of a (possibly streaming) reply: zero or more
+/// `Progress` frames followed by exactly one `Final` response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Interim progress of a progress-opted request.
+    Progress(Progress),
+    /// The terminal response; exactly one per request.
+    Final(Response),
+}
+
+impl Frame {
+    /// The request id this frame answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Progress(p) => p.id,
+            Frame::Final(r) => r.id(),
+        }
+    }
+
+    /// Encodes the frame as one JSON line (no trailing newline).
+    /// Final responses encode exactly as [`Response::to_json`] — the
+    /// frame wrapper adds nothing to the wire.
+    pub fn to_json(&self) -> String {
+        match self {
+            Frame::Progress(p) => p.to_json(),
+            Frame::Final(r) => r.to_json(),
+        }
+    }
+
+    /// Decodes one reply line into a frame: `{"type":"progress",...}`
+    /// becomes [`Frame::Progress`], anything else a final [`Response`].
+    pub fn from_json(line: &str) -> Result<Frame, String> {
+        let v = Value::parse(line).map_err(|e| e.to_string())?;
+        if v.get("type").and_then(Value::as_str) == Some("progress") {
+            Ok(Frame::Progress(Progress::from_value(&v)?))
+        } else {
+            Ok(Frame::Final(Response::from_value(&v)?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +831,7 @@ mod tests {
         Request {
             id: 42,
             deadline: Some(Duration::from_millis(750)),
+            progress: None,
             body: RequestBody::Score(ScoreRequest {
                 shape: EnsembleShape::uniform(2, 16, 1, 8),
                 budget: NodeBudget { max_nodes: 3, cores_per_node: 32 },
@@ -698,6 +868,7 @@ mod tests {
         let req = Request {
             id: 7,
             deadline: None,
+            progress: None,
             body: RequestBody::Run(RunRequest {
                 spec: ensemble_core::ConfigId::C1_5.build(),
                 steps: 8,
@@ -712,7 +883,7 @@ mod tests {
 
     #[test]
     fn attach_request_roundtrips() {
-        let req = Request { id: 3, deadline: None, body: RequestBody::Attach { job: 77 } };
+        let req = Request { id: 3, deadline: None, progress: None, body: RequestBody::Attach { job: 77 } };
         let line = req.to_json();
         assert!(line.contains("\"type\":\"attach\""), "{line}");
         assert!(line.contains("\"job\":77"), "{line}");
@@ -807,6 +978,91 @@ mod tests {
             let err = Request::from_json(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn progress_spec_roundtrips_through_the_request() {
+        let mut req = Request::from_json(
+            r#"{"type":"score","id":5,"members":[{"sim_cores":16,"analyses":[8]}],"max_nodes":2,"cores_per_node":32,"progress":{"every_candidates":256}}"#,
+        )
+        .unwrap();
+        let spec = req.progress.expect("progress spec parsed");
+        assert_eq!(spec.every_candidates, Some(256));
+        assert_eq!(spec.every_ms, None);
+        let again = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(again.progress, req.progress);
+
+        // An empty spec is a valid opt-in (server applies the default
+        // time cadence); a non-object is refused.
+        req = Request::from_json(
+            r#"{"type":"metrics","id":1,"progress":{}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.progress, Some(ProgressSpec::default()));
+        let err = Request::from_json(r#"{"type":"metrics","id":1,"progress":7}"#).unwrap_err();
+        assert!(err.contains("progress"), "{err}");
+
+        // Absent spec encodes to a line with no `progress` key at all —
+        // the legacy wire format, byte for byte.
+        req.progress = None;
+        assert!(!req.to_json().contains("progress"), "{}", req.to_json());
+    }
+
+    #[test]
+    fn progress_frames_roundtrip() {
+        let score = Progress {
+            id: 9,
+            body: ProgressBody::Score {
+                candidates_scanned: 4096,
+                best_objective: Some(0.875),
+                workers: 4,
+            },
+        };
+        let line = score.to_json();
+        assert!(line.contains("\"type\":\"progress\""), "{line}");
+        match Frame::from_json(&line).unwrap() {
+            Frame::Progress(p) => {
+                assert_eq!(p.id, 9);
+                assert_eq!(p.body, score.body);
+            }
+            other => panic!("expected progress frame, got {other:?}"),
+        }
+
+        // `best_objective` is omitted while no candidate has scored yet.
+        let empty = Progress {
+            id: 2,
+            body: ProgressBody::Score { candidates_scanned: 0, best_objective: None, workers: 1 },
+        };
+        let line = empty.to_json();
+        assert!(!line.contains("best_objective"), "{line}");
+        match Frame::from_json(&line).unwrap() {
+            Frame::Progress(p) => assert_eq!(p.body, empty.body),
+            other => panic!("expected progress frame, got {other:?}"),
+        }
+
+        let run = Progress { id: 3, body: ProgressBody::Run { steps: 7, member_steps: vec![9, 7, 8] } };
+        match Frame::from_json(&run.to_json()).unwrap() {
+            Frame::Progress(p) => assert_eq!(p.body, run.body),
+            other => panic!("expected progress frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_dispatch_between_progress_and_final() {
+        // A final response parses as Frame::Final and its wrapper adds
+        // nothing to the wire — the frame encodes exactly as the
+        // response does, so legacy peers see identical bytes.
+        let response = Response::Overloaded { id: 4, retry_after_ms: 12 };
+        let frame = Frame::Final(response);
+        assert_eq!(frame.to_json(), Response::Overloaded { id: 4, retry_after_ms: 12 }.to_json());
+        match Frame::from_json(&frame.to_json()).unwrap() {
+            Frame::Final(Response::Overloaded { id: 4, retry_after_ms: 12 }) => {}
+            other => panic!("expected the overloaded final, got {other:?}"),
+        }
+        assert_eq!(frame.id(), 4);
+        let progress =
+            Progress { id: 6, body: ProgressBody::Run { steps: 1, member_steps: vec![1] } };
+        assert_eq!(Frame::from_json(&progress.to_json()).unwrap().id(), 6);
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! JSON-lines-over-TCP front end.
 //!
-//! One request per line, one response line per request, answered in
-//! order per connection; concurrency comes from concurrent connections
-//! feeding the shared worker pool. Malformed lines get a structured
-//! `error` response instead of killing the connection (or a worker). A
-//! client that disconnects before its response is delivered cancels its
-//! in-flight work cooperatively; the write failure is absorbed.
+//! One request per line, one *final* response line per request, answered
+//! in order per connection; concurrency comes from concurrent
+//! connections feeding the shared worker pool. Requests that opt in via
+//! a `progress` spec additionally get zero or more `{"type":"progress"}`
+//! lines before their final line — same connection, same order, never
+//! interleaved with another request's frames (one connection serves one
+//! request at a time). Malformed lines get a structured `error` response
+//! instead of killing the connection (or a worker). A client that
+//! disconnects before its response is delivered — or mid-stream between
+//! progress frames — cancels its in-flight work cooperatively; the write
+//! failure is absorbed.
 //!
 //! Shutdown: stop accepting, wake connection readers via their read
 //! timeout, drain the service (everything admitted is still answered),
@@ -17,8 +22,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::protocol::{ErrorKind, Request, RequestBody, Response};
-use crate::service::{Service, SvcConfig};
+use crate::protocol::{ErrorKind, Frame, Request, RequestBody, Response};
+use crate::service::{Pending, Service, SvcConfig};
 
 /// Poll interval connection readers use to observe shutdown.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -75,6 +80,15 @@ impl ServerHandle {
         &self.shared.service
     }
 
+    /// Connection-thread handles currently tracked by the acceptor.
+    /// Finished handles are reaped on each accept, so under steady churn
+    /// this stays bounded by the number of *live* connections (plus any
+    /// that finished since the last accept) instead of growing by one
+    /// per connection ever served.
+    pub fn tracked_connections(&self) -> usize {
+        self.shared.conns.lock().expect("conns lock").len()
+    }
+
     /// Graceful shutdown: refuse new connections and requests, drain
     /// admitted work, join all threads.
     pub fn shutdown(mut self) {
@@ -111,7 +125,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                     .name("svc-conn".into())
                     .spawn(move || connection_loop(stream, &conn_shared))
                     .expect("spawn connection");
-                shared.conns.lock().expect("conns lock").push(handle);
+                // Reap finished connection threads before tracking the
+                // new one: joining a finished handle is instant, and
+                // without the sweep a long-lived server leaked one
+                // JoinHandle (thread stack bookkeeping included) per
+                // connection it ever served until shutdown.
+                let mut conns = shared.conns.lock().expect("conns lock");
+                let mut live = Vec::with_capacity(conns.len() + 1);
+                for h in conns.drain(..) {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        live.push(h);
+                    }
+                }
+                live.push(handle);
+                *conns = live;
             }
             Err(e) if e.kind() == IoErrorKind::WouldBlock => {
                 std::thread::sleep(READ_POLL);
@@ -137,19 +166,48 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             // A panic while handling one request must cost exactly that
             // request, not the connection (and certainly not the
             // server): contain it and answer with a structured error.
-            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 handle_line(shared, &line)
             }))
-            .unwrap_or_else(|_| Response::Error {
-                id: line_request_id(&line),
-                kind: ErrorKind::Internal,
-                message: "request handler panicked".into(),
+            .unwrap_or_else(|_| {
+                Handled::One(Response::Error {
+                    id: line_request_id(&line),
+                    kind: ErrorKind::Internal,
+                    message: "request handler panicked".into(),
+                })
             });
-            let mut out = response.to_json();
-            out.push('\n');
-            if stream.write_all(out.as_bytes()).is_err() {
-                // Client gone mid-response; nothing left to deliver.
-                break 'conn;
+            match handled {
+                Handled::One(response) => {
+                    if write_line(&mut stream, &response.to_json()).is_err() {
+                        // Client gone mid-response; nothing to deliver.
+                        break 'conn;
+                    }
+                }
+                Handled::Stream(pending) => {
+                    // Drain the reply frame-by-frame: zero or more
+                    // progress lines, then exactly one final line. A
+                    // write failure means the watcher is gone — cancel
+                    // the in-flight work so a dropped `--progress`
+                    // session does not keep burning the pool, and let
+                    // the worker's remaining sends fail harmlessly into
+                    // the dropped receiver.
+                    loop {
+                        match pending.recv_frame() {
+                            Frame::Progress(p) => {
+                                if write_line(&mut stream, &p.to_json()).is_err() {
+                                    pending.cancel();
+                                    break 'conn;
+                                }
+                            }
+                            Frame::Final(response) => {
+                                if write_line(&mut stream, &response.to_json()).is_err() {
+                                    break 'conn;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
             }
         }
         if buf.len() > MAX_LINE_BYTES {
@@ -174,6 +232,24 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     }
 }
 
+/// One newline-terminated protocol frame, written and flushed (the
+/// stream has `TCP_NODELAY` set, so a progress line reaches the watcher
+/// immediately instead of sitting in a send buffer behind the final).
+fn write_line(stream: &mut TcpStream, json: &str) -> std::io::Result<()> {
+    let mut out = String::with_capacity(json.len() + 1);
+    out.push_str(json);
+    out.push('\n');
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+/// How a request line gets answered: inline with one response, or by
+/// draining a worker reply that may stream progress frames first.
+enum Handled {
+    One(Response),
+    Stream(Pending),
+}
+
 /// Best effort at extracting an id even from a broken request line.
 fn line_request_id(line: &str) -> u64 {
     crate::json::Value::parse(line)
@@ -182,12 +258,12 @@ fn line_request_id(line: &str) -> u64 {
         .unwrap_or(0)
 }
 
-fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Response {
+fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Handled {
     let request = match Request::from_json(line) {
         Ok(r) => r,
         Err(message) => {
             let id = line_request_id(line);
-            return Response::Error { id, kind: ErrorKind::Malformed, message };
+            return Handled::One(Response::Error { id, kind: ErrorKind::Malformed, message });
         }
     };
     let id = request.id;
@@ -199,20 +275,23 @@ fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Response {
         // overload.
         let rows =
             shared.service.metrics().rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        return Response::Metrics { id, rows };
+        return Handled::One(Response::Metrics { id, rows });
     }
     if let RequestBody::Attach { job } = request.body {
         // A cheap index lookup, answered inline like metrics — so a
         // client can re-fetch its finished run even while the queue is
         // shedding new work.
-        return shared.service.attach(id, job);
+        return Handled::One(shared.service.attach(id, job));
     }
     match shared.service.submit(request) {
         Ok(pending) => {
             // Requests on one connection are answered in order; the
-            // blocking wait is bounded by service drain on shutdown.
-            pending.wait()
+            // frame drain (including its blocking waits) is bounded by
+            // service drain on shutdown. Non-opted requests never
+            // receive progress frames, so their wire behavior is
+            // byte-identical to the pre-streaming protocol.
+            Handled::Stream(pending)
         }
-        Err(rejected) => rejected.to_response(id),
+        Err(rejected) => Handled::One(rejected.to_response(id)),
     }
 }

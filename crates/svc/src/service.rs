@@ -16,13 +16,13 @@ use std::time::{Duration, Instant};
 
 use ensemble_core::WarmupPolicy;
 use runtime::{SimRunConfig, WorkloadMap};
-use scheduler::{scan_placements, FastEvaluator, ScanOptions};
+use scheduler::{scan_placements_observed, FastEvaluator, ScanOptions, ScanProgress};
 
 use crate::cache::ScoreCache;
 use crate::journal::{Journal, JournalConfig};
 use crate::protocol::{
-    ErrorKind, MemberSummary, RankedPlacement, Request, RequestBody, Response, RunRequest,
-    ScoreRequest, Workloads,
+    ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
+    Request, RequestBody, Response, RunRequest, ScoreRequest, Workloads,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{MetricsSnapshot, SvcStats, COLD_START_SERVICE_TIME};
@@ -115,26 +115,58 @@ impl Rejected {
     }
 }
 
-/// Reply handle for an accepted request.
+/// Reply handle for an accepted request. The worker sends zero or more
+/// [`Frame::Progress`] frames (only for progress-opted requests)
+/// followed by exactly one [`Frame::Final`].
 #[derive(Debug)]
 pub struct Pending {
-    rx: mpsc::Receiver<Response>,
+    rx: mpsc::Receiver<Frame>,
     cancel: CancelToken,
 }
 
 impl Pending {
-    /// Blocks until the response arrives.
+    /// Blocks until the final response arrives, discarding any interim
+    /// progress frames — the drop-in behavior for callers that never
+    /// opted in.
     pub fn wait(self) -> Response {
+        loop {
+            match self.rx.recv().expect("worker always responds before exiting") {
+                Frame::Final(response) => return response,
+                Frame::Progress(_) => {}
+            }
+        }
+    }
+
+    /// Blocks until the final response arrives, handing every interim
+    /// progress frame to `on_progress` as it lands.
+    pub fn wait_with(self, mut on_progress: impl FnMut(&Progress)) -> Response {
+        loop {
+            match self.rx.recv().expect("worker always responds before exiting") {
+                Frame::Final(response) => return response,
+                Frame::Progress(p) => on_progress(&p),
+            }
+        }
+    }
+
+    /// Blocks until the next frame (progress or final) arrives. The
+    /// streaming front end drains a reply frame-by-frame with this.
+    pub fn recv_frame(&self) -> Frame {
         self.rx.recv().expect("worker always responds before exiting")
     }
 
-    /// Blocks up to `timeout`; `Err(self)` hands the handle back.
+    /// Blocks up to `timeout` for the *final* response, discarding
+    /// progress frames; `Err(self)` hands the handle back.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Response, Pending> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(r) => Ok(r),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                panic!("worker always responds before exiting")
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(Frame::Final(r)) => return Ok(r),
+                Ok(Frame::Progress(_)) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => return Err(self),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("worker always responds before exiting")
+                }
             }
         }
     }
@@ -157,7 +189,7 @@ struct Job {
     submitted: Instant,
     deadline_at: Option<Instant>,
     cancel: CancelToken,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<Frame>,
 }
 
 struct Shared {
@@ -301,6 +333,7 @@ impl Service {
             accepted: s.accepted.load(Ordering::Relaxed),
             rejected: s.rejected.load(Ordering::Relaxed),
             completed: s.completed.load(Ordering::Relaxed),
+            executed: s.executed.load(Ordering::Relaxed),
             cancelled: s.cancelled.load(Ordering::Relaxed),
             deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
             errored: s.errored.load(Ordering::Relaxed),
@@ -315,6 +348,7 @@ impl Service {
             cache_misses: self.shared.cache.misses(),
             cache_entries: self.shared.cache.len(),
             candidates_scanned: s.candidates_scanned.load(Ordering::Relaxed),
+            progress_frames_sent: s.progress_frames_sent.load(Ordering::Relaxed),
             run_index_entries: self.shared.runs.len(),
             journal_enabled: self.shared.journal.is_some(),
             journal_appended: j.appended,
@@ -364,9 +398,20 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let started = Instant::now();
         shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-        let response = execute(shared, &job);
+        let (response, executed) = execute(shared, &job);
         shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-        shared.stats.busy_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Only jobs whose body actually ran contribute to the service-time
+        // mean. Jobs drained from the queue already expired or cancelled
+        // finish in microseconds; folding them into the denominator
+        // deflated the mean and made `retry_after_hint_ms` tell shed
+        // clients to hammer an overloaded pool.
+        if executed {
+            shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .busy_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         shared.stats.latency.record(job.submitted.elapsed());
         match &response {
             Response::Error { kind: ErrorKind::Deadline, .. } => {
@@ -392,7 +437,7 @@ fn worker_loop(shared: &Shared) {
             }
         }
         // The receiver may be gone (client disconnected) — that is fine.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(Frame::Final(response));
     }
 }
 
@@ -454,10 +499,18 @@ fn checkpoint(job: &Job, progress: impl Fn() -> String) -> Result<(), ExecError>
     Ok(())
 }
 
-fn execute(shared: &Shared, job: &Job) -> Response {
+/// Runs one job to its final response. The second value reports whether
+/// the request body genuinely executed: `false` means the job was
+/// drained pre-execution (already expired or cancelled at its entry
+/// checkpoint), so its near-zero turnaround must not enter the
+/// service-time mean.
+fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
     let id = job.request.id;
     let result = match &job.request.body {
         RequestBody::Score(score) => {
+            if let Err(e) = checkpoint(job, || "before evaluation started".to_string()) {
+                return (e.to_response(id), false);
+            }
             execute_score(shared, job, score).map(|out| Response::ScoreResult {
                 id,
                 placements: out.placements,
@@ -468,7 +521,10 @@ fn execute(shared: &Shared, job: &Job) -> Response {
             })
         }
         RequestBody::Run(run) => {
-            execute_run(job, run).map(|(makespan, members)| Response::RunResult {
+            if let Err(e) = checkpoint(job, || "before the simulated run started".to_string()) {
+                return (e.to_response(id), false);
+            }
+            execute_run(shared, job, run).map(|(makespan, members)| Response::RunResult {
                 id,
                 ensemble_makespan: makespan,
                 members,
@@ -483,7 +539,7 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         // queueing; one arriving here is still served correctly.
         RequestBody::Metrics => Ok(Response::Metrics { id, rows: Vec::new() }),
     };
-    result.unwrap_or_else(|e| e.to_response(id))
+    (result.unwrap_or_else(|e| e.to_response(id)), true)
 }
 
 fn base_config(spec: ensemble_core::EnsembleSpec, workloads: Workloads) -> SimRunConfig {
@@ -522,6 +578,107 @@ fn score_cache_key(score: &ScoreRequest, cfg: &SimRunConfig) -> String {
     )
 }
 
+/// Decides when a progress observation is worth a frame, per the
+/// request's [`ProgressSpec`]. Candidate cadence fires when the monotone
+/// count crosses into a new `every_candidates` bucket (the scan reports
+/// per chunk, so exact multiples are not guaranteed); time cadence fires
+/// when `every_ms` has elapsed since the last emitted frame. An empty
+/// spec (`"progress": {}`) defaults to the time cadence at
+/// [`ProgressSpec::DEFAULT_EVERY_MS`].
+struct ProgressThrottle {
+    every_candidates: Option<u64>,
+    every_ms: Option<u64>,
+    last_bucket: u64,
+    last_sent: Option<Instant>,
+}
+
+impl ProgressThrottle {
+    fn new(spec: ProgressSpec) -> Self {
+        let every_candidates = spec.every_candidates;
+        let mut every_ms = spec.every_ms;
+        if every_candidates.is_none() && every_ms.is_none() {
+            every_ms = Some(ProgressSpec::DEFAULT_EVERY_MS);
+        }
+        ProgressThrottle { every_candidates, every_ms, last_bucket: 0, last_sent: None }
+    }
+
+    /// `count` is the job's monotone progress counter: candidates
+    /// scanned for `score`, member step events for `run`.
+    fn due(&mut self, count: u64) -> bool {
+        let mut due = false;
+        if let Some(n) = self.every_candidates {
+            let bucket = count / n.max(1);
+            if bucket > self.last_bucket {
+                self.last_bucket = bucket;
+                due = true;
+            }
+        }
+        if let Some(ms) = self.every_ms {
+            match self.last_sent {
+                None => due = true,
+                Some(at) if at.elapsed() >= Duration::from_millis(ms) => due = true,
+                _ => {}
+            }
+        }
+        if due {
+            self.last_sent = Some(Instant::now());
+        }
+        due
+    }
+}
+
+/// Sends throttled [`Frame::Progress`] frames down a job's reply
+/// channel. Send failures (the reply handle was dropped) are ignored —
+/// the scan's cancel probe, not the emitter, decides when to stop.
+struct ProgressEmitter {
+    id: u64,
+    reply: mpsc::Sender<Frame>,
+    throttle: ProgressThrottle,
+}
+
+impl ProgressEmitter {
+    fn new(spec: ProgressSpec, job: &Job) -> Self {
+        ProgressEmitter {
+            id: job.request.id,
+            reply: job.reply.clone(),
+            throttle: ProgressThrottle::new(spec),
+        }
+    }
+
+    fn observe_scan(&mut self, p: &ScanProgress, stats: &SvcStats) {
+        if !self.throttle.due(p.scanned as u64) {
+            return;
+        }
+        let frame = Frame::Progress(Progress {
+            id: self.id,
+            body: ProgressBody::Score {
+                candidates_scanned: p.scanned as u64,
+                best_objective: p.best_objective,
+                workers: p.workers as u64,
+            },
+        });
+        if self.reply.send(frame).is_ok() {
+            stats.progress_frames_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn observe_run(&mut self, member_steps: &[u64], events: u64, stats: &SvcStats) {
+        if !self.throttle.due(events) {
+            return;
+        }
+        // The headline step count is the ensemble frontier — the lowest
+        // member step — so it never runs ahead of a straggler.
+        let steps = member_steps.iter().copied().min().unwrap_or(0);
+        let frame = Frame::Progress(Progress {
+            id: self.id,
+            body: ProgressBody::Run { steps, member_steps: member_steps.to_vec() },
+        });
+        if self.reply.send(frame).is_ok() {
+            stats.progress_frames_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// What a score execution produced, beyond the placements themselves.
 struct ScoreExec {
     placements: Vec<RankedPlacement>,
@@ -533,7 +690,6 @@ struct ScoreExec {
 }
 
 fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<ScoreExec, ExecError> {
-    checkpoint(job, || "before evaluation started".to_string())?;
     let placeholder = score.shape.materialize(&vec![0; score.shape.num_components()]);
     let mut cfg = base_config(placeholder, score.workloads);
     cfg.n_steps = score.steps;
@@ -567,7 +723,12 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
         top_k: score.top_k,
         ..ScanOptions::default()
     };
-    let outcome = scan_placements(
+    // Progress-opted requests get throttled interim frames from the
+    // scan's per-chunk hook. The hook runs under the scan's feed lock
+    // (worker threads take turns), so one mutex around the emitter is
+    // uncontended; non-opted requests pay nothing.
+    let emitter = job.request.progress.map(|spec| Mutex::new(ProgressEmitter::new(spec, job)));
+    let outcome = scan_placements_observed(
         &score.shape,
         score.budget,
         &opts,
@@ -590,6 +751,11 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
         },
         |p: &RankedPlacement| p.objective,
         || job.cancel.is_cancelled() || job.deadline_at.is_some_and(|at| Instant::now() >= at),
+        |p: &ScanProgress| {
+            if let Some(emitter) = &emitter {
+                emitter.lock().expect("progress emitter lock").observe_scan(p, &shared.stats);
+            }
+        },
     )?;
     shared.stats.candidates_scanned.fetch_add(outcome.scanned as u64, Ordering::Relaxed);
     if outcome.cancelled {
@@ -618,8 +784,11 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
     Ok(ScoreExec { placements: ranked, cached: false, scan_workers, candidates_scanned })
 }
 
-fn execute_run(job: &Job, run: &RunRequest) -> Result<(f64, Vec<MemberSummary>), ExecError> {
-    checkpoint(job, || "before the simulated run started".to_string())?;
+fn execute_run(
+    shared: &Shared,
+    job: &Job,
+    run: &RunRequest,
+) -> Result<(f64, Vec<MemberSummary>), ExecError> {
     run.spec.validate(None).map_err(|e| ExecError::Invalid(format!("invalid spec: {e}")))?;
     let mut cfg = base_config(run.spec.clone(), run.workloads);
     cfg.n_steps = run.steps;
@@ -628,8 +797,24 @@ fn execute_run(job: &Job, run: &RunRequest) -> Result<(f64, Vec<MemberSummary>),
     let spec = cfg.spec.clone();
     // The DES run itself is not interruptible; deadlines are enforced at
     // the checkpoints around it (and per candidate on the score path).
-    let exec =
-        runtime::run_simulated(&cfg).map_err(|e| ExecError::Invalid(format!("run failed: {e}")))?;
+    // Progress-opted requests observe every member step and stream
+    // throttled frames whose headline is the ensemble frontier.
+    let exec = match job.request.progress {
+        Some(spec) => {
+            let mut emitter = ProgressEmitter::new(spec, job);
+            let mut member_steps = vec![0u64; cfg.spec.members.len()];
+            let mut events = 0u64;
+            runtime::run_simulated_observed(&cfg, &mut |member, done| {
+                if let Some(slot) = member_steps.get_mut(member) {
+                    *slot = done;
+                }
+                events += 1;
+                emitter.observe_run(&member_steps, events, &shared.stats);
+            })
+        }
+        None => runtime::run_simulated(&cfg),
+    }
+    .map_err(|e| ExecError::Invalid(format!("run failed: {e}")))?;
     checkpoint(job, || "after the simulated run, before reporting".to_string())?;
     let report =
         runtime::build_report("svc-run", &spec, &exec, cfg.n_steps, WarmupPolicy::default())
@@ -660,6 +845,7 @@ pub fn small_score_request(
     Request {
         id,
         deadline: None,
+        progress: None,
         body: RequestBody::Score(ScoreRequest {
             shape: scheduler::EnsembleShape::uniform(n, sim_cores, k, ana_cores),
             budget: scheduler::NodeBudget { max_nodes, cores_per_node: 32 },
@@ -692,6 +878,7 @@ mod tests {
         Request {
             id,
             deadline: None,
+            progress: None,
             body: RequestBody::Run(RunRequest {
                 spec: ConfigId::C1_5.build(),
                 steps,
@@ -949,6 +1136,7 @@ mod tests {
         Request {
             id,
             deadline: None,
+            progress: None,
             body: RequestBody::Score(ScoreRequest {
                 shape: scheduler::EnsembleShape::uniform(5, 4, 1, 4),
                 budget: scheduler::NodeBudget { max_nodes: 8, cores_per_node: 32 },
@@ -962,6 +1150,29 @@ mod tests {
 
     fn big_space_total() -> usize {
         scheduler::enumerate_placements(&scheduler::EnsembleShape::uniform(5, 4, 1, 4), 8, 32).len()
+    }
+
+    /// A score over a ~4k-candidate space: big enough for dozens of
+    /// per-64-candidate progress frames, small enough that a full debug
+    /// scan finishes in seconds on one core.
+    fn medium_score_request(id: u64) -> Request {
+        Request {
+            id,
+            deadline: None,
+            progress: None,
+            body: RequestBody::Score(ScoreRequest {
+                shape: scheduler::EnsembleShape::uniform(4, 4, 1, 4),
+                budget: scheduler::NodeBudget { max_nodes: 6, cores_per_node: 32 },
+                top_k: 0,
+                steps: 6,
+                workloads: Workloads::Small,
+                workers: 1,
+            }),
+        }
+    }
+
+    fn medium_space_total() -> usize {
+        scheduler::enumerate_placements(&scheduler::EnsembleShape::uniform(4, 4, 1, 4), 6, 32).len()
     }
 
     #[test]
@@ -1106,5 +1317,120 @@ mod tests {
         assert!(m.latency_p50_ms > 0.0);
         assert!(m.latency_p50_ms <= m.latency_p95_ms);
         assert!(m.latency_p95_ms <= m.latency_p99_ms);
+    }
+
+    #[test]
+    fn progress_opted_score_streams_monotone_frames_then_the_final() {
+        let svc = tiny_service(1, 4);
+        let mut req = medium_score_request(1);
+        // One frame per 64-candidate bucket: deterministic in the space
+        // size, independent of wall-clock speed.
+        req.progress = Some(ProgressSpec { every_candidates: Some(64), every_ms: None });
+        let pending = svc.submit(req).unwrap();
+        let mut seen = Vec::new();
+        let response = pending.wait_with(|p| {
+            assert_eq!(p.id, 1, "frames carry the request id");
+            match &p.body {
+                ProgressBody::Score { candidates_scanned, workers, .. } => {
+                    seen.push(*candidates_scanned);
+                    assert_eq!(*workers, 1);
+                }
+                other => panic!("expected score progress, got {other:?}"),
+            }
+        });
+        let total = medium_space_total() as u64;
+        match response {
+            Response::ScoreResult { candidates_scanned, .. } => {
+                assert_eq!(candidates_scanned, total);
+            }
+            other => panic!("expected score result, got {other:?}"),
+        }
+        assert!(
+            seen.len() >= 2,
+            "a {total}-candidate scan at one frame per 64 must stream several frames: {seen:?}"
+        );
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "monotone counts: {seen:?}");
+        assert!(seen.iter().all(|&c| c <= total));
+        let m = svc.metrics();
+        assert_eq!(m.progress_frames_sent, seen.len() as u64);
+    }
+
+    #[test]
+    fn progress_opted_run_streams_the_ensemble_frontier() {
+        let svc = tiny_service(1, 4);
+        let mut req = run_request(3, 12);
+        // Every step event: C1.5 has 2 members × 12 steps = 24 frames.
+        req.progress = Some(ProgressSpec { every_candidates: Some(1), every_ms: None });
+        let pending = svc.submit(req).unwrap();
+        let mut frames = Vec::new();
+        let response = pending.wait_with(|p| match &p.body {
+            ProgressBody::Run { steps, member_steps } => {
+                frames.push((*steps, member_steps.clone()));
+            }
+            other => panic!("expected run progress, got {other:?}"),
+        });
+        assert!(matches!(response, Response::RunResult { .. }), "got {response:?}");
+        assert_eq!(frames.len(), 24, "one frame per member step event");
+        for (steps, member_steps) in &frames {
+            assert_eq!(member_steps.len(), 2);
+            assert_eq!(
+                *steps,
+                *member_steps.iter().min().unwrap(),
+                "the headline is the ensemble frontier"
+            );
+        }
+        let (final_steps, final_members) = frames.last().unwrap();
+        assert_eq!(*final_steps, 12);
+        assert!(final_members.iter().all(|&s| s == 12));
+        assert_eq!(svc.metrics().progress_frames_sent, 24);
+    }
+
+    #[test]
+    fn non_opted_requests_see_no_progress_frames() {
+        let svc = tiny_service(1, 4);
+        let pending = svc.submit(medium_score_request(1)).unwrap();
+        let mut frames = 0usize;
+        let response = pending.wait_with(|_| frames += 1);
+        assert!(matches!(response, Response::ScoreResult { .. }));
+        assert_eq!(frames, 0, "no opt-in, no frames");
+        assert_eq!(svc.metrics().progress_frames_sent, 0);
+    }
+
+    #[test]
+    fn queue_drained_jobs_do_not_deflate_the_retry_hint() {
+        // Regression for the hint-deflation bug: a worker draining a
+        // backlog of already-expired jobs used to fold their near-zero
+        // turnaround into the service-time mean, collapsing
+        // `retry_after_hint_ms` while the pool was still saturated.
+        let svc = tiny_service(1, 16);
+        // One genuinely executed job establishes a real mean.
+        assert!(matches!(
+            svc.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait(),
+            Response::ScoreResult { .. }
+        ));
+        let m = svc.metrics();
+        assert_eq!(m.executed, 1);
+        let hint_before = svc.retry_after_hint_ms();
+        // A pile of born-expired jobs drains without executing.
+        let mut drained = Vec::new();
+        for i in 0..10 {
+            let mut req = small_score_request(100 + i, 2, 16, 1, 8, 3);
+            req.deadline = Some(Duration::ZERO);
+            drained.push(svc.submit(req).unwrap());
+        }
+        for p in drained {
+            assert!(matches!(
+                p.wait(),
+                Response::Error { kind: ErrorKind::Deadline, .. }
+            ));
+        }
+        let m = svc.metrics();
+        assert_eq!(m.executed, 1, "drained jobs must not count as executed");
+        assert_eq!(m.deadline_expired, 10);
+        let hint_after = svc.retry_after_hint_ms();
+        assert!(
+            hint_after >= hint_before,
+            "10 near-zero drains must not deflate the hint: {hint_before}ms -> {hint_after}ms"
+        );
     }
 }

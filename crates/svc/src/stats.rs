@@ -74,6 +74,10 @@ pub struct SvcStats {
     pub rejected: AtomicU64,
     /// Requests answered successfully.
     pub completed: AtomicU64,
+    /// Requests that genuinely reached a worker and executed (as
+    /// opposed to draining from the queue already expired/cancelled).
+    /// Denominator of the mean-service-time estimate.
+    pub executed: AtomicU64,
     /// Requests cancelled cooperatively before completion.
     pub cancelled: AtomicU64,
     /// Requests whose deadline expired before or during execution.
@@ -89,6 +93,8 @@ pub struct SvcStats {
     /// score requests (cache hits add nothing; cancelled scans add only
     /// what they actually evaluated).
     pub candidates_scanned: AtomicU64,
+    /// Interim progress frames delivered to progress-opted clients.
+    pub progress_frames_sent: AtomicU64,
     /// Submit→response latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -113,15 +119,17 @@ impl SvcStats {
     /// sample exists yet. The fallback keeps the overload retry hint
     /// proportional to backlog at cold start instead of collapsing to
     /// the 1 ms floor (a thundering-herd invitation).
+    ///
+    /// Only requests that genuinely executed count: jobs that expire or
+    /// cancel while still queued drain in near-zero time, and letting
+    /// them into the denominator dragged the mean — and with it the
+    /// overload retry hint — back toward that same floor.
     pub fn mean_service_time_or(&self, fallback: Duration) -> Duration {
-        let done = self.completed.load(Ordering::Relaxed)
-            + self.errored.load(Ordering::Relaxed)
-            + self.deadline_expired.load(Ordering::Relaxed)
-            + self.cancelled.load(Ordering::Relaxed);
-        if done == 0 {
+        let executed = self.executed.load(Ordering::Relaxed);
+        if executed == 0 {
             return fallback;
         }
-        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed) / done)
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed) / executed)
     }
 }
 
@@ -142,6 +150,8 @@ pub struct MetricsSnapshot {
     pub deadline_expired: u64,
     /// Requests answered with a structured error.
     pub errored: u64,
+    /// Requests that genuinely executed on a worker.
+    pub executed: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Admission capacity of the queue.
@@ -165,6 +175,8 @@ pub struct MetricsSnapshot {
     pub cache_entries: usize,
     /// Placement candidates evaluated by the scan engine, cumulative.
     pub candidates_scanned: u64,
+    /// Interim progress frames delivered to progress-opted clients.
+    pub progress_frames_sent: u64,
     /// Completed runs held in the attachable-job index.
     pub run_index_entries: usize,
     /// Whether a journal is attached (all `journal_*` rows are zero
@@ -207,6 +219,7 @@ impl MetricsSnapshot {
             ("requests_cancelled", self.cancelled as f64),
             ("requests_deadline_expired", self.deadline_expired as f64),
             ("requests_errored", self.errored as f64),
+            ("requests_executed", self.executed as f64),
             ("queue_depth", self.queue_depth as f64),
             ("queue_capacity", self.queue_capacity as f64),
             ("in_flight", self.in_flight as f64),
@@ -219,6 +232,7 @@ impl MetricsSnapshot {
             ("cache_entries", self.cache_entries as f64),
             ("cache_hit_rate", self.cache_hit_rate()),
             ("candidates_scanned", self.candidates_scanned as f64),
+            ("progress_frames_sent", self.progress_frames_sent as f64),
             ("run_index_entries", self.run_index_entries as f64),
             ("journal_enabled", f64::from(u8::from(self.journal_enabled))),
             ("journal_appended", self.journal_appended as f64),
@@ -307,6 +321,7 @@ mod tests {
             cancelled: 0,
             deadline_expired: 1,
             errored: 0,
+            executed: 7,
             queue_depth: 0,
             queue_capacity: 16,
             in_flight: 0,
@@ -318,6 +333,7 @@ mod tests {
             cache_misses: 1,
             cache_entries: 1,
             candidates_scanned: 42,
+            progress_frames_sent: 5,
             run_index_entries: 2,
             journal_enabled: true,
             journal_appended: 12,
@@ -330,11 +346,13 @@ mod tests {
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 28);
+        assert_eq!(rows.len(), 30);
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
         assert!(csv.contains("candidates_scanned,42"));
+        assert!(csv.contains("progress_frames_sent,5"));
+        assert!(csv.contains("requests_executed,7"));
         assert!(csv.contains("latency_p95_ms,4"));
         assert!(csv.contains("journal_enabled,1"));
         assert!(csv.contains("journal_replayed_scores,3"));
@@ -349,9 +367,29 @@ mod tests {
             Duration::from_millis(300)
         );
         stats.completed.store(2, Ordering::Relaxed);
+        stats.executed.store(2, Ordering::Relaxed);
         stats.busy_nanos.store(4_000_000, Ordering::Relaxed);
         assert_eq!(stats.mean_service_time(), Duration::from_millis(2));
         // Once real samples exist the fallback is ignored.
         assert_eq!(stats.mean_service_time_or(Duration::from_secs(9)), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn queue_drains_do_not_deflate_the_mean_service_time() {
+        // Regression: expired/cancelled jobs drain from the queue in
+        // near-zero time; counting them in the denominator dragged the
+        // mean toward zero and the overload retry hint back to its
+        // thundering-herd floor.
+        let stats = SvcStats::default();
+        stats.executed.store(4, Ordering::Relaxed);
+        stats.completed.store(4, Ordering::Relaxed);
+        stats.busy_nanos.store(4 * 20_000_000, Ordering::Relaxed);
+        let before = stats.mean_service_time();
+        assert_eq!(before, Duration::from_millis(20));
+        // A flood of queue drains: expired + cancelled pile up, with no
+        // extra executed work and no extra busy time.
+        stats.deadline_expired.store(100, Ordering::Relaxed);
+        stats.cancelled.store(50, Ordering::Relaxed);
+        assert_eq!(stats.mean_service_time(), before, "drains must not shrink the mean");
     }
 }

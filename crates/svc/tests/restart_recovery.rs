@@ -39,6 +39,7 @@ fn run_request(id: u64, steps: u64) -> Request {
     Request {
         id,
         deadline: None,
+        progress: None,
         body: RequestBody::Run(RunRequest {
             spec: ConfigId::C1_5.build(),
             steps,

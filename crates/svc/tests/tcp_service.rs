@@ -35,6 +35,7 @@ fn run_request(id: u64, steps: u64) -> Request {
     Request {
         id,
         deadline: None,
+        progress: None,
         body: RequestBody::Run(RunRequest {
             spec: ConfigId::C1_5.build(),
             steps,
@@ -47,7 +48,7 @@ fn run_request(id: u64, steps: u64) -> Request {
 
 fn metrics_row(handle: &ServerHandle, client: &mut SvcClient, name: &str) -> f64 {
     let _ = handle; // metrics go over the wire on purpose
-    match client.request(&Request { id: 0, deadline: None, body: RequestBody::Metrics }) {
+    match client.request(&Request { id: 0, deadline: None, progress: None, body: RequestBody::Metrics }) {
         Ok(Response::Metrics { rows, .. }) => rows
             .iter()
             .find(|(k, _)| k == name)

@@ -14,8 +14,10 @@
 //!                [--journal FILE] [--journal-fsync per-record|batched[:N]]
 //!                [--journal-max-bytes N]
 //! ensemble query score --members N --k K --nodes M [--top-k K] [--workers N]
-//!                      [--addr HOST:PORT] [...]
+//!                      [--addr HOST:PORT] [--progress] [--progress-every N]
+//!                      [--progress-every-ms MS] [...]
 //! ensemble query run C1.5 [--addr HOST:PORT] [--steps N] [--seed S]
+//!                         [--progress] [...]
 //! ensemble query attach --job ID [--addr HOST:PORT]
 //! ensemble query metrics [--addr HOST:PORT]
 //! ensemble example-spec
@@ -582,7 +584,8 @@ fn cmd_serve(args: &[String]) -> i32 {
 
 fn cmd_query(args: &[String]) -> i32 {
     use insitu_ensembles::service::{
-        Request, RequestBody, Response, RunRequest, ScoreRequest, SvcClient, Workloads,
+        ProgressBody, ProgressSpec, Request, RequestBody, Response, RunRequest, ScoreRequest,
+        SvcClient, Workloads,
     };
 
     let Some(kind) = args.first().map(String::as_str) else {
@@ -595,6 +598,14 @@ fn cmd_query(args: &[String]) -> i32 {
         .and_then(|v| v.parse().ok())
         .map(std::time::Duration::from_millis);
     let workloads = if has_flag(args, "--small") { Workloads::Small } else { Workloads::Paper };
+    // `--progress` alone opts in at the server's default time cadence;
+    // either cadence flag implies the opt-in.
+    let every_candidates = flag_value(args, "--progress-every").and_then(|v| v.parse().ok());
+    let every_ms = flag_value(args, "--progress-every-ms").and_then(|v| v.parse().ok());
+    let progress = (has_flag(args, "--progress")
+        || every_candidates.is_some()
+        || every_ms.is_some())
+    .then_some(ProgressSpec { every_candidates, every_ms });
     let parse = |name: &str, default: usize| -> usize {
         flag_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
@@ -648,7 +659,7 @@ fn cmd_query(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let request = Request { id, deadline, body };
+    let request = Request { id, deadline, progress, body };
 
     let mut client = match SvcClient::connect(addr) {
         Ok(c) => c,
@@ -657,7 +668,30 @@ fn cmd_query(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let response = match client.request(&request) {
+    // Progress frames paint a live status line on stderr (stdout stays
+    // clean for the final result, `--json` included).
+    let live = |text: String| {
+        use std::io::Write;
+        eprint!("\r\x1b[2K{text}");
+        let _ = std::io::stderr().flush();
+    };
+    let response = client.request_streaming(&request, |p| match &p.body {
+        ProgressBody::Score { candidates_scanned, best_objective, workers } => {
+            let best = match best_objective {
+                Some(b) => format!("{b:.4e}"),
+                None => "-".to_string(),
+            };
+            live(format!("scanned {candidates_scanned} candidates on {workers} workers, best {best}"));
+        }
+        ProgressBody::Run { steps, member_steps } => {
+            live(format!("step {steps} (members at {member_steps:?})"));
+        }
+    });
+    if request.progress.is_some() {
+        // End the live line before printing the result.
+        eprintln!();
+    }
+    let response = match response {
         Ok(r) => r,
         Err(e) => {
             eprintln!("query: {e}");

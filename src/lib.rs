@@ -54,7 +54,8 @@ pub use svc as service;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dtl::{
-        DtlReader, DtlWriter, FaultInjector, FaultOp, FaultPlan, FaultRule, InMemoryStaging,
+        DtlReader, DtlWriter, FaultAction, FaultInjector, FaultOp, FaultPlan, FaultRule,
+        InMemoryStaging,
         MemberKill, ReaderId, RetryPolicy, VariableSpec,
     };
     pub use ensemble_core::{
