@@ -19,6 +19,9 @@ use scheduler::{
     exhaustive_search_with, scan_placements, EnsembleShape, FastEvaluator, NodeBudget, ScanOptions,
     SearchConfig,
 };
+use svc::{
+    CoschedSvcConfig, Request, RequestBody, Response, Service, SubmitRequest, SvcConfig, Workloads,
+};
 
 struct Sample {
     workers: usize,
@@ -129,6 +132,97 @@ fn bench_des_path(quick: bool, host_cores: usize) -> Vec<Sample> {
     samples
 }
 
+struct CoschedSample {
+    concurrent: usize,
+    jobs: usize,
+    wait_p50_ms: f64,
+    wait_p95_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Queue wait observed by co-scheduled submits at increasing
+/// concurrency: one ensemble at a time never waits; a burst wider than
+/// the 2×32-core platform queues, and the p50/p95 of `queue_wait_ms`
+/// across every admitted job is the cost of sharing.
+fn bench_cosched(quick: bool) -> Vec<CoschedSample> {
+    let submit = |id: u64, steps: u64| Request {
+        id,
+        deadline: None,
+        progress: None,
+        tenant: None,
+        body: RequestBody::Submit(SubmitRequest {
+            // 24 cores per ensemble: two fit the platform, the rest of
+            // a burst waits for a release.
+            shape: EnsembleShape::uniform(1, 16, 1, 8),
+            steps,
+            jitter: 0.0,
+            seed: 1,
+            workloads: Workloads::Small,
+        }),
+    };
+    let steps = if quick { 500 } else { 5_000 };
+    let rounds = if quick { 2 } else { 5 };
+    let widths: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+    let mut samples = Vec::new();
+    for &concurrent in widths {
+        let service = Service::start(SvcConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            default_deadline: None,
+            journal: None,
+            panic_on_request_id: None,
+            scan_workers: 0,
+            cosched: Some(CoschedSvcConfig::new(NodeBudget { max_nodes: 2, cores_per_node: 32 })),
+        });
+        let mut waits = Vec::new();
+        let mut id = 0u64;
+        for _ in 0..rounds {
+            let pending: Vec<_> = (0..concurrent)
+                .map(|_| {
+                    id += 1;
+                    service.submit(submit(id, steps)).expect("admitted")
+                })
+                .collect();
+            for p in pending {
+                match p.wait() {
+                    Response::SubmitResult { queue_wait_ms, .. } => waits.push(queue_wait_ms),
+                    other => panic!("expected submit result, got {other:?}"),
+                }
+            }
+        }
+        service.shutdown();
+        waits.sort_by(f64::total_cmp);
+        samples.push(CoschedSample {
+            concurrent,
+            jobs: waits.len(),
+            wait_p50_ms: percentile(&waits, 0.50),
+            wait_p95_ms: percentile(&waits, 0.95),
+        });
+    }
+    samples
+}
+
+fn render_cosched(samples: &[CoschedSample]) -> String {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"concurrent\": {}, \"jobs\": {}, \"queue_wait_p50_ms\": {:.3}, \"queue_wait_p95_ms\": {:.3}}}",
+                s.concurrent, s.jobs, s.wait_p50_ms, s.wait_p95_ms
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 fn render(samples: &[Sample]) -> String {
     let rows: Vec<String> = samples
         .iter()
@@ -162,10 +256,19 @@ fn main() {
         );
     }
 
+    let cosched = bench_cosched(quick);
+    for s in &cosched {
+        eprintln!(
+            "  cosched concurrent={:<2} jobs={:<3} wait p50={:.3}ms p95={:.3}ms",
+            s.concurrent, s.jobs, s.wait_p50_ms, s.wait_p95_ms
+        );
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"scan_throughput\",\n  \"host_cores\": {host_cores},\n  \"quick\": {quick},\n  \"fast_path\": {},\n  \"des_path\": {}\n}}\n",
+        "{{\n  \"bench\": \"scan_throughput\",\n  \"host_cores\": {host_cores},\n  \"quick\": {quick},\n  \"fast_path\": {},\n  \"des_path\": {},\n  \"cosched_queue_wait\": {}\n}}\n",
         render(&fast),
         render(&des),
+        render_cosched(&cosched),
     );
     let out = std::env::var("ENSEMBLE_BENCH_OUT").unwrap_or_else(|_| {
         // cargo bench runs with the package as cwd; anchor the default

@@ -25,6 +25,7 @@ fn config() -> SvcConfig {
         journal: None,
         panic_on_request_id: None,
         scan_workers: 0,
+        cosched: None,
     }
 }
 

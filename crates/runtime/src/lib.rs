@@ -44,7 +44,9 @@ pub use in_transit::{run_threaded_in_transit, InTransitExecution};
 pub use predictor::{predict, EnsemblePrediction, MemberPrediction};
 pub use report_builder::{build_report, build_threaded_report};
 pub use runner::EnsembleRunner;
-pub use sim_exec::{run_simulated, run_simulated_observed, CouplingMode, SimExecution, SimRunConfig};
+pub use sim_exec::{
+    run_simulated, run_simulated_observed, CouplingMode, SimExecution, SimRunConfig,
+};
 pub use thread_exec::{
     run_threaded, ChaosStaging, KernelChoice, MemberOutcome, RestartPolicy, ThreadExecution,
     ThreadRunConfig,

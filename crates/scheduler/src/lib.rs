@@ -25,6 +25,7 @@
 pub mod advisor;
 pub mod annealing;
 pub mod core_sweep;
+pub mod cosched;
 pub mod enumerate;
 pub mod fast_eval;
 pub mod moldable;
@@ -35,6 +36,10 @@ pub mod search;
 pub use advisor::{recommend_placement, recommend_with_core_sweep, Recommendation};
 pub use annealing::{anneal_placement, AnnealingConfig};
 pub use core_sweep::{core_sweep, CoreSweepConfig, SweepPoint, SweepResult};
+pub use cosched::{
+    place_against, Admission, CoScheduler, CoschedConfig, CoschedCounters, CoschedError,
+    PlacementDecision, Reservation, ResidencyMap, ResidualView,
+};
 pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape, PlacementIter};
 pub use fast_eval::{fast_score, FastEvaluator, FastScore};
 pub use moldable::{moldable_search, moldable_search_with, MoldablePoint, MoldableResult};

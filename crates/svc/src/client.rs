@@ -171,6 +171,7 @@ impl SvcClient {
             id,
             deadline: None,
             progress: None,
+            tenant: None,
             body: crate::protocol::RequestBody::Attach { job },
         })
     }
@@ -225,7 +226,7 @@ mod tests {
     }
 
     fn metrics_request(id: u64) -> Request {
-        Request { id, deadline: None, progress: None, body: RequestBody::Metrics }
+        Request { id, deadline: None, progress: None, tenant: None, body: RequestBody::Metrics }
     }
 
     #[test]
@@ -362,8 +363,7 @@ mod tests {
             let done = Response::Metrics { id: 9, rows: vec![] };
             stream
                 .write_all(
-                    format!("{}\n{}\n{}\n", p1.to_json(), p2.to_json(), done.to_json())
-                        .as_bytes(),
+                    format!("{}\n{}\n{}\n", p1.to_json(), p2.to_json(), done.to_json()).as_bytes(),
                 )
                 .expect("write frames");
         });

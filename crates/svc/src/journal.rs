@@ -10,7 +10,16 @@
 //! {"rec":"admit","request":{...}}                  // request admitted
 //! {"rec":"score","key":"...","placements":[...]}   // score evaluated (full ranking)
 //! {"rec":"run","job":7,"response":{...}}           // run completed
+//! {"rec":"reserve","job":9,"members":[...],        // cosched reservation opened
+//!  "assignment":[...],"predicted_end":12.5,"seq":4}
+//! {"rec":"release","job":9}                        // cosched reservation closed
 //! ```
+//!
+//! Reserve and release records net out at replay: a restarted service
+//! sees only the reservations still open at the crash
+//! ([`JournalReplay::reservations`]) and rebuilds its residency map
+//! from them, so capacity committed to jobs that never completed is
+//! not silently forgotten.
 //!
 //! Durability is configurable ([`FsyncPolicy`]): fsync after every
 //! record, or batched every N records (flushed again on rotation and
@@ -100,10 +109,30 @@ pub struct JournalReplay {
     pub scores: Vec<(String, Vec<RankedPlacement>)>,
     /// `(job id, run result)` pairs to rebuild the completed-job index.
     pub runs: Vec<(u64, Response)>,
+    /// Co-scheduler reservations still open (reserve net of release),
+    /// to rebuild the residency map.
+    pub reservations: Vec<ReplayedReservation>,
     /// Admit records seen (no replay action; forensic count).
     pub admits: u64,
     /// Torn or corrupt lines dropped.
     pub dropped: u64,
+}
+
+/// One open co-scheduler reservation recovered by replay — the durable
+/// fields of a `scheduler::cosched::Reservation` (the per-node load
+/// vectors are recomputed from shape + assignment on restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedReservation {
+    /// Job id holding the reservation.
+    pub job: u64,
+    /// Ensemble shape: per member, (simulation cores, analysis cores).
+    pub members: Vec<(u32, Vec<u32>)>,
+    /// Member → node assignment.
+    pub assignment: Vec<usize>,
+    /// Predicted completion in scheduler virtual time.
+    pub predicted_end: f64,
+    /// Admission sequence number (restores deterministic tie-breaking).
+    pub seq: u64,
 }
 
 /// Point-in-time journal counters for the metrics snapshot.
@@ -129,6 +158,8 @@ enum ParsedRecord {
     Admit,
     Score { key: String, placements: Vec<RankedPlacement> },
     Run { job: u64, response: Response },
+    Reserve(ReplayedReservation),
+    Release { job: u64 },
 }
 
 struct Inner {
@@ -203,6 +234,17 @@ impl Journal {
         self.append_line(&run_record(job, response));
     }
 
+    /// Journals an opened co-scheduler reservation.
+    pub fn append_reserve(&self, reservation: &ReplayedReservation) {
+        self.append_line(&reserve_record(reservation));
+    }
+
+    /// Journals a closed co-scheduler reservation (completion, failure,
+    /// cancellation, or admission rollback).
+    pub fn append_release(&self, job: u64) {
+        self.append_line(&obj(vec![("rec", "release".into()), ("job", job.into())]));
+    }
+
     /// Current counters.
     pub fn stats(&self) -> JournalStats {
         JournalStats {
@@ -266,6 +308,13 @@ impl Journal {
             compacted.push_str(&run_record(*job, response).to_json());
             compacted.push('\n');
         }
+        // Open reservations are live capacity commitments — every one
+        // survives compaction, uncapped (bounded in practice by the
+        // co-scheduler's own admission queue).
+        for reservation in &replay.reservations {
+            compacted.push_str(&reserve_record(reservation).to_json());
+            compacted.push('\n');
+        }
         let tmp = self.config.path.with_extension("journal-compact");
         {
             let mut out = File::create(&tmp)?;
@@ -299,6 +348,33 @@ fn score_record(key: &str, placements: &[RankedPlacement]) -> Value {
 
 fn run_record(job: u64, response: &Response) -> Value {
     obj(vec![("rec", "run".into()), ("job", job.into()), ("response", response.to_value())])
+}
+
+fn reserve_record(r: &ReplayedReservation) -> Value {
+    obj(vec![
+        ("rec", "reserve".into()),
+        ("job", r.job.into()),
+        (
+            "members",
+            Value::Arr(
+                r.members
+                    .iter()
+                    .map(|(sim, anas)| {
+                        obj(vec![
+                            ("sim_cores", u64::from(*sim).into()),
+                            (
+                                "analyses",
+                                Value::Arr(anas.iter().map(|&a| u64::from(a).into()).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("assignment", Value::Arr(r.assignment.iter().map(|&n| (n as u64).into()).collect())),
+        ("predicted_end", r.predicted_end.into()),
+        ("seq", r.seq.into()),
+    ])
 }
 
 /// Splits `bytes` into newline-terminated records, dropping (and
@@ -352,6 +428,45 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
             matches!(response, Response::RunResult { .. }).then_some(())?;
             Some(ParsedRecord::Run { job, response })
         }
+        "reserve" => {
+            let job = v.get("job")?.as_u64()?;
+            let members = v
+                .get("members")?
+                .as_arr()?
+                .iter()
+                .map(|m| {
+                    let sim = u32::try_from(m.get("sim_cores")?.as_u64()?).ok()?;
+                    let anas = m
+                        .get("analyses")?
+                        .as_arr()?
+                        .iter()
+                        .map(|a| a.as_u64().and_then(|a| u32::try_from(a).ok()))
+                        .collect::<Option<Vec<u32>>>()?;
+                    Some((sim, anas))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            let assignment = v
+                .get("assignment")?
+                .as_arr()?
+                .iter()
+                .map(|a| a.as_u64().map(|a| a as usize))
+                .collect::<Option<Vec<_>>>()?;
+            let predicted_end = v.get("predicted_end")?.as_f64()?;
+            let seq = v.get("seq")?.as_u64()?;
+            // A reservation without members, or whose assignment does
+            // not cover every component (one slot per sim plus one per
+            // analysis), cannot rebuild a residency entry: corruption.
+            let slots: usize = members.iter().map(|(_, anas)| 1 + anas.len()).sum();
+            (!members.is_empty() && slots == assignment.len()).then_some(())?;
+            Some(ParsedRecord::Reserve(ReplayedReservation {
+                job,
+                members,
+                assignment,
+                predicted_end,
+                seq,
+            }))
+        }
+        "release" => Some(ParsedRecord::Release { job: v.get("job")?.as_u64()? }),
         _ => None,
     }
 }
@@ -363,8 +478,10 @@ fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
     let mut replay = JournalReplay { dropped, ..JournalReplay::default() };
     let mut score_slot: HashMap<String, usize> = HashMap::new();
     let mut run_slot: HashMap<u64, usize> = HashMap::new();
+    let mut resv_slot: HashMap<u64, usize> = HashMap::new();
     let mut scores: Vec<Option<(String, Vec<RankedPlacement>)>> = Vec::new();
     let mut runs: Vec<Option<(u64, Response)>> = Vec::new();
+    let mut resvs: Vec<Option<ReplayedReservation>> = Vec::new();
     for record in records {
         match record {
             ParsedRecord::Admit => replay.admits += 1,
@@ -382,10 +499,23 @@ fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
                 run_slot.insert(job, runs.len());
                 runs.push(Some((job, response)));
             }
+            ParsedRecord::Reserve(r) => {
+                if let Some(&old) = resv_slot.get(&r.job) {
+                    resvs[old] = None;
+                }
+                resv_slot.insert(r.job, resvs.len());
+                resvs.push(Some(r));
+            }
+            ParsedRecord::Release { job } => {
+                if let Some(old) = resv_slot.remove(&job) {
+                    resvs[old] = None;
+                }
+            }
         }
     }
     replay.scores = scores.into_iter().flatten().collect();
     replay.runs = runs.into_iter().flatten().collect();
+    replay.reservations = resvs.into_iter().flatten().collect();
     replay
 }
 
@@ -543,6 +673,62 @@ mod tests {
         assert!(!replay.scores.iter().any(|(k, _)| k == "key-0"), "oldest score compacted away");
         assert!(replay.scores.iter().any(|(k, _)| k == "key-199"), "newest score survives");
         assert!(replay.runs.iter().any(|(j, _)| *j == 199), "newest run survives");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn reservation(job: u64, seq: u64) -> ReplayedReservation {
+        ReplayedReservation {
+            job,
+            members: vec![(16, vec![8]), (8, vec![4, 4])],
+            // One slot per component: member 1 (sim + analysis) on node
+            // 0, member 2 (sim + two analyses) on node 1.
+            assignment: vec![0, 0, 1, 1, 1],
+            predicted_end: 12.5 + job as f64,
+            seq,
+        }
+    }
+
+    #[test]
+    fn reservations_net_out_releases_across_reopen() {
+        let path = temp_path("reserve");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_reserve(&reservation(1, 1));
+            journal.append_reserve(&reservation(2, 2));
+            journal.append_release(1);
+            journal.append_reserve(&reservation(3, 3));
+            journal.append_release(9); // release without a reserve: harmless
+        }
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.dropped, 0);
+        let open: Vec<u64> = replay.reservations.iter().map(|r| r.job).collect();
+        assert_eq!(open, vec![2, 3], "only unreleased reservations survive replay");
+        assert_eq!(replay.reservations[0], reservation(2, 2), "fields roundtrip exactly");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_every_open_reservation() {
+        let path = temp_path("reserve-rotate");
+        let mut config = JournalConfig::new(&path);
+        config.max_bytes = 4096;
+        config.retain_scores = 2;
+        config.retain_runs = 2;
+        let (journal, _) = Journal::open(config).unwrap();
+        journal.append_reserve(&reservation(1, 1));
+        for i in 0..100 {
+            journal.append_score(&format!("key-{i}"), &ranking(i as f64));
+            journal.append_reserve(&reservation(100 + i, 100 + i));
+            journal.append_release(100 + i);
+        }
+        assert!(journal.stats().rotations >= 1, "rotation must have triggered");
+        drop(journal);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(
+            replay.reservations.iter().map(|r| r.job).collect::<Vec<_>>(),
+            vec![1],
+            "the open reservation survives compaction; the released pairs are gone"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -48,12 +48,16 @@ pub mod stats;
 
 pub use cache::ScoreCache;
 pub use client::{RetryPolicy as ClientRetryPolicy, SvcClient};
-pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats};
+pub use journal::{
+    FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats, ReplayedReservation,
+};
 pub use protocol::{
     ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
-    Request, RequestBody, Response, RunRequest, ScoreRequest, Workloads,
+    Request, RequestBody, Response, RunRequest, ScoreRequest, SubmitRequest, Workloads,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{serve, ServerHandle};
-pub use service::{small_score_request, CancelToken, Pending, Rejected, Service, SvcConfig};
-pub use stats::{LatencyHistogram, MetricsSnapshot, SvcStats};
+pub use service::{
+    small_score_request, CancelToken, CoschedSvcConfig, Pending, Rejected, Service, SvcConfig,
+};
+pub use stats::{LatencyHistogram, MetricsSnapshot, SvcStats, TenantRow};

@@ -68,6 +68,24 @@ pub struct ScoreRequest {
     pub workers: usize,
 }
 
+/// A `submit` request: hand an *unplaced* shape to the co-scheduler,
+/// which places it against the live residual capacity (queueing or
+/// backfilling as needed) and then runs it at the decided placement.
+/// Requires the service to be started in co-scheduling mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Component structure to place and run.
+    pub shape: EnsembleShape,
+    /// In situ steps to simulate once placed.
+    pub steps: u64,
+    /// Per-step jitter fraction.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Workload scale.
+    pub workloads: Workloads,
+}
+
 /// A `run` request: simulate one fully placed spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
@@ -90,6 +108,9 @@ pub enum RequestBody {
     Score(ScoreRequest),
     /// Full simulated run.
     Run(RunRequest),
+    /// Co-scheduled run: the service places the shape against live
+    /// residual capacity, then runs it.
+    Submit(SubmitRequest),
     /// Re-fetch the result of a completed `run` by its job id (the
     /// request id the original `run` carried). Served from the
     /// completed-job index, which the journal rebuilds across restarts.
@@ -129,6 +150,10 @@ pub struct Request {
     /// When set, the server interleaves `progress` frames before the
     /// final response on the same connection.
     pub progress: Option<ProgressSpec>,
+    /// Optional tenant id for per-tenant metrics attribution (and,
+    /// later, quotas). Absent from the wire when unset, so legacy
+    /// clients see byte-identical behavior.
+    pub tenant: Option<String>,
     /// The work.
     pub body: RequestBody,
 }
@@ -239,6 +264,33 @@ pub enum Response {
         /// Submit→response latency, milliseconds.
         elapsed_ms: f64,
     },
+    /// Summary of a completed co-scheduled run, including the placement
+    /// the scheduler decided and the residual capacity it left behind.
+    SubmitResult {
+        /// Echoed request id.
+        id: u64,
+        /// Physical node assignment chosen (member-major, simulation
+        /// first) — same layout as a score placement.
+        assignment: Vec<usize>,
+        /// Objective `F(Pᵁ·ᴬ·ᴾ)` of residents + this job at admission.
+        objective: f64,
+        /// Nodes this job occupies.
+        nodes_used: u64,
+        /// True when the job started ahead of the queue head via
+        /// backfill.
+        backfilled: bool,
+        /// Wall-clock time spent in the admission queue, milliseconds.
+        queue_wait_ms: f64,
+        /// Free cores per node right after this job's reservation
+        /// opened (the residual the *next* submit will see).
+        residual: Vec<u64>,
+        /// Ensemble makespan, seconds.
+        ensemble_makespan: f64,
+        /// Per-member summaries, member order.
+        members: Vec<MemberSummary>,
+        /// Submit→response latency, milliseconds.
+        elapsed_ms: f64,
+    },
     /// Metrics snapshot rows.
     Metrics {
         /// Echoed request id.
@@ -270,6 +322,7 @@ impl Response {
         match self {
             Response::ScoreResult { id, .. }
             | Response::RunResult { id, .. }
+            | Response::SubmitResult { id, .. }
             | Response::Metrics { id, .. }
             | Response::Overloaded { id, .. }
             | Response::Error { id, .. } => *id,
@@ -373,6 +426,34 @@ impl Request {
                 fields.push(("seed", r.seed.into()));
                 fields.push(("workloads", r.workloads.tag().into()));
             }
+            RequestBody::Submit(s) => {
+                fields.push(("type", "submit".into()));
+                fields.push(("id", self.id.into()));
+                fields.push((
+                    "members",
+                    Value::Arr(
+                        s.shape
+                            .members
+                            .iter()
+                            .map(|(sim, anas)| {
+                                obj(vec![
+                                    ("sim_cores", u64::from(*sim).into()),
+                                    (
+                                        "analyses",
+                                        Value::Arr(
+                                            anas.iter().map(|&a| u64::from(a).into()).collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                fields.push(("steps", s.steps.into()));
+                fields.push(("jitter", s.jitter.into()));
+                fields.push(("seed", s.seed.into()));
+                fields.push(("workloads", s.workloads.tag().into()));
+            }
             RequestBody::Attach { job } => {
                 fields.push(("type", "attach".into()));
                 fields.push(("id", self.id.into()));
@@ -395,6 +476,9 @@ impl Request {
                 spec.push(("every_ms", t.into()));
             }
             fields.push(("progress", obj(spec)));
+        }
+        if let Some(t) = &self.tenant {
+            fields.push(("tenant", t.as_str().into()));
         }
         obj(fields)
     }
@@ -422,6 +506,10 @@ impl Request {
                     every_ms: p.get("every_ms").and_then(Value::as_u64),
                 })
             }
+        };
+        let tenant = match v.get("tenant") {
+            None => None,
+            Some(t) => Some(t.as_str().ok_or("field 'tenant' must be a string")?.to_string()),
         };
         let kind = field(v, "type")?.as_str().ok_or("field 'type' must be a string")?;
         let workloads = match v.get("workloads").and_then(Value::as_str) {
@@ -502,9 +590,39 @@ impl Request {
                     workloads,
                 })
             }
+            "submit" => {
+                let members =
+                    field(v, "members")?.as_arr().ok_or("field 'members' must be an array")?;
+                if members.is_empty() {
+                    return Err("submit request needs at least one member".into());
+                }
+                let mut shape_members = Vec::with_capacity(members.len());
+                for m in members {
+                    let sim = u32::try_from(u64_field(m, "sim_cores")?)
+                        .map_err(|_| "sim_cores too large".to_string())?;
+                    let anas = field(m, "analyses")?
+                        .as_arr()
+                        .ok_or("field 'analyses' must be an array")?
+                        .iter()
+                        .map(|a| {
+                            a.as_u64()
+                                .and_then(|c| u32::try_from(c).ok())
+                                .ok_or("analysis core counts must be small integers")
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    shape_members.push((sim, anas));
+                }
+                RequestBody::Submit(SubmitRequest {
+                    shape: EnsembleShape { members: shape_members },
+                    steps: v.get("steps").and_then(Value::as_u64).unwrap_or(8),
+                    jitter: v.get("jitter").and_then(Value::as_f64).unwrap_or(0.0),
+                    seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                    workloads,
+                })
+            }
             other => return Err(format!("unknown request type '{other}'")),
         };
-        Ok(Request { id, deadline, progress, body })
+        Ok(Request { id, deadline, progress, tenant, body })
     }
 
     /// Decodes a request from one JSON line.
@@ -544,6 +662,24 @@ pub(crate) fn placement_from_value(p: &Value) -> Result<RankedPlacement, String>
     })
 }
 
+fn member_to_value(m: &MemberSummary) -> Value {
+    obj(vec![
+        ("sigma_star", m.sigma_star.into()),
+        ("efficiency", m.efficiency.into()),
+        ("cp", m.cp.into()),
+        ("makespan", m.makespan.into()),
+    ])
+}
+
+fn member_from_value(m: &Value) -> Result<MemberSummary, String> {
+    Ok(MemberSummary {
+        sigma_star: f64_field(m, "sigma_star")?,
+        efficiency: f64_field(m, "efficiency")?,
+        cp: f64_field(m, "cp")?,
+        makespan: f64_field(m, "makespan")?,
+    })
+}
+
 impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
@@ -575,22 +711,31 @@ impl Response {
                 ("id", (*id).into()),
                 ("ensemble_makespan", (*ensemble_makespan).into()),
                 ("elapsed_ms", (*elapsed_ms).into()),
-                (
-                    "members",
-                    Value::Arr(
-                        members
-                            .iter()
-                            .map(|m| {
-                                obj(vec![
-                                    ("sigma_star", m.sigma_star.into()),
-                                    ("efficiency", m.efficiency.into()),
-                                    ("cp", m.cp.into()),
-                                    ("makespan", m.makespan.into()),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("members", Value::Arr(members.iter().map(member_to_value).collect())),
+            ]),
+            Response::SubmitResult {
+                id,
+                assignment,
+                objective,
+                nodes_used,
+                backfilled,
+                queue_wait_ms,
+                residual,
+                ensemble_makespan,
+                members,
+                elapsed_ms,
+            } => obj(vec![
+                ("type", "submit_result".into()),
+                ("id", (*id).into()),
+                ("assignment", Value::Arr(assignment.iter().map(|&n| n.into()).collect())),
+                ("objective", (*objective).into()),
+                ("nodes_used", (*nodes_used).into()),
+                ("backfilled", (*backfilled).into()),
+                ("queue_wait_ms", (*queue_wait_ms).into()),
+                ("residual", Value::Arr(residual.iter().map(|&c| c.into()).collect())),
+                ("ensemble_makespan", (*ensemble_makespan).into()),
+                ("elapsed_ms", (*elapsed_ms).into()),
+                ("members", Value::Arr(members.iter().map(member_to_value).collect())),
             ]),
             Response::Metrics { id, rows } => obj(vec![
                 ("type", "metrics".into()),
@@ -647,17 +792,42 @@ impl Response {
                     .as_arr()
                     .ok_or("field 'members' must be an array")?
                     .iter()
-                    .map(|m| {
-                        Ok(MemberSummary {
-                            sigma_star: f64_field(m, "sigma_star")?,
-                            efficiency: f64_field(m, "efficiency")?,
-                            cp: f64_field(m, "cp")?,
-                            makespan: f64_field(m, "makespan")?,
-                        })
-                    })
+                    .map(member_from_value)
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::RunResult {
                     id,
+                    ensemble_makespan: f64_field(v, "ensemble_makespan")?,
+                    members,
+                    elapsed_ms: f64_field(v, "elapsed_ms")?,
+                })
+            }
+            "submit_result" => {
+                let members = field(v, "members")?
+                    .as_arr()
+                    .ok_or("field 'members' must be an array")?
+                    .iter()
+                    .map(member_from_value)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::SubmitResult {
+                    id,
+                    assignment: field(v, "assignment")?
+                        .as_arr()
+                        .ok_or("assignment must be an array")?
+                        .iter()
+                        .map(|n| n.as_usize().ok_or("assignment entries must be ints"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    objective: f64_field(v, "objective")?,
+                    nodes_used: u64_field(v, "nodes_used")?,
+                    backfilled: field(v, "backfilled")?
+                        .as_bool()
+                        .ok_or("backfilled must be a bool")?,
+                    queue_wait_ms: f64_field(v, "queue_wait_ms")?,
+                    residual: field(v, "residual")?
+                        .as_arr()
+                        .ok_or("residual must be an array")?
+                        .iter()
+                        .map(|c| c.as_u64().ok_or("residual entries must be ints"))
+                        .collect::<Result<Vec<_>, _>>()?,
                     ensemble_makespan: f64_field(v, "ensemble_makespan")?,
                     members,
                     elapsed_ms: f64_field(v, "elapsed_ms")?,
@@ -715,6 +885,15 @@ pub enum ProgressBody {
         /// Current simulated step per member, member order.
         member_steps: Vec<u64>,
     },
+    /// Admission progress of a co-scheduled `submit` request.
+    Submit {
+        /// Wait-queue position ahead of this job (present while
+        /// queued).
+        queue_depth: Option<u64>,
+        /// Decided physical assignment (present once placed, before
+        /// the run starts).
+        assignment: Option<Vec<usize>>,
+    },
 }
 
 /// One interim progress frame, sent before the final response of a
@@ -754,6 +933,15 @@ impl Progress {
                     Value::Arr(member_steps.iter().map(|&s| s.into()).collect()),
                 ));
             }
+            ProgressBody::Submit { queue_depth, assignment } => {
+                fields.push(("kind", "submit".into()));
+                if let Some(d) = queue_depth {
+                    fields.push(("queue_depth", (*d).into()));
+                }
+                if let Some(a) = assignment {
+                    fields.push(("assignment", Value::Arr(a.iter().map(|&n| n.into()).collect())));
+                }
+            }
         }
         obj(fields)
     }
@@ -775,6 +963,19 @@ impl Progress {
                     .iter()
                     .map(|s| s.as_u64().ok_or("member_steps entries must be ints"))
                     .collect::<Result<Vec<_>, _>>()?,
+            },
+            "submit" => ProgressBody::Submit {
+                queue_depth: v.get("queue_depth").and_then(Value::as_u64),
+                assignment: match v.get("assignment") {
+                    None => None,
+                    Some(a) => Some(
+                        a.as_arr()
+                            .ok_or("assignment must be an array")?
+                            .iter()
+                            .map(|n| n.as_usize().ok_or("assignment entries must be ints"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                },
             },
             other => return Err(format!("unknown progress kind '{other}'")),
         };
@@ -832,6 +1033,7 @@ mod tests {
             id: 42,
             deadline: Some(Duration::from_millis(750)),
             progress: None,
+            tenant: None,
             body: RequestBody::Score(ScoreRequest {
                 shape: EnsembleShape::uniform(2, 16, 1, 8),
                 budget: NodeBudget { max_nodes: 3, cores_per_node: 32 },
@@ -869,6 +1071,7 @@ mod tests {
             id: 7,
             deadline: None,
             progress: None,
+            tenant: None,
             body: RequestBody::Run(RunRequest {
                 spec: ensemble_core::ConfigId::C1_5.build(),
                 steps: 8,
@@ -883,7 +1086,13 @@ mod tests {
 
     #[test]
     fn attach_request_roundtrips() {
-        let req = Request { id: 3, deadline: None, progress: None, body: RequestBody::Attach { job: 77 } };
+        let req = Request {
+            id: 3,
+            deadline: None,
+            progress: None,
+            tenant: None,
+            body: RequestBody::Attach { job: 77 },
+        };
         let line = req.to_json();
         assert!(line.contains("\"type\":\"attach\""), "{line}");
         assert!(line.contains("\"job\":77"), "{line}");
@@ -891,6 +1100,99 @@ mod tests {
         assert_eq!(decoded, req);
         // A missing job id is malformed, not a silent default.
         assert!(Request::from_json(r#"{"type":"attach","id":3}"#).unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn submit_request_roundtrips() {
+        let req = Request {
+            id: 11,
+            deadline: Some(Duration::from_millis(5000)),
+            progress: None,
+            tenant: Some("team-a".into()),
+            body: RequestBody::Submit(SubmitRequest {
+                shape: EnsembleShape::uniform(2, 16, 1, 8),
+                steps: 4,
+                jitter: 0.0,
+                seed: 7,
+                workloads: Workloads::Small,
+            }),
+        };
+        let line = req.to_json();
+        assert!(line.contains("\"type\":\"submit\""), "{line}");
+        assert!(line.contains("\"tenant\":\"team-a\""), "{line}");
+        assert_eq!(Request::from_json(&line).unwrap(), req);
+        // An empty member list is malformed.
+        let err = Request::from_json(r#"{"type":"submit","id":1,"members":[]}"#).unwrap_err();
+        assert!(err.contains("at least one member"), "{err}");
+    }
+
+    #[test]
+    fn tenant_stays_off_the_wire_when_unset() {
+        // Legacy wire lines are byte-identical: no tenant key appears
+        // unless the client set one, and absent decodes to None.
+        let req = score_request();
+        assert!(!req.to_json().contains("tenant"), "{}", req.to_json());
+        assert_eq!(Request::from_json(&req.to_json()).unwrap().tenant, None);
+        let mut with = req.clone();
+        with.tenant = Some("acme".into());
+        assert_eq!(Request::from_json(&with.to_json()).unwrap(), with);
+        // A non-string tenant is refused, not silently dropped.
+        let err = Request::from_json(r#"{"type":"metrics","id":1,"tenant":7}"#).unwrap_err();
+        assert!(err.contains("tenant"), "{err}");
+    }
+
+    #[test]
+    fn submit_result_roundtrips() {
+        let r = Response::SubmitResult {
+            id: 12,
+            assignment: vec![0, 0, 1, 1],
+            objective: 0.91,
+            nodes_used: 2,
+            backfilled: true,
+            queue_wait_ms: 37.5,
+            residual: vec![0, 16, 32],
+            ensemble_makespan: 120.25,
+            members: vec![MemberSummary {
+                sigma_star: 10.0,
+                efficiency: 0.9,
+                cp: 1.0,
+                makespan: 119.0,
+            }],
+            elapsed_ms: 44.0,
+        };
+        let line = r.to_json();
+        assert!(line.contains("\"type\":\"submit_result\""), "{line}");
+        assert!(line.contains("\"residual\":[0,16,32]"), "{line}");
+        let decoded = Response::from_json(&line).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.id(), 12);
+    }
+
+    #[test]
+    fn submit_progress_frames_roundtrip() {
+        // Queued: depth present, assignment absent.
+        let queued = Progress {
+            id: 4,
+            body: ProgressBody::Submit { queue_depth: Some(3), assignment: None },
+        };
+        let line = queued.to_json();
+        assert!(line.contains("\"kind\":\"submit\""), "{line}");
+        assert!(!line.contains("assignment"), "{line}");
+        match Frame::from_json(&line).unwrap() {
+            Frame::Progress(p) => assert_eq!(p.body, queued.body),
+            other => panic!("expected progress frame, got {other:?}"),
+        }
+        // Placed: assignment present, depth absent.
+        let placed = Progress {
+            id: 4,
+            body: ProgressBody::Submit { queue_depth: None, assignment: Some(vec![1, 1]) },
+        };
+        let line = placed.to_json();
+        assert!(!line.contains("queue_depth"), "{line}");
+        match Frame::from_json(&line).unwrap() {
+            Frame::Progress(p) => assert_eq!(p.body, placed.body),
+            other => panic!("expected progress frame, got {other:?}"),
+        }
     }
 
     #[test]
@@ -994,10 +1296,7 @@ mod tests {
 
         // An empty spec is a valid opt-in (server applies the default
         // time cadence); a non-object is refused.
-        req = Request::from_json(
-            r#"{"type":"metrics","id":1,"progress":{}}"#,
-        )
-        .unwrap();
+        req = Request::from_json(r#"{"type":"metrics","id":1,"progress":{}}"#).unwrap();
         assert_eq!(req.progress, Some(ProgressSpec::default()));
         let err = Request::from_json(r#"{"type":"metrics","id":1,"progress":7}"#).unwrap_err();
         assert!(err.contains("progress"), "{err}");
@@ -1040,7 +1339,8 @@ mod tests {
             other => panic!("expected progress frame, got {other:?}"),
         }
 
-        let run = Progress { id: 3, body: ProgressBody::Run { steps: 7, member_steps: vec![9, 7, 8] } };
+        let run =
+            Progress { id: 3, body: ProgressBody::Run { steps: 7, member_steps: vec![9, 7, 8] } };
         match Frame::from_json(&run.to_json()).unwrap() {
             Frame::Progress(p) => assert_eq!(p.body, run.body),
             other => panic!("expected progress frame, got {other:?}"),

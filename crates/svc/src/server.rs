@@ -273,8 +273,7 @@ fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Handled {
     if matches!(request.body, RequestBody::Metrics) {
         // Health endpoint: answered inline, never queued, works under
         // overload.
-        let rows =
-            shared.service.metrics().rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let rows = shared.service.metrics().all_rows();
         return Handled::One(Response::Metrics { id, rows });
     }
     if let RequestBody::Attach { job } = request.body {

@@ -10,22 +10,26 @@
 //! [`Response`] to the handle. [`Service::shutdown`] closes admissions,
 //! lets workers drain everything already accepted, and joins them.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ensemble_core::WarmupPolicy;
 use runtime::{SimRunConfig, WorkloadMap};
-use scheduler::{scan_placements_observed, FastEvaluator, ScanOptions, ScanProgress};
+use scheduler::{
+    scan_placements_observed, Admission, CoScheduler, CoschedConfig, FastEvaluator, NodeBudget,
+    PlacementDecision, Reservation, ScanOptions, ScanProgress,
+};
 
 use crate::cache::ScoreCache;
-use crate::journal::{Journal, JournalConfig};
+use crate::journal::{Journal, JournalConfig, ReplayedReservation};
 use crate::protocol::{
     ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
-    Request, RequestBody, Response, RunRequest, ScoreRequest, Workloads,
+    Request, RequestBody, Response, RunRequest, ScoreRequest, SubmitRequest, Workloads,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{MetricsSnapshot, SvcStats, COLD_START_SERVICE_TIME};
+use crate::stats::{MetricsSnapshot, SvcStats, TenantRow, COLD_START_SERVICE_TIME};
 
 /// Tuning of the service.
 #[derive(Debug, Clone)]
@@ -50,6 +54,11 @@ pub struct SvcConfig {
     /// pick (env override, then host parallelism); a request carrying
     /// its own nonzero `workers` outranks this default.
     pub scan_workers: usize,
+    /// Optional online co-scheduler. When set, `submit` requests are
+    /// placed against live residual capacity before they reach the
+    /// worker pool; when `None`, they are answered with an `invalid`
+    /// error.
+    pub cosched: Option<CoschedSvcConfig>,
 }
 
 impl Default for SvcConfig {
@@ -62,7 +71,29 @@ impl Default for SvcConfig {
             journal: None,
             panic_on_request_id: None,
             scan_workers: 0,
+            cosched: None,
         }
+    }
+}
+
+/// Tuning of the optional online co-scheduler (`submit` requests).
+#[derive(Debug, Clone)]
+pub struct CoschedSvcConfig {
+    /// The platform capacity concurrent ensembles share.
+    pub budget: NodeBudget,
+    /// Bounded co-scheduler wait-queue capacity; offers beyond it shed.
+    pub queue_capacity: usize,
+    /// Allow EASY backfill past the queue head.
+    pub backfill: bool,
+    /// Workload map the placement scoring models members with.
+    pub workloads: Workloads,
+}
+
+impl CoschedSvcConfig {
+    /// A co-scheduler over `budget`: 64-deep wait queue, backfill on,
+    /// small workloads.
+    pub fn new(budget: NodeBudget) -> Self {
+        CoschedSvcConfig { budget, queue_capacity: 64, backfill: true, workloads: Workloads::Small }
     }
 }
 
@@ -190,6 +221,37 @@ struct Job {
     deadline_at: Option<Instant>,
     cancel: CancelToken,
     reply: mpsc::Sender<Frame>,
+    /// Present on `submit` jobs that hold a co-scheduler reservation:
+    /// the placement decision the worker runs the ensemble at. The
+    /// reservation is released when the worker finishes the job — on
+    /// success, failure, cancellation, or deadline drain alike.
+    cosched: Option<CoschedJob>,
+}
+
+/// The co-scheduling context a placed `submit` job carries to a worker.
+struct CoschedJob {
+    decision: PlacementDecision,
+    backfilled: bool,
+    queue_wait_ms: f64,
+    /// Per-node free cores right after this job's reservation opened.
+    residual: Vec<u64>,
+}
+
+/// A `submit` job waiting for capacity in the co-scheduler queue.
+struct WaitingSubmit {
+    job: Job,
+    /// Monotone admission order among waiting jobs — a job started
+    /// while a lower-seq job still waits was backfilled.
+    seq: u64,
+    enqueued: Instant,
+}
+
+/// Everything the co-scheduler mutates under one lock: the scheduler
+/// itself plus the reply handles of jobs waiting in its queue.
+struct CoschedState {
+    sched: CoScheduler,
+    waiting: HashMap<u64, WaitingSubmit>,
+    next_wait_seq: u64,
 }
 
 struct Shared {
@@ -203,6 +265,12 @@ struct Shared {
     journal: Option<Journal>,
     workers: usize,
     scan_workers: usize,
+    cosched: Option<Mutex<CoschedState>>,
+    /// Per-tenant accounting for requests that carry a tenant tag.
+    tenants: Mutex<BTreeMap<String, TenantRow>>,
+    /// Cold-start seed of the retry-after hint (the default deadline
+    /// budget when configured).
+    hint_fallback: Duration,
 }
 
 /// The ensemble provisioning service. Cheap to clone handles are not
@@ -230,6 +298,7 @@ impl Service {
         }
         let cache = ScoreCache::new(config.cache_capacity);
         let runs = ScoreCache::new(config.cache_capacity);
+        let mut replayed_reservations = Vec::new();
         let journal = match config.journal.clone() {
             Some(journal_config) => {
                 let (journal, replay) = Journal::open(journal_config)?;
@@ -241,10 +310,38 @@ impl Service {
                 for (job, response) in replay.runs {
                     runs.insert(job.to_string(), response);
                 }
+                replayed_reservations = replay.reservations;
                 Some(journal)
             }
             None => None,
         };
+        let cosched = config.cosched.clone().map(|cc| {
+            let mut sched_config = CoschedConfig::new(cc.budget);
+            sched_config.queue_capacity = cc.queue_capacity;
+            sched_config.backfill = cc.backfill;
+            sched_config.scan =
+                ScanOptions { workers: config.scan_workers.max(1), ..ScanOptions::default() };
+            let mut sched = CoScheduler::new(sched_config, cosched_base(cc.workloads));
+            // Rebuild the residency map from the journaled reservations
+            // still open at the last shutdown/crash: capacity committed
+            // to jobs the old process never finished stays committed
+            // (and visible in metrics) until explicitly released.
+            for r in replayed_reservations {
+                let shape = scheduler::EnsembleShape { members: r.members };
+                let reservation = Reservation::build(
+                    r.job,
+                    shape,
+                    r.assignment,
+                    cc.budget.max_nodes,
+                    r.predicted_end,
+                    r.seq,
+                );
+                if let Err(e) = sched.restore(reservation) {
+                    eprintln!("svc cosched: dropped journaled reservation for job {}: {e}", r.job);
+                }
+            }
+            Mutex::new(CoschedState { sched, waiting: HashMap::new(), next_wait_seq: 0 })
+        });
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             stats: SvcStats::default(),
@@ -253,6 +350,9 @@ impl Service {
             journal,
             workers: config.workers,
             scan_workers: config.scan_workers,
+            cosched,
+            tenants: Mutex::new(BTreeMap::new()),
+            hint_fallback: config.default_deadline.unwrap_or(COLD_START_SERVICE_TIME),
         });
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -268,7 +368,9 @@ impl Service {
     }
 
     /// Offers a request for admission. Never blocks: a full queue sheds
-    /// the request with [`Rejected::Overloaded`].
+    /// the request with [`Rejected::Overloaded`]. `submit` requests go
+    /// through the co-scheduler first — the worker queue only ever sees
+    /// them holding a placement.
     pub fn submit(&self, mut request: Request) -> Result<Pending, Rejected> {
         let stats = &self.shared.stats;
         stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -279,13 +381,25 @@ impl Service {
         let deadline_at = request.deadline.map(|d| submitted + d);
         let cancel = CancelToken::default();
         let (tx, rx) = mpsc::channel();
+        if matches!(request.body, RequestBody::Submit(_)) {
+            return self.submit_cosched(request, submitted, deadline_at, cancel, tx, rx);
+        }
         // Only *admitted* requests are journaled; clone up front because
         // the job owns the request once pushed.
         let admit_copy = self.shared.journal.as_ref().map(|_| request.clone());
-        let job = Job { request, submitted, deadline_at, cancel: cancel.clone(), reply: tx };
+        let tenant = request.tenant.clone();
+        let job = Job {
+            request,
+            submitted,
+            deadline_at,
+            cancel: cancel.clone(),
+            reply: tx,
+            cosched: None,
+        };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
+                tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
                 if let (Some(journal), Some(request)) = (&self.shared.journal, &admit_copy) {
                     journal.append_admit(request);
                 }
@@ -293,10 +407,172 @@ impl Service {
             }
             Err(PushError::Full(_)) => {
                 stats.rejected.fetch_add(1, Ordering::Relaxed);
+                tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
                 Err(Rejected::Overloaded { retry_after_ms: self.retry_after_hint_ms() })
             }
             Err(PushError::Closed(_)) => Err(Rejected::ShuttingDown),
         }
+    }
+
+    /// Admission path of `submit` requests: place against live residual
+    /// capacity, queue when nothing fits, shed when the wait queue is
+    /// full. Placed jobs enter the worker queue already holding their
+    /// reservation; queued jobs park their reply handle until a
+    /// completion pumps them through.
+    fn submit_cosched(
+        &self,
+        request: Request,
+        submitted: Instant,
+        deadline_at: Option<Instant>,
+        cancel: CancelToken,
+        tx: mpsc::Sender<Frame>,
+        rx: mpsc::Receiver<Frame>,
+    ) -> Result<Pending, Rejected> {
+        let stats = &self.shared.stats;
+        let id = request.id;
+        let tenant = request.tenant.clone();
+        // Errors decided at admission (never queued) still flow through
+        // the normal reply channel, so the caller's Pending works
+        // unchanged.
+        let inline_error: (ErrorKind, String);
+        let Some(cosched) = &self.shared.cosched else {
+            stats.errored.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Frame::Final(Response::Error {
+                id,
+                kind: ErrorKind::Invalid,
+                message: "submit requires the co-scheduler (start the service with --cosched)"
+                    .to_string(),
+            }));
+            return Ok(Pending { rx, cancel });
+        };
+        let RequestBody::Submit(submit) = &request.body else { unreachable!("routed on body") };
+        let shape = submit.shape.clone();
+        let mut state = cosched.lock().expect("cosched lock");
+        // Expired/cancelled waiters are reaped before every admission
+        // decision so dead jobs never hold queue slots ahead of live
+        // ones.
+        reap_expired_waiting(&self.shared, &mut state);
+        match state.sched.submit(id, shape) {
+            Ok(Admission::Placed(decision)) => {
+                // Placed with jobs still waiting means this admission
+                // jumped the queue: backfill.
+                let backfilled = state.sched.queue_depth() > 0;
+                let residual: Vec<u64> =
+                    state.sched.residency().residual().iter().map(|&c| u64::from(c)).collect();
+                let reservation = replayed_reservation(&state, id);
+                let admit_copy = self.shared.journal.as_ref().map(|_| request.clone());
+                let cosched_job = CoschedJob { decision, backfilled, queue_wait_ms: 0.0, residual };
+                let job = Job {
+                    request,
+                    submitted,
+                    deadline_at,
+                    cancel: cancel.clone(),
+                    reply: tx,
+                    cosched: Some(cosched_job),
+                };
+                match self.shared.queue.try_push(job) {
+                    Ok(()) => {
+                        stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
+                        if let Some(journal) = &self.shared.journal {
+                            if let Some(request) = &admit_copy {
+                                journal.append_admit(request);
+                            }
+                            if let Some(reservation) = &reservation {
+                                journal.append_reserve(reservation);
+                            }
+                        }
+                        return Ok(Pending { rx, cancel });
+                    }
+                    Err(PushError::Full(_)) => {
+                        // The reservation never started: roll it back
+                        // without touching the virtual clock.
+                        state.sched.withdraw(id);
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
+                        return Err(Rejected::Overloaded {
+                            retry_after_ms: retry_hint_ms(&self.shared),
+                        });
+                    }
+                    Err(PushError::Closed(_)) => {
+                        state.sched.withdraw(id);
+                        return Err(Rejected::ShuttingDown);
+                    }
+                }
+            }
+            Ok(Admission::Queued { depth }) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
+                if let Some(journal) = &self.shared.journal {
+                    journal.append_admit(&request);
+                }
+                if request.progress.is_some() {
+                    let frame = Frame::Progress(Progress {
+                        id,
+                        body: ProgressBody::Submit {
+                            queue_depth: Some(depth as u64),
+                            assignment: None,
+                        },
+                    });
+                    if tx.send(frame).is_ok() {
+                        stats.progress_frames_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let seq = state.next_wait_seq;
+                state.next_wait_seq += 1;
+                let job = Job {
+                    request,
+                    submitted,
+                    deadline_at,
+                    cancel: cancel.clone(),
+                    reply: tx,
+                    cosched: None,
+                };
+                state.waiting.insert(id, WaitingSubmit { job, seq, enqueued: Instant::now() });
+                return Ok(Pending { rx, cancel });
+            }
+            Ok(Admission::Shed) => {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
+                return Err(Rejected::Overloaded { retry_after_ms: retry_hint_ms(&self.shared) });
+            }
+            Ok(Admission::Infeasible) => {
+                inline_error = (
+                    ErrorKind::Invalid,
+                    "ensemble cannot fit the co-scheduled platform even when idle".to_string(),
+                );
+            }
+            Err(scheduler::CoschedError::DuplicateJob(job)) => {
+                inline_error = (
+                    ErrorKind::Invalid,
+                    format!("job {job} already holds a reservation or queue slot"),
+                );
+            }
+            Err(e) => {
+                inline_error = (ErrorKind::Internal, format!("placement scoring failed: {e}"));
+            }
+        }
+        drop(state);
+        let (kind, message) = inline_error;
+        stats.errored.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(Frame::Final(Response::Error { id, kind, message }));
+        Ok(Pending { rx, cancel })
+    }
+
+    /// Releases a reservation by job id — the operator path for orphans
+    /// restored from the journal after a restart (their original worker
+    /// is gone, so no completion will ever release them). Pumps the
+    /// wait queue like any completion. Returns false when the job holds
+    /// no reservation.
+    pub fn release_reservation(&self, job: u64) -> bool {
+        let Some(cosched) = &self.shared.cosched else { return false };
+        let state = cosched.lock().expect("cosched lock");
+        if !state.sched.residency().reservations().any(|r| r.job == job) {
+            return false;
+        }
+        drop(state);
+        finish_cosched(&self.shared, job);
+        true
     }
 
     /// Suggested back-off for a shed request: the time one queue's worth
@@ -308,11 +584,7 @@ impl Service {
     /// inviting a thundering herd. Computed in nanoseconds so sub-ms
     /// means still scale with backlog instead of truncating to zero.
     pub fn retry_after_hint_ms(&self) -> u64 {
-        let fallback = self.config.default_deadline.unwrap_or(COLD_START_SERVICE_TIME);
-        let mean = self.shared.stats.mean_service_time_or(fallback);
-        let backlog = (self.shared.queue.len() + 1) as u64;
-        let per_worker = backlog.div_ceil(self.shared.workers as u64);
-        (mean.as_nanos() as u64).saturating_mul(per_worker).div_ceil(1_000_000).max(1)
+        retry_hint_ms(&self.shared)
     }
 
     /// Serves an `attach { job }` lookup against the completed-run
@@ -328,6 +600,28 @@ impl Service {
     pub fn metrics(&self) -> MetricsSnapshot {
         let s = &self.shared.stats;
         let j = self.shared.journal.as_ref().map(|j| j.stats()).unwrap_or_default();
+        let (cosched_enabled, cosched_queue_depth, cosched_open, cosched_committed, cc) =
+            match &self.shared.cosched {
+                Some(cosched) => {
+                    let state = cosched.lock().expect("cosched lock");
+                    (
+                        true,
+                        state.sched.queue_depth(),
+                        state.sched.residency().open(),
+                        state.sched.residency().committed_cores(),
+                        state.sched.counters(),
+                    )
+                }
+                None => (false, 0, 0, 0, scheduler::CoschedCounters::default()),
+            };
+        let tenants = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenants lock")
+            .iter()
+            .map(|(name, row)| (name.clone(), *row))
+            .collect();
         MetricsSnapshot {
             submitted: s.submitted.load(Ordering::Relaxed),
             accepted: s.accepted.load(Ordering::Relaxed),
@@ -358,6 +652,18 @@ impl Service {
             journal_replayed_scores: j.replayed_scores,
             journal_replayed_runs: j.replayed_runs,
             journal_replay_dropped: j.replay_dropped,
+            cosched_enabled,
+            cosched_queue_depth,
+            cosched_open_reservations: cosched_open,
+            cosched_committed_cores: cosched_committed,
+            cosched_placed: cc.placed,
+            cosched_queued: cc.queued,
+            cosched_backfilled: cc.backfilled,
+            cosched_shed: cc.shed,
+            cosched_infeasible: cc.infeasible,
+            cosched_released: cc.released,
+            cosched_cancelled: cc.cancelled,
+            tenants,
         }
     }
 
@@ -378,12 +684,24 @@ impl Service {
     }
 
     /// Graceful shutdown: stop admitting, drain everything accepted,
-    /// join the pool. Idempotent.
+    /// join the pool. `submit` jobs still waiting in the co-scheduler
+    /// queue are answered with `shutting_down` so their callers unblock
+    /// (placed jobs drained normally and released their reservations as
+    /// the workers finished them). Idempotent.
     pub fn shutdown(&self) {
         self.shared.queue.close();
         let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
         for h in handles {
             let _ = h.join();
+        }
+        if let Some(cosched) = &self.shared.cosched {
+            let mut state = cosched.lock().expect("cosched lock");
+            let waiting: Vec<u64> = state.waiting.keys().copied().collect();
+            for id in waiting {
+                let entry = state.waiting.remove(&id).expect("key just listed");
+                state.sched.cancel_queued(id);
+                let _ = entry.job.reply.send(Frame::Final(Rejected::ShuttingDown.to_response(id)));
+            }
         }
     }
 }
@@ -411,6 +729,7 @@ fn worker_loop(shared: &Shared) {
                 .stats
                 .busy_nanos
                 .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            tenant_bump(shared, job.request.tenant.as_ref(), |row| row.executed += 1);
         }
         shared.stats.latency.record(job.submitted.elapsed());
         match &response {
@@ -436,8 +755,172 @@ fn worker_loop(shared: &Shared) {
                 journal.append_run(job_id, &response);
             }
         }
+        // A co-scheduled job releases its reservation no matter how it
+        // finished — success, failure, cancellation, or deadline drain.
+        // Leaking capacity on the error paths is exactly the bug the
+        // release-on-every-exit rule exists to prevent. Released
+        // *before* the final frame so a client that has seen its result
+        // also sees the capacity freed (and an identical serial request
+        // stream observes an identical residency at every admission).
+        if job.cosched.is_some() {
+            finish_cosched(shared, job.request.id);
+        }
         // The receiver may be gone (client disconnected) — that is fine.
         let _ = job.reply.send(Frame::Final(response));
+    }
+}
+
+/// Suggested back-off for a shed request: one queue's worth of work at
+/// the observed mean service time (seeded by the deadline budget or
+/// [`COLD_START_SERVICE_TIME`] before the first completion). See
+/// [`Service::retry_after_hint_ms`].
+fn retry_hint_ms(shared: &Shared) -> u64 {
+    let mean = shared.stats.mean_service_time_or(shared.hint_fallback);
+    let backlog = (shared.queue.len() + 1) as u64;
+    let per_worker = backlog.div_ceil(shared.workers as u64);
+    (mean.as_nanos() as u64).saturating_mul(per_worker).div_ceil(1_000_000).max(1)
+}
+
+/// Bumps one tenant's accounting row, creating it on first sight.
+/// Untagged requests cost nothing here.
+fn tenant_bump(shared: &Shared, tenant: Option<&String>, bump: impl FnOnce(&mut TenantRow)) {
+    if let Some(tenant) = tenant {
+        let mut map = shared.tenants.lock().expect("tenants lock");
+        bump(map.entry(tenant.clone()).or_default());
+    }
+}
+
+/// The base platform/workload model the co-scheduler scores candidate
+/// placements with (the member shapes come from each submit request).
+fn cosched_base(workloads: Workloads) -> SimRunConfig {
+    let placeholder = scheduler::EnsembleShape::uniform(1, 16, 1, 8);
+    let mut cfg = base_config(placeholder.materialize(&vec![0; 2]), workloads);
+    cfg.n_steps = 6;
+    cfg
+}
+
+/// The durable image of `job`'s open reservation, for the journal.
+fn replayed_reservation(state: &CoschedState, job: u64) -> Option<ReplayedReservation> {
+    state.sched.residency().reservations().find(|r| r.job == job).map(|r| ReplayedReservation {
+        job: r.job,
+        members: r.shape.members.clone(),
+        assignment: r.assignment.clone(),
+        predicted_end: r.predicted_end,
+        seq: r.seq,
+    })
+}
+
+/// Answers and evicts waiting `submit` jobs whose deadline expired or
+/// whose caller cancelled. Queued jobs hold no reservation, so eviction
+/// frees only their queue slot — residual capacity cannot leak here by
+/// construction; the regression test drains an expired backlog and
+/// asserts exactly that.
+fn reap_expired_waiting(shared: &Shared, state: &mut CoschedState) {
+    let now = Instant::now();
+    let dead: Vec<u64> = state
+        .waiting
+        .iter()
+        .filter(|(_, w)| {
+            w.job.cancel.is_cancelled() || w.job.deadline_at.is_some_and(|at| now >= at)
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    for id in dead {
+        let entry = state.waiting.remove(&id).expect("key just listed");
+        state.sched.cancel_queued(id);
+        let response = if entry.job.cancel.is_cancelled() {
+            shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            ExecError::Cancelled.to_response(id)
+        } else {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            ExecError::Deadline("deadline expired while queued for co-scheduling".to_string())
+                .to_response(id)
+        };
+        let _ = entry.job.reply.send(Frame::Final(response));
+    }
+}
+
+/// Completion hook of a co-scheduled job: release its reservation,
+/// journal the release, and dispatch every queued job the freed
+/// capacity lets the scheduler start.
+fn finish_cosched(shared: &Shared, job_id: u64) {
+    let Some(cosched) = &shared.cosched else { return };
+    let mut state = cosched.lock().expect("cosched lock");
+    reap_expired_waiting(shared, &mut state);
+    let started = match state.sched.release(job_id) {
+        Ok(started) => started,
+        // Unknown job: the reservation was already withdrawn (admission
+        // rollback) — nothing to release.
+        Err(_) => return,
+    };
+    if let Some(journal) = &shared.journal {
+        journal.append_release(job_id);
+    }
+    dispatch_started(shared, &mut state, started);
+}
+
+/// Moves jobs the scheduler just started from the wait map into the
+/// worker queue, stamping each with its placement, wait time, and
+/// backfill flag.
+fn dispatch_started(
+    shared: &Shared,
+    state: &mut CoschedState,
+    started: Vec<(u64, PlacementDecision)>,
+) {
+    for (id, decision) in started {
+        let Some(entry) = state.waiting.remove(&id) else {
+            // No reply handle (e.g. a restored-orphan id raced a live
+            // one): the placement cannot run, so roll it back.
+            state.sched.withdraw(id);
+            continue;
+        };
+        // Started while an earlier-admitted job still waits = backfill.
+        let backfilled = state.waiting.values().any(|w| w.seq < entry.seq);
+        let queue_wait_ms = entry.enqueued.elapsed().as_secs_f64() * 1e3;
+        let residual: Vec<u64> =
+            state.sched.residency().residual().iter().map(|&c| u64::from(c)).collect();
+        if let (Some(journal), Some(reservation)) =
+            (&shared.journal, replayed_reservation(state, id))
+        {
+            journal.append_reserve(&reservation);
+        }
+        if entry.job.request.progress.is_some() {
+            let frame = Frame::Progress(Progress {
+                id,
+                body: ProgressBody::Submit {
+                    queue_depth: None,
+                    assignment: Some(decision.assignment.clone()),
+                },
+            });
+            if entry.job.reply.send(frame).is_ok() {
+                shared.stats.progress_frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let tenant = entry.job.request.tenant.clone();
+        let mut job = entry.job;
+        job.cosched = Some(CoschedJob { decision, backfilled, queue_wait_ms, residual });
+        match shared.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
+                state.sched.withdraw(id);
+                if let Some(journal) = &shared.journal {
+                    journal.append_release(id);
+                }
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                tenant_bump(shared, tenant.as_ref(), |row| row.shed += 1);
+                let retry_after_ms = retry_hint_ms(shared);
+                let _ = job
+                    .reply
+                    .send(Frame::Final(Rejected::Overloaded { retry_after_ms }.to_response(id)));
+            }
+            Err(PushError::Closed(job)) => {
+                state.sched.withdraw(id);
+                if let Some(journal) = &shared.journal {
+                    journal.append_release(id);
+                }
+                let _ = job.reply.send(Frame::Final(Rejected::ShuttingDown.to_response(id)));
+            }
+        }
     }
 }
 
@@ -530,6 +1013,15 @@ fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
                 members,
                 elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
             })
+        }
+        RequestBody::Submit(submit) => {
+            // Drained expired/cancelled submits still release their
+            // reservation — the worker loop's completion hook runs on
+            // every exit path of a co-scheduled job.
+            if let Err(e) = checkpoint(job, || "before the co-scheduled run started".to_string()) {
+                return (e.to_response(id), false);
+            }
+            execute_submit(shared, job, submit)
         }
         // Attach requests are answered by the front end without
         // queueing (like metrics); one arriving here is still served
@@ -794,6 +1286,49 @@ fn execute_run(
     cfg.n_steps = run.steps;
     cfg.jitter = run.jitter;
     cfg.seed = run.seed;
+    run_and_report(shared, job, cfg)
+}
+
+/// Runs a co-scheduled `submit` job at its reserved placement and wraps
+/// the run summary with the placement metadata admission decided.
+fn execute_submit(
+    shared: &Shared,
+    job: &Job,
+    submit: &SubmitRequest,
+) -> Result<Response, ExecError> {
+    let cosched = job.cosched.as_ref().ok_or_else(|| {
+        ExecError::Internal("submit job reached a worker without a reservation".to_string())
+    })?;
+    let spec = submit.shape.materialize(&cosched.decision.assignment);
+    spec.validate(None)
+        .map_err(|e| ExecError::Internal(format!("placed spec failed validation: {e}")))?;
+    let mut cfg = base_config(spec, submit.workloads);
+    cfg.n_steps = submit.steps;
+    cfg.jitter = submit.jitter;
+    cfg.seed = submit.seed;
+    let (ensemble_makespan, members) = run_and_report(shared, job, cfg)?;
+    Ok(Response::SubmitResult {
+        id: job.request.id,
+        assignment: cosched.decision.assignment.clone(),
+        objective: cosched.decision.objective,
+        nodes_used: cosched.decision.nodes_used as u64,
+        backfilled: cosched.backfilled,
+        queue_wait_ms: cosched.queue_wait_ms,
+        residual: cosched.residual.clone(),
+        ensemble_makespan,
+        members,
+        elapsed_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// The shared run machinery of `run` and `submit`: simulate `cfg`
+/// (streaming member-step progress frames for opted-in requests) and
+/// summarize the report.
+fn run_and_report(
+    shared: &Shared,
+    job: &Job,
+    cfg: SimRunConfig,
+) -> Result<(f64, Vec<MemberSummary>), ExecError> {
     let spec = cfg.spec.clone();
     // The DES run itself is not interruptible; deadlines are enforced at
     // the checkpoints around it (and per candidate on the score path).
@@ -846,6 +1381,7 @@ pub fn small_score_request(
         id,
         deadline: None,
         progress: None,
+        tenant: None,
         body: RequestBody::Score(ScoreRequest {
             shape: scheduler::EnsembleShape::uniform(n, sim_cores, k, ana_cores),
             budget: scheduler::NodeBudget { max_nodes, cores_per_node: 32 },
@@ -871,6 +1407,7 @@ mod tests {
             journal: None,
             panic_on_request_id: None,
             scan_workers: 0,
+            cosched: None,
         })
     }
 
@@ -879,6 +1416,7 @@ mod tests {
             id,
             deadline: None,
             progress: None,
+            tenant: None,
             body: RequestBody::Run(RunRequest {
                 spec: ConfigId::C1_5.build(),
                 steps,
@@ -1081,6 +1619,7 @@ mod tests {
             journal: None,
             panic_on_request_id: None,
             scan_workers: 0,
+            cosched: None,
         });
         assert!(
             svc.retry_after_hint_ms() >= 2000,
@@ -1137,6 +1676,7 @@ mod tests {
             id,
             deadline: None,
             progress: None,
+            tenant: None,
             body: RequestBody::Score(ScoreRequest {
                 shape: scheduler::EnsembleShape::uniform(5, 4, 1, 4),
                 budget: scheduler::NodeBudget { max_nodes: 8, cores_per_node: 32 },
@@ -1160,6 +1700,7 @@ mod tests {
             id,
             deadline: None,
             progress: None,
+            tenant: None,
             body: RequestBody::Score(ScoreRequest {
                 shape: scheduler::EnsembleShape::uniform(4, 4, 1, 4),
                 budget: scheduler::NodeBudget { max_nodes: 6, cores_per_node: 32 },
@@ -1419,10 +1960,7 @@ mod tests {
             drained.push(svc.submit(req).unwrap());
         }
         for p in drained {
-            assert!(matches!(
-                p.wait(),
-                Response::Error { kind: ErrorKind::Deadline, .. }
-            ));
+            assert!(matches!(p.wait(), Response::Error { kind: ErrorKind::Deadline, .. }));
         }
         let m = svc.metrics();
         assert_eq!(m.executed, 1, "drained jobs must not count as executed");

@@ -196,6 +196,44 @@ pub struct MetricsSnapshot {
     pub journal_replayed_runs: u64,
     /// Torn/corrupt journal lines the replay dropped.
     pub journal_replay_dropped: u64,
+    /// Whether the co-scheduler is enabled (all `cosched_*` rows are
+    /// zero when not).
+    pub cosched_enabled: bool,
+    /// Submit jobs waiting in the co-scheduler admission queue.
+    pub cosched_queue_depth: usize,
+    /// Reservations currently open in the residency map.
+    pub cosched_open_reservations: usize,
+    /// Cores committed across all open reservations.
+    pub cosched_committed_cores: u64,
+    /// Submit jobs placed immediately at admission.
+    pub cosched_placed: u64,
+    /// Submit jobs queued at admission.
+    pub cosched_queued: u64,
+    /// Queued jobs started out of FIFO order by backfill.
+    pub cosched_backfilled: u64,
+    /// Submit jobs shed at a full admission queue.
+    pub cosched_shed: u64,
+    /// Submit jobs rejected as infeasible on the empty platform.
+    pub cosched_infeasible: u64,
+    /// Reservations released (completion, failure, or rollback).
+    pub cosched_released: u64,
+    /// Queued jobs cancelled or expired before placement.
+    pub cosched_cancelled: u64,
+    /// Per-tenant accounting rows, sorted by tenant name. Requests
+    /// without a tenant tag are not listed (the global rows cover them).
+    pub tenants: Vec<(String, TenantRow)>,
+}
+
+/// Per-tenant request accounting (satellite of the co-scheduler PR;
+/// counted for every request kind, not just submit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantRow {
+    /// Requests from this tenant accepted into a queue.
+    pub admitted: u64,
+    /// Requests from this tenant that genuinely executed.
+    pub executed: u64,
+    /// Requests from this tenant shed with `Overloaded`.
+    pub shed: u64,
 }
 
 impl MetricsSnapshot {
@@ -242,12 +280,40 @@ impl MetricsSnapshot {
             ("journal_replayed_scores", self.journal_replayed_scores as f64),
             ("journal_replayed_runs", self.journal_replayed_runs as f64),
             ("journal_replay_dropped", self.journal_replay_dropped as f64),
+            ("cosched_enabled", f64::from(u8::from(self.cosched_enabled))),
+            ("cosched_queue_depth", self.cosched_queue_depth as f64),
+            ("cosched_open_reservations", self.cosched_open_reservations as f64),
+            ("cosched_committed_cores", self.cosched_committed_cores as f64),
+            ("cosched_placed", self.cosched_placed as f64),
+            ("cosched_queued", self.cosched_queued as f64),
+            ("cosched_backfilled", self.cosched_backfilled as f64),
+            ("cosched_shed", self.cosched_shed as f64),
+            ("cosched_infeasible", self.cosched_infeasible as f64),
+            ("cosched_released", self.cosched_released as f64),
+            ("cosched_cancelled", self.cosched_cancelled as f64),
         ]
     }
 
-    /// CSV rendering through the shared metrics exporter.
+    /// Every row of [`MetricsSnapshot::rows`] plus three
+    /// `tenant_<name>_{admitted,executed,shed}` rows per tagged tenant —
+    /// what the wire metrics response carries.
+    pub fn all_rows(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> =
+            self.rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        for (tenant, row) in &self.tenants {
+            rows.push((format!("tenant_{tenant}_admitted"), row.admitted as f64));
+            rows.push((format!("tenant_{tenant}_executed"), row.executed as f64));
+            rows.push((format!("tenant_{tenant}_shed"), row.shed as f64));
+        }
+        rows
+    }
+
+    /// CSV rendering through the shared metrics exporter (includes the
+    /// per-tenant rows).
     pub fn to_csv(&self) -> String {
-        metrics::export::kv_csv(&self.rows())
+        let rows = self.all_rows();
+        let borrowed: Vec<(&str, f64)> = rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        metrics::export::kv_csv(&borrowed)
     }
 }
 
@@ -343,10 +409,27 @@ mod tests {
             journal_replayed_scores: 3,
             journal_replayed_runs: 2,
             journal_replay_dropped: 1,
+            cosched_enabled: true,
+            cosched_queue_depth: 1,
+            cosched_open_reservations: 2,
+            cosched_committed_cores: 48,
+            cosched_placed: 4,
+            cosched_queued: 3,
+            cosched_backfilled: 1,
+            cosched_shed: 1,
+            cosched_infeasible: 0,
+            cosched_released: 2,
+            cosched_cancelled: 1,
+            tenants: vec![
+                ("batch".to_string(), TenantRow { admitted: 3, executed: 2, shed: 1 }),
+                ("team-a".to_string(), TenantRow { admitted: 5, executed: 5, shed: 0 }),
+            ],
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 30);
+        assert_eq!(rows.len(), 41);
+        let all = snap.all_rows();
+        assert_eq!(all.len(), 41 + 6, "three rows per tagged tenant");
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
@@ -356,6 +439,11 @@ mod tests {
         assert!(csv.contains("latency_p95_ms,4"));
         assert!(csv.contains("journal_enabled,1"));
         assert!(csv.contains("journal_replayed_scores,3"));
+        assert!(csv.contains("cosched_enabled,1"));
+        assert!(csv.contains("cosched_committed_cores,48"));
+        assert!(csv.contains("cosched_backfilled,1"));
+        assert!(csv.contains("tenant_batch_shed,1"));
+        assert!(csv.contains("tenant_team-a_admitted,5"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn config_with_journal(journal: JournalConfig) -> SvcConfig {
         journal: Some(journal),
         panic_on_request_id: None,
         scan_workers: 0,
+        cosched: None,
     }
 }
 
@@ -40,6 +41,7 @@ fn run_request(id: u64, steps: u64) -> Request {
         id,
         deadline: None,
         progress: None,
+        tenant: None,
         body: RequestBody::Run(RunRequest {
             spec: ConfigId::C1_5.build(),
             steps,

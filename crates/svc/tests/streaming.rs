@@ -26,6 +26,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             journal: None,
             panic_on_request_id: None,
             scan_workers: 0,
+            cosched: None,
         },
     )
     .expect("bind ephemeral port")
@@ -39,6 +40,7 @@ fn medium_score_request(id: u64) -> Request {
         id,
         deadline: None,
         progress: Some(ProgressSpec { every_candidates: Some(64), every_ms: None }),
+        tenant: None,
         body: RequestBody::Score(ScoreRequest {
             shape: scheduler::EnsembleShape::uniform(4, 4, 1, 4),
             budget: scheduler::NodeBudget { max_nodes: 6, cores_per_node: 32 },
@@ -64,6 +66,7 @@ fn big_score_request(id: u64) -> Request {
         id,
         deadline: None,
         progress: Some(ProgressSpec { every_candidates: Some(64), every_ms: None }),
+        tenant: None,
         body: RequestBody::Score(ScoreRequest {
             shape: scheduler::EnsembleShape::uniform(5, 4, 1, 4),
             budget: scheduler::NodeBudget { max_nodes: 8, cores_per_node: 32 },
@@ -81,7 +84,8 @@ fn big_space_total() -> u64 {
 }
 
 fn metric(client: &mut SvcClient, name: &str) -> f64 {
-    let req = Request { id: 0, deadline: None, progress: None, body: RequestBody::Metrics };
+    let req =
+        Request { id: 0, deadline: None, progress: None, tenant: None, body: RequestBody::Metrics };
     match client.request(&req) {
         Ok(Response::Metrics { rows, .. }) => rows
             .iter()
@@ -131,6 +135,7 @@ fn opted_run_streams_member_steps() {
         id: 11,
         deadline: None,
         progress: Some(ProgressSpec { every_candidates: Some(1), every_ms: None }),
+        tenant: None,
         body: RequestBody::Run(svc::RunRequest {
             spec: ensemble_core::ConfigId::C1_5.build(),
             steps: 10,
@@ -287,7 +292,13 @@ fn connection_handles_are_reaped_not_leaked() {
     for i in 0..100 {
         let mut c = SvcClient::connect(addr).expect("connect");
         let response = c
-            .request(&Request { id: i, deadline: None, progress: None, body: RequestBody::Metrics })
+            .request(&Request {
+                id: i,
+                deadline: None,
+                progress: None,
+                tenant: None,
+                body: RequestBody::Metrics,
+            })
             .expect("metrics");
         assert!(matches!(response, Response::Metrics { .. }));
         drop(c);

@@ -26,6 +26,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             journal: None,
             panic_on_request_id: None,
             scan_workers: 0,
+            cosched: None,
         },
     )
     .expect("bind ephemeral port")
@@ -36,6 +37,7 @@ fn run_request(id: u64, steps: u64) -> Request {
         id,
         deadline: None,
         progress: None,
+        tenant: None,
         body: RequestBody::Run(RunRequest {
             spec: ConfigId::C1_5.build(),
             steps,
@@ -48,7 +50,13 @@ fn run_request(id: u64, steps: u64) -> Request {
 
 fn metrics_row(handle: &ServerHandle, client: &mut SvcClient, name: &str) -> f64 {
     let _ = handle; // metrics go over the wire on purpose
-    match client.request(&Request { id: 0, deadline: None, progress: None, body: RequestBody::Metrics }) {
+    match client.request(&Request {
+        id: 0,
+        deadline: None,
+        progress: None,
+        tenant: None,
+        body: RequestBody::Metrics,
+    }) {
         Ok(Response::Metrics { rows, .. }) => rows
             .iter()
             .find(|(k, _)| k == name)
@@ -350,6 +358,7 @@ fn handler_panic_is_a_structured_internal_error_not_a_dead_connection() {
             journal: None,
             panic_on_request_id: Some(66),
             scan_workers: 0,
+            cosched: None,
         },
     )
     .expect("bind ephemeral port");

@@ -13,13 +13,21 @@
 //!                [--scan-workers N]
 //!                [--journal FILE] [--journal-fsync per-record|batched[:N]]
 //!                [--journal-max-bytes N]
+//!                [--cosched] [--cosched-nodes M] [--cosched-cores C]
+//!                [--cosched-queue N] [--cosched-no-backfill]
 //! ensemble query score --members N --k K --nodes M [--top-k K] [--workers N]
 //!                      [--addr HOST:PORT] [--progress] [--progress-every N]
 //!                      [--progress-every-ms MS] [...]
 //! ensemble query run C1.5 [--addr HOST:PORT] [--steps N] [--seed S]
 //!                         [--progress] [...]
+//! ensemble query submit --members N --k K [--sim-cores C] [--ana-cores C]
+//!                       [--steps N] [--seed S] [--tenant NAME] [--progress]
+//!                       [--addr HOST:PORT]
 //! ensemble query attach --job ID [--addr HOST:PORT]
 //! ensemble query metrics [--addr HOST:PORT]
+//!
+//! Every `query` kind accepts `--tenant NAME` to tag the request for
+//! per-tenant accounting in the service metrics.
 //! ensemble example-spec
 //! ensemble list
 //! ```
@@ -540,6 +548,39 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
         config.journal = Some(journal);
     }
+    if has_flag(args, "--cosched") {
+        use insitu_ensembles::service::{CoschedSvcConfig, Workloads};
+        let budget = insitu_ensembles::scheduling::NodeBudget {
+            max_nodes: match parse_usize("--cosched-nodes", 4) {
+                Ok(v) if v > 0 => v,
+                _ => {
+                    eprintln!("serve: --cosched-nodes needs a positive integer");
+                    return 2;
+                }
+            },
+            cores_per_node: match parse_usize("--cosched-cores", 32) {
+                Ok(v) if v > 0 => v as u32,
+                _ => {
+                    eprintln!("serve: --cosched-cores needs a positive integer");
+                    return 2;
+                }
+            },
+        };
+        let mut cosched = CoschedSvcConfig::new(budget);
+        cosched.workloads =
+            if has_flag(args, "--paper") { Workloads::Paper } else { Workloads::Small };
+        if let Some(n) = flag_value(args, "--cosched-queue") {
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => cosched.queue_capacity = n,
+                _ => {
+                    eprintln!("serve: --cosched-queue needs a positive integer");
+                    return 2;
+                }
+            }
+        }
+        cosched.backfill = !has_flag(args, "--cosched-no-backfill");
+        config.cosched = Some(cosched);
+    }
     let journaled = config.journal.as_ref().map(|j| j.path.display().to_string());
     let handle = match insitu_ensembles::service::serve(addr, config) {
         Ok(h) => h,
@@ -559,6 +600,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         println!(
             "journal {path}: replayed {} scores, {} runs ({} lines dropped)",
             m.journal_replayed_scores, m.journal_replayed_runs, m.journal_replay_dropped
+        );
+    }
+    if m.cosched_enabled {
+        println!(
+            "co-scheduler on: {} open reservations restored, {} cores committed",
+            m.cosched_open_reservations, m.cosched_committed_cores
         );
     }
     // Serve until stdin closes (Ctrl-D, or the end of a piped script),
@@ -585,11 +632,11 @@ fn cmd_serve(args: &[String]) -> i32 {
 fn cmd_query(args: &[String]) -> i32 {
     use insitu_ensembles::service::{
         ProgressBody, ProgressSpec, Request, RequestBody, Response, RunRequest, ScoreRequest,
-        SvcClient, Workloads,
+        SubmitRequest, SvcClient, Workloads,
     };
 
     let Some(kind) = args.first().map(String::as_str) else {
-        eprintln!("query: missing request kind (score|run|attach|metrics)");
+        eprintln!("query: missing request kind (score|run|submit|attach|metrics)");
         return 2;
     };
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
@@ -602,10 +649,10 @@ fn cmd_query(args: &[String]) -> i32 {
     // either cadence flag implies the opt-in.
     let every_candidates = flag_value(args, "--progress-every").and_then(|v| v.parse().ok());
     let every_ms = flag_value(args, "--progress-every-ms").and_then(|v| v.parse().ok());
-    let progress = (has_flag(args, "--progress")
-        || every_candidates.is_some()
-        || every_ms.is_some())
-    .then_some(ProgressSpec { every_candidates, every_ms });
+    let progress =
+        (has_flag(args, "--progress") || every_candidates.is_some() || every_ms.is_some())
+            .then_some(ProgressSpec { every_candidates, every_ms });
+    let tenant = flag_value(args, "--tenant").map(str::to_string);
     let parse = |name: &str, default: usize| -> usize {
         flag_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
@@ -654,12 +701,24 @@ fn cmd_query(args: &[String]) -> i32 {
                 workloads,
             })
         }
+        "submit" => RequestBody::Submit(SubmitRequest {
+            shape: scheduling::EnsembleShape::uniform(
+                parse("--members", 2),
+                parse("--sim-cores", 16) as u32,
+                parse("--k", 1),
+                parse("--ana-cores", 8) as u32,
+            ),
+            steps: parse("--steps", 6) as u64,
+            jitter: flag_value(args, "--jitter").and_then(|v| v.parse().ok()).unwrap_or(0.0),
+            seed: parse("--seed", 0) as u64,
+            workloads,
+        }),
         other => {
-            eprintln!("query: unknown request kind '{other}' (score|run|attach|metrics)");
+            eprintln!("query: unknown request kind '{other}' (score|run|submit|attach|metrics)");
             return 2;
         }
     };
-    let request = Request { id, deadline, progress, body };
+    let request = Request { id, deadline, progress, tenant, body };
 
     let mut client = match SvcClient::connect(addr) {
         Ok(c) => c,
@@ -681,11 +740,18 @@ fn cmd_query(args: &[String]) -> i32 {
                 Some(b) => format!("{b:.4e}"),
                 None => "-".to_string(),
             };
-            live(format!("scanned {candidates_scanned} candidates on {workers} workers, best {best}"));
+            live(format!(
+                "scanned {candidates_scanned} candidates on {workers} workers, best {best}"
+            ));
         }
         ProgressBody::Run { steps, member_steps } => {
             live(format!("step {steps} (members at {member_steps:?})"));
         }
+        ProgressBody::Submit { queue_depth, assignment } => match (queue_depth, assignment) {
+            (Some(depth), _) => live(format!("queued behind {depth} ensembles")),
+            (_, Some(nodes)) => live(format!("placed on nodes {nodes:?}, starting")),
+            _ => {}
+        },
     });
     if request.progress.is_some() {
         // End the live line before printing the result.
@@ -735,6 +801,38 @@ fn cmd_query(args: &[String]) -> i32 {
                     p.ensemble_makespan,
                     if p.eq4_satisfied { "yes" } else { "no" },
                     p.assignment
+                );
+            }
+            0
+        }
+        Response::SubmitResult {
+            assignment,
+            objective,
+            nodes_used,
+            backfilled,
+            queue_wait_ms,
+            residual,
+            ensemble_makespan,
+            members,
+            elapsed_ms,
+            ..
+        } => {
+            println!(
+                "placed on {nodes_used} node(s) {assignment:?} (objective {objective:.4e}{})",
+                if backfilled { ", backfilled" } else { "" }
+            );
+            println!(
+                "queue wait {queue_wait_ms:.1} ms; residual cores after placement {residual:?}"
+            );
+            println!("ensemble makespan {ensemble_makespan:.2}s ({elapsed_ms:.2} ms)");
+            for (i, m) in members.iter().enumerate() {
+                println!(
+                    "  EM{}: sigma* {:.3}s, E {:.4}, CP {:.3}, makespan {:.2}s",
+                    i + 1,
+                    m.sigma_star,
+                    m.efficiency,
+                    m.cp,
+                    m.makespan
                 );
             }
             0

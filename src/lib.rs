@@ -55,8 +55,7 @@ pub use svc as service;
 pub mod prelude {
     pub use dtl::{
         DtlReader, DtlWriter, FaultAction, FaultInjector, FaultOp, FaultPlan, FaultRule,
-        InMemoryStaging,
-        MemberKill, ReaderId, RetryPolicy, VariableSpec,
+        InMemoryStaging, MemberKill, ReaderId, RetryPolicy, VariableSpec,
     };
     pub use ensemble_core::{
         aggregate, efficiency, indicator, makespan, objective, placement_indicator, sigma_star,
