@@ -181,6 +181,7 @@ fn bench_cosched(quick: bool) -> Vec<CoschedSample> {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: Some(CoschedSvcConfig::new(NodeBudget { max_nodes: 2, cores_per_node: 32 })),
+            tenant_policy: svc::TenantPolicy::default(),
         });
         let mut waits = Vec::new();
         let mut id = 0u64;

@@ -26,6 +26,7 @@ fn config() -> SvcConfig {
         panic_on_request_id: None,
         scan_workers: 0,
         cosched: None,
+        tenant_policy: svc::TenantPolicy::default(),
     }
 }
 

@@ -7,13 +7,24 @@
 //! `attach { job }` wire request. Three record kinds:
 //!
 //! ```text
-//! {"rec":"admit","request":{...}}                  // request admitted
+//! {"rec":"admit","v":2,"job":3,"tenant":"t",        // request admitted (v2; "tenant"
+//!  "request":{...}}                                 //  only when tagged)
 //! {"rec":"score","key":"...","placements":[...]}   // score evaluated (full ranking)
 //! {"rec":"run","job":7,"response":{...}}           // run completed
 //! {"rec":"reserve","job":9,"members":[...],        // cosched reservation opened
-//!  "assignment":[...],"predicted_end":12.5,"seq":4}
+//!  "assignment":[...],"predicted_end":12.5,"seq":4,
+//!  "tenant":"t"}                                   //  ("tenant" only when tagged)
 //! {"rec":"release","job":9}                        // cosched reservation closed
 //! ```
+//!
+//! Admit records are versioned: v2 carries explicit `job`/`tenant`
+//! fields so replay rebuilds per-tenant quota occupancy without
+//! re-parsing the embedded request. Unversioned (v1, pre-quota) admit
+//! records still replay — job and tenant are recovered from the
+//! embedded request, which always carried both. Reserve records carry
+//! the tenant too because compaction drops admits but keeps open
+//! reservations, and those are exactly the records quota occupancy is
+//! rebuilt from.
 //!
 //! Reserve and release records net out at replay: a restarted service
 //! sees only the reservations still open at the crash
@@ -112,8 +123,12 @@ pub struct JournalReplay {
     /// Co-scheduler reservations still open (reserve net of release),
     /// to rebuild the residency map.
     pub reservations: Vec<ReplayedReservation>,
-    /// Admit records seen (no replay action; forensic count).
+    /// Admit records seen (forensic count).
     pub admits: u64,
+    /// Job → tenant attribution recovered from admit records (v2
+    /// directly; v1 via the embedded request), for rebuilding
+    /// per-tenant quota occupancy of still-open reservations.
+    pub admit_tenants: HashMap<u64, String>,
     /// Torn or corrupt lines dropped.
     pub dropped: u64,
 }
@@ -133,6 +148,10 @@ pub struct ReplayedReservation {
     pub predicted_end: f64,
     /// Admission sequence number (restores deterministic tie-breaking).
     pub seq: u64,
+    /// Tenant holding the reservation, when the request was tagged
+    /// (absent from the record when untagged, and from pre-quota
+    /// journals).
+    pub tenant: Option<String>,
 }
 
 /// Point-in-time journal counters for the metrics snapshot.
@@ -155,7 +174,7 @@ pub struct JournalStats {
 }
 
 enum ParsedRecord {
-    Admit,
+    Admit { job: u64, tenant: Option<String> },
     Score { key: String, placements: Vec<RankedPlacement> },
     Run { job: u64, response: Response },
     Reserve(ReplayedReservation),
@@ -218,9 +237,16 @@ impl Journal {
         Ok((journal, replay))
     }
 
-    /// Journals an admitted request.
+    /// Journals an admitted request (v2 record: explicit job and tenant
+    /// attribution alongside the full request).
     pub fn append_admit(&self, request: &Request) {
-        self.append_line(&obj(vec![("rec", "admit".into()), ("request", request.to_value())]));
+        let mut fields =
+            vec![("rec", "admit".into()), ("v", 2u64.into()), ("job", request.id.into())];
+        if let Some(t) = &request.tenant {
+            fields.push(("tenant", t.as_str().into()));
+        }
+        fields.push(("request", request.to_value()));
+        self.append_line(&obj(fields));
     }
 
     /// Journals a freshly evaluated score ranking under its cache key
@@ -351,7 +377,7 @@ fn run_record(job: u64, response: &Response) -> Value {
 }
 
 fn reserve_record(r: &ReplayedReservation) -> Value {
-    obj(vec![
+    let mut fields = vec![
         ("rec", "reserve".into()),
         ("job", r.job.into()),
         (
@@ -374,7 +400,11 @@ fn reserve_record(r: &ReplayedReservation) -> Value {
         ("assignment", Value::Arr(r.assignment.iter().map(|&n| (n as u64).into()).collect())),
         ("predicted_end", r.predicted_end.into()),
         ("seq", r.seq.into()),
-    ])
+    ];
+    if let Some(t) = &r.tenant {
+        fields.push(("tenant", t.as_str().into()));
+    }
+    obj(fields)
 }
 
 /// Splits `bytes` into newline-terminated records, dropping (and
@@ -406,8 +436,16 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
     let v = Value::parse(text).ok()?;
     match v.get("rec")?.as_str()? {
         "admit" => {
-            Request::from_value(v.get("request")?).ok()?;
-            Some(ParsedRecord::Admit)
+            // v2 carries job/tenant explicitly; v1 (unversioned) only
+            // embeds the request — which always carried both, so old
+            // journals replay with full attribution.
+            let request = Request::from_value(v.get("request")?).ok()?;
+            let job = v.get("job").and_then(Value::as_u64).unwrap_or(request.id);
+            let tenant = match v.get("tenant") {
+                Some(t) => Some(t.as_str()?.to_string()),
+                None => request.tenant,
+            };
+            Some(ParsedRecord::Admit { job, tenant })
         }
         "score" => {
             let key = v.get("key")?.as_str()?.to_string();
@@ -453,6 +491,10 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
                 .collect::<Option<Vec<_>>>()?;
             let predicted_end = v.get("predicted_end")?.as_f64()?;
             let seq = v.get("seq")?.as_u64()?;
+            let tenant = match v.get("tenant") {
+                Some(t) => Some(t.as_str()?.to_string()),
+                None => None,
+            };
             // A reservation without members, or whose assignment does
             // not cover every component (one slot per sim plus one per
             // analysis), cannot rebuild a residency entry: corruption.
@@ -464,6 +506,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
                 assignment,
                 predicted_end,
                 seq,
+                tenant,
             }))
         }
         "release" => Some(ParsedRecord::Release { job: v.get("job")?.as_u64()? }),
@@ -484,7 +527,12 @@ fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
     let mut resvs: Vec<Option<ReplayedReservation>> = Vec::new();
     for record in records {
         match record {
-            ParsedRecord::Admit => replay.admits += 1,
+            ParsedRecord::Admit { job, tenant } => {
+                replay.admits += 1;
+                if let Some(tenant) = tenant {
+                    replay.admit_tenants.insert(job, tenant);
+                }
+            }
             ParsedRecord::Score { key, placements } => {
                 if let Some(&old) = score_slot.get(&key) {
                     scores[old] = None;
@@ -685,6 +733,7 @@ mod tests {
             assignment: vec![0, 0, 1, 1, 1],
             predicted_end: 12.5 + job as f64,
             seq,
+            tenant: None,
         }
     }
 
@@ -746,6 +795,65 @@ mod tests {
         let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
         assert_eq!(replay.admits, 1);
         assert_eq!(replay.scores.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn admit_records_carry_tenant_attribution_v2_and_v1() {
+        let path = temp_path("admit-tenant");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            let mut tagged = crate::service::small_score_request(21, 2, 16, 1, 8, 3);
+            tagged.tenant = Some("team-a".into());
+            journal.append_admit(&tagged);
+            journal.append_admit(&crate::service::small_score_request(22, 2, 16, 1, 8, 3));
+        }
+        // A pre-quota (v1) admit line: no version, no top-level fields —
+        // tenant lives only inside the embedded request.
+        let legacy = crate::service::small_score_request(23, 2, 16, 1, 8, 3);
+        let mut with_tenant = legacy.clone();
+        with_tenant.tenant = Some("legacy-t".into());
+        let v1_line = obj(vec![("rec", "admit".into()), ("request", with_tenant.to_value())]);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "{}", v1_line.to_json()).unwrap();
+        drop(f);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.dropped, 0);
+        assert_eq!(replay.admits, 3);
+        assert_eq!(replay.admit_tenants.get(&21).map(String::as_str), Some("team-a"));
+        assert_eq!(replay.admit_tenants.get(&22), None, "untagged admits stay unattributed");
+        assert_eq!(
+            replay.admit_tenants.get(&23).map(String::as_str),
+            Some("legacy-t"),
+            "v1 records recover tenant from the embedded request"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reserve_records_roundtrip_tenant_and_survive_compaction() {
+        let path = temp_path("reserve-tenant");
+        let mut config = JournalConfig::new(&path);
+        config.max_bytes = 4096;
+        config.retain_scores = 2;
+        config.retain_runs = 2;
+        {
+            let (journal, _) = Journal::open(config).unwrap();
+            let tagged = ReplayedReservation { tenant: Some("batch".into()), ..reservation(1, 1) };
+            journal.append_reserve(&tagged);
+            journal.append_reserve(&reservation(2, 2));
+            // Force a few rotations: tenant attribution must survive
+            // compaction because admits do not.
+            for i in 0..100 {
+                journal.append_score(&format!("key-{i}"), &ranking(i as f64));
+            }
+            assert!(journal.stats().rotations >= 1, "rotation must have triggered");
+        }
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        let open: Vec<(u64, Option<&str>)> =
+            replay.reservations.iter().map(|r| (r.job, r.tenant.as_deref())).collect();
+        assert_eq!(open, vec![(1, Some("batch")), (2, None)]);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fair;
 pub mod journal;
 pub mod json;
 pub mod protocol;
@@ -48,6 +49,7 @@ pub mod stats;
 
 pub use cache::ScoreCache;
 pub use client::{RetryPolicy as ClientRetryPolicy, SvcClient};
+pub use fair::{FairQueue, TenantPolicy};
 pub use journal::{
     FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats, ReplayedReservation,
 };

@@ -509,7 +509,11 @@ impl Request {
         };
         let tenant = match v.get("tenant") {
             None => None,
-            Some(t) => Some(t.as_str().ok_or("field 'tenant' must be a string")?.to_string()),
+            Some(t) => {
+                let tag = t.as_str().ok_or("field 'tenant' must be a string")?;
+                validate_tenant(tag)?;
+                Some(tag.to_string())
+            }
         };
         let kind = field(v, "type")?.as_str().ok_or("field 'type' must be a string")?;
         let workloads = match v.get("workloads").and_then(Value::as_str) {
@@ -630,6 +634,35 @@ impl Request {
         let v = Value::parse(line).map_err(|e| e.to_string())?;
         Request::from_value(&v)
     }
+}
+
+/// Maximum accepted tenant-tag length, bytes.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Validates a tenant tag: nonempty, at most [`MAX_TENANT_LEN`] bytes,
+/// drawn from `[A-Za-z0-9._-]`. Rejecting everything else at decode
+/// keeps a hostile client from growing the tenant table with arbitrary
+/// strings and keeps the `tenant_<name>_<counter>` metric-row grammar
+/// unambiguous (tags cannot contain `,`, whitespace, or further `_`
+/// ambiguity beyond their own). Error messages start with
+/// `invalid tenant` so the server can answer with a structured
+/// `invalid` error instead of `malformed`.
+pub fn validate_tenant(tag: &str) -> Result<(), String> {
+    if tag.is_empty() {
+        return Err("invalid tenant: tag must be nonempty".to_string());
+    }
+    if tag.len() > MAX_TENANT_LEN {
+        return Err(format!(
+            "invalid tenant: tag exceeds {MAX_TENANT_LEN} bytes ({} given)",
+            tag.len()
+        ));
+    }
+    if let Some(bad) =
+        tag.chars().find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(format!("invalid tenant: character {bad:?} outside [A-Za-z0-9._-] in tag"));
+    }
+    Ok(())
 }
 
 /// Encodes one ranked placement as a JSON value (shared between score
@@ -1139,6 +1172,24 @@ mod tests {
         // A non-string tenant is refused, not silently dropped.
         let err = Request::from_json(r#"{"type":"metrics","id":1,"tenant":7}"#).unwrap_err();
         assert!(err.contains("tenant"), "{err}");
+    }
+
+    #[test]
+    fn tenant_tags_are_validated_at_decode() {
+        for good in ["a", "team-a", "batch_7", "a.b.c", "A-Z_0.9", &"x".repeat(64)] {
+            assert!(validate_tenant(good).is_ok(), "{good} should be accepted");
+            let line = format!(r#"{{"type":"metrics","id":1,"tenant":"{good}"}}"#);
+            assert_eq!(Request::from_json(&line).unwrap().tenant.as_deref(), Some(good));
+        }
+        for bad in ["", "has space", "semi;colon", "new\nline", "\u{e9}clair", &"x".repeat(65)] {
+            let err = validate_tenant(bad).unwrap_err();
+            assert!(err.starts_with("invalid tenant"), "{err}");
+        }
+        // The decode path refuses them too — a bad tag never reaches
+        // the tenant table.
+        let err =
+            Request::from_json(r#"{"type":"metrics","id":1,"tenant":"no spaces"}"#).unwrap_err();
+        assert!(err.starts_with("invalid tenant"), "{err}");
     }
 
     #[test]

@@ -263,7 +263,15 @@ fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Handled {
         Ok(r) => r,
         Err(message) => {
             let id = line_request_id(line);
-            return Handled::One(Response::Error { id, kind: ErrorKind::Malformed, message });
+            // A syntactically fine request carrying an unusable tenant
+            // tag is the caller's bug, not a framing problem — answer
+            // `invalid` so clients don't retry it as a transport error.
+            let kind = if message.starts_with("invalid tenant") {
+                ErrorKind::Invalid
+            } else {
+                ErrorKind::Malformed
+            };
+            return Handled::One(Response::Error { id, kind, message });
         }
     };
     let id = request.id;

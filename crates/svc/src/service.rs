@@ -12,7 +12,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use ensemble_core::WarmupPolicy;
@@ -23,13 +23,17 @@ use scheduler::{
 };
 
 use crate::cache::ScoreCache;
+use crate::fair::{FairQueue, TenantPolicy};
 use crate::journal::{Journal, JournalConfig, ReplayedReservation};
 use crate::protocol::{
-    ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
-    Request, RequestBody, Response, RunRequest, ScoreRequest, SubmitRequest, Workloads,
+    validate_tenant, ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec,
+    RankedPlacement, Request, RequestBody, Response, RunRequest, ScoreRequest, SubmitRequest,
+    Workloads,
 };
-use crate::queue::{BoundedQueue, PushError};
-use crate::stats::{MetricsSnapshot, SvcStats, TenantRow, COLD_START_SERVICE_TIME};
+use crate::queue::PushError;
+use crate::stats::{
+    LatencyHistogram, MetricsSnapshot, SvcStats, TenantRow, COLD_START_SERVICE_TIME,
+};
 
 /// Tuning of the service.
 #[derive(Debug, Clone)]
@@ -59,6 +63,10 @@ pub struct SvcConfig {
     /// worker pool; when `None`, they are answered with an `invalid`
     /// error.
     pub cosched: Option<CoschedSvcConfig>,
+    /// Per-tenant admission quotas and fair-dequeue weights. Inactive
+    /// (the default) leaves admission and pop order byte-identical to
+    /// an untenanted service; the tenant-table cap applies regardless.
+    pub tenant_policy: TenantPolicy,
 }
 
 impl Default for SvcConfig {
@@ -72,6 +80,7 @@ impl Default for SvcConfig {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: None,
+            tenant_policy: TenantPolicy::default(),
         }
     }
 }
@@ -153,6 +162,13 @@ impl Rejected {
 pub struct Pending {
     rx: mpsc::Receiver<Frame>,
     cancel: CancelToken,
+    /// Back-reference for the timeout path: a caller polling a waiting
+    /// co-scheduled submit may be the server's only traffic, so its own
+    /// expiry must be able to trigger the waiting-queue reap (otherwise
+    /// a dead waiter holds its queue slot until unrelated traffic
+    /// arrives). Weak so an abandoned handle never keeps the pool
+    /// alive.
+    reaper: Option<Weak<Shared>>,
 }
 
 impl Pending {
@@ -187,6 +203,13 @@ impl Pending {
 
     /// Blocks up to `timeout` for the *final* response, discarding
     /// progress frames; `Err(self)` hands the handle back.
+    ///
+    /// On expiry this also reaps the co-scheduler's waiting queue: with
+    /// no other traffic, a deadline-expired queued `submit` used to
+    /// hold its queue slot forever because reaping only ran inside
+    /// other requests' admissions. The reap may answer this very
+    /// handle, in which case the real final response is returned
+    /// instead of the timeout.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Response, Pending> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -194,7 +217,25 @@ impl Pending {
             match self.rx.recv_timeout(remaining) {
                 Ok(Frame::Final(r)) => return Ok(r),
                 Ok(Frame::Progress(_)) => {}
-                Err(mpsc::RecvTimeoutError::Timeout) => return Err(self),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(shared) = self.reaper.as_ref().and_then(Weak::upgrade) {
+                        if let Some(cosched) = &shared.cosched {
+                            let mut state = cosched.lock().expect("cosched lock");
+                            reap_expired_waiting(&shared, &mut state);
+                        }
+                        // The reap may have just evicted this waiter —
+                        // deliver its real (deadline/cancelled) answer
+                        // rather than reporting a bare timeout.
+                        loop {
+                            match self.rx.try_recv() {
+                                Ok(Frame::Final(r)) => return Ok(r),
+                                Ok(Frame::Progress(_)) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    return Err(self);
+                }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     panic!("worker always responds before exiting")
                 }
@@ -252,10 +293,71 @@ struct CoschedState {
     sched: CoScheduler,
     waiting: HashMap<u64, WaitingSubmit>,
     next_wait_seq: u64,
+    /// Tenants of reservations restored from the journal at start.
+    /// Their jobs have no worker, so the normal completion path never
+    /// settles their accounting; `finish_cosched` consults this map to
+    /// close them out (in_flight → cancelled) when the operator
+    /// releases them.
+    restored_tenants: HashMap<u64, String>,
+}
+
+/// Live per-tenant accounting: the monotone counters and gauges the
+/// snapshot's [`TenantRow`] is built from, plus the queue-wait
+/// histogram. The terminal buckets are mutually exclusive, so
+/// `admitted = executed + expired + cancelled + in_queue + in_flight`
+/// holds at every quiescent point.
+#[derive(Default)]
+struct TenantState {
+    admitted: u64,
+    executed: u64,
+    shed: u64,
+    expired: u64,
+    cancelled: u64,
+    /// Requests admitted but not yet picked up by a worker (worker
+    /// queue or co-scheduler wait queue alike).
+    in_queue: u64,
+    /// Requests currently on a worker — or, for journal-restored
+    /// orphan reservations, holding capacity with no worker.
+    in_flight: u64,
+    /// Submit→worker-pickup wait distribution.
+    queue_wait: LatencyHistogram,
+}
+
+/// The bounded tenant table. Rows are created on first sight up to
+/// `max_tracked`; past the cap, unseen tags fold into the shared
+/// [`TenantPolicy::OVERFLOW_TENANT`] row (so a client cycling random
+/// tags bounds both service memory and the metrics response). Folding
+/// is deterministic over time because rows are never evicted.
+struct TenantTable {
+    rows: BTreeMap<String, TenantState>,
+    max_tracked: usize,
+}
+
+impl TenantTable {
+    fn new(max_tracked: usize) -> TenantTable {
+        TenantTable { rows: BTreeMap::new(), max_tracked: max_tracked.max(1) }
+    }
+
+    /// The row name `tenant` is tracked under: itself while the table
+    /// has room (or the tenant is already tracked), the overflow row
+    /// otherwise. Policy-named tenants are pre-seeded at start, so they
+    /// always resolve to themselves.
+    fn resolve_name(&self, tenant: &str) -> String {
+        if self.rows.contains_key(tenant) || self.rows.len() < self.max_tracked {
+            tenant.to_string()
+        } else {
+            TenantPolicy::OVERFLOW_TENANT.to_string()
+        }
+    }
+
+    fn row(&mut self, tenant: &str) -> &mut TenantState {
+        let key = self.resolve_name(tenant);
+        self.rows.entry(key).or_default()
+    }
 }
 
 struct Shared {
-    queue: BoundedQueue<Job>,
+    queue: FairQueue<Job>,
     stats: SvcStats,
     cache: ScoreCache<Vec<RankedPlacement>>,
     /// Completed run results by job id (the original request id), the
@@ -267,7 +369,12 @@ struct Shared {
     scan_workers: usize,
     cosched: Option<Mutex<CoschedState>>,
     /// Per-tenant accounting for requests that carry a tenant tag.
-    tenants: Mutex<BTreeMap<String, TenantRow>>,
+    /// Lock order: cosched → tenants → queue, never the reverse (the
+    /// worker pop releases the queue lock before touching tenants).
+    tenants: Mutex<TenantTable>,
+    /// Quotas and weights; inactive means single-lane FIFO dequeue and
+    /// no admission quota — byte-identical to the pre-quota service.
+    tenant_policy: TenantPolicy,
     /// Cold-start seed of the retry-after hint (the default deadline
     /// budget when configured).
     hint_fallback: Duration,
@@ -299,6 +406,7 @@ impl Service {
         let cache = ScoreCache::new(config.cache_capacity);
         let runs = ScoreCache::new(config.cache_capacity);
         let mut replayed_reservations = Vec::new();
+        let mut admit_tenants: HashMap<u64, String> = HashMap::new();
         let journal = match config.journal.clone() {
             Some(journal_config) => {
                 let (journal, replay) = Journal::open(journal_config)?;
@@ -311,10 +419,19 @@ impl Service {
                     runs.insert(job.to_string(), response);
                 }
                 replayed_reservations = replay.reservations;
+                admit_tenants = replay.admit_tenants;
                 Some(journal)
             }
             None => None,
         };
+        // Pre-seed a row per policy-named tenant: their rows (and
+        // quota/weight columns) are visible from the first snapshot,
+        // and they can never fold into the overflow row however many
+        // anonymous tags arrive first.
+        let mut tenant_table = TenantTable::new(config.tenant_policy.max_tracked);
+        for name in config.tenant_policy.quotas.keys().chain(config.tenant_policy.weights.keys()) {
+            tenant_table.rows.entry(name.clone()).or_default();
+        }
         let cosched = config.cosched.clone().map(|cc| {
             let mut sched_config = CoschedConfig::new(cc.budget);
             sched_config.queue_capacity = cc.queue_capacity;
@@ -325,8 +442,13 @@ impl Service {
             // Rebuild the residency map from the journaled reservations
             // still open at the last shutdown/crash: capacity committed
             // to jobs the old process never finished stays committed
-            // (and visible in metrics) until explicitly released.
+            // (and visible in metrics) until explicitly released. Their
+            // tenants re-occupy quota too — the reserve record's own
+            // attribution first, the admit map as the pre-tenant-record
+            // fallback.
+            let mut restored_tenants = HashMap::new();
             for r in replayed_reservations {
+                let tenant = r.tenant.clone().or_else(|| admit_tenants.get(&r.job).cloned());
                 let shape = scheduler::EnsembleShape { members: r.members };
                 let reservation = Reservation::build(
                     r.job,
@@ -336,14 +458,30 @@ impl Service {
                     r.predicted_end,
                     r.seq,
                 );
-                if let Err(e) = sched.restore(reservation) {
-                    eprintln!("svc cosched: dropped journaled reservation for job {}: {e}", r.job);
+                match sched.restore(reservation) {
+                    Ok(()) => {
+                        if let Some(tenant) = tenant {
+                            let row = tenant_table.row(&tenant);
+                            row.admitted += 1;
+                            row.in_flight += 1;
+                            restored_tenants.insert(r.job, tenant);
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "svc cosched: dropped journaled reservation for job {}: {e}",
+                        r.job
+                    ),
                 }
             }
-            Mutex::new(CoschedState { sched, waiting: HashMap::new(), next_wait_seq: 0 })
+            Mutex::new(CoschedState {
+                sched,
+                waiting: HashMap::new(),
+                next_wait_seq: 0,
+                restored_tenants,
+            })
         });
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: FairQueue::new(config.queue_capacity, config.tenant_policy.weights.clone()),
             stats: SvcStats::default(),
             cache,
             runs,
@@ -351,7 +489,8 @@ impl Service {
             workers: config.workers,
             scan_workers: config.scan_workers,
             cosched,
-            tenants: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(tenant_table),
+            tenant_policy: config.tenant_policy.clone(),
             hint_fallback: config.default_deadline.unwrap_or(COLD_START_SERVICE_TIME),
         });
         let mut handles = Vec::with_capacity(config.workers);
@@ -374,6 +513,21 @@ impl Service {
     pub fn submit(&self, mut request: Request) -> Result<Pending, Rejected> {
         let stats = &self.shared.stats;
         stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // Wire requests were validated at decode; in-process callers
+        // get the same rule here, so an unparseable tag can never reach
+        // the tenant table (or mint an unbounded metrics row).
+        if let Some(tag) = &request.tenant {
+            if let Err(message) = validate_tenant(tag) {
+                stats.errored.fetch_add(1, Ordering::Relaxed);
+                let (tx, rx) = mpsc::channel();
+                let _ = tx.send(Frame::Final(Response::Error {
+                    id: request.id,
+                    kind: ErrorKind::Invalid,
+                    message,
+                }));
+                return Ok(Pending { rx, cancel: CancelToken::default(), reaper: None });
+            }
+        }
         if request.deadline.is_none() {
             request.deadline = self.config.default_deadline;
         }
@@ -387,7 +541,6 @@ impl Service {
         // Only *admitted* requests are journaled; clone up front because
         // the job owns the request once pushed.
         let admit_copy = self.shared.journal.as_ref().map(|_| request.clone());
-        let tenant = request.tenant.clone();
         let job = Job {
             request,
             submitted,
@@ -396,22 +549,27 @@ impl Service {
             reply: tx,
             cosched: None,
         };
-        match self.shared.queue.try_push(job) {
+        match quota_push(&self.shared, job) {
             Ok(()) => {
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
-                tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
                 if let (Some(journal), Some(request)) = (&self.shared.journal, &admit_copy) {
                     journal.append_admit(request);
                 }
-                Ok(Pending { rx, cancel })
+                Ok(self.pending(rx, cancel))
             }
-            Err(PushError::Full(_)) => {
-                stats.rejected.fetch_add(1, Ordering::Relaxed);
-                tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
+            Err(AdmitRefusal::Quota { retry_after_ms }) => {
+                Err(Rejected::Overloaded { retry_after_ms })
+            }
+            Err(AdmitRefusal::Full) => {
                 Err(Rejected::Overloaded { retry_after_ms: self.retry_after_hint_ms() })
             }
-            Err(PushError::Closed(_)) => Err(Rejected::ShuttingDown),
+            Err(AdmitRefusal::Closed) => Err(Rejected::ShuttingDown),
         }
+    }
+
+    /// Wraps a reply channel as a [`Pending`] carrying the weak
+    /// back-reference `wait_timeout` reaps through.
+    fn pending(&self, rx: mpsc::Receiver<Frame>, cancel: CancelToken) -> Pending {
+        Pending { rx, cancel, reaper: Some(Arc::downgrade(&self.shared)) }
     }
 
     /// Admission path of `submit` requests: place against live residual
@@ -443,7 +601,7 @@ impl Service {
                 message: "submit requires the co-scheduler (start the service with --cosched)"
                     .to_string(),
             }));
-            return Ok(Pending { rx, cancel });
+            return Ok(Pending { rx, cancel, reaper: None });
         };
         let RequestBody::Submit(submit) = &request.body else { unreachable!("routed on body") };
         let shape = submit.shape.clone();
@@ -452,6 +610,32 @@ impl Service {
         // decision so dead jobs never hold queue slots ahead of live
         // ones.
         reap_expired_waiting(&self.shared, &mut state);
+        // The tenants lock is held through the whole admission decision
+        // (lock order: cosched → tenants → queue), so the quota check
+        // and the occupancy increment are one atomic step even against
+        // racing non-submit traffic of the same tenant.
+        let mut table = self.shared.tenants.lock().expect("tenants lock");
+        let resolved = tenant.as_deref().map(|t| table.resolve_name(t));
+        let lane = if self.shared.tenant_policy.is_active() { resolved.clone() } else { None };
+        if self.shared.tenant_policy.is_active() {
+            if let Some(name) = &resolved {
+                if let Some(quota) = self.shared.tenant_policy.quota_for(name) {
+                    let row = table.row(name);
+                    let occupancy = row.in_queue + row.in_flight;
+                    if occupancy >= quota {
+                        // Quota shed happens *before* the scheduler
+                        // sees the job: no counters move, no virtual
+                        // time advances, and the global queue may still
+                        // have room for other tenants.
+                        row.shed += 1;
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(Rejected::Overloaded {
+                            retry_after_ms: tenant_retry_hint_ms(&self.shared, occupancy),
+                        });
+                    }
+                }
+            }
+        }
         match state.sched.submit(id, shape) {
             Ok(Admission::Placed(decision)) => {
                 // Placed with jobs still waiting means this admission
@@ -459,7 +643,7 @@ impl Service {
                 let backfilled = state.sched.queue_depth() > 0;
                 let residual: Vec<u64> =
                     state.sched.residency().residual().iter().map(|&c| u64::from(c)).collect();
-                let reservation = replayed_reservation(&state, id);
+                let reservation = replayed_reservation(&state, id, tenant.as_ref());
                 let admit_copy = self.shared.journal.as_ref().map(|_| request.clone());
                 let cosched_job = CoschedJob { decision, backfilled, queue_wait_ms: 0.0, residual };
                 let job = Job {
@@ -470,10 +654,15 @@ impl Service {
                     reply: tx,
                     cosched: Some(cosched_job),
                 };
-                match self.shared.queue.try_push(job) {
+                match self.shared.queue.try_push(lane.as_deref(), job) {
                     Ok(()) => {
                         stats.accepted.fetch_add(1, Ordering::Relaxed);
-                        tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
+                        if let Some(name) = &resolved {
+                            let row = table.row(name);
+                            row.admitted += 1;
+                            row.in_queue += 1;
+                        }
+                        drop(table);
                         if let Some(journal) = &self.shared.journal {
                             if let Some(request) = &admit_copy {
                                 journal.append_admit(request);
@@ -482,14 +671,16 @@ impl Service {
                                 journal.append_reserve(reservation);
                             }
                         }
-                        return Ok(Pending { rx, cancel });
+                        return Ok(self.pending(rx, cancel));
                     }
                     Err(PushError::Full(_)) => {
                         // The reservation never started: roll it back
                         // without touching the virtual clock.
                         state.sched.withdraw(id);
                         stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
+                        if let Some(name) = &resolved {
+                            table.row(name).shed += 1;
+                        }
                         return Err(Rejected::Overloaded {
                             retry_after_ms: retry_hint_ms(&self.shared),
                         });
@@ -502,7 +693,12 @@ impl Service {
             }
             Ok(Admission::Queued { depth }) => {
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
-                tenant_bump(&self.shared, tenant.as_ref(), |row| row.admitted += 1);
+                if let Some(name) = &resolved {
+                    let row = table.row(name);
+                    row.admitted += 1;
+                    row.in_queue += 1;
+                }
+                drop(table);
                 if let Some(journal) = &self.shared.journal {
                     journal.append_admit(&request);
                 }
@@ -529,11 +725,13 @@ impl Service {
                     cosched: None,
                 };
                 state.waiting.insert(id, WaitingSubmit { job, seq, enqueued: Instant::now() });
-                return Ok(Pending { rx, cancel });
+                return Ok(self.pending(rx, cancel));
             }
             Ok(Admission::Shed) => {
                 stats.rejected.fetch_add(1, Ordering::Relaxed);
-                tenant_bump(&self.shared, tenant.as_ref(), |row| row.shed += 1);
+                if let Some(name) = &resolved {
+                    table.row(name).shed += 1;
+                }
                 return Err(Rejected::Overloaded { retry_after_ms: retry_hint_ms(&self.shared) });
             }
             Ok(Admission::Infeasible) => {
@@ -552,11 +750,12 @@ impl Service {
                 inline_error = (ErrorKind::Internal, format!("placement scoring failed: {e}"));
             }
         }
+        drop(table);
         drop(state);
         let (kind, message) = inline_error;
         stats.errored.fetch_add(1, Ordering::Relaxed);
         let _ = tx.send(Frame::Final(Response::Error { id, kind, message }));
-        Ok(Pending { rx, cancel })
+        Ok(Pending { rx, cancel, reaper: None })
     }
 
     /// Releases a reservation by job id — the operator path for orphans
@@ -603,7 +802,12 @@ impl Service {
         let (cosched_enabled, cosched_queue_depth, cosched_open, cosched_committed, cc) =
             match &self.shared.cosched {
                 Some(cosched) => {
-                    let state = cosched.lock().expect("cosched lock");
+                    let mut state = cosched.lock().expect("cosched lock");
+                    // Scraping metrics doubles as a liveness tick: on a
+                    // quiet server nothing else visits the waiting
+                    // queue, so dead waiters would hold their quota
+                    // slots until the next submit.
+                    reap_expired_waiting(&self.shared, &mut state);
                     (
                         true,
                         state.sched.queue_depth(),
@@ -614,13 +818,32 @@ impl Service {
                 }
                 None => (false, 0, 0, 0, scheduler::CoschedCounters::default()),
             };
+        let policy = &self.shared.tenant_policy;
         let tenants = self
             .shared
             .tenants
             .lock()
             .expect("tenants lock")
+            .rows
             .iter()
-            .map(|(name, row)| (name.clone(), *row))
+            .map(|(name, t)| {
+                (
+                    name.clone(),
+                    TenantRow {
+                        admitted: t.admitted,
+                        executed: t.executed,
+                        shed: t.shed,
+                        expired: t.expired,
+                        cancelled: t.cancelled,
+                        in_queue: t.in_queue,
+                        in_flight: t.in_flight,
+                        quota: policy.quota_for(name).unwrap_or(0),
+                        weight: policy.weight_for(name),
+                        queue_wait_p50_ms: t.queue_wait.quantile_ms(0.50),
+                        queue_wait_p95_ms: t.queue_wait.quantile_ms(0.95),
+                    },
+                )
+            })
             .collect();
         MetricsSnapshot {
             submitted: s.submitted.load(Ordering::Relaxed),
@@ -683,6 +906,11 @@ impl Service {
         self.shared.workers
     }
 
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &SvcConfig {
+        &self.config
+    }
+
     /// Graceful shutdown: stop admitting, drain everything accepted,
     /// join the pool. `submit` jobs still waiting in the co-scheduler
     /// queue are answered with `shutting_down` so their callers unblock
@@ -700,6 +928,10 @@ impl Service {
             for id in waiting {
                 let entry = state.waiting.remove(&id).expect("key just listed");
                 state.sched.cancel_queued(id);
+                tenant_bump(&self.shared, entry.job.request.tenant.as_ref(), |row| {
+                    row.in_queue = row.in_queue.saturating_sub(1);
+                    row.cancelled += 1;
+                });
                 let _ = entry.job.reply.send(Frame::Final(Rejected::ShuttingDown.to_response(id)));
             }
         }
@@ -716,6 +948,11 @@ fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         let started = Instant::now();
         shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        tenant_bump(shared, job.request.tenant.as_ref(), |row| {
+            row.in_queue = row.in_queue.saturating_sub(1);
+            row.in_flight += 1;
+            row.queue_wait.record(job.submitted.elapsed());
+        });
         let (response, executed) = execute(shared, &job);
         shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         // Only jobs whose body actually ran contribute to the service-time
@@ -729,9 +966,26 @@ fn worker_loop(shared: &Shared) {
                 .stats
                 .busy_nanos
                 .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            tenant_bump(shared, job.request.tenant.as_ref(), |row| row.executed += 1);
         }
         shared.stats.latency.record(job.submitted.elapsed());
+        // Every admitted job lands in exactly one terminal tenant
+        // bucket: executed, expired, or cancelled. A job that did not
+        // execute was drained from the queue by a deadline or a cancel
+        // (those are the only non-executing exits from `execute`), so
+        // the three arms below are exhaustive and mutually exclusive —
+        // that is what keeps the per-tenant conservation invariant
+        // `admitted = executed + expired + cancelled + in_queue +
+        // in_flight` true at every quiescent point.
+        tenant_bump(shared, job.request.tenant.as_ref(), |row| {
+            row.in_flight = row.in_flight.saturating_sub(1);
+            if executed {
+                row.executed += 1;
+            } else if matches!(&response, Response::Error { kind: ErrorKind::Deadline, .. }) {
+                row.expired += 1;
+            } else {
+                row.cancelled += 1;
+            }
+        });
         match &response {
             Response::Error { kind: ErrorKind::Deadline, .. } => {
                 shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
@@ -781,32 +1035,109 @@ fn retry_hint_ms(shared: &Shared) -> u64 {
     (mean.as_nanos() as u64).saturating_mul(per_worker).div_ceil(1_000_000).max(1)
 }
 
-/// Bumps one tenant's accounting row, creating it on first sight.
-/// Untagged requests cost nothing here.
-fn tenant_bump(shared: &Shared, tenant: Option<&String>, bump: impl FnOnce(&mut TenantRow)) {
+/// Bumps one tenant's accounting row, creating it on first sight (or
+/// folding it into the overflow row once the table is full). Untagged
+/// requests cost nothing here.
+fn tenant_bump(shared: &Shared, tenant: Option<&String>, bump: impl FnOnce(&mut TenantState)) {
     if let Some(tenant) = tenant {
-        let mut map = shared.tenants.lock().expect("tenants lock");
-        bump(map.entry(tenant.clone()).or_default());
+        let mut table = shared.tenants.lock().expect("tenants lock");
+        bump(table.row(tenant));
     }
+}
+
+/// Why an admission was refused by [`quota_push`]. The job itself is
+/// dropped with the refusal — its reply channel answers the caller.
+enum AdmitRefusal {
+    /// The tenant's own quota is exhausted; the global queue may still
+    /// have room. Carries a hint sized to *this tenant's* backlog.
+    Quota { retry_after_ms: u64 },
+    /// The global queue is full.
+    Full,
+    /// The service is shutting down.
+    Closed,
+}
+
+/// Single admission gate for direct (non-cosched) traffic: checks the
+/// tenant quota and pushes into the fair queue as one atomic step under
+/// the tenants lock, so two racing submits cannot both squeeze through
+/// the last quota slot.
+fn quota_push(shared: &Shared, job: Job) -> Result<(), AdmitRefusal> {
+    let tenant = job.request.tenant.clone();
+    let mut table = shared.tenants.lock().expect("tenants lock");
+    let resolved = tenant.as_deref().map(|t| table.resolve_name(t));
+    // Lanes only exist when a policy is configured: with no policy every
+    // push lands in the single implicit lane, which makes the fair queue
+    // degenerate to the exact FIFO the untenanted service always had.
+    let lane = if shared.tenant_policy.is_active() { resolved.clone() } else { None };
+    if shared.tenant_policy.is_active() {
+        if let Some(name) = &resolved {
+            if let Some(quota) = shared.tenant_policy.quota_for(name) {
+                let row = table.row(name);
+                let occupancy = row.in_queue + row.in_flight;
+                if occupancy >= quota {
+                    row.shed += 1;
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdmitRefusal::Quota {
+                        retry_after_ms: tenant_retry_hint_ms(shared, occupancy),
+                    });
+                }
+            }
+        }
+    }
+    match shared.queue.try_push(lane.as_deref(), job) {
+        Ok(()) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            if let Some(name) = &resolved {
+                let row = table.row(name);
+                row.admitted += 1;
+                row.in_queue += 1;
+            }
+            Ok(())
+        }
+        Err(PushError::Full(_)) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(name) = &resolved {
+                table.row(name).shed += 1;
+            }
+            Err(AdmitRefusal::Full)
+        }
+        Err(PushError::Closed(_)) => Err(AdmitRefusal::Closed),
+    }
+}
+
+/// Back-off hint for a quota-shed request: the tenant's own occupancy
+/// (not the global backlog) priced at the observed mean service time —
+/// roughly when one of the tenant's held slots should free up.
+fn tenant_retry_hint_ms(shared: &Shared, occupancy: u64) -> u64 {
+    let mean = shared.stats.mean_service_time_or(shared.hint_fallback);
+    let per_worker = (occupancy + 1).div_ceil(shared.workers as u64);
+    (mean.as_nanos() as u64).saturating_mul(per_worker).div_ceil(1_000_000).max(1)
 }
 
 /// The base platform/workload model the co-scheduler scores candidate
 /// placements with (the member shapes come from each submit request).
 fn cosched_base(workloads: Workloads) -> SimRunConfig {
     let placeholder = scheduler::EnsembleShape::uniform(1, 16, 1, 8);
-    let mut cfg = base_config(placeholder.materialize(&vec![0; 2]), workloads);
+    let mut cfg = base_config(placeholder.materialize(&[0; 2]), workloads);
     cfg.n_steps = 6;
     cfg
 }
 
-/// The durable image of `job`'s open reservation, for the journal.
-fn replayed_reservation(state: &CoschedState, job: u64) -> Option<ReplayedReservation> {
+/// The durable image of `job`'s open reservation, for the journal. The
+/// tenant rides along so a restart can rebuild quota occupancy even
+/// after compaction has dropped the admit record.
+fn replayed_reservation(
+    state: &CoschedState,
+    job: u64,
+    tenant: Option<&String>,
+) -> Option<ReplayedReservation> {
     state.sched.residency().reservations().find(|r| r.job == job).map(|r| ReplayedReservation {
         job: r.job,
         members: r.shape.members.clone(),
         assignment: r.assignment.clone(),
         predicted_end: r.predicted_end,
         seq: r.seq,
+        tenant: tenant.cloned(),
     })
 }
 
@@ -828,7 +1159,19 @@ fn reap_expired_waiting(shared: &Shared, state: &mut CoschedState) {
     for id in dead {
         let entry = state.waiting.remove(&id).expect("key just listed");
         state.sched.cancel_queued(id);
-        let response = if entry.job.cancel.is_cancelled() {
+        let cancelled = entry.job.cancel.is_cancelled();
+        // Reaped waiters leave the queue and land in a terminal bucket
+        // in the same breath — they must not vanish from the per-tenant
+        // conservation sum.
+        tenant_bump(shared, entry.job.request.tenant.as_ref(), |row| {
+            row.in_queue = row.in_queue.saturating_sub(1);
+            if cancelled {
+                row.cancelled += 1;
+            } else {
+                row.expired += 1;
+            }
+        });
+        let response = if cancelled {
             shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
             ExecError::Cancelled.to_response(id)
         } else {
@@ -853,6 +1196,17 @@ fn finish_cosched(shared: &Shared, job_id: u64) {
         // rollback) — nothing to release.
         Err(_) => return,
     };
+    // A restored orphan (reservation replayed from the journal with no
+    // live caller) occupied its tenant's quota since restart; releasing
+    // it retires that occupancy into the cancelled bucket — the job's
+    // real fate was decided by the previous process, this one never ran
+    // it.
+    if let Some(tenant) = state.restored_tenants.remove(&job_id) {
+        tenant_bump(shared, Some(&tenant), |row| {
+            row.in_flight = row.in_flight.saturating_sub(1);
+            row.cancelled += 1;
+        });
+    }
     if let Some(journal) = &shared.journal {
         journal.append_release(job_id);
     }
@@ -880,7 +1234,7 @@ fn dispatch_started(
         let residual: Vec<u64> =
             state.sched.residency().residual().iter().map(|&c| u64::from(c)).collect();
         if let (Some(journal), Some(reservation)) =
-            (&shared.journal, replayed_reservation(state, id))
+            (&shared.journal, replayed_reservation(state, id, entry.job.request.tenant.as_ref()))
         {
             journal.append_reserve(&reservation);
         }
@@ -899,7 +1253,16 @@ fn dispatch_started(
         let tenant = entry.job.request.tenant.clone();
         let mut job = entry.job;
         job.cosched = Some(CoschedJob { decision, backfilled, queue_wait_ms, residual });
-        match shared.queue.try_push(job) {
+        // Dispatch keeps the job's lane: a waiting submit was already
+        // admitted (its tenant row counts it in `in_queue`), so the
+        // dequeue below competes fairly against direct traffic of the
+        // same tenant.
+        let lane = if shared.tenant_policy.is_active() {
+            tenant.as_deref().map(|t| shared.tenants.lock().expect("tenants lock").resolve_name(t))
+        } else {
+            None
+        };
+        match shared.queue.try_push(lane.as_deref(), job) {
             Ok(()) => {}
             Err(PushError::Full(job)) => {
                 state.sched.withdraw(id);
@@ -907,7 +1270,14 @@ fn dispatch_started(
                     journal.append_release(id);
                 }
                 shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                tenant_bump(shared, tenant.as_ref(), |row| row.shed += 1);
+                // This job was *admitted* (it counted into `in_queue`
+                // when it entered the wait map), so the rollback is a
+                // cancellation, not an admission-time shed — `shed`
+                // only ever counts jobs that never got in.
+                tenant_bump(shared, tenant.as_ref(), |row| {
+                    row.in_queue = row.in_queue.saturating_sub(1);
+                    row.cancelled += 1;
+                });
                 let retry_after_ms = retry_hint_ms(shared);
                 let _ = job
                     .reply
@@ -918,6 +1288,10 @@ fn dispatch_started(
                 if let Some(journal) = &shared.journal {
                     journal.append_release(id);
                 }
+                tenant_bump(shared, tenant.as_ref(), |row| {
+                    row.in_queue = row.in_queue.saturating_sub(1);
+                    row.cancelled += 1;
+                });
                 let _ = job.reply.send(Frame::Final(Rejected::ShuttingDown.to_response(id)));
             }
         }
@@ -1408,6 +1782,7 @@ mod tests {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: None,
+            tenant_policy: TenantPolicy::default(),
         })
     }
 
@@ -1620,6 +1995,7 @@ mod tests {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: None,
+            tenant_policy: TenantPolicy::default(),
         });
         assert!(
             svc.retry_after_hint_ms() >= 2000,

@@ -224,16 +224,37 @@ pub struct MetricsSnapshot {
     pub tenants: Vec<(String, TenantRow)>,
 }
 
-/// Per-tenant request accounting (satellite of the co-scheduler PR;
-/// counted for every request kind, not just submit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Per-tenant request accounting (counted for every request kind, not
+/// just submit). The terminal buckets are mutually exclusive, so the
+/// conservation invariant holds at every snapshot:
+/// `admitted = executed + expired + cancelled + in_queue + in_flight`.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TenantRow {
     /// Requests from this tenant accepted into a queue.
     pub admitted: u64,
     /// Requests from this tenant that genuinely executed.
     pub executed: u64,
-    /// Requests from this tenant shed with `Overloaded`.
+    /// Requests from this tenant shed with `Overloaded` (admission-time
+    /// only; not part of `admitted`).
     pub shed: u64,
+    /// Admitted requests that hit their deadline before executing (or
+    /// while executing, when the entry checkpoint caught it).
+    pub expired: u64,
+    /// Admitted requests cancelled — cooperatively, at shutdown, or by
+    /// a post-admission rollback — before executing.
+    pub cancelled: u64,
+    /// Requests currently queued (gauge).
+    pub in_queue: u64,
+    /// Requests currently executing on a worker (gauge).
+    pub in_flight: u64,
+    /// Slot quota applied to this tenant (0 = unlimited).
+    pub quota: u64,
+    /// Fair-dequeue weight of this tenant's lane.
+    pub weight: u64,
+    /// Median queue wait of this tenant's dequeued requests, ms.
+    pub queue_wait_p50_ms: f64,
+    /// 95th-percentile queue wait, ms.
+    pub queue_wait_p95_ms: f64,
 }
 
 impl MetricsSnapshot {
@@ -294,9 +315,11 @@ impl MetricsSnapshot {
         ]
     }
 
-    /// Every row of [`MetricsSnapshot::rows`] plus three
-    /// `tenant_<name>_{admitted,executed,shed}` rows per tagged tenant —
-    /// what the wire metrics response carries.
+    /// Every row of [`MetricsSnapshot::rows`] plus eleven
+    /// `tenant_<name>_*` rows per tagged tenant — what the wire metrics
+    /// response carries. Tenant tags are validated at decode
+    /// (`[A-Za-z0-9._-]`, ≤ 64 bytes), so the `tenant_<name>_<counter>`
+    /// key grammar stays unambiguous.
     pub fn all_rows(&self) -> Vec<(String, f64)> {
         let mut rows: Vec<(String, f64)> =
             self.rows().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
@@ -304,6 +327,14 @@ impl MetricsSnapshot {
             rows.push((format!("tenant_{tenant}_admitted"), row.admitted as f64));
             rows.push((format!("tenant_{tenant}_executed"), row.executed as f64));
             rows.push((format!("tenant_{tenant}_shed"), row.shed as f64));
+            rows.push((format!("tenant_{tenant}_expired"), row.expired as f64));
+            rows.push((format!("tenant_{tenant}_cancelled"), row.cancelled as f64));
+            rows.push((format!("tenant_{tenant}_queued"), row.in_queue as f64));
+            rows.push((format!("tenant_{tenant}_in_flight"), row.in_flight as f64));
+            rows.push((format!("tenant_{tenant}_quota"), row.quota as f64));
+            rows.push((format!("tenant_{tenant}_weight"), row.weight as f64));
+            rows.push((format!("tenant_{tenant}_queue_wait_p50_ms"), row.queue_wait_p50_ms));
+            rows.push((format!("tenant_{tenant}_queue_wait_p95_ms"), row.queue_wait_p95_ms));
         }
         rows
     }
@@ -421,15 +452,35 @@ mod tests {
             cosched_released: 2,
             cosched_cancelled: 1,
             tenants: vec![
-                ("batch".to_string(), TenantRow { admitted: 3, executed: 2, shed: 1 }),
-                ("team-a".to_string(), TenantRow { admitted: 5, executed: 5, shed: 0 }),
+                (
+                    "batch".to_string(),
+                    TenantRow {
+                        admitted: 3,
+                        executed: 2,
+                        shed: 1,
+                        expired: 1,
+                        quota: 8,
+                        weight: 1,
+                        ..TenantRow::default()
+                    },
+                ),
+                (
+                    "team-a".to_string(),
+                    TenantRow {
+                        admitted: 5,
+                        executed: 5,
+                        weight: 4,
+                        queue_wait_p50_ms: 1.5,
+                        ..TenantRow::default()
+                    },
+                ),
             ],
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
         assert_eq!(rows.len(), 41);
         let all = snap.all_rows();
-        assert_eq!(all.len(), 41 + 6, "three rows per tagged tenant");
+        assert_eq!(all.len(), 41 + 22, "eleven rows per tagged tenant");
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
@@ -443,7 +494,11 @@ mod tests {
         assert!(csv.contains("cosched_committed_cores,48"));
         assert!(csv.contains("cosched_backfilled,1"));
         assert!(csv.contains("tenant_batch_shed,1"));
+        assert!(csv.contains("tenant_batch_expired,1"));
+        assert!(csv.contains("tenant_batch_quota,8"));
         assert!(csv.contains("tenant_team-a_admitted,5"));
+        assert!(csv.contains("tenant_team-a_weight,4"));
+        assert!(csv.contains("tenant_team-a_queue_wait_p50_ms,1.5"));
     }
 
     #[test]

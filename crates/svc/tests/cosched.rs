@@ -26,6 +26,7 @@ fn cosched_config(nodes: usize, workers: usize) -> SvcConfig {
         panic_on_request_id: None,
         scan_workers: 0,
         cosched: Some(CoschedSvcConfig::new(NodeBudget { max_nodes: nodes, cores_per_node: 32 })),
+        tenant_policy: svc::TenantPolicy::default(),
     }
 }
 
@@ -206,6 +207,7 @@ fn journaled_reservations_rebuild_residency_after_restart() {
             assignment: vec![0, 0],
             predicted_end: 50.0,
             seq: 1,
+            tenant: None,
         });
     }
     let mut config = cosched_config(2, 1);

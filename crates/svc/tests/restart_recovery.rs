@@ -33,6 +33,7 @@ fn config_with_journal(journal: JournalConfig) -> SvcConfig {
         panic_on_request_id: None,
         scan_workers: 0,
         cosched: None,
+        tenant_policy: svc::TenantPolicy::default(),
     }
 }
 

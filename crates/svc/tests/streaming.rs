@@ -27,6 +27,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: None,
+            tenant_policy: svc::TenantPolicy::default(),
         },
     )
     .expect("bind ephemeral port")

@@ -27,6 +27,7 @@ fn server(workers: usize, queue_capacity: usize) -> ServerHandle {
             panic_on_request_id: None,
             scan_workers: 0,
             cosched: None,
+            tenant_policy: svc::TenantPolicy::default(),
         },
     )
     .expect("bind ephemeral port")
@@ -359,6 +360,7 @@ fn handler_panic_is_a_structured_internal_error_not_a_dead_connection() {
             panic_on_request_id: Some(66),
             scan_workers: 0,
             cosched: None,
+            tenant_policy: svc::TenantPolicy::default(),
         },
     )
     .expect("bind ephemeral port");

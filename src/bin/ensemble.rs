@@ -15,6 +15,8 @@
 //!                [--journal-max-bytes N]
 //!                [--cosched] [--cosched-nodes M] [--cosched-cores C]
 //!                [--cosched-queue N] [--cosched-no-backfill]
+//!                [--tenant-quota NAME=SLOTS ...] [--tenant-weight NAME=W ...]
+//!                [--tenant-default-quota N]
 //! ensemble query score --members N --k K --nodes M [--top-k K] [--workers N]
 //!                      [--addr HOST:PORT] [--progress] [--progress-every N]
 //!                      [--progress-every-ms MS] [...]
@@ -75,6 +77,17 @@ fn main() {
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Every value of a repeatable flag, in order of appearance
+/// (`--tenant-quota a=4 --tenant-quota b=2`).
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -581,6 +594,46 @@ fn cmd_serve(args: &[String]) -> i32 {
         cosched.backfill = !has_flag(args, "--cosched-no-backfill");
         config.cosched = Some(cosched);
     }
+    // NAME=VALUE pairs, repeatable; tags are validated with the same
+    // rule the wire decoder applies so a policy can never name a tenant
+    // no request could ever carry.
+    let parse_tenant_pairs = |flag: &str| -> Result<Vec<(String, u64)>, String> {
+        flag_values(args, flag)
+            .into_iter()
+            .map(|pair| {
+                let (name, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("{flag} expects NAME=VALUE, got '{pair}'"))?;
+                insitu_ensembles::service::protocol::validate_tenant(name)
+                    .map_err(|e| format!("{flag}: {e}"))?;
+                let value: u64 = value.parse().map_err(|e| format!("{flag} {name}: {e}"))?;
+                Ok((name.to_string(), value))
+            })
+            .collect()
+    };
+    match parse_tenant_pairs("--tenant-quota") {
+        Ok(pairs) => config.tenant_policy.quotas.extend(pairs),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    }
+    match parse_tenant_pairs("--tenant-weight") {
+        Ok(pairs) => config.tenant_policy.weights.extend(pairs),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    }
+    if let Some(n) = flag_value(args, "--tenant-default-quota") {
+        match n.parse::<u64>() {
+            Ok(n) if n > 0 => config.tenant_policy.default_quota = Some(n),
+            _ => {
+                eprintln!("serve: --tenant-default-quota needs a positive integer");
+                return 2;
+            }
+        }
+    }
     let journaled = config.journal.as_ref().map(|j| j.path.display().to_string());
     let handle = match insitu_ensembles::service::serve(addr, config) {
         Ok(h) => h,
@@ -606,6 +659,17 @@ fn cmd_serve(args: &[String]) -> i32 {
         println!(
             "co-scheduler on: {} open reservations restored, {} cores committed",
             m.cosched_open_reservations, m.cosched_committed_cores
+        );
+    }
+    let policy = &handle.service().config().tenant_policy;
+    if policy.is_active() {
+        let quotas: Vec<String> = policy.quotas.iter().map(|(n, q)| format!("{n}={q}")).collect();
+        let weights: Vec<String> = policy.weights.iter().map(|(n, w)| format!("{n}={w}")).collect();
+        println!(
+            "tenant policy on: quotas [{}], weights [{}], default quota {}",
+            quotas.join(", "),
+            weights.join(", "),
+            policy.default_quota.map_or("unlimited".to_string(), |q| q.to_string()),
         );
     }
     // Serve until stdin closes (Ctrl-D, or the end of a piped script),
