@@ -1,11 +1,15 @@
 //! Blocking JSON-lines TCP client (used by `ensemble query`, the
 //! integration tests, and the throughput benchmark).
+//!
+//! [`SvcClient`] speaks to one address; [`FailoverClient`] wraps a
+//! list of addresses (primary plus standbys) and hunts for whichever
+//! one currently accepts work.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{Frame, Progress, Request, Response};
+use crate::protocol::{ErrorKind, Frame, Progress, Request, Response};
 
 /// How [`SvcClient::submit`] reacts to `overloaded` responses: retry up
 /// to `max_attempts` total sends, honouring the server's
@@ -189,6 +193,161 @@ impl SvcClient {
                 "unexpected progress frame for a raw request",
             ))),
         }
+    }
+}
+
+/// How a [`FailoverClient`] hunts for a live server across its
+/// address list.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPolicy {
+    /// Rounds through the whole address list before giving up (1 = try
+    /// each address once).
+    pub max_rounds: u32,
+    /// Sleep between rounds, doubled per round.
+    pub initial_backoff: Duration,
+    /// Cap on the between-rounds backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy {
+            max_rounds: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A client over an ordered list of addresses (primary first, then
+/// standbys). Each request is tried against the current connection;
+/// on a transport failure the poisoned [`SvcClient`] is discarded and
+/// the next address is tried, with capped exponential backoff between
+/// full rounds. A [`standby`](ErrorKind::Standby) refusal also rotates
+/// to the next address — that is how a client parked on a not-yet-
+/// promoted standby finds the primary.
+///
+/// Failover gives **at-least-once** semantics: a request that died
+/// mid-flight may still have executed on the old primary before the
+/// retry executed it again. Idempotent reads (`metrics`, `attach`,
+/// cached `score`) are safe; for `run`/`submit`, re-`attach` by job id
+/// after a failover to dedupe instead of resubmitting blindly.
+pub struct FailoverClient {
+    addrs: Vec<String>,
+    policy: FailoverPolicy,
+    current: usize,
+    client: Option<SvcClient>,
+    timeout: Option<Duration>,
+}
+
+impl FailoverClient {
+    /// Builds a client over `addrs` (tried in order). Connections are
+    /// opened lazily on first use, so construction cannot fail — a
+    /// fully dead fleet surfaces on the first request instead.
+    pub fn new(addrs: Vec<String>, policy: FailoverPolicy) -> FailoverClient {
+        assert!(!addrs.is_empty(), "failover client needs at least one address");
+        FailoverClient { addrs, policy, current: 0, client: None, timeout: None }
+    }
+
+    /// Bounds how long one request waits for a response (applied to
+    /// every connection this client opens).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+        if let Some(client) = &self.client {
+            let _ = client.set_timeout(timeout);
+        }
+    }
+
+    /// The address the live connection points at (the one the next
+    /// request will try first).
+    pub fn current_addr(&self) -> &str {
+        &self.addrs[self.current]
+    }
+
+    /// Sends one request, failing over per the policy; discards
+    /// progress frames.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.request_streaming(request, |_| {})
+    }
+
+    /// Re-fetches a completed run by job id, failing over as needed —
+    /// the safe way to recover a result after a primary died
+    /// mid-request.
+    pub fn attach(&mut self, id: u64, job: u64) -> std::io::Result<Response> {
+        self.request(&Request {
+            id,
+            deadline: None,
+            progress: None,
+            tenant: None,
+            body: crate::protocol::RequestBody::Attach { job },
+        })
+    }
+
+    /// Sends one request, failing over per the policy, handing interim
+    /// progress frames to `on_progress`.
+    pub fn request_streaming(
+        &mut self,
+        request: &Request,
+        mut on_progress: impl FnMut(&Progress),
+    ) -> std::io::Result<Response> {
+        let mut backoff = self.policy.initial_backoff;
+        let mut last_err: Option<std::io::Error> = None;
+        let mut last_standby: Option<Response> = None;
+        for round in 0..self.policy.max_rounds.max(1) {
+            if round > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2).min(self.policy.max_backoff);
+            }
+            for _ in 0..self.addrs.len() {
+                match self.try_current(request, &mut on_progress) {
+                    Ok(refusal @ Response::Error { kind: ErrorKind::Standby, .. }) => {
+                        // A healthy-but-read-only standby answered:
+                        // remember the refusal, look for the primary at
+                        // the next address (later rounds re-ask — a
+                        // standby may have promoted meanwhile).
+                        last_standby = Some(refusal);
+                        self.client = None;
+                        self.current = (self.current + 1) % self.addrs.len();
+                    }
+                    Ok(response) => return Ok(response),
+                    Err(e) => {
+                        last_err = Some(e);
+                        self.client = None;
+                        self.current = (self.current + 1) % self.addrs.len();
+                    }
+                }
+            }
+        }
+        // Every address refused as standby (no primary promoted yet):
+        // that is an answer, not a transport failure.
+        if let Some(standby) = last_standby {
+            return Ok(standby);
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "failover: no address answered",
+            )
+        }))
+    }
+
+    fn try_current(
+        &mut self,
+        request: &Request,
+        on_progress: &mut impl FnMut(&Progress),
+    ) -> std::io::Result<Response> {
+        if self.client.is_none() {
+            let client = SvcClient::connect(self.addrs[self.current].as_str())?;
+            client.set_timeout(self.timeout)?;
+            self.client = Some(client);
+        }
+        let client = self.client.as_mut().expect("just connected");
+        let result = client.request_streaming(request, |p| on_progress(p));
+        if result.is_err() {
+            // Poisoned (or dead) — never reuse it.
+            self.client = None;
+        }
+        result
     }
 }
 
@@ -390,5 +549,108 @@ mod tests {
         assert_eq!(policy.backoff(3, 10), Duration::from_millis(40));
         assert_eq!(policy.backoff(5, 10), Duration::from_millis(100), "capped");
         assert_eq!(policy.backoff(1, 500), Duration::from_millis(100), "hint itself is capped");
+    }
+
+    fn quick_policy(max_rounds: u32) -> FailoverPolicy {
+        FailoverPolicy {
+            max_rounds,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        }
+    }
+
+    fn standby_refusal(id: u64) -> Response {
+        Response::Error {
+            id,
+            kind: ErrorKind::Standby,
+            message: "standby: read-only until promoted".to_string(),
+        }
+    }
+
+    #[test]
+    fn failover_skips_a_dead_address() {
+        // A listener bound then dropped: connecting to it is refused.
+        let dead = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("local addr").to_string()
+        };
+        let (live, server) = scripted_server(vec![Response::Metrics { id: 1, rows: vec![] }]);
+        let mut client =
+            FailoverClient::new(vec![dead, live.to_string()], quick_policy(2));
+        let response = client.request(&metrics_request(1)).expect("failover past dead address");
+        assert!(matches!(response, Response::Metrics { id: 1, .. }), "got {response:?}");
+        assert_eq!(client.current_addr(), live.to_string(), "settled on the live address");
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn failover_rotates_past_a_standby_refusal_to_the_primary() {
+        let (standby, standby_server) = scripted_server(vec![standby_refusal(2)]);
+        let (primary, primary_server) =
+            scripted_server(vec![Response::Metrics { id: 2, rows: vec![] }]);
+        let mut client = FailoverClient::new(
+            vec![standby.to_string(), primary.to_string()],
+            quick_policy(1),
+        );
+        let response = client.request(&metrics_request(2)).expect("rotate to primary");
+        assert!(matches!(response, Response::Metrics { id: 2, .. }), "got {response:?}");
+        assert_eq!(client.current_addr(), primary.to_string());
+        standby_server.join().expect("standby server");
+        primary_server.join().expect("primary server");
+    }
+
+    #[test]
+    fn all_standby_refusals_come_back_as_the_refusal_not_an_error() {
+        // A fleet where nobody has promoted yet: the refusal is an
+        // answer the caller can act on (wait, retry), not a transport
+        // failure.
+        let (addr, server) = scripted_server(vec![standby_refusal(3)]);
+        let mut client = FailoverClient::new(vec![addr.to_string()], quick_policy(1));
+        let response = client.request(&metrics_request(3)).expect("refusal is Ok, not Err");
+        assert!(
+            matches!(response, Response::Error { kind: ErrorKind::Standby, .. }),
+            "got {response:?}"
+        );
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn mid_request_connection_loss_fails_over_to_the_next_address() {
+        // Server 1 accepts, reads the request, then slams the
+        // connection — the client must retry on server 2 within the
+        // same round.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let flaky = listener.local_addr().expect("local addr").to_string();
+        let flaky_server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            // Dropping the stream here sends EOF before any response.
+        });
+        let (live, live_server) = scripted_server(vec![Response::Metrics { id: 4, rows: vec![] }]);
+        let mut client =
+            FailoverClient::new(vec![flaky, live.to_string()], quick_policy(1));
+        let response = client.request(&metrics_request(4)).expect("failover after EOF");
+        assert!(matches!(response, Response::Metrics { id: 4, .. }), "got {response:?}");
+        flaky_server.join().expect("flaky server");
+        live_server.join().expect("live server");
+    }
+
+    #[test]
+    fn exhausted_rounds_surface_the_last_transport_error() {
+        let dead = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("local addr").to_string()
+        };
+        let mut client = FailoverClient::new(vec![dead], quick_policy(2));
+        let err = client.request(&metrics_request(5)).expect_err("a dead fleet is an error");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotConnected
+            ),
+            "got {err:?}"
+        );
     }
 }

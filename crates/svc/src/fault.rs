@@ -1,0 +1,187 @@
+//! Deterministic service-layer fault injection.
+//!
+//! [`SvcFaultPlan`] describes *when* the service's durability and
+//! replication layers misbehave — crash the journal after record N
+//! (optionally leaving a torn final record), report fsync failures
+//! after the Nth sync, drop or stall a replication stream after N
+//! records — so every failover scenario in the test suite is a
+//! reproducible schedule, not a flake. The plan is pure data: the
+//! journal and the replication loop consult it at their own kill
+//! points, exactly as `dtl::fault` injects member-level faults into
+//! the threaded executor.
+//!
+//! Plans round-trip through a compact spec string for the CLI
+//! (`ensemble serve --svc-fault SPEC`):
+//!
+//! ```text
+//! seed=42;crash_after=10;torn;fsync_fail=3;drop_stream=5;stall_stream=8
+//! ```
+//!
+//! All clauses are optional; `seed` defaults to 0. The seed feeds the
+//! same splitmix64 mix used by `dtl::fault`, currently only to derive
+//! the torn-fragment bytes, so two plans with the same spec produce
+//! byte-identical crash images.
+
+/// A deterministic schedule of service-layer faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SvcFaultPlan {
+    /// Seed for any derived randomness (torn-fragment contents).
+    pub seed: u64,
+    /// After the Nth successful journal append, the journal "crashes":
+    /// it degrades to a dead state and rejects every later append,
+    /// simulating the primary process dying at a deterministic offset.
+    pub crash_after_append: Option<u64>,
+    /// When crashing, also write a torn final record (a fragment with
+    /// no trailing newline), simulating a crash mid-append.
+    pub torn_tail: bool,
+    /// Journal fsyncs after the Nth one report failure (the write
+    /// itself still lands in the page cache), exercising the
+    /// degrade-to-read-only path without needing a failing disk.
+    pub fail_fsync_after: Option<u64>,
+    /// The first replication stream the server ever opens drops its
+    /// connection after sending N record frames (later sessions run
+    /// clean: the injected drop models a transient network failure the
+    /// standby must reconnect through).
+    pub drop_stream_after: Option<u64>,
+    /// The first replication stream stalls (stops sending anything,
+    /// including heartbeats, but keeps the connection open) after N
+    /// record frames — the standby must detect the wedged primary by
+    /// frame timeout, not by EOF. Later sessions run clean.
+    pub stall_stream_after: Option<u64>,
+}
+
+impl SvcFaultPlan {
+    /// Parses a `key=value;flag;...` spec string (see module docs).
+    pub fn parse(spec: &str) -> Result<SvcFaultPlan, String> {
+        let mut plan = SvcFaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = match clause.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (clause, None),
+            };
+            let parsed = |v: Option<&str>| -> Result<u64, String> {
+                v.ok_or_else(|| format!("svc-fault: '{key}' needs =N"))?
+                    .parse()
+                    .map_err(|e| format!("svc-fault: {key}: {e}"))
+            };
+            match key {
+                "seed" => plan.seed = parsed(value)?,
+                "crash_after" => plan.crash_after_append = Some(parsed(value)?),
+                "torn" => plan.torn_tail = true,
+                "fsync_fail" => plan.fail_fsync_after = Some(parsed(value)?),
+                "drop_stream" => plan.drop_stream_after = Some(parsed(value)?),
+                "stall_stream" => plan.stall_stream_after = Some(parsed(value)?),
+                other => return Err(format!("svc-fault: unknown clause '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back to its canonical spec string.
+    pub fn to_spec(&self) -> String {
+        let mut out = vec![format!("seed={}", self.seed)];
+        if let Some(n) = self.crash_after_append {
+            out.push(format!("crash_after={n}"));
+        }
+        if self.torn_tail {
+            out.push("torn".to_string());
+        }
+        if let Some(n) = self.fail_fsync_after {
+            out.push(format!("fsync_fail={n}"));
+        }
+        if let Some(n) = self.drop_stream_after {
+            out.push(format!("drop_stream={n}"));
+        }
+        if let Some(n) = self.stall_stream_after {
+            out.push(format!("stall_stream={n}"));
+        }
+        out.join(";")
+    }
+
+    /// The torn-fragment bytes written when [`Self::torn_tail`] fires:
+    /// a plausible-looking record prefix with no closing brace and no
+    /// newline, derived from the seed so crash images are reproducible.
+    pub fn torn_fragment(&self) -> String {
+        format!("{{\"rec\":\"score\",\"key\":\"torn-{:016x}", mix(&[self.seed, 0x7041]))
+    }
+
+    /// True once the `index`-th (1-based) fsync should report failure.
+    pub fn fsync_fails(&self, index: u64) -> bool {
+        self.fail_fsync_after.is_some_and(|n| index > n)
+    }
+}
+
+/// splitmix64: the same tiny deterministic mixer `dtl::fault` uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn mix(parts: &[u64]) -> u64 {
+    let mut h = 0x51_7c_c1_b7_27_22_0a_95u64;
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = "seed=42;crash_after=10;torn;fsync_fail=3;drop_stream=5;stall_stream=8";
+        let plan = SvcFaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.crash_after_append, Some(10));
+        assert!(plan.torn_tail);
+        assert_eq!(plan.fail_fsync_after, Some(3));
+        assert_eq!(plan.drop_stream_after, Some(5));
+        assert_eq!(plan.stall_stream_after, Some(8));
+        assert_eq!(plan.to_spec(), spec);
+        assert_eq!(SvcFaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn empty_and_partial_specs_parse() {
+        assert_eq!(SvcFaultPlan::parse("").unwrap(), SvcFaultPlan::default());
+        let plan = SvcFaultPlan::parse("crash_after=2").unwrap();
+        assert_eq!(plan.crash_after_append, Some(2));
+        assert_eq!(plan.seed, 0);
+        assert!(!plan.torn_tail);
+    }
+
+    #[test]
+    fn unknown_or_malformed_clauses_are_errors() {
+        assert!(SvcFaultPlan::parse("bogus=1").is_err());
+        assert!(SvcFaultPlan::parse("crash_after").is_err());
+        assert!(SvcFaultPlan::parse("crash_after=x").is_err());
+    }
+
+    #[test]
+    fn torn_fragment_is_seed_deterministic_and_unterminated() {
+        let a = SvcFaultPlan { seed: 7, ..SvcFaultPlan::default() };
+        let b = SvcFaultPlan { seed: 7, ..SvcFaultPlan::default() };
+        let c = SvcFaultPlan { seed: 8, ..SvcFaultPlan::default() };
+        assert_eq!(a.torn_fragment(), b.torn_fragment());
+        assert_ne!(a.torn_fragment(), c.torn_fragment());
+        assert!(!a.torn_fragment().ends_with('}'));
+        assert!(!a.torn_fragment().contains('\n'));
+    }
+
+    #[test]
+    fn fsync_failure_window_is_after_n() {
+        let plan = SvcFaultPlan { fail_fsync_after: Some(2), ..SvcFaultPlan::default() };
+        assert!(!plan.fsync_fails(1));
+        assert!(!plan.fsync_fails(2));
+        assert!(plan.fsync_fails(3));
+        assert!(!SvcFaultPlan::default().fsync_fails(100));
+    }
+}

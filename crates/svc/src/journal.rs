@@ -1,21 +1,33 @@
-//! Append-only on-disk journal: the service's restart persistence.
+//! Append-only on-disk journal: the service's restart persistence and
+//! the replication source for warm standbys.
 //!
 //! Every admitted request and every completed result is appended as one
 //! JSON line (the crate-local [`crate::json`] codec — no new
 //! dependencies), so a restarted service can replay the file to warm
 //! the score cache and rebuild the completed-job index that backs the
-//! `attach { job }` wire request. Three record kinds:
+//! `attach { job }` wire request. Record kinds:
 //!
 //! ```text
 //! {"rec":"admit","v":2,"job":3,"tenant":"t",        // request admitted (v2; "tenant"
-//!  "request":{...}}                                 //  only when tagged)
-//! {"rec":"score","key":"...","placements":[...]}   // score evaluated (full ranking)
-//! {"rec":"run","job":7,"response":{...}}           // run completed
-//! {"rec":"reserve","job":9,"members":[...],        // cosched reservation opened
+//!  "request":{...},"crc":"9f2a01c4"}                //  only when tagged)
+//! {"rec":"score","key":"...","placements":[...],...}// score evaluated (full ranking)
+//! {"rec":"run","job":7,"response":{...},...}        // run completed
+//! {"rec":"reserve","job":9,"members":[...],         // cosched reservation opened
 //!  "assignment":[...],"predicted_end":12.5,"seq":4,
-//!  "tenant":"t"}                                   //  ("tenant" only when tagged)
-//! {"rec":"release","job":9}                        // cosched reservation closed
+//!  "tenant":"t",...}                                //  ("tenant" only when tagged)
+//! {"rec":"release","job":9,...}                     // cosched reservation closed
+//! {"rec":"epoch","epoch":2,...}                     // fencing epoch advanced
 //! ```
+//!
+//! Every appended line is sealed with a CRC32 (IEEE) checksum carried
+//! as the record's final `"crc"` field, computed over the record bytes
+//! *without* that field. Verification is byte-exact: strip the trailing
+//! `,"crc":"xxxxxxxx"` suffix, restore the closing brace, and compare.
+//! Lines without a checksum (pre-HA journals) still replay; lines whose
+//! checksum mismatches — a bit flip, a partial overwrite — are
+//! **quarantined**: skipped with a counter and copied to
+//! `<journal>.quarantine` for forensics, never fatal and never allowed
+//! to truncate the records that follow them.
 //!
 //! Admit records are versioned: v2 carries explicit `job`/`tenant`
 //! fields so replay rebuilds per-tenant quota occupancy without
@@ -34,33 +46,58 @@
 //!
 //! Durability is configurable ([`FsyncPolicy`]): fsync after every
 //! record, or batched every N records (flushed again on rotation and
-//! drop). Replay tolerates a torn tail — a final line truncated by a
-//! crash mid-append parses as garbage and is dropped, never fatal, and
-//! [`Journal::open`] seals the tear by truncating the file back to the
-//! last newline so later appends start a fresh line. The same parse
-//! lenience covers corrupt interior lines, each counted in
-//! [`JournalStats::replay_dropped`].
+//! drop). Fsync failures are **counted, not swallowed**
+//! ([`JournalStats::fsync_errors`]); after
+//! [`FSYNC_FAILURE_LIMIT`] consecutive failures the journal degrades
+//! to a loud read-only state ([`JournalStats::degraded`]) instead of
+//! pretending writes are durable. Replay tolerates a torn tail — a
+//! final line truncated by a crash mid-append parses as garbage and is
+//! dropped, never fatal, and [`Journal::open`] seals the tear by
+//! truncating the file back to the last newline so later appends start
+//! a fresh line.
+//!
+//! **Fencing epochs** make failover split-brain safe. The current
+//! epoch lives in a `<journal>.epoch` sidecar (written atomically via
+//! temp + rename) and is also journaled as an `epoch` record. Opening
+//! the journal with [`JournalConfig::promote`] set — what a standby
+//! does when it takes over — bumps the epoch; every append first
+//! checks the sidecar and refuses to write once a higher epoch exists
+//! ([`JournalStats::fenced_appends`]), so a deposed primary's late
+//! appends can never diverge the journal two services share.
+//!
+//! [`JournalFollower`] is the live tail: it streams records as they
+//! are appended (for a warm standby or a replication stream), detects
+//! rotation/compaction/truncation underneath it and signals a
+//! [`FollowEvent::Reset`] so the consumer re-derives its state, and
+//! surfaces checksum failures as [`FollowEvent::Corrupt`].
 //!
 //! Size-based rotation keeps the file bounded: once an append pushes
 //! the journal past `max_bytes`, it is compacted in place — rewritten
 //! keeping only the newest `retain_scores` score records (deduplicated
 //! by cache key, last write wins) and the newest `retain_runs` run
 //! records (deduplicated by job id); admit records, having served their
-//! forensic purpose for the previous epoch, are dropped. The rewrite
-//! goes through a temp file + rename so a crash during compaction
-//! leaves either the old or the new journal, never a half-written one.
+//! forensic purpose for the previous epoch, are dropped, while the
+//! current fencing epoch is re-journaled first so the compacted file
+//! stays self-describing. The rewrite goes through a temp file + rename
+//! so a crash during compaction leaves either the old or the new
+//! journal, never a half-written one.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::Write;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::fault::SvcFaultPlan;
 use crate::json::{obj, Value};
 use crate::protocol::{
     placement_from_value, placement_to_value, RankedPlacement, Request, Response,
 };
+
+/// Consecutive fsync failures tolerated before the journal degrades to
+/// read-only (each one is still counted and logged).
+pub const FSYNC_FAILURE_LIMIT: u32 = 3;
 
 /// When appended records are fsynced to disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,11 +133,17 @@ pub struct JournalConfig {
     /// Run records surviving compaction (bounds the completed-job index
     /// a replay rebuilds).
     pub retain_runs: usize,
+    /// Bump the fencing epoch at open: what a promoting standby sets so
+    /// the deposed primary's later appends are rejected.
+    pub promote: bool,
+    /// Deterministic fault injection (crash kill points, torn tails,
+    /// simulated fsync failures) for failover tests and rehearsals.
+    pub fault: Option<SvcFaultPlan>,
 }
 
 impl JournalConfig {
     /// Defaults: batched fsync, 8 MiB rotation threshold, 256 retained
-    /// records of each kind.
+    /// records of each kind, no promotion, no fault injection.
     pub fn new(path: impl Into<PathBuf>) -> JournalConfig {
         JournalConfig {
             path: path.into(),
@@ -108,6 +151,8 @@ impl JournalConfig {
             max_bytes: 8 << 20,
             retain_scores: 256,
             retain_runs: 256,
+            promote: false,
+            fault: None,
         }
     }
 }
@@ -131,6 +176,10 @@ pub struct JournalReplay {
     pub admit_tenants: HashMap<u64, String>,
     /// Torn or corrupt lines dropped.
     pub dropped: u64,
+    /// Fencing epoch in effect after open: the maximum of the sidecar
+    /// file and any journaled epoch records, plus one if the open
+    /// promoted.
+    pub epoch: u64,
 }
 
 /// One open co-scheduler reservation recovered by replay — the durable
@@ -159,7 +208,8 @@ pub struct ReplayedReservation {
 pub struct JournalStats {
     /// Records appended since open.
     pub appended: u64,
-    /// Appends that failed at the I/O layer (service kept running).
+    /// Appends that failed at the I/O layer or were rejected because
+    /// the journal degraded (service kept running).
     pub append_errors: u64,
     /// Current journal file size, bytes.
     pub bytes: u64,
@@ -171,20 +221,66 @@ pub struct JournalStats {
     pub replayed_runs: u64,
     /// Torn/corrupt lines the replay dropped.
     pub replay_dropped: u64,
+    /// Fsync calls that reported failure (counted, never swallowed).
+    pub fsync_errors: u64,
+    /// Corrupt interior lines copied to `<journal>.quarantine` at open.
+    pub quarantined: u64,
+    /// Current fencing epoch.
+    pub epoch: u64,
+    /// Appends rejected because a higher fencing epoch exists: this
+    /// handle belongs to a deposed primary.
+    pub fenced_appends: u64,
+    /// True once the journal stopped accepting appends — fenced by a
+    /// newer epoch, killed by a fault plan, or past
+    /// [`FSYNC_FAILURE_LIMIT`] consecutive fsync failures.
+    pub degraded: bool,
 }
 
-enum ParsedRecord {
-    Admit { job: u64, tenant: Option<String> },
-    Score { key: String, placements: Vec<RankedPlacement> },
-    Run { job: u64, response: Response },
+/// One decoded journal record, as replayed at open and streamed to
+/// followers ([`JournalFollower`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A request was admitted.
+    Admit {
+        /// Job id (the request id at admission).
+        job: u64,
+        /// Tenant tag, when the request carried one.
+        tenant: Option<String>,
+    },
+    /// A score ranking was evaluated and cached.
+    Score {
+        /// Score-cache key.
+        key: String,
+        /// The full ranking stored under the key.
+        placements: Vec<RankedPlacement>,
+    },
+    /// A run completed.
+    Run {
+        /// Job id.
+        job: u64,
+        /// The stored `RunResult` response.
+        response: Response,
+    },
+    /// A co-scheduler reservation opened.
     Reserve(ReplayedReservation),
-    Release { job: u64 },
+    /// A co-scheduler reservation closed.
+    Release {
+        /// Job id whose reservation closed.
+        job: u64,
+    },
+    /// The fencing epoch advanced (a standby promoted itself).
+    Epoch {
+        /// The new epoch value.
+        epoch: u64,
+    },
 }
 
 struct Inner {
     file: File,
     bytes: u64,
     since_sync: u32,
+    fsync_attempts: u64,
+    fsync_fail_streak: u32,
 }
 
 /// The append side of the journal (replay happens once, at
@@ -195,6 +291,11 @@ pub struct Journal {
     appended: AtomicU64,
     append_errors: AtomicU64,
     rotations: AtomicU64,
+    fsync_errors: AtomicU64,
+    fenced_appends: AtomicU64,
+    dead: AtomicBool,
+    epoch: u64,
+    quarantined: u64,
     replayed_scores: u64,
     replayed_runs: u64,
     replay_dropped: u64,
@@ -203,15 +304,43 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if absent) the journal at `config.path`, replays
     /// any existing records, and returns the append handle plus what
-    /// the replay recovered. A torn final line is dropped, not fatal.
+    /// the replay recovered. A torn final line is dropped, not fatal;
+    /// corrupt interior lines are quarantined and skipped. With
+    /// [`JournalConfig::promote`] set, the fencing epoch is bumped and
+    /// journaled before the handle is returned.
     pub fn open(config: JournalConfig) -> std::io::Result<(Journal, JournalReplay)> {
         let existing = match std::fs::read(&config.path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
-        let (records, dropped) = parse_records(&existing);
-        let replay = build_replay(records, dropped);
+        let parsed = parse_records(&existing);
+        let quarantined = parsed.corrupt.len() as u64;
+        if !parsed.corrupt.is_empty() {
+            match OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(quarantine_path(&config.path))
+            {
+                Ok(mut q) => {
+                    for line in &parsed.corrupt {
+                        let _ = writeln!(q, "{line}");
+                    }
+                    eprintln!(
+                        "svc journal: quarantined {} corrupt line(s) to {}",
+                        parsed.corrupt.len(),
+                        quarantine_path(&config.path).display()
+                    );
+                }
+                Err(e) => eprintln!("svc journal: cannot write quarantine file: {e}"),
+            }
+        }
+        let mut replay = build_replay(parsed.records, parsed.dropped);
+        let mut epoch = read_epoch(&config.path).max(replay.epoch);
+        if config.promote {
+            epoch += 1;
+            write_epoch(&config.path, epoch)?;
+        }
         let file = OpenOptions::new().create(true).append(true).open(&config.path)?;
         let mut bytes = file.metadata()?.len();
         // Seal a torn tail: everything past the last newline is a
@@ -224,16 +353,34 @@ impl Journal {
             file.set_len(sealed)?;
             bytes = sealed;
         }
+        let promote = config.promote;
         let journal = Journal {
-            inner: Mutex::new(Inner { file, bytes, since_sync: 0 }),
+            inner: Mutex::new(Inner {
+                file,
+                bytes,
+                since_sync: 0,
+                fsync_attempts: 0,
+                fsync_fail_streak: 0,
+            }),
             replayed_scores: replay.scores.len() as u64,
             replayed_runs: replay.runs.len() as u64,
             replay_dropped: replay.dropped,
             appended: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
+            fsync_errors: AtomicU64::new(0),
+            fenced_appends: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            epoch,
+            quarantined,
             config,
         };
+        if promote {
+            // Journal the new epoch so followers (and the next replay)
+            // learn it from the record stream, not just the sidecar.
+            journal.append_line(&epoch_record(epoch));
+        }
+        replay.epoch = epoch;
         Ok((journal, replay))
     }
 
@@ -271,6 +418,17 @@ impl Journal {
         self.append_line(&obj(vec![("rec", "release".into()), ("job", job.into())]));
     }
 
+    /// The fencing epoch this handle was opened under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True once the journal stopped accepting appends (fenced, killed
+    /// by a fault plan, or past the fsync failure limit).
+    pub fn is_degraded(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
     /// Current counters.
     pub fn stats(&self) -> JournalStats {
         JournalStats {
@@ -281,28 +439,103 @@ impl Journal {
             replayed_scores: self.replayed_scores,
             replayed_runs: self.replayed_runs,
             replay_dropped: self.replay_dropped,
+            fsync_errors: self.fsync_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined,
+            epoch: self.epoch,
+            fenced_appends: self.fenced_appends.load(Ordering::Relaxed),
+            degraded: self.dead.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Marks the journal read-only, loudly, exactly once.
+    fn degrade(&self, reason: &str) {
+        if !self.dead.swap(true, Ordering::SeqCst) {
+            eprintln!("svc journal: degraded to read-only: {reason}");
+        }
+    }
+
+    /// Runs one fsync, counting failures (real or fault-injected) and
+    /// degrading the journal after [`FSYNC_FAILURE_LIMIT`] consecutive
+    /// ones.
+    fn sync_data_locked(&self, inner: &mut Inner) {
+        inner.fsync_attempts += 1;
+        let injected =
+            self.config.fault.as_ref().is_some_and(|f| f.fsync_fails(inner.fsync_attempts));
+        let result = if injected {
+            Err(std::io::Error::other("injected fsync failure (fault plan)"))
+        } else {
+            inner.file.sync_data()
+        };
+        match result {
+            Ok(()) => inner.fsync_fail_streak = 0,
+            Err(e) => {
+                self.fsync_errors.fetch_add(1, Ordering::Relaxed);
+                inner.fsync_fail_streak += 1;
+                eprintln!("svc journal: fsync failed ({}x): {e}", inner.fsync_fail_streak);
+                if inner.fsync_fail_streak >= FSYNC_FAILURE_LIMIT {
+                    self.degrade(&format!(
+                        "{} consecutive fsync failures — appended records are no longer durable",
+                        inner.fsync_fail_streak
+                    ));
+                }
+            }
         }
     }
 
     fn append_line(&self, record: &Value) {
-        let mut line = record.to_json();
+        if self.dead.load(Ordering::Relaxed) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Fencing: a higher epoch in the sidecar means a standby
+        // promoted over us. Refuse the write — a deposed primary must
+        // never extend a journal the new primary now owns.
+        let disk_epoch = read_epoch(&self.config.path);
+        if disk_epoch > self.epoch {
+            self.fenced_appends.fetch_add(1, Ordering::Relaxed);
+            self.degrade(&format!(
+                "fenced: epoch {} on disk exceeds this handle's epoch {}",
+                disk_epoch, self.epoch
+            ));
+            return;
+        }
+        let mut line = sealed_line(record);
         line.push('\n');
         let mut inner = self.inner.lock().expect("journal lock");
+        // Re-check under the lock: a concurrent append may have tripped
+        // the crash fault (leaving an unterminated torn fragment) while
+        // we waited — writing now would merge into that fragment.
+        if self.dead.load(Ordering::Relaxed) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if let Err(e) = inner.file.write_all(line.as_bytes()) {
             self.append_errors.fetch_add(1, Ordering::Relaxed);
             eprintln!("svc journal: append failed: {e}");
             return;
         }
         inner.bytes += line.len() as u64;
-        self.appended.fetch_add(1, Ordering::Relaxed);
-        match self.config.fsync {
-            FsyncPolicy::PerRecord => {
+        let appended = self.appended.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(fault) = &self.config.fault {
+            if fault.crash_after_append.is_some_and(|n| appended >= n) {
+                if fault.torn_tail {
+                    let fragment = fault.torn_fragment();
+                    let _ = inner.file.write_all(fragment.as_bytes());
+                    inner.bytes += fragment.len() as u64;
+                }
+                // Flush the crash image so a follower sees exactly what
+                // a real kill -9 would have left on disk.
                 let _ = inner.file.sync_data();
+                self.degrade(&format!("fault-plan crash after record {appended}"));
+                return;
             }
+        }
+        match self.config.fsync {
+            FsyncPolicy::PerRecord => self.sync_data_locked(&mut inner),
             FsyncPolicy::Batched(n) => {
                 inner.since_sync += 1;
                 if inner.since_sync >= n.max(1) {
-                    let _ = inner.file.sync_data();
+                    self.sync_data_locked(&mut inner);
                     inner.since_sync = 0;
                 }
             }
@@ -319,26 +552,32 @@ impl Journal {
     /// `retain_runs` records of each kind (deduplicated, last write
     /// wins), drop admit records, rewrite through a temp file + rename.
     fn rotate_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
-        let _ = inner.file.sync_data();
+        self.sync_data_locked(inner);
         let existing = std::fs::read(&self.config.path)?;
-        let (records, _dropped) = parse_records(&existing);
-        let replay = build_replay(records, 0);
+        let parsed = parse_records(&existing);
+        let replay = build_replay(parsed.records, 0);
         let mut compacted = String::new();
+        // Re-journal the fencing epoch first so the compacted file is
+        // self-describing without the sidecar.
+        if self.epoch > 0 {
+            compacted.push_str(&sealed_line(&epoch_record(self.epoch)));
+            compacted.push('\n');
+        }
         let skip = replay.scores.len().saturating_sub(self.config.retain_scores);
         for (key, placements) in replay.scores.iter().skip(skip) {
-            compacted.push_str(&score_record(key, placements).to_json());
+            compacted.push_str(&sealed_line(&score_record(key, placements)));
             compacted.push('\n');
         }
         let skip = replay.runs.len().saturating_sub(self.config.retain_runs);
         for (job, response) in replay.runs.iter().skip(skip) {
-            compacted.push_str(&run_record(*job, response).to_json());
+            compacted.push_str(&sealed_line(&run_record(*job, response)));
             compacted.push('\n');
         }
         // Open reservations are live capacity commitments — every one
         // survives compaction, uncapped (bounded in practice by the
         // co-scheduler's own admission queue).
         for reservation in &replay.reservations {
-            compacted.push_str(&reserve_record(reservation).to_json());
+            compacted.push_str(&sealed_line(&reserve_record(reservation)));
             compacted.push('\n');
         }
         let tmp = self.config.path.with_extension("journal-compact");
@@ -358,10 +597,176 @@ impl Journal {
 
 impl Drop for Journal {
     fn drop(&mut self) {
-        if let Ok(inner) = self.inner.lock() {
-            let _ = inner.file.sync_data();
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Ok(mut inner) = self.inner.lock() {
+            self.sync_data_locked(&mut inner);
         }
     }
+}
+
+/// Follows a journal file as it grows: the live tail that feeds a warm
+/// standby or a replication stream. Poll-driven and read-only — the
+/// follower never takes the journal lock, so it can run in another
+/// thread or another process (shared-filesystem deployments).
+pub struct JournalFollower {
+    path: PathBuf,
+    file: Option<File>,
+    file_id: u64,
+    offset: u64,
+    partial: Vec<u8>,
+}
+
+/// What [`JournalFollower::poll`] observed since the previous poll.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FollowEvent {
+    /// One intact record appended: the raw line exactly as on disk
+    /// (checksum included, newline stripped) and its decoded form.
+    Record {
+        /// The raw journal line.
+        line: String,
+        /// The decoded record.
+        record: JournalRecord,
+    },
+    /// The journal rotated, compacted, or truncated underneath the
+    /// follower. All state derived from earlier `Record` events must be
+    /// discarded: subsequent events re-stream the file from the top.
+    Reset,
+    /// A complete line failed its checksum or did not parse.
+    Corrupt {
+        /// The corrupt raw line.
+        line: String,
+    },
+}
+
+impl JournalFollower {
+    /// Starts following the journal at `path` from the beginning. The
+    /// file does not need to exist yet.
+    pub fn new(path: impl Into<PathBuf>) -> JournalFollower {
+        JournalFollower {
+            path: path.into(),
+            file: None,
+            file_id: 0,
+            offset: 0,
+            partial: Vec::new(),
+        }
+    }
+
+    /// Bytes consumed from the currently-open journal file.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads everything appended since the last poll. An unterminated
+    /// final line (a record the primary is mid-append on, or a torn
+    /// crash tail) is buffered, not emitted — it completes on a later
+    /// poll or disappears with a [`FollowEvent::Reset`].
+    pub fn poll(&mut self) -> std::io::Result<Vec<FollowEvent>> {
+        let mut events = Vec::new();
+        let meta = match std::fs::metadata(&self.path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if self.file.take().is_some() {
+                    self.reset_state();
+                    events.push(FollowEvent::Reset);
+                }
+                return Ok(events);
+            }
+            Err(e) => return Err(e),
+        };
+        if self.file.is_some() && (file_id(&meta) != self.file_id || meta.len() < self.offset) {
+            // Rotation (rename swapped a compacted file in, changing
+            // the inode) or truncation (a promote sealed a torn tail):
+            // either way our offset is meaningless now.
+            self.file = None;
+            self.reset_state();
+            events.push(FollowEvent::Reset);
+        }
+        if self.file.is_none() {
+            let file = match File::open(&self.path) {
+                Ok(f) => f,
+                // Raced a rename; pick the new file up next poll.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(events),
+                Err(e) => return Err(e),
+            };
+            self.file_id = file_id(&file.metadata()?);
+            self.file = Some(file);
+        }
+        let file = self.file.as_mut().expect("follower file open");
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        self.offset += buf.len() as u64;
+        self.partial.extend_from_slice(&buf);
+        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=pos).collect();
+            let line = &line[..line.len() - 1];
+            if line.iter().all(u8::is_ascii_whitespace) {
+                continue;
+            }
+            let text = String::from_utf8_lossy(line).into_owned();
+            match decode_line(line) {
+                Some(record) => events.push(FollowEvent::Record { line: text, record }),
+                None => events.push(FollowEvent::Corrupt { line: text }),
+            }
+        }
+        Ok(events)
+    }
+
+    fn reset_state(&mut self) {
+        self.file_id = 0;
+        self.offset = 0;
+        self.partial.clear();
+    }
+}
+
+#[cfg(unix)]
+fn file_id(meta: &std::fs::Metadata) -> u64 {
+    use std::os::unix::fs::MetadataExt;
+    meta.ino()
+}
+
+#[cfg(not(unix))]
+fn file_id(_meta: &std::fs::Metadata) -> u64 {
+    // Without inodes, rotation is detected by length shrink alone.
+    0
+}
+
+/// The fencing-epoch sidecar path for a journal (`<journal>.epoch`).
+fn epoch_path(journal_path: &Path) -> PathBuf {
+    sibling(journal_path, ".epoch")
+}
+
+/// The quarantine file path for a journal (`<journal>.quarantine`).
+fn quarantine_path(journal_path: &Path) -> PathBuf {
+    sibling(journal_path, ".quarantine")
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// Reads the fencing epoch recorded beside the journal at
+/// `journal_path` (0 when no epoch was ever written).
+pub fn read_epoch(journal_path: &Path) -> u64 {
+    std::fs::read_to_string(epoch_path(journal_path))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn write_epoch(journal_path: &Path, epoch: u64) -> std::io::Result<()> {
+    let target = epoch_path(journal_path);
+    let tmp = sibling(journal_path, ".epoch-next");
+    {
+        let mut out = File::create(&tmp)?;
+        writeln!(out, "{epoch}")?;
+        out.sync_data()?;
+    }
+    std::fs::rename(&tmp, &target)
 }
 
 fn score_record(key: &str, placements: &[RankedPlacement]) -> Value {
@@ -374,6 +779,10 @@ fn score_record(key: &str, placements: &[RankedPlacement]) -> Value {
 
 fn run_record(job: u64, response: &Response) -> Value {
     obj(vec![("rec", "run".into()), ("job", job.into()), ("response", response.to_value())])
+}
+
+fn epoch_record(epoch: u64) -> Value {
+    obj(vec![("rec", "epoch".into()), ("epoch", epoch.into())])
 }
 
 fn reserve_record(r: &ReplayedReservation) -> Value {
@@ -407,11 +816,90 @@ fn reserve_record(r: &ReplayedReservation) -> Value {
     obj(fields)
 }
 
+// ---- checksum sealing ------------------------------------------------
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) over the concatenation of `parts`.
+fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut c = u32::MAX;
+    for part in parts {
+        for &b in *part {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// Renders a record with its CRC32 seal appended as the final `"crc"`
+/// field: `{...,"crc":"xxxxxxxx"}`. The checksum covers the record
+/// bytes *without* the seal, so verification is a byte-exact strip,
+/// restore-the-brace, recompute.
+fn sealed_line(record: &Value) -> String {
+    let json = record.to_json();
+    let body = json.strip_suffix('}').expect("journal records are JSON objects");
+    let crc = crc32_parts(&[json.as_bytes()]);
+    format!("{body},\"crc\":\"{crc:08x}\"}}")
+}
+
+const CRC_TAG: &str = ",\"crc\":\"";
+
+/// Verifies a line's trailing checksum. Lines without one (pre-HA
+/// journals) pass; parsing decides their fate.
+fn crc_valid(text: &str) -> bool {
+    match text.rfind(CRC_TAG) {
+        // 10 = 8 hex digits + closing `"}`.
+        Some(p) if text.len() == p + CRC_TAG.len() + 10 && text.ends_with("\"}") => {
+            let hex = &text[p + CRC_TAG.len()..text.len() - 2];
+            match u32::from_str_radix(hex, 16) {
+                Ok(want) => crc32_parts(&[text[..p].as_bytes(), b"}"]) == want,
+                Err(_) => false,
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Decodes one complete journal line: checksum check, then parse.
+/// `None` means the line is corrupt (flip, tear, or unknown shape).
+/// Decodes one complete journal line (checksum verified, then parsed).
+/// `None` means the line is corrupt or not a known record kind —
+/// exactly the lines replay quarantines. Standbys use this to apply
+/// lines streamed over a replication connection.
+pub fn decode_line(line: &[u8]) -> Option<JournalRecord> {
+    let text = std::str::from_utf8(line).ok()?;
+    if !crc_valid(text) {
+        return None;
+    }
+    parse_record(line)
+}
+
+struct ParsedLines {
+    records: Vec<JournalRecord>,
+    dropped: u64,
+    /// Complete lines that failed their checksum or did not parse —
+    /// quarantine candidates (the torn tail is sealed instead).
+    corrupt: Vec<String>,
+}
+
 /// Splits `bytes` into newline-terminated records, dropping (and
 /// counting) corrupt lines and the torn unterminated tail.
-fn parse_records(bytes: &[u8]) -> (Vec<ParsedRecord>, u64) {
-    let mut records = Vec::new();
-    let mut dropped = 0u64;
+fn parse_records(bytes: &[u8]) -> ParsedLines {
+    let mut out = ParsedLines { records: Vec::new(), dropped: 0, corrupt: Vec::new() };
     let mut start = 0usize;
     while let Some(pos) = bytes[start..].iter().position(|&b| b == b'\n') {
         let line = &bytes[start..start + pos];
@@ -419,19 +907,22 @@ fn parse_records(bytes: &[u8]) -> (Vec<ParsedRecord>, u64) {
         if line.iter().all(u8::is_ascii_whitespace) {
             continue;
         }
-        match parse_record(line) {
-            Some(r) => records.push(r),
-            None => dropped += 1,
+        match decode_line(line) {
+            Some(r) => out.records.push(r),
+            None => {
+                out.dropped += 1;
+                out.corrupt.push(String::from_utf8_lossy(line).into_owned());
+            }
         }
     }
     // No trailing newline: the final append was interrupted. Drop it.
     if !bytes[start..].iter().all(u8::is_ascii_whitespace) {
-        dropped += 1;
+        out.dropped += 1;
     }
-    (records, dropped)
+    out
 }
 
-fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
+fn parse_record(line: &[u8]) -> Option<JournalRecord> {
     let text = std::str::from_utf8(line).ok()?;
     let v = Value::parse(text).ok()?;
     match v.get("rec")?.as_str()? {
@@ -445,7 +936,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
                 Some(t) => Some(t.as_str()?.to_string()),
                 None => request.tenant,
             };
-            Some(ParsedRecord::Admit { job, tenant })
+            Some(JournalRecord::Admit { job, tenant })
         }
         "score" => {
             let key = v.get("key")?.as_str()?.to_string();
@@ -456,7 +947,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
                 .map(placement_from_value)
                 .collect::<Result<Vec<_>, _>>()
                 .ok()?;
-            Some(ParsedRecord::Score { key, placements })
+            Some(JournalRecord::Score { key, placements })
         }
         "run" => {
             let job = v.get("job")?.as_u64()?;
@@ -464,7 +955,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
             // Only completed run results are attachable; anything else
             // in a run record is corruption.
             matches!(response, Response::RunResult { .. }).then_some(())?;
-            Some(ParsedRecord::Run { job, response })
+            Some(JournalRecord::Run { job, response })
         }
         "reserve" => {
             let job = v.get("job")?.as_u64()?;
@@ -500,7 +991,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
             // analysis), cannot rebuild a residency entry: corruption.
             let slots: usize = members.iter().map(|(_, anas)| 1 + anas.len()).sum();
             (!members.is_empty() && slots == assignment.len()).then_some(())?;
-            Some(ParsedRecord::Reserve(ReplayedReservation {
+            Some(JournalRecord::Reserve(ReplayedReservation {
                 job,
                 members,
                 assignment,
@@ -509,7 +1000,8 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
                 tenant,
             }))
         }
-        "release" => Some(ParsedRecord::Release { job: v.get("job")?.as_u64()? }),
+        "release" => Some(JournalRecord::Release { job: v.get("job")?.as_u64()? }),
+        "epoch" => Some(JournalRecord::Epoch { epoch: v.get("epoch")?.as_u64()? }),
         _ => None,
     }
 }
@@ -517,7 +1009,7 @@ fn parse_record(line: &[u8]) -> Option<ParsedRecord> {
 /// Collapses records to their newest occurrence per key/job while
 /// preserving chronological order (so FIFO cache warm-up keeps the
 /// newest entries when over capacity).
-fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
+fn build_replay(records: Vec<JournalRecord>, dropped: u64) -> JournalReplay {
     let mut replay = JournalReplay { dropped, ..JournalReplay::default() };
     let mut score_slot: HashMap<String, usize> = HashMap::new();
     let mut run_slot: HashMap<u64, usize> = HashMap::new();
@@ -527,38 +1019,39 @@ fn build_replay(records: Vec<ParsedRecord>, dropped: u64) -> JournalReplay {
     let mut resvs: Vec<Option<ReplayedReservation>> = Vec::new();
     for record in records {
         match record {
-            ParsedRecord::Admit { job, tenant } => {
+            JournalRecord::Admit { job, tenant } => {
                 replay.admits += 1;
                 if let Some(tenant) = tenant {
                     replay.admit_tenants.insert(job, tenant);
                 }
             }
-            ParsedRecord::Score { key, placements } => {
+            JournalRecord::Score { key, placements } => {
                 if let Some(&old) = score_slot.get(&key) {
                     scores[old] = None;
                 }
                 score_slot.insert(key.clone(), scores.len());
                 scores.push(Some((key, placements)));
             }
-            ParsedRecord::Run { job, response } => {
+            JournalRecord::Run { job, response } => {
                 if let Some(&old) = run_slot.get(&job) {
                     runs[old] = None;
                 }
                 run_slot.insert(job, runs.len());
                 runs.push(Some((job, response)));
             }
-            ParsedRecord::Reserve(r) => {
+            JournalRecord::Reserve(r) => {
                 if let Some(&old) = resv_slot.get(&r.job) {
                     resvs[old] = None;
                 }
                 resv_slot.insert(r.job, resvs.len());
                 resvs.push(Some(r));
             }
-            ParsedRecord::Release { job } => {
+            JournalRecord::Release { job } => {
                 if let Some(old) = resv_slot.remove(&job) {
                     resvs[old] = None;
                 }
             }
+            JournalRecord::Epoch { epoch } => replay.epoch = replay.epoch.max(epoch),
         }
     }
     replay.scores = scores.into_iter().flatten().collect();
@@ -575,8 +1068,14 @@ mod tests {
     fn temp_path(name: &str) -> PathBuf {
         let path = std::env::temp_dir()
             .join(format!("svc-journal-unit-{}-{name}.jsonl", std::process::id()));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         path
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(epoch_path(path));
+        let _ = std::fs::remove_file(quarantine_path(path));
     }
 
     fn ranking(objective: f64) -> Vec<RankedPlacement> {
@@ -623,7 +1122,7 @@ mod tests {
         assert_eq!(replay.runs[0].1, run_result(7));
         assert_eq!(journal.stats().replayed_scores, 2);
         assert_eq!(journal.stats().replayed_runs, 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -640,7 +1139,7 @@ mod tests {
         assert_eq!(replay.scores.len(), 1);
         assert_eq!(replay.scores[0].1[0].objective.to_bits(), 0.9f64.to_bits());
         assert_eq!(replay.runs.len(), 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -651,7 +1150,6 @@ mod tests {
             journal.append_score("whole", &ranking(0.5));
         }
         // Simulate a crash mid-append: a final line with no newline.
-        use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"{\"rec\":\"score\",\"key\":\"torn").unwrap();
         drop(f);
@@ -660,6 +1158,7 @@ mod tests {
         assert_eq!(replay.scores[0].0, "whole");
         assert_eq!(replay.dropped, 1, "torn tail dropped, not fatal");
         assert_eq!(journal.stats().replay_dropped, 1);
+        assert_eq!(journal.stats().quarantined, 0, "a torn tail is sealed, not quarantined");
         // Open sealed the tear (truncated to the last newline), so the
         // next append starts a fresh line instead of merging into the
         // fragment and corrupting itself.
@@ -669,7 +1168,7 @@ mod tests {
         assert_eq!(replay.dropped, 0, "the fragment was physically removed at the previous open");
         assert!(replay.scores.iter().any(|(k, _)| k == "whole"));
         assert!(replay.scores.iter().any(|(k, _)| k == "after-tear"));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -679,7 +1178,6 @@ mod tests {
             let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
             journal.append_score("a", &ranking(0.5));
         }
-        use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"not json at all\n{\"rec\":\"mystery\"}\n").unwrap();
         drop(f);
@@ -690,7 +1188,49 @@ mod tests {
         let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
         assert_eq!(replay.scores.len(), 2);
         assert_eq!(replay.dropped, 2);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn bit_flipped_record_is_quarantined_not_fatal() {
+        let path = temp_path("bitflip");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+            journal.append_score("victim", &ranking(0.5));
+            journal.append_score("innocent", &ranking(0.7));
+            journal.append_run(9, &run_result(9));
+        }
+        // Flip one bit inside the first record's key. The line is
+        // still perfectly valid JSON — only the checksum can tell.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.windows(6).position(|w| w == b"victim").unwrap();
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (journal, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.dropped, 1, "the flipped record is dropped");
+        assert_eq!(journal.stats().quarantined, 1, "…and quarantined");
+        assert_eq!(replay.scores.len(), 1, "records after the bad line survive");
+        assert_eq!(replay.scores[0].0, "innocent");
+        assert_eq!(replay.runs.len(), 1, "replay was not truncated at the corruption");
+        let quarantine = std::fs::read_to_string(quarantine_path(&path)).unwrap();
+        assert!(quarantine.contains("wictim") || quarantine.contains("uictim"),
+            "the corrupt line landed in the quarantine file: {quarantine}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn legacy_lines_without_checksum_still_replay() {
+        let path = temp_path("legacy");
+        let mut f = OpenOptions::new().create(true).append(true).open(&path).unwrap();
+        // A pre-HA journal line: no "crc" field at all.
+        writeln!(f, "{}", score_record("old", &ranking(0.3)).to_json()).unwrap();
+        drop(f);
+        let (journal, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.dropped, 0);
+        assert_eq!(replay.scores.len(), 1);
+        assert_eq!(replay.scores[0].0, "old");
+        assert_eq!(journal.stats().quarantined, 0);
+        cleanup(&path);
     }
 
     #[test]
@@ -721,7 +1261,7 @@ mod tests {
         assert!(!replay.scores.iter().any(|(k, _)| k == "key-0"), "oldest score compacted away");
         assert!(replay.scores.iter().any(|(k, _)| k == "key-199"), "newest score survives");
         assert!(replay.runs.iter().any(|(j, _)| *j == 199), "newest run survives");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     fn reservation(job: u64, seq: u64) -> ReplayedReservation {
@@ -753,7 +1293,7 @@ mod tests {
         let open: Vec<u64> = replay.reservations.iter().map(|r| r.job).collect();
         assert_eq!(open, vec![2, 3], "only unreleased reservations survive replay");
         assert_eq!(replay.reservations[0], reservation(2, 2), "fields roundtrip exactly");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -778,7 +1318,7 @@ mod tests {
             vec![1],
             "the open reservation survives compaction; the released pairs are gone"
         );
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -791,11 +1331,12 @@ mod tests {
         journal.append_score("k", &ranking(0.5));
         assert_eq!(journal.stats().appended, 2);
         assert_eq!(journal.stats().append_errors, 0);
+        assert_eq!(journal.stats().fsync_errors, 0);
         drop(journal);
         let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
         assert_eq!(replay.admits, 1);
         assert_eq!(replay.scores.len(), 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -814,7 +1355,6 @@ mod tests {
         let mut with_tenant = legacy.clone();
         with_tenant.tenant = Some("legacy-t".into());
         let v1_line = obj(vec![("rec", "admit".into()), ("request", with_tenant.to_value())]);
-        use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         writeln!(f, "{}", v1_line.to_json()).unwrap();
         drop(f);
@@ -828,7 +1368,7 @@ mod tests {
             Some("legacy-t"),
             "v1 records recover tenant from the embedded request"
         );
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -854,6 +1394,230 @@ mod tests {
         let open: Vec<(u64, Option<&str>)> =
             replay.reservations.iter().map(|r| (r.job, r.tenant.as_deref())).collect();
         assert_eq!(open, vec![(1, Some("batch")), (2, None)]);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn promote_bumps_epoch_and_fences_the_deposed_handle() {
+        let path = temp_path("fence");
+        let (old_primary, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+        old_primary.append_score("before", &ranking(0.5));
+        assert_eq!(old_primary.epoch(), 0);
+
+        // A standby promotes over the same journal: epoch bumps to 1.
+        let mut promote = JournalConfig::new(&path);
+        promote.promote = true;
+        let (new_primary, replay) = Journal::open(promote).unwrap();
+        assert_eq!(new_primary.epoch(), 1);
+        assert_eq!(replay.epoch, 1);
+        assert_eq!(read_epoch(&path), 1);
+
+        // The deposed primary's late append is rejected, loudly.
+        old_primary.append_score("split-brain", &ranking(0.9));
+        let stats = old_primary.stats();
+        assert_eq!(stats.fenced_appends, 1, "the late append was fenced");
+        assert_eq!(stats.appended, 1, "only the pre-fence record ever landed");
+        assert!(stats.degraded, "a fenced journal degrades to read-only");
+        // Further appends are rejected without touching the fence.
+        old_primary.append_score("again", &ranking(0.9));
+        assert_eq!(old_primary.stats().append_errors, 1);
+
+        // The new primary writes fine, and the file never saw the
+        // deposed handle's records.
+        new_primary.append_score("after", &ranking(0.7));
+        drop(new_primary);
+        drop(old_primary);
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.epoch, 1);
+        assert!(replay.scores.iter().any(|(k, _)| k == "before"));
+        assert!(replay.scores.iter().any(|(k, _)| k == "after"));
+        assert!(
+            !replay.scores.iter().any(|(k, _)| k == "split-brain"),
+            "no divergence: the fenced append never reached the file"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn epoch_survives_rotation_via_rejournaled_record() {
+        let path = temp_path("epoch-rotate");
+        let mut config = JournalConfig::new(&path);
+        config.promote = true;
+        config.max_bytes = 4096;
+        config.retain_scores = 2;
+        let (journal, _) = Journal::open(config).unwrap();
+        for i in 0..100 {
+            journal.append_score(&format!("key-{i}"), &ranking(i as f64));
+        }
+        assert!(journal.stats().rotations >= 1);
+        drop(journal);
+        // Even with the sidecar gone, the compacted file re-declares
+        // its epoch.
+        let _ = std::fs::remove_file(epoch_path(&path));
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.epoch, 1, "compaction re-journals the epoch record");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn fault_plan_fsync_failures_degrade_the_journal_loudly() {
+        let path = temp_path("fsync-fault");
+        let mut config = JournalConfig::new(&path);
+        config.fsync = FsyncPolicy::PerRecord;
+        config.fault =
+            Some(SvcFaultPlan { fail_fsync_after: Some(0), ..SvcFaultPlan::default() });
+        let (journal, _) = Journal::open(config).unwrap();
+        for i in 0..5 {
+            journal.append_score(&format!("k{i}"), &ranking(0.5));
+        }
+        let stats = journal.stats();
+        assert_eq!(
+            stats.fsync_errors,
+            u64::from(FSYNC_FAILURE_LIMIT),
+            "every failed fsync is counted until the journal degrades"
+        );
+        assert!(stats.degraded, "repeated fsync failures degrade to read-only");
+        assert_eq!(
+            stats.appended,
+            u64::from(FSYNC_FAILURE_LIMIT),
+            "appends stop once degraded"
+        );
+        assert_eq!(stats.append_errors, 5 - u64::from(FSYNC_FAILURE_LIMIT));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn fault_plan_crash_kills_at_a_deterministic_offset() {
+        let path = temp_path("crash-fault");
+        let mut config = JournalConfig::new(&path);
+        config.fault = Some(SvcFaultPlan {
+            seed: 7,
+            crash_after_append: Some(2),
+            torn_tail: true,
+            ..SvcFaultPlan::default()
+        });
+        let (journal, _) = Journal::open(config).unwrap();
+        journal.append_score("one", &ranking(0.1));
+        journal.append_score("two", &ranking(0.2));
+        journal.append_score("never", &ranking(0.3));
+        let stats = journal.stats();
+        assert!(stats.degraded, "the fault plan killed the journal");
+        assert_eq!(stats.appended, 2, "exactly the pre-crash records landed");
+        drop(journal);
+        // The crash image replays like a real kill -9: two records plus
+        // a torn tail, sealed at the next open.
+        let (_, replay) = Journal::open(JournalConfig::new(&path)).unwrap();
+        assert_eq!(replay.scores.len(), 2);
+        assert_eq!(replay.dropped, 1, "the torn fragment is dropped");
+        assert!(!replay.scores.iter().any(|(k, _)| k == "never"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn follower_streams_appends_live() {
+        let path = temp_path("follow");
+        let mut follower = JournalFollower::new(&path);
+        assert!(follower.poll().unwrap().is_empty(), "no file yet: no events");
+        let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+        journal.append_score("k1", &ranking(0.5));
+        journal.append_run(7, &run_result(7));
+        let events = follower.poll().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "k1"));
+        assert!(matches!(&events[1], FollowEvent::Record { record: JournalRecord::Run { job: 7, .. }, .. }));
+        assert!(follower.poll().unwrap().is_empty(), "nothing new: no events");
+        journal.append_release(3);
+        let events = follower.poll().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Release { job: 3 }, .. }));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn follower_buffers_an_incomplete_final_line() {
+        let path = temp_path("follow-partial");
+        std::fs::write(&path, b"").unwrap();
+        let mut follower = JournalFollower::new(&path);
+        assert!(follower.poll().unwrap().is_empty());
+        // A record arrives in two chunks, as a slow writer would
+        // produce it.
+        let line = sealed_line(&score_record("split", &ranking(0.5)));
+        let (head, tail) = line.split_at(10);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(head.as_bytes()).unwrap();
+        f.sync_data().unwrap();
+        assert!(follower.poll().unwrap().is_empty(), "half a line is not an event");
+        f.write_all(tail.as_bytes()).unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        let events = follower.poll().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "split"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn follower_signals_reset_on_rotation_and_restreams() {
+        let path = temp_path("follow-rotate");
+        let mut config = JournalConfig::new(&path);
+        config.max_bytes = 4096;
+        config.retain_scores = 4;
+        config.retain_runs = 2;
+        let (journal, _) = Journal::open(config).unwrap();
+        let mut follower = JournalFollower::new(&path);
+        journal.append_score("early", &ranking(0.5));
+        assert_eq!(follower.poll().unwrap().len(), 1);
+        for i in 0..200 {
+            journal.append_score(&format!("key-{i}"), &ranking(i as f64));
+        }
+        assert!(journal.stats().rotations >= 1, "rotation must have triggered");
+        let events = follower.poll().unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, FollowEvent::Reset)),
+            "the follower noticed the rotation"
+        );
+        let after_reset: Vec<&FollowEvent> = events
+            .iter()
+            .skip_while(|e| !matches!(e, FollowEvent::Reset))
+            .skip(1)
+            .collect();
+        assert!(
+            after_reset.iter().any(|e| matches!(
+                e,
+                FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "key-199"
+            )),
+            "after the reset the compacted file streams from the top"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn follower_flags_corrupt_lines() {
+        let path = temp_path("follow-corrupt");
+        let (journal, _) = Journal::open(JournalConfig::new(&path)).unwrap();
+        journal.append_score("good", &ranking(0.5));
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"rec\":\"score\",\"key\":\"flipped\",\"crc\":\"00000000\"}\n").unwrap();
+        drop(f);
+        let mut follower = JournalFollower::new(&path);
+        let events = follower.poll().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], FollowEvent::Record { .. }));
+        assert!(matches!(&events[1], FollowEvent::Corrupt { .. }));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checksum_seal_and_verify_are_byte_exact() {
+        let record = score_record("k", &ranking(0.123456789));
+        let line = sealed_line(&record);
+        assert!(crc_valid(&line));
+        assert!(decode_line(line.as_bytes()).is_some());
+        // Any single-byte change breaks the seal.
+        let mut tampered = line.clone().into_bytes();
+        let mid = tampered.len() / 2;
+        tampered[mid] ^= 0x02;
+        let tampered = String::from_utf8(tampered).unwrap();
+        assert!(!crc_valid(&tampered) || Value::parse(&tampered).is_err());
     }
 }

@@ -30,6 +30,14 @@
 //! index behind the `attach { job }` request, so clients re-fetch
 //! results produced by a previous process.
 //!
+//! The journal is also the replication substrate: a [`standby`]
+//! follows it live (over a shared filesystem or a `replicate` TCP
+//! stream), keeps a warm image, and — when the primary's heartbeats
+//! stop — promotes itself by bumping the journal's fencing epoch, so a
+//! deposed primary's late appends are rejected instead of forking
+//! history. Deterministic fault schedules ([`fault::SvcFaultPlan`])
+//! drive the failover tests.
+//!
 //! The wire codec is the crate's own minimal [`json`] module, so the
 //! protocol stays functional in build environments where `serde_json`
 //! is stubbed out.
@@ -39,27 +47,32 @@
 pub mod cache;
 pub mod client;
 pub mod fair;
+pub mod fault;
 pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod standby;
 pub mod stats;
 
 pub use cache::ScoreCache;
-pub use client::{RetryPolicy as ClientRetryPolicy, SvcClient};
+pub use client::{FailoverClient, FailoverPolicy, RetryPolicy as ClientRetryPolicy, SvcClient};
 pub use fair::{FairQueue, TenantPolicy};
+pub use fault::SvcFaultPlan;
 pub use journal::{
-    FsyncPolicy, Journal, JournalConfig, JournalReplay, JournalStats, ReplayedReservation,
+    read_epoch, FollowEvent, FsyncPolicy, Journal, JournalConfig, JournalFollower, JournalRecord,
+    JournalReplay, JournalStats, ReplayedReservation, FSYNC_FAILURE_LIMIT,
 };
 pub use protocol::{
     ErrorKind, Frame, MemberSummary, Progress, ProgressBody, ProgressSpec, RankedPlacement,
     Request, RequestBody, Response, RunRequest, ScoreRequest, SubmitRequest, Workloads,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use server::{serve, ServerHandle};
+pub use server::{heartbeat_path, serve, ServerHandle, REPL_HEARTBEAT};
 pub use service::{
     small_score_request, CancelToken, CoschedSvcConfig, Pending, Rejected, Service, SvcConfig,
 };
+pub use standby::{Standby, StandbyConfig, StandbySource, StandbyStatus, DEAD_AFTER_BEATS};
 pub use stats::{LatencyHistogram, MetricsSnapshot, SvcStats, TenantRow};

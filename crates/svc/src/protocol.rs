@@ -120,6 +120,11 @@ pub enum RequestBody {
     },
     /// Metrics snapshot (served out-of-band, never queued).
     Metrics,
+    /// Open a replication stream: the server tails its journal and
+    /// streams every record (plus heartbeats carrying the fencing
+    /// epoch) over this connection until the client hangs up. Served
+    /// out-of-band by the connection's own thread, never queued.
+    Replicate,
 }
 
 /// Opt-in request for interim `progress` frames ahead of the final
@@ -203,6 +208,9 @@ pub enum ErrorKind {
     NotFound,
     /// The service is shutting down and no longer admits work.
     ShuttingDown,
+    /// The service is a warm standby: it serves read-only requests
+    /// (`metrics`, `attach`) but does not admit work until promoted.
+    Standby,
 }
 
 impl ErrorKind {
@@ -216,6 +224,7 @@ impl ErrorKind {
             ErrorKind::Internal => "internal",
             ErrorKind::NotFound => "not_found",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Standby => "standby",
         }
     }
 
@@ -228,6 +237,7 @@ impl ErrorKind {
             "internal" => ErrorKind::Internal,
             "not_found" => ErrorKind::NotFound,
             "shutting_down" => ErrorKind::ShuttingDown,
+            "standby" => ErrorKind::Standby,
             _ => return None,
         })
     }
@@ -463,6 +473,10 @@ impl Request {
                 fields.push(("type", "metrics".into()));
                 fields.push(("id", self.id.into()));
             }
+            RequestBody::Replicate => {
+                fields.push(("type", "replicate".into()));
+                fields.push(("id", self.id.into()));
+            }
         }
         if let Some(d) = self.deadline {
             fields.push(("deadline_ms", (d.as_millis() as u64).into()));
@@ -523,6 +537,7 @@ impl Request {
         };
         let body = match kind {
             "metrics" => RequestBody::Metrics,
+            "replicate" => RequestBody::Replicate,
             "attach" => RequestBody::Attach { job: u64_field(v, "job")? },
             "score" => {
                 let members =

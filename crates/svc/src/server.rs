@@ -18,10 +18,13 @@
 
 use std::io::{ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::journal::{FollowEvent, JournalFollower};
+use crate::json::{obj, Value};
 use crate::protocol::{ErrorKind, Frame, Request, RequestBody, Response};
 use crate::service::{Pending, Service, SvcConfig};
 
@@ -29,11 +32,30 @@ use crate::service::{Pending, Service, SvcConfig};
 const READ_POLL: Duration = Duration::from_millis(50);
 /// A request line longer than this is refused as malformed.
 const MAX_LINE_BYTES: usize = 1 << 20;
+/// Cadence of replication heartbeat frames and of the primary's
+/// journal-sibling heartbeat file. Standbys declare the primary dead
+/// after missing a few of these (see `standby::DEAD_AFTER_BEATS`).
+pub const REPL_HEARTBEAT: Duration = Duration::from_millis(150);
+/// How often a replication stream polls the journal for new records.
+const REPL_POLL: Duration = Duration::from_millis(20);
+
+/// Path of the primary-liveness heartbeat file, a sibling of the
+/// journal (`<journal>.hb`). File-follow standbys watch its mtime.
+pub fn heartbeat_path(journal: &std::path::Path) -> PathBuf {
+    let mut name = journal.file_name().unwrap_or_default().to_os_string();
+    name.push(".hb");
+    journal.with_file_name(name)
+}
 
 struct ServerShared {
     service: Service,
     stopping: AtomicBool,
     conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Replication sessions ever opened; stream faults from the fault
+    /// plan hit only session 0, so a reconnecting standby recovers (the
+    /// injected drop/stall models a transient network failure, not a
+    /// permanently broken path).
+    repl_sessions: std::sync::atomic::AtomicU64,
 }
 
 /// A running TCP server; dropping it (or calling
@@ -42,6 +64,7 @@ pub struct ServerHandle {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    heartbeat_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
@@ -50,17 +73,30 @@ pub fn serve(addr: &str, config: SvcConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+    let journal_path = config.journal.as_ref().map(|j| j.path.clone());
     let shared = Arc::new(ServerShared {
         service: Service::try_start(config)?,
         stopping: AtomicBool::new(false),
         conns: Mutex::new(Vec::new()),
+        repl_sessions: std::sync::atomic::AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("svc-accept".into())
         .spawn(move || accept_loop(&listener, &accept_shared))
         .expect("spawn acceptor");
-    Ok(ServerHandle { shared, addr: local, accept_thread: Some(accept_thread) })
+    // Journalled primaries advertise liveness by touching `<journal>.hb`
+    // every heartbeat; a fault-plan "crash" (degraded journal) stops the
+    // beat so file-follow standbys see the primary as dead even though
+    // the test process is still alive.
+    let heartbeat_thread = journal_path.map(|path| {
+        let hb_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("svc-heartbeat".into())
+            .spawn(move || heartbeat_loop(&path, &hb_shared))
+            .expect("spawn heartbeat")
+    });
+    Ok(ServerHandle { shared, addr: local, accept_thread: Some(accept_thread), heartbeat_thread })
 }
 
 impl ServerHandle {
@@ -98,6 +134,9 @@ impl ServerHandle {
     fn stop(&mut self) {
         self.shared.stopping.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.heartbeat_thread.take() {
             let _ = t.join();
         }
         // Drain admitted work; pending replies unblock connection
@@ -150,6 +189,107 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
+/// Touches the primary heartbeat file every [`REPL_HEARTBEAT`] until
+/// shutdown, and stops beating for good once the journal degrades
+/// (fencing, fault-plan crash, or repeated fsync failure).
+fn heartbeat_loop(journal: &std::path::Path, shared: &Arc<ServerShared>) {
+    let path = heartbeat_path(journal);
+    let mut tick: u64 = 0;
+    while !shared.stopping.load(Ordering::Acquire) {
+        let degraded = shared.service.journal_stats().is_some_and(|s| s.degraded);
+        if degraded {
+            break;
+        }
+        tick += 1;
+        let epoch = shared.service.journal_stats().map_or(0, |s| s.epoch);
+        let _ = std::fs::write(&path, format!("{{\"tick\":{tick},\"epoch\":{epoch}}}\n"));
+        std::thread::sleep(REPL_HEARTBEAT);
+    }
+}
+
+/// Serves one replication stream on the connection's own thread.
+///
+/// Frames, one JSON object per line:
+/// - `{"type":"repl-record","line":"<raw journal line>"}` — a journal
+///   record exactly as written (checksum seal included);
+/// - `{"type":"repl-reset"}` — the journal rotated or truncated; the
+///   standby must discard its image and rebuild from the records that
+///   follow;
+/// - `{"type":"repl-corrupt"}` — a complete-but-corrupt line was
+///   skipped (the standby counts it, mirroring replay quarantine);
+/// - `{"type":"repl-hb","epoch":E,"appended":N,"degraded":0|1}` — sent
+///   every [`REPL_HEARTBEAT`] even when idle; `degraded:1` tells the
+///   standby the primary's journal is dead (crashed or fenced).
+///
+/// Fault hooks from the journal's [`SvcFaultPlan`](crate::fault::SvcFaultPlan):
+/// `drop_stream_after` closes the connection after N record frames;
+/// `stall_stream_after` keeps it open but silent (no heartbeats), so
+/// the standby must detect death by timeout rather than EOF.
+fn replication_loop(stream: &mut TcpStream, shared: &Arc<ServerShared>, id: u64) {
+    let Some(journal_cfg) = shared.service.config().journal.clone() else {
+        return;
+    };
+    // Stream faults are one-shot: only the first replication session
+    // ever opened sees them, so a standby's reconnect makes progress.
+    let session = shared.repl_sessions.fetch_add(1, Ordering::SeqCst);
+    let fault = if session == 0 {
+        journal_cfg.fault.unwrap_or_default()
+    } else {
+        crate::fault::SvcFaultPlan::default()
+    };
+    let mut follower = JournalFollower::new(&journal_cfg.path);
+    let mut sent_records: u64 = 0;
+    let mut last_hb: Option<Instant> = None;
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let events = follower.poll().unwrap_or_default();
+        for event in events {
+            let frame = match event {
+                FollowEvent::Record { line, .. } => {
+                    obj(vec![("type", "repl-record".into()), ("line", line.into())])
+                }
+                FollowEvent::Reset => obj(vec![("type", "repl-reset".into())]),
+                FollowEvent::Corrupt { .. } => obj(vec![("type", "repl-corrupt".into())]),
+            };
+            let is_record = matches!(frame.get("type").and_then(Value::as_str), Some("repl-record"));
+            if write_line(stream, &frame.to_json()).is_err() {
+                return; // standby gone
+            }
+            if is_record {
+                sent_records += 1;
+                if fault.drop_stream_after.is_some_and(|n| sent_records >= n) {
+                    return; // injected drop: close the connection
+                }
+                if fault.stall_stream_after.is_some_and(|n| sent_records >= n) {
+                    // Injected stall: hold the connection open, send
+                    // nothing more (not even heartbeats).
+                    while !shared.stopping.load(Ordering::Acquire) {
+                        std::thread::sleep(READ_POLL);
+                    }
+                    return;
+                }
+            }
+        }
+        if last_hb.map_or(true, |t| t.elapsed() >= REPL_HEARTBEAT) {
+            let stats = shared.service.journal_stats().unwrap_or_default();
+            let hb = obj(vec![
+                ("type", "repl-hb".into()),
+                ("id", id.into()),
+                ("epoch", stats.epoch.into()),
+                ("appended", stats.appended.into()),
+                ("degraded", u64::from(stats.degraded).into()),
+            ]);
+            if write_line(stream, &hb.to_json()).is_err() {
+                return;
+            }
+            last_hb = Some(Instant::now());
+        }
+        std::thread::sleep(REPL_POLL);
+    }
+}
+
 fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -182,6 +322,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                         // Client gone mid-response; nothing to deliver.
                         break 'conn;
                     }
+                }
+                Handled::Replicate(id) => {
+                    // The connection is now a one-way record stream; it
+                    // ends when the standby disconnects, the server
+                    // stops, or a fault plan drops it.
+                    replication_loop(&mut stream, shared, id);
+                    break 'conn;
                 }
                 Handled::Stream(pending) => {
                     // Drain the reply frame-by-frame: zero or more
@@ -248,6 +395,9 @@ fn write_line(stream: &mut TcpStream, json: &str) -> std::io::Result<()> {
 enum Handled {
     One(Response),
     Stream(Pending),
+    /// The connection becomes a long-lived replication stream; the id
+    /// is echoed in heartbeat frames so clients can correlate.
+    Replicate(u64),
 }
 
 /// Best effort at extracting an id even from a broken request line.
@@ -283,6 +433,18 @@ fn handle_line(shared: &Arc<ServerShared>, line: &str) -> Handled {
         // overload.
         let rows = shared.service.metrics().all_rows();
         return Handled::One(Response::Metrics { id, rows });
+    }
+    if matches!(request.body, RequestBody::Replicate) {
+        // Served out-of-band by this connection's own thread; it never
+        // enters the queue, so replication survives overload.
+        if shared.service.config().journal.is_none() {
+            return Handled::One(Response::Error {
+                id,
+                kind: ErrorKind::Invalid,
+                message: "replication requires a journalled primary (--journal)".into(),
+            });
+        }
+        return Handled::Replicate(id);
     }
     if let RequestBody::Attach { job } = request.body {
         // A cheap index lookup, answered inline like metrics — so a

@@ -875,6 +875,11 @@ impl Service {
             journal_replayed_scores: j.replayed_scores,
             journal_replayed_runs: j.replayed_runs,
             journal_replay_dropped: j.replay_dropped,
+            journal_fsync_errors: j.fsync_errors,
+            journal_quarantined: j.quarantined,
+            journal_epoch: j.epoch,
+            journal_fenced_appends: j.fenced_appends,
+            journal_degraded: j.degraded,
             cosched_enabled,
             cosched_queue_depth,
             cosched_open_reservations: cosched_open,
@@ -893,6 +898,13 @@ impl Service {
     /// Empties the score cache (benchmark cold path).
     pub fn clear_cache(&self) {
         self.shared.cache.clear();
+    }
+
+    /// Point-in-time journal counters, when a journal is configured.
+    /// The replication stream reads the fencing epoch and append count
+    /// from here for its heartbeat frames.
+    pub fn journal_stats(&self) -> Option<crate::journal::JournalStats> {
+        self.shared.journal.as_ref().map(|j| j.stats())
     }
 
     /// The configured fault-injection request id, if any (see
@@ -1404,6 +1416,11 @@ fn execute(shared: &Shared, job: &Job) -> (Response, bool) {
         // Metrics requests are answered by the front end without
         // queueing; one arriving here is still served correctly.
         RequestBody::Metrics => Ok(Response::Metrics { id, rows: Vec::new() }),
+        // Replication streams are owned by the connection thread; a
+        // worker cannot hold one open, so this is a routing error.
+        RequestBody::Replicate => Err(ExecError::Invalid(
+            "replication streams are served by the front end, not queued".to_string(),
+        )),
     };
     (result.unwrap_or_else(|e| e.to_response(id)), true)
 }

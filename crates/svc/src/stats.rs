@@ -196,6 +196,19 @@ pub struct MetricsSnapshot {
     pub journal_replayed_runs: u64,
     /// Torn/corrupt journal lines the replay dropped.
     pub journal_replay_dropped: u64,
+    /// Journal fsync calls that reported failure (counted, never
+    /// swallowed).
+    pub journal_fsync_errors: u64,
+    /// Corrupt journal lines quarantined at open.
+    pub journal_quarantined: u64,
+    /// Current fencing epoch of the journal.
+    pub journal_epoch: u64,
+    /// Journal appends rejected because a higher fencing epoch exists
+    /// (this service was deposed by a promoted standby).
+    pub journal_fenced_appends: u64,
+    /// Whether the journal degraded to read-only (fenced, fault-killed,
+    /// or past the consecutive-fsync-failure limit).
+    pub journal_degraded: bool,
     /// Whether the co-scheduler is enabled (all `cosched_*` rows are
     /// zero when not).
     pub cosched_enabled: bool,
@@ -301,6 +314,11 @@ impl MetricsSnapshot {
             ("journal_replayed_scores", self.journal_replayed_scores as f64),
             ("journal_replayed_runs", self.journal_replayed_runs as f64),
             ("journal_replay_dropped", self.journal_replay_dropped as f64),
+            ("journal_fsync_errors", self.journal_fsync_errors as f64),
+            ("journal_quarantined", self.journal_quarantined as f64),
+            ("journal_epoch", self.journal_epoch as f64),
+            ("journal_fenced_appends", self.journal_fenced_appends as f64),
+            ("journal_degraded", f64::from(u8::from(self.journal_degraded))),
             ("cosched_enabled", f64::from(u8::from(self.cosched_enabled))),
             ("cosched_queue_depth", self.cosched_queue_depth as f64),
             ("cosched_open_reservations", self.cosched_open_reservations as f64),
@@ -440,6 +458,11 @@ mod tests {
             journal_replayed_scores: 3,
             journal_replayed_runs: 2,
             journal_replay_dropped: 1,
+            journal_fsync_errors: 2,
+            journal_quarantined: 1,
+            journal_epoch: 3,
+            journal_fenced_appends: 0,
+            journal_degraded: false,
             cosched_enabled: true,
             cosched_queue_depth: 1,
             cosched_open_reservations: 2,
@@ -478,9 +501,9 @@ mod tests {
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 41);
+        assert_eq!(rows.len(), 46);
         let all = snap.all_rows();
-        assert_eq!(all.len(), 41 + 22, "eleven rows per tagged tenant");
+        assert_eq!(all.len(), 46 + 22, "eleven rows per tagged tenant");
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));

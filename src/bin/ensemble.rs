@@ -16,7 +16,11 @@
 //!                [--cosched] [--cosched-nodes M] [--cosched-cores C]
 //!                [--cosched-queue N] [--cosched-no-backfill]
 //!                [--tenant-quota NAME=SLOTS ...] [--tenant-weight NAME=W ...]
-//!                [--tenant-default-quota N]
+//!                [--tenant-default-quota N] [--svc-fault SPEC]
+//! ensemble serve --standby-of HOST:PORT --journal FILE [--addr HOST:PORT]
+//!                [--auto-promote] [--heartbeat-ms MS] [--dead-after N]
+//! ensemble serve --follow FILE [--addr HOST:PORT] [--auto-promote]
+//!                [--heartbeat-ms MS] [--dead-after N]
 //! ensemble query score --members N --k K --nodes M [--top-k K] [--workers N]
 //!                      [--addr HOST:PORT] [--progress] [--progress-every N]
 //!                      [--progress-every-ms MS] [...]
@@ -27,12 +31,14 @@
 //!                       [--addr HOST:PORT]
 //! ensemble query attach --job ID [--addr HOST:PORT]
 //! ensemble query metrics [--addr HOST:PORT]
-//!
-//! Every `query` kind accepts `--tenant NAME` to tag the request for
-//! per-tenant accounting in the service metrics.
 //! ensemble example-spec
 //! ensemble list
 //! ```
+//!
+//! Every `query` kind accepts `--tenant NAME` to tag the request for
+//! per-tenant accounting in the service metrics, and `--addr` takes a
+//! comma-separated address list (primary first, standbys after) to
+//! fail over automatically.
 
 use std::collections::HashMap;
 
@@ -477,9 +483,26 @@ fn cmd_diagnose(args: &[String]) -> i32 {
 const DEFAULT_SVC_ADDR: &str = "127.0.0.1:7717";
 
 fn cmd_serve(args: &[String]) -> i32 {
+    if flag_value(args, "--standby-of").is_some() || flag_value(args, "--follow").is_some() {
+        return cmd_serve_standby(args);
+    }
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
+    let config = match parse_svc_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    run_server(addr, config)
+}
+
+/// Everything `serve` and a promoting standby share: worker pool,
+/// queue, cache, deadline, journal, co-scheduler, and tenant policy
+/// flags folded into one [`SvcConfig`].
+fn parse_svc_config(args: &[String]) -> Result<insitu_ensembles::service::SvcConfig, String> {
     use insitu_ensembles::service::SvcConfig;
 
-    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
     let mut config = SvcConfig::default();
     let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name) {
@@ -487,42 +510,13 @@ fn cmd_serve(args: &[String]) -> i32 {
             None => Ok(default),
         }
     };
-    config.workers = match parse_usize("--workers", config.workers) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    };
-    config.queue_capacity = match parse_usize("--queue", config.queue_capacity) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    };
-    config.cache_capacity = match parse_usize("--cache", config.cache_capacity) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    };
-    config.scan_workers = match parse_usize("--scan-workers", config.scan_workers) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    };
+    config.workers = parse_usize("--workers", config.workers)?;
+    config.queue_capacity = parse_usize("--queue", config.queue_capacity)?;
+    config.cache_capacity = parse_usize("--cache", config.cache_capacity)?;
+    config.scan_workers = parse_usize("--scan-workers", config.scan_workers)?;
     if let Some(ms) = flag_value(args, "--deadline") {
-        match ms.parse::<u64>() {
-            Ok(ms) => config.default_deadline = Some(std::time::Duration::from_millis(ms)),
-            Err(e) => {
-                eprintln!("serve: --deadline: {e}");
-                return 2;
-            }
-        }
+        let ms: u64 = ms.parse().map_err(|e| format!("--deadline: {e}"))?;
+        config.default_deadline = Some(std::time::Duration::from_millis(ms));
     }
     if let Some(path) = flag_value(args, "--journal") {
         use insitu_ensembles::service::{FsyncPolicy, JournalConfig};
@@ -538,45 +532,41 @@ fn cmd_serve(args: &[String]) -> i32 {
                 Some(("batched", n)) => match n.parse::<u32>() {
                     Ok(n) if n > 0 => FsyncPolicy::Batched(n),
                     _ => {
-                        eprintln!("serve: --journal-fsync batched:N needs a positive integer N");
-                        return 2;
+                        return Err(
+                            "--journal-fsync batched:N needs a positive integer N".to_string()
+                        );
                     }
                 },
                 _ => {
-                    eprintln!(
-                        "serve: --journal-fsync must be 'per-record' or 'batched[:N]', got '{policy}'"
-                    );
-                    return 2;
+                    return Err(format!(
+                        "--journal-fsync must be 'per-record' or 'batched[:N]', got '{policy}'"
+                    ));
                 }
             };
         }
         if let Some(bytes) = flag_value(args, "--journal-max-bytes") {
             match bytes.parse::<u64>() {
                 Ok(b) if b > 0 => journal.max_bytes = b,
-                _ => {
-                    eprintln!("serve: --journal-max-bytes needs a positive integer");
-                    return 2;
-                }
+                _ => return Err("--journal-max-bytes needs a positive integer".to_string()),
             }
         }
+        if let Some(spec) = flag_value(args, "--svc-fault") {
+            journal.fault = Some(insitu_ensembles::service::SvcFaultPlan::parse(spec)?);
+        }
         config.journal = Some(journal);
+    } else if flag_value(args, "--svc-fault").is_some() {
+        return Err("--svc-fault needs --journal (faults hit the durability layer)".to_string());
     }
     if has_flag(args, "--cosched") {
         use insitu_ensembles::service::{CoschedSvcConfig, Workloads};
         let budget = insitu_ensembles::scheduling::NodeBudget {
             max_nodes: match parse_usize("--cosched-nodes", 4) {
                 Ok(v) if v > 0 => v,
-                _ => {
-                    eprintln!("serve: --cosched-nodes needs a positive integer");
-                    return 2;
-                }
+                _ => return Err("--cosched-nodes needs a positive integer".to_string()),
             },
             cores_per_node: match parse_usize("--cosched-cores", 32) {
                 Ok(v) if v > 0 => v as u32,
-                _ => {
-                    eprintln!("serve: --cosched-cores needs a positive integer");
-                    return 2;
-                }
+                _ => return Err("--cosched-cores needs a positive integer".to_string()),
             },
         };
         let mut cosched = CoschedSvcConfig::new(budget);
@@ -585,10 +575,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         if let Some(n) = flag_value(args, "--cosched-queue") {
             match n.parse::<usize>() {
                 Ok(n) if n > 0 => cosched.queue_capacity = n,
-                _ => {
-                    eprintln!("serve: --cosched-queue needs a positive integer");
-                    return 2;
-                }
+                _ => return Err("--cosched-queue needs a positive integer".to_string()),
             }
         }
         cosched.backfill = !has_flag(args, "--cosched-no-backfill");
@@ -611,29 +598,20 @@ fn cmd_serve(args: &[String]) -> i32 {
             })
             .collect()
     };
-    match parse_tenant_pairs("--tenant-quota") {
-        Ok(pairs) => config.tenant_policy.quotas.extend(pairs),
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    }
-    match parse_tenant_pairs("--tenant-weight") {
-        Ok(pairs) => config.tenant_policy.weights.extend(pairs),
-        Err(e) => {
-            eprintln!("serve: {e}");
-            return 2;
-        }
-    }
+    config.tenant_policy.quotas.extend(parse_tenant_pairs("--tenant-quota")?);
+    config.tenant_policy.weights.extend(parse_tenant_pairs("--tenant-weight")?);
     if let Some(n) = flag_value(args, "--tenant-default-quota") {
         match n.parse::<u64>() {
             Ok(n) if n > 0 => config.tenant_policy.default_quota = Some(n),
-            _ => {
-                eprintln!("serve: --tenant-default-quota needs a positive integer");
-                return 2;
-            }
+            _ => return Err("--tenant-default-quota needs a positive integer".to_string()),
         }
     }
+    Ok(config)
+}
+
+/// Binds and serves until stdin closes, then drains — the tail of
+/// `serve`, shared with a promoted standby.
+fn run_server(addr: &str, config: insitu_ensembles::service::SvcConfig) -> i32 {
     let journaled = config.journal.as_ref().map(|j| j.path.display().to_string());
     let handle = match insitu_ensembles::service::serve(addr, config) {
         Ok(h) => h,
@@ -693,10 +671,124 @@ fn cmd_serve(args: &[String]) -> i32 {
     0
 }
 
+/// `serve --standby-of ADDR --journal LOCAL` or `serve --follow FILE`:
+/// follow a primary, serve read-only metrics/attach, and optionally
+/// (`--auto-promote`) take over once the primary's heartbeats stop.
+fn cmd_serve_standby(args: &[String]) -> i32 {
+    use insitu_ensembles::service::{JournalConfig, Standby, StandbyConfig, StandbySource};
+
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_SVC_ADDR);
+    let source = if let Some(primary) = flag_value(args, "--standby-of") {
+        let Some(local) = flag_value(args, "--journal") else {
+            eprintln!(
+                "serve: --standby-of needs --journal FILE (the local copy records stream into)"
+            );
+            return 2;
+        };
+        StandbySource::Primary { addr: primary.to_string(), local: local.into() }
+    } else {
+        let file = flag_value(args, "--follow").expect("caller checked");
+        StandbySource::File(file.into())
+    };
+    let described = match &source {
+        StandbySource::File(path) => format!("following journal {}", path.display()),
+        StandbySource::Primary { addr, local } => {
+            format!("replicating from {} into {}", addr, local.display())
+        }
+    };
+    let mut standby_config = StandbyConfig::new(source);
+    standby_config.serve_addr = Some(addr.to_string());
+    if let Some(ms) = flag_value(args, "--heartbeat-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => standby_config.heartbeat = std::time::Duration::from_millis(ms),
+            _ => {
+                eprintln!("serve: --heartbeat-ms needs a positive integer");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--dead-after") {
+        match n.parse::<u32>() {
+            Ok(n) if n > 0 => standby_config.dead_after_beats = n,
+            _ => {
+                eprintln!("serve: --dead-after needs a positive integer (missed heartbeats)");
+                return 2;
+            }
+        }
+    }
+    let auto_promote = has_flag(args, "--auto-promote");
+    let standby = match Standby::start(standby_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start standby: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "ensemble standby listening on {} ({described}); read-only until promoted{}",
+        standby.addr().map_or_else(|| addr.to_string(), |a| a.to_string()),
+        if auto_promote { "; will auto-promote when the primary dies" } else { "" },
+    );
+    // Close stdin to stop a supervised standby; with --auto-promote the
+    // loop also watches the primary's heartbeats.
+    let stdin_closed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let stdin_closed = std::sync::Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            loop {
+                sink.clear();
+                match std::io::stdin().read_line(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            stdin_closed.store(true, std::sync::atomic::Ordering::Release);
+        });
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if stdin_closed.load(std::sync::atomic::Ordering::Acquire) {
+            let s = standby.status();
+            println!(
+                "standby stopping: {} records applied, {} runs indexed, epoch {}",
+                s.records_applied, s.runs_indexed, s.epoch
+            );
+            drop(standby);
+            return 0;
+        }
+        if auto_promote && standby.primary_dead() {
+            break;
+        }
+    }
+    let status = standby.status();
+    println!(
+        "primary dead (epoch {}, {} records applied, {} runs indexed): promoting",
+        status.epoch, status.records_applied, status.runs_indexed
+    );
+    // Release the read-only listener and the follower, then start a
+    // full server on the same address over the followed journal with
+    // the fencing epoch bumped.
+    let journal_path = standby.stop();
+    let mut config = match parse_svc_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return 2;
+        }
+    };
+    let mut journal =
+        config.journal.take().unwrap_or_else(|| JournalConfig::new(journal_path.clone()));
+    journal.path = journal_path;
+    journal.promote = true;
+    config.journal = Some(journal);
+    run_server(addr, config)
+}
+
 fn cmd_query(args: &[String]) -> i32 {
     use insitu_ensembles::service::{
-        ProgressBody, ProgressSpec, Request, RequestBody, Response, RunRequest, ScoreRequest,
-        SubmitRequest, SvcClient, Workloads,
+        FailoverClient, FailoverPolicy, Progress, ProgressBody, ProgressSpec, Request, RequestBody,
+        Response, RunRequest, ScoreRequest, SubmitRequest, SvcClient, Workloads,
     };
 
     let Some(kind) = args.first().map(String::as_str) else {
@@ -784,13 +876,6 @@ fn cmd_query(args: &[String]) -> i32 {
     };
     let request = Request { id, deadline, progress, tenant, body };
 
-    let mut client = match SvcClient::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("query: cannot connect to {addr}: {e} (is `ensemble serve` running?)");
-            return 1;
-        }
-    };
     // Progress frames paint a live status line on stderr (stdout stays
     // clean for the final result, `--json` included).
     let live = |text: String| {
@@ -798,7 +883,7 @@ fn cmd_query(args: &[String]) -> i32 {
         eprint!("\r\x1b[2K{text}");
         let _ = std::io::stderr().flush();
     };
-    let response = client.request_streaming(&request, |p| match &p.body {
+    let on_progress = |p: &Progress| match &p.body {
         ProgressBody::Score { candidates_scanned, best_objective, workers } => {
             let best = match best_objective {
                 Some(b) => format!("{b:.4e}"),
@@ -816,7 +901,23 @@ fn cmd_query(args: &[String]) -> i32 {
             (_, Some(nodes)) => live(format!("placed on nodes {nodes:?}, starting")),
             _ => {}
         },
-    });
+    };
+    // `--addr` takes a comma-separated list (primary first, standbys
+    // after); more than one address engages the failover client.
+    let addrs: Vec<String> =
+        addr.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect();
+    let response = if addrs.len() > 1 {
+        let mut client = FailoverClient::new(addrs, FailoverPolicy::default());
+        client.request_streaming(&request, |p| on_progress(p))
+    } else {
+        match SvcClient::connect(addr) {
+            Ok(mut client) => client.request_streaming(&request, |p| on_progress(p)),
+            Err(e) => {
+                eprintln!("query: cannot connect to {addr}: {e} (is `ensemble serve` running?)");
+                return 1;
+            }
+        }
+    };
     if request.progress.is_some() {
         // End the live line before printing the result.
         eprintln!();
