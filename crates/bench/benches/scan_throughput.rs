@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
 use scheduler::{
-    exhaustive_search_with, scan_placements, EnsembleShape, FastEvaluator, NodeBudget, ScanOptions,
-    SearchConfig,
+    exhaustive_search_with, scan_placements, scan_placements_delta, DeltaCounters, DeltaEvaluator,
+    EnsembleShape, FastEvaluator, NodeBudget, ScanOptions, SearchConfig,
 };
 use svc::{
     CoschedSvcConfig, Request, RequestBody, Response, Service, SubmitRequest, SvcConfig, Workloads,
@@ -76,9 +76,10 @@ fn fast_scan(
     .collect()
 }
 
-fn bench_fast_path(quick: bool, host_cores: usize) -> Vec<Sample> {
-    // A space large enough that per-candidate work dominates chunk
-    // handoff: 8 components over up to 6 nodes.
+/// The fast-path sweep scenario shared by the from-scratch and delta
+/// benchmarks: a space large enough that per-candidate work dominates
+/// chunk handoff — 8 components over up to 6 nodes.
+fn fast_scenario(quick: bool) -> (EnsembleShape, NodeBudget, SimRunConfig) {
     let (members, max_nodes) = if quick { (3, 3) } else { (4, 6) };
     let shape = EnsembleShape::uniform(members, 8, 1, 4);
     let budget = NodeBudget { max_nodes, cores_per_node: 32 };
@@ -87,6 +88,11 @@ fn bench_fast_path(quick: bool, host_cores: usize) -> Vec<Sample> {
         cfg.workloads = WorkloadMap::small_defaults();
         cfg
     };
+    (shape, budget, base)
+}
+
+fn bench_fast_path(quick: bool, host_cores: usize) -> Vec<Sample> {
+    let (shape, budget, base) = fast_scenario(quick);
     let reference = fast_scan(&base, &shape, budget, 1);
     let reps = if quick { 3 } else { 7 };
     let mut samples = Vec::new();
@@ -101,6 +107,98 @@ fn bench_fast_path(quick: bool, host_cores: usize) -> Vec<Sample> {
         samples.push(Sample { workers, candidates, secs, speedup: serial_secs / secs });
     }
     samples
+}
+
+fn delta_scan(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    workers: usize,
+) -> (Vec<u64>, DeltaCounters) {
+    let opts = ScanOptions { workers, ..Default::default() };
+    let outcome = scan_placements_delta(
+        shape,
+        budget,
+        &opts,
+        || DeltaEvaluator::new(base, shape),
+        |evaluator: &mut DeltaEvaluator,
+         _,
+         assignment: &[usize],
+         hint|
+         -> RuntimeResult<Option<f64>> {
+            Ok(Some(evaluator.score_delta(assignment, hint)?.objective))
+        },
+        DeltaEvaluator::take_counters,
+        |objective| *objective,
+        || false,
+    )
+    .expect("delta scan");
+    let counters = outcome.delta;
+    (outcome.into_values().into_iter().map(f64::to_bits).collect(), counters)
+}
+
+struct DeltaSample {
+    workers: usize,
+    candidates: usize,
+    secs: f64,
+    speedup_vs_fast_serial: f64,
+    solve_hits: u64,
+    solve_misses: u64,
+    hit_rate: f64,
+    members_recomputed: u64,
+}
+
+/// The same fast-path sweep scored by the incremental [`DeltaEvaluator`]:
+/// first proved bit-identical to the from-scratch serial scan at every
+/// worker count, then timed. `speedup_vs_fast_serial` is the headline —
+/// delta at `workers: 1` against the from-scratch evaluator at
+/// `workers: 1`.
+fn bench_delta_path(quick: bool, host_cores: usize, fast_serial_secs: f64) -> Vec<DeltaSample> {
+    let (shape, budget, base) = fast_scenario(quick);
+    let reference = fast_scan(&base, &shape, budget, 1);
+    let reps = if quick { 3 } else { 7 };
+    let mut samples = Vec::new();
+    for workers in worker_counts(host_cores) {
+        let (bits, counters) = delta_scan(&base, &shape, budget, workers);
+        assert_eq!(bits, reference, "delta scan not bit-identical to the from-scratch path");
+        assert!(
+            counters.solve_hits > 0,
+            "a canonical sweep must reuse node-occupancy solves, got {counters:?}"
+        );
+        let (secs, candidates) =
+            median_secs(reps, || delta_scan(&base, &shape, budget, workers).0.len());
+        samples.push(DeltaSample {
+            workers,
+            candidates,
+            secs,
+            speedup_vs_fast_serial: fast_serial_secs / secs,
+            solve_hits: counters.solve_hits,
+            solve_misses: counters.solve_misses,
+            hit_rate: counters.solve_hit_rate(),
+            members_recomputed: counters.members_recomputed,
+        });
+    }
+    samples
+}
+
+fn render_delta(samples: &[DeltaSample]) -> String {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"workers\": {}, \"candidates\": {}, \"secs\": {:.6}, \"speedup_vs_fast_serial\": {:.3}, \"solve_hits\": {}, \"solve_misses\": {}, \"solve_hit_rate\": {:.4}, \"members_recomputed\": {}}}",
+                s.workers,
+                s.candidates,
+                s.secs,
+                s.speedup_vs_fast_serial,
+                s.solve_hits,
+                s.solve_misses,
+                s.hit_rate,
+                s.members_recomputed
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
 fn bench_des_path(quick: bool, host_cores: usize) -> Vec<Sample> {
@@ -249,6 +347,15 @@ fn main() {
             s.workers, s.candidates, s.secs, s.speedup
         );
     }
+    let fast_serial_secs =
+        fast.iter().find(|s| s.workers == 1).map(|s| s.secs).expect("serial fast sample");
+    let delta = bench_delta_path(quick, host_cores, fast_serial_secs);
+    for s in &delta {
+        eprintln!(
+            "  delta workers={:<2} candidates={:<6} {:.4}s  {:.2}x vs fast serial  hit_rate={:.3}",
+            s.workers, s.candidates, s.secs, s.speedup_vs_fast_serial, s.hit_rate
+        );
+    }
     let des = bench_des_path(quick, host_cores);
     for s in &des {
         eprintln!(
@@ -266,8 +373,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"scan_throughput\",\n  \"host_cores\": {host_cores},\n  \"quick\": {quick},\n  \"fast_path\": {},\n  \"des_path\": {},\n  \"cosched_queue_wait\": {}\n}}\n",
+        "{{\n  \"bench\": \"scan_throughput\",\n  \"host_cores\": {host_cores},\n  \"quick\": {quick},\n  \"fast_path\": {},\n  \"delta_eval\": {},\n  \"des_path\": {},\n  \"cosched_queue_wait\": {}\n}}\n",
         render(&fast),
+        render_delta(&delta),
         render(&des),
         render_cosched(&cosched),
     );

@@ -41,7 +41,9 @@ pub use error::{RuntimeError, RuntimeResult};
 pub use experiment_spec::{AnalysisDesc, ExperimentSpec, MemberDesc};
 pub use frame_codec::{FrameCodec, QuantizedFrameCodec};
 pub use in_transit::{run_threaded_in_transit, InTransitExecution};
-pub use predictor::{predict, EnsemblePrediction, MemberPrediction};
+pub use predictor::{
+    predict, predict_scores, EnsemblePrediction, MemberPrediction, ScorePrediction,
+};
 pub use report_builder::{build_report, build_threaded_report};
 pub use runner::EnsembleRunner;
 pub use sim_exec::{

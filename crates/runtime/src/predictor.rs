@@ -47,16 +47,54 @@ pub struct EnsemblePrediction {
     pub estimates: HashMap<ComponentRef, PerfEstimate>,
 }
 
+/// Prediction for a whole ensemble configuration, scoring path: the
+/// per-member numbers without the per-component estimate map.
+#[derive(Debug, Clone)]
+pub struct ScorePrediction {
+    /// Per-member predictions, member order.
+    pub members: Vec<MemberPrediction>,
+    /// Predicted ensemble makespan (max member makespan), seconds.
+    pub ensemble_makespan: f64,
+}
+
 /// Predicts the steady state of `cfg` analytically (no DES run).
 pub fn predict(cfg: &SimRunConfig) -> RuntimeResult<EnsemblePrediction> {
+    let mut estimates: HashMap<ComponentRef, PerfEstimate> = HashMap::new();
+    let (members, ensemble_makespan) = predict_inner(cfg, Some(&mut estimates))?;
+    Ok(EnsemblePrediction { members, ensemble_makespan, estimates })
+}
+
+/// [`predict`] for callers that only read the per-member numbers (the
+/// scheduler's scoring path): skips materializing the
+/// `ComponentRef → PerfEstimate` map. Every float is bit-identical to
+/// the corresponding field of [`predict`]'s output.
+pub fn predict_scores(cfg: &SimRunConfig) -> RuntimeResult<ScorePrediction> {
+    let (members, ensemble_makespan) = predict_inner(cfg, None)?;
+    Ok(ScorePrediction { members, ensemble_makespan })
+}
+
+fn predict_inner(
+    cfg: &SimRunConfig,
+    mut estimates_out: Option<&mut HashMap<ComponentRef, PerfEstimate>>,
+) -> RuntimeResult<(Vec<MemberPrediction>, f64)> {
     cfg.spec.validate(Some(cfg.node_spec.cores_per_node()))?;
     if cfg.n_steps == 0 {
         return Err(RuntimeError::NoSamples);
     }
+    // Flat component indexing (member-major, simulation first) so the
+    // scoring path can use dense vectors instead of per-call hash maps.
+    let mut offsets = Vec::with_capacity(cfg.spec.members.len());
+    let mut n_components = 0usize;
+    for member in &cfg.spec.members {
+        offsets.push(n_components);
+        n_components += 1 + member.analyses.len();
+    }
+    let flat = |cref: ComponentRef| offsets[cref.member] + cref.slot;
+
     // Allocate exactly as the executor does.
     let num_nodes = cfg.spec.node_set().iter().copied().max().map_or(0, |m| m + 1);
     let mut platform = Platform::new(num_nodes, cfg.node_spec.clone(), cfg.network.clone());
-    let mut allocations: HashMap<ComponentRef, CoreAllocation> = HashMap::new();
+    let mut allocations: Vec<Option<CoreAllocation>> = vec![None; n_components];
     for (i, member) in cfg.spec.members.iter().enumerate() {
         for (cref, comp) in std::iter::once((ComponentRef::simulation(i), &member.simulation))
             .chain(
@@ -71,23 +109,26 @@ pub fn predict(cfg: &SimRunConfig) -> RuntimeResult<EnsemblePrediction> {
                 return Err(RuntimeError::MultiNodeComponent { component: cref.to_string() });
             }
             let node = *comp.nodes.iter().next().expect("validated non-empty");
-            allocations.insert(cref, platform.allocate(node, comp.cores, cfg.bind_policy)?);
+            allocations[flat(cref)] = Some(platform.allocate(node, comp.cores, cfg.bind_policy)?);
         }
     }
 
     // Interference solve per node.
     let mut by_node: HashMap<usize, Vec<(ComponentRef, PlacedWorkload)>> = HashMap::new();
     for (cref, workload) in cfg.workloads.assignments(&cfg.spec) {
-        let alloc = allocations[&cref].clone();
+        let alloc = allocations[flat(cref)].clone().expect("allocated above");
         by_node.entry(alloc.node).or_default().push((cref, PlacedWorkload { alloc, workload }));
     }
-    let mut estimates: HashMap<ComponentRef, PerfEstimate> = HashMap::new();
+    let mut seconds: Vec<f64> = vec![0.0; n_components];
     for placed in by_node.values() {
         let workloads: Vec<PlacedWorkload> = placed.iter().map(|(_, p)| p.clone()).collect();
         for ((cref, _), est) in
             placed.iter().zip(cfg.interference.solve_node(&cfg.node_spec, &workloads, &[]))
         {
-            estimates.insert(*cref, est);
+            seconds[flat(*cref)] = est.seconds_per_step;
+            if let Some(estimates) = estimates_out.as_deref_mut() {
+                estimates.insert(*cref, est);
+            }
         }
     }
 
@@ -97,20 +138,18 @@ pub fn predict(cfg: &SimRunConfig) -> RuntimeResult<EnsemblePrediction> {
     let mut members = Vec::with_capacity(cfg.spec.members.len());
     let mut ensemble_makespan = 0.0f64;
     for (i, member) in cfg.spec.members.iter().enumerate() {
-        let sim_ref = ComponentRef::simulation(i);
         let sim_node = *member.simulation.nodes.iter().next().expect("single-node");
-        let s = estimates[&sim_ref].seconds_per_step;
+        let s = seconds[flat(ComponentRef::simulation(i))];
         let w = cost.write_seconds(chunk, sim_node, sim_node);
         let analyses: Vec<AnalysisStageTimes> = (1..=member.k())
             .map(|j| {
-                let ana_ref = ComponentRef::analysis(i, j);
                 let ana_node = *member.analyses[j - 1].nodes.iter().next().expect("single-node");
                 let r = if cfg.force_remote_reads && ana_node == sim_node {
                     cost.read_seconds(chunk, sim_node, sim_node + 1)
                 } else {
                     cost.read_seconds(chunk, sim_node, ana_node)
                 };
-                AnalysisStageTimes { r, a: estimates[&ana_ref].seconds_per_step }
+                AnalysisStageTimes { r, a: seconds[flat(ComponentRef::analysis(i, j))] }
             })
             .collect();
         let stage_times = MemberStageTimes::new(s, w, analyses)?;
@@ -125,7 +164,7 @@ pub fn predict(cfg: &SimRunConfig) -> RuntimeResult<EnsemblePrediction> {
             stage_times,
         });
     }
-    Ok(EnsemblePrediction { members, ensemble_makespan, estimates })
+    Ok((members, ensemble_makespan))
 }
 
 #[cfg(test)]
@@ -175,6 +214,36 @@ mod tests {
             predict(&cfg).unwrap();
         }
         assert!(started.elapsed().as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn predict_scores_matches_predict_bitwise() {
+        for id in [ConfigId::Cf, ConfigId::Cc, ConfigId::C1_4, ConfigId::C2_8] {
+            let mut cfg = quick_cfg(id);
+            cfg.force_remote_reads = id == ConfigId::Cc;
+            let full = predict(&cfg).unwrap();
+            let scores = predict_scores(&cfg).unwrap();
+            assert_eq!(
+                full.ensemble_makespan.to_bits(),
+                scores.ensemble_makespan.to_bits(),
+                "{id}"
+            );
+            assert_eq!(full.members.len(), scores.members.len());
+            for (a, b) in full.members.iter().zip(&scores.members) {
+                assert_eq!(a.sigma_star.to_bits(), b.sigma_star.to_bits(), "{id}");
+                assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{id}");
+                assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits(), "{id}");
+                assert_eq!(a.cp.to_bits(), b.cp.to_bits(), "{id}");
+                assert_eq!(a.stage_times.s.to_bits(), b.stage_times.s.to_bits(), "{id}");
+                assert_eq!(a.stage_times.w.to_bits(), b.stage_times.w.to_bits(), "{id}");
+                for (x, y) in a.stage_times.analyses.iter().zip(&b.stage_times.analyses) {
+                    assert_eq!(x.r.to_bits(), y.r.to_bits(), "{id}");
+                    assert_eq!(x.a.to_bits(), y.a.to_bits(), "{id}");
+                }
+            }
+            // The public map is still populated on the full path.
+            assert_eq!(full.estimates.len(), cfg.spec.members.iter().map(|m| 1 + m.k()).sum());
+        }
     }
 
     #[test]

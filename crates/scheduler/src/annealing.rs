@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use runtime::{RuntimeResult, SimRunConfig};
 
+use crate::delta::DeltaEvaluator;
 use crate::enumerate::{canonicalize, EnsembleShape};
-use crate::fast_eval::FastEvaluator;
 use crate::search::{NodeBudget, ScoredPlacement};
 
 /// Annealing parameters.
@@ -78,22 +78,24 @@ fn initial_assignment(shape: &EnsembleShape, budget: NodeBudget) -> Option<Vec<u
 }
 
 /// Anneals toward a placement maximizing `F(Pᵁ·ᴬ·ᴾ)` under the budget.
-/// One [`FastEvaluator`] is built up front and reused for every move, so
-/// no candidate pays a per-evaluation `SimRunConfig` clone.
+/// One [`DeltaEvaluator`] is built up front and reused for every move:
+/// a single-component move touches at most two nodes, so only those
+/// nodes re-solve and only the members resident on them recompute —
+/// with scores bit-identical to the from-scratch path (no spec is
+/// materialized per move at all).
 pub fn anneal_placement(
     base: &SimRunConfig,
     shape: &EnsembleShape,
     budget: NodeBudget,
     config: &AnnealingConfig,
 ) -> RuntimeResult<ScoredPlacement> {
-    let mut evaluator = FastEvaluator::new(base);
+    let mut evaluator = DeltaEvaluator::new(base, shape);
     let best = anneal_core(shape, budget, config, |assignment| {
-        let spec = shape.materialize(&canonicalize(assignment));
-        Ok(evaluator.score(&spec)?.objective)
+        Ok(evaluator.score(&canonicalize(assignment))?.objective)
     })?;
     let assignment = canonicalize(&best);
     let spec = shape.materialize(&assignment);
-    let fs = evaluator.score(&spec)?;
+    let fs = evaluator.score(&assignment)?;
     Ok(ScoredPlacement {
         nodes_used: fs.nodes_used,
         ensemble_makespan: fs.ensemble_makespan,
@@ -240,7 +242,7 @@ mod tests {
             Ok(objective)
         })
         .unwrap();
-        let mut evaluator = FastEvaluator::new(&base);
+        let mut evaluator = crate::fast_eval::FastEvaluator::new(&base);
         let mut reused_scores = Vec::new();
         let reused_best = anneal_core(&shape, budget, &cfg, |assignment| {
             let spec = shape.materialize(&canonicalize(assignment));
@@ -251,6 +253,18 @@ mod tests {
         .unwrap();
         assert_eq!(one_shot_scores, reused_scores, "every move must score identically");
         assert_eq!(one_shot_best, reused_best);
+        // The delta evaluator — what `anneal_placement` actually runs —
+        // must walk the same trajectory bit for bit.
+        let mut delta_eval = DeltaEvaluator::new(&base, &shape);
+        let mut delta_scores = Vec::new();
+        let delta_best = anneal_core(&shape, budget, &cfg, |assignment| {
+            let objective = delta_eval.score(&canonicalize(assignment))?.objective;
+            delta_scores.push(objective.to_bits());
+            Ok(objective)
+        })
+        .unwrap();
+        assert_eq!(one_shot_scores, delta_scores, "delta scoring must not perturb the walk");
+        assert_eq!(one_shot_best, delta_best);
         // And the public entry point agrees with the reference run.
         let placed = anneal_placement(&base, &shape, budget, &cfg).unwrap();
         assert_eq!(placed.assignment, canonicalize(&one_shot_best));

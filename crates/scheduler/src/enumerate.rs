@@ -108,6 +108,9 @@ pub struct PlacementIter {
     at_leaf: bool,
     done: bool,
     yielded: usize,
+    /// Lowest depth the DFS backtracked to since the last yield — every
+    /// position below it is unchanged from the previous assignment.
+    low_water: usize,
 }
 
 impl PlacementIter {
@@ -125,6 +128,7 @@ impl PlacementIter {
             at_leaf: false,
             done: n == 0 || max_nodes == 0,
             yielded: 0,
+            low_water: 0,
             cores,
             max_nodes,
             cores_per_node,
@@ -141,6 +145,17 @@ impl PlacementIter {
     /// slice aliases internal state and is valid until the next call;
     /// callers that keep it must copy it out.
     pub fn advance(&mut self) -> Option<&[usize]> {
+        self.advance_delta().map(|(assignment, _)| assignment)
+    }
+
+    /// [`advance`](Self::advance), also reporting the first position at
+    /// which the returned assignment differs from the previously
+    /// returned one: `assignment[..first_changed]` is unchanged. The
+    /// report is conservative (it is the lowest depth the DFS
+    /// backtracked to, which may precede the first *actual* difference)
+    /// and meaningless on the first yield, where there is no
+    /// predecessor.
+    pub fn advance_delta(&mut self) -> Option<(&[usize], usize)> {
         if self.done {
             return None;
         }
@@ -149,13 +164,16 @@ impl PlacementIter {
             // Backtrack off the leaf yielded by the previous call.
             self.at_leaf = false;
             self.depth -= 1;
+            self.low_water = self.low_water.min(self.depth);
             self.used[self.assignment[self.depth]] -= self.cores[self.depth];
         }
         loop {
             if self.depth == n {
                 self.at_leaf = true;
                 self.yielded += 1;
-                return Some(&self.assignment);
+                let first_changed = self.low_water;
+                self.low_water = n;
+                return Some((&self.assignment, first_changed));
             }
             let limit = self.prefix_max[self.depth].min(self.max_nodes - 1);
             let mut t = self.next[self.depth];
@@ -174,6 +192,7 @@ impl PlacementIter {
                 return None;
             } else {
                 self.depth -= 1;
+                self.low_water = self.low_water.min(self.depth);
                 self.used[self.assignment[self.depth]] -= self.cores[self.depth];
             }
         }
@@ -190,6 +209,31 @@ impl PlacementIter {
             match self.advance() {
                 Some(assignment) => {
                     out.push((index, assignment.to_vec()));
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
+    /// [`next_chunk`](Self::next_chunk), with each entry carrying the
+    /// first-changed position relative to the assignment enumerated
+    /// immediately before it (`None` for enumeration index 0, which has
+    /// no predecessor). Feeds delta-scoring scan workers
+    /// ([`crate::scan::scan_placements_delta`]).
+    pub fn next_chunk_delta(
+        &mut self,
+        out: &mut Vec<(usize, Vec<usize>, Option<usize>)>,
+        n: usize,
+    ) -> usize {
+        let mut got = 0;
+        while got < n {
+            let index = self.yielded;
+            match self.advance_delta() {
+                Some((assignment, first_changed)) => {
+                    let hint = (index > 0).then_some(first_changed);
+                    out.push((index, assignment.to_vec(), hint));
                     got += 1;
                 }
                 None => break,
@@ -331,6 +375,45 @@ mod tests {
             assert_eq!(it.yielded(), materialized.len());
             // Once drained, the iterator stays drained.
             assert_eq!(it.next_chunk(&mut out, chunk), 0);
+        }
+    }
+
+    #[test]
+    fn delta_chunks_report_valid_first_changed_positions() {
+        let shape = EnsembleShape::uniform(2, 16, 2, 8);
+        let materialized = enumerate_placements(&shape, 4, 32);
+        for chunk in [1usize, 2, 3, 7, 100] {
+            let mut it = PlacementIter::new(&shape, 4, 32);
+            let mut out = Vec::new();
+            loop {
+                let got = it.next_chunk_delta(&mut out, chunk);
+                if got < chunk {
+                    break;
+                }
+            }
+            assert_eq!(out.len(), materialized.len(), "chunk={chunk}");
+            for (i, (index, assignment, hint)) in out.iter().enumerate() {
+                assert_eq!(*index, i);
+                assert_eq!(assignment, &materialized[i], "chunk={chunk}");
+                match hint {
+                    None => assert_eq!(i, 0, "only the first assignment lacks a predecessor"),
+                    Some(fc) => {
+                        assert!(*fc < assignment.len());
+                        assert_eq!(
+                            assignment[..*fc],
+                            materialized[i - 1][..*fc],
+                            "hint must never skip a real change (chunk={chunk}, index={i})"
+                        );
+                        // The hint is tight for this DFS: the position it
+                        // names really did change.
+                        assert_ne!(
+                            assignment[*fc],
+                            materialized[i - 1][*fc],
+                            "chunk={chunk}, index={i}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! discrete-event run, suitable for scanning thousands of candidates.
 
 use ensemble_core::{aggregate, Aggregation, EnsembleSpec, IndicatorPath, MemberInputs};
-use runtime::{predict, RuntimeResult, SimRunConfig};
+use runtime::{predict_scores, RuntimeResult, SimRunConfig};
 
 /// Predictor-based evaluation of one placement.
 #[derive(Debug, Clone)]
@@ -54,8 +54,11 @@ impl FastEvaluator {
 }
 
 /// Scores `cfg.spec` analytically under `cfg`'s platform and workloads.
+/// Goes through [`predict_scores`] — the scoring path never reads the
+/// per-component estimate map, so it is never materialized (the
+/// per-member floats are bit-identical to [`runtime::predict`]'s).
 fn score_config(cfg: &SimRunConfig) -> RuntimeResult<FastScore> {
-    let prediction = predict(cfg)?;
+    let prediction = predict_scores(cfg)?;
     let spec = &cfg.spec;
     let values: Vec<f64> = prediction
         .members
@@ -79,8 +82,17 @@ fn score_config(cfg: &SimRunConfig) -> RuntimeResult<FastScore> {
 
 /// Scores `spec` analytically under `base`'s platform and workloads.
 ///
-/// One-shot convenience over [`FastEvaluator`]; when scoring many
-/// candidates, build one evaluator and reuse it.
+/// One-shot convenience over [`FastEvaluator`]: every call clones the
+/// **entire** `SimRunConfig` (platform model, workload map, settings).
+/// That is fine for a single score or a test reference, and ruinous in
+/// a loop. Hot paths must not call this per candidate — scans go
+/// through [`crate::scan`] with a per-worker [`crate::DeltaEvaluator`]
+/// (or `FastEvaluator`), annealing reuses one evaluator across moves.
+/// Every former in-loop call site was redirected (PR 5 removed the
+/// scan/anneal loops; the delta engine keeps them out), and the
+/// `fast_score_stays_out_of_library_loops` test pins that this function
+/// is referenced only from `#[cfg(test)]` code and test files within
+/// this crate.
 pub fn fast_score(base: &SimRunConfig, spec: &EnsembleSpec) -> RuntimeResult<FastScore> {
     FastEvaluator::new(base).score(spec)
 }
@@ -143,6 +155,36 @@ mod tests {
             let again = fast_score(&base, &spec).unwrap();
             assert_eq!(first.objective.to_bits(), again.objective.to_bits());
             assert_eq!(first.ensemble_makespan.to_bits(), again.ensemble_makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_score_stays_out_of_library_loops() {
+        // `fast_score` clones the whole SimRunConfig per call — the
+        // audit in the function docs: library (non-test) code in this
+        // crate must never call it; hot paths use reusable evaluators.
+        let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        for entry in std::fs::read_dir(&src_dir).expect("read src/") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let source = std::fs::read_to_string(&path).expect("read source");
+            // Strip everything from the test module down — call sites
+            // there are reference paths, which are exactly where the
+            // one-shot form belongs.
+            let library_code = source.split("#[cfg(test)]").next().expect("split");
+            for (lineno, line) in library_code.lines().enumerate() {
+                let code = line.split("//").next().expect("split");
+                let is_definition = code.contains("pub fn fast_score");
+                assert!(
+                    is_definition || !code.contains("fast_score("),
+                    "{}:{}: fast_score called from library code — use a reusable \
+                     FastEvaluator/DeltaEvaluator instead",
+                    path.display(),
+                    lineno + 1
+                );
+            }
         }
     }
 

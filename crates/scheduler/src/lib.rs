@@ -26,6 +26,7 @@ pub mod advisor;
 pub mod annealing;
 pub mod core_sweep;
 pub mod cosched;
+pub mod delta;
 pub mod enumerate;
 pub mod fast_eval;
 pub mod moldable;
@@ -40,13 +41,14 @@ pub use cosched::{
     place_against, Admission, CoScheduler, CoschedConfig, CoschedCounters, CoschedError,
     PlacementDecision, Reservation, ResidencyMap, ResidualView,
 };
+pub use delta::{DeltaCounters, DeltaEvaluator};
 pub use enumerate::{canonicalize, enumerate_placements, EnsembleShape, PlacementIter};
 pub use fast_eval::{fast_score, FastEvaluator, FastScore};
 pub use moldable::{moldable_search, moldable_search_with, MoldablePoint, MoldableResult};
 pub use pareto::{frontier_only, pareto_front, pareto_front_with, ParetoPoint};
 pub use scan::{
-    scan_placements, scan_placements_observed, ScanHit, ScanOptions, ScanOutcome, ScanProgress,
-    SCAN_WORKERS_ENV,
+    scan_placements, scan_placements_delta, scan_placements_delta_observed,
+    scan_placements_observed, ScanHit, ScanOptions, ScanOutcome, ScanProgress, SCAN_WORKERS_ENV,
 };
 pub use search::{
     exhaustive_search, exhaustive_search_with, greedy_search, score_report, NodeBudget,

@@ -10,9 +10,9 @@
 use runtime::{RuntimeResult, SimRunConfig};
 use serde::{Deserialize, Serialize};
 
+use crate::delta::DeltaEvaluator;
 use crate::enumerate::EnsembleShape;
-use crate::fast_eval::FastEvaluator;
-use crate::scan::{scan_placements, ScanOptions};
+use crate::scan::{scan_placements_delta, ScanOptions};
 use crate::search::NodeBudget;
 
 /// One point of the joint search.
@@ -57,10 +57,11 @@ pub fn moldable_search(
 }
 
 /// [`moldable_search`] with explicit scan options. Each core count runs
-/// one top-1 scan: per-worker [`FastEvaluator`]s score the candidates
-/// and the engine's bounded selection keeps the earliest-enumerated
-/// maximum — exactly the placement the old strictly-greater serial loop
-/// kept, at any worker count.
+/// one top-1 scan: per-worker [`DeltaEvaluator`]s score the candidates
+/// incrementally (bit-identical to from-scratch) and the engine's
+/// bounded selection keeps the earliest-enumerated maximum — exactly
+/// the placement the old strictly-greater serial loop kept, at any
+/// worker count.
 pub fn moldable_search_with(
     base: &SimRunConfig,
     n: usize,
@@ -75,17 +76,17 @@ pub fn moldable_search_with(
     let mut per_size = Vec::new();
     for &cores in candidate_cores {
         let shape = EnsembleShape::uniform(n, sim_cores, k, cores);
-        let outcome = scan_placements(
+        let outcome = scan_placements_delta(
             &shape,
             budget,
             &opts,
-            || FastEvaluator::new(base),
-            |evaluator: &mut FastEvaluator,
+            || DeltaEvaluator::new(base, &shape),
+            |evaluator: &mut DeltaEvaluator,
              _,
-             assignment: &[usize]|
+             assignment: &[usize],
+             hint: Option<usize>|
              -> RuntimeResult<Option<MoldablePoint>> {
-                let spec = shape.materialize(assignment);
-                let score = evaluator.score(&spec)?;
+                let score = evaluator.score_delta(assignment, hint)?;
                 Ok(Some(MoldablePoint {
                     analysis_cores: cores,
                     assignment: assignment.to_vec(),
@@ -95,6 +96,7 @@ pub fn moldable_search_with(
                     eq4_satisfied: score.eq4_satisfied,
                 }))
             },
+            DeltaEvaluator::take_counters,
             |p: &MoldablePoint| p.objective,
             || false,
         )?;

@@ -6,9 +6,9 @@
 use runtime::{RuntimeResult, SimRunConfig};
 use serde::{Deserialize, Serialize};
 
+use crate::delta::DeltaEvaluator;
 use crate::enumerate::EnsembleShape;
-use crate::fast_eval::FastEvaluator;
-use crate::scan::{scan_placements, ScanOptions, ScanOutcome};
+use crate::scan::{scan_placements_delta, ScanOptions, ScanOutcome};
 use crate::search::NodeBudget;
 
 /// One placement with its two objectives.
@@ -40,8 +40,9 @@ pub fn pareto_front(
 
 /// [`pareto_front`] with explicit scan options. `top_k` is ignored —
 /// dominance marking needs every point. Each scan worker owns one
-/// reusable [`FastEvaluator`], so no candidate pays a per-evaluation
-/// `SimRunConfig` clone.
+/// reusable [`DeltaEvaluator`]: successive candidates re-solve only the
+/// nodes whose occupancy changed, with results bit-identical to the
+/// from-scratch path.
 pub fn pareto_front_with(
     base: &SimRunConfig,
     shape: &EnsembleShape,
@@ -49,17 +50,17 @@ pub fn pareto_front_with(
     opts: &ScanOptions,
 ) -> RuntimeResult<Vec<ParetoPoint>> {
     let opts = ScanOptions { top_k: 0, ..*opts };
-    let outcome = scan_placements(
+    let outcome = scan_placements_delta(
         shape,
         budget,
         &opts,
-        || FastEvaluator::new(base),
-        |evaluator: &mut FastEvaluator,
+        || DeltaEvaluator::new(base, shape),
+        |evaluator: &mut DeltaEvaluator,
          _,
-         assignment: &[usize]|
+         assignment: &[usize],
+         hint: Option<usize>|
          -> RuntimeResult<Option<ParetoPoint>> {
-            let spec = shape.materialize(assignment);
-            let score = evaluator.score(&spec)?;
+            let score = evaluator.score_delta(assignment, hint)?;
             Ok(Some(ParetoPoint {
                 assignment: assignment.to_vec(),
                 nodes_used: score.nodes_used,
@@ -68,6 +69,7 @@ pub fn pareto_front_with(
                 dominated: false,
             }))
         },
+        DeltaEvaluator::take_counters,
         |p: &ParetoPoint| p.objective,
         || false,
     )?;

@@ -31,6 +31,7 @@
 
 use std::sync::Mutex;
 
+use crate::delta::DeltaCounters;
 use crate::enumerate::{EnsembleShape, PlacementIter};
 use crate::search::NodeBudget;
 
@@ -121,6 +122,11 @@ pub struct ScanOutcome<T> {
     pub cancelled: bool,
     /// Worker threads the scan ran with.
     pub workers: usize,
+    /// Delta-evaluation cache counters, summed across workers. All
+    /// zeros unless the scan ran through
+    /// [`scan_placements_delta`]/[`scan_placements_delta_observed`]
+    /// with a draining evaluator.
+    pub delta: DeltaCounters,
 }
 
 impl<T> ScanOutcome<T> {
@@ -210,6 +216,7 @@ struct WorkerOut<T, E> {
     feasible: usize,
     cancelled: bool,
     error: Option<(usize, E)>,
+    delta: DeltaCounters,
 }
 
 /// Scans every canonical feasible placement of `shape` under `budget`,
@@ -269,6 +276,97 @@ where
     T: Send,
     E: Send,
 {
+    scan_engine(
+        shape,
+        budget,
+        opts,
+        init,
+        |state, index, assignment, _hint| eval(state, index, assignment),
+        |_| DeltaCounters::default(),
+        objective,
+        cancel,
+        progress,
+    )
+}
+
+/// [`scan_placements`] for delta-scoring evaluators.
+///
+/// Differences from the plain form:
+///
+/// * `eval` receives a fourth argument — the first-changed-position hint
+///   from [`PlacementIter::next_chunk_delta`], already gated to `Some`
+///   only when this worker evaluated the immediately preceding
+///   enumeration index (hints are meaningless across chunk boundaries,
+///   where a worker's previous candidate is from an unrelated part of
+///   the space). Pass it to [`crate::DeltaEvaluator::score_delta`].
+/// * `drain` runs once per worker when it stops pulling, extracting the
+///   worker's [`DeltaCounters`] (use
+///   [`crate::DeltaEvaluator::take_counters`]); the summed counters land
+///   in [`ScanOutcome::delta`].
+#[allow(clippy::too_many_arguments)]
+pub fn scan_placements_delta<S, T, E>(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize, &[usize], Option<usize>) -> Result<Option<T>, E> + Sync,
+    drain: impl Fn(&mut S) -> DeltaCounters + Sync,
+    objective: impl Fn(&T) -> f64 + Sync,
+    cancel: impl Fn() -> bool + Sync,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    scan_engine(shape, budget, opts, init, eval, drain, objective, cancel, |_| {})
+}
+
+/// [`scan_placements_delta`] with a per-chunk progress observer (see
+/// [`scan_placements_observed`] for the observer contract).
+#[allow(clippy::too_many_arguments)]
+pub fn scan_placements_delta_observed<S, T, E>(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize, &[usize], Option<usize>) -> Result<Option<T>, E> + Sync,
+    drain: impl Fn(&mut S) -> DeltaCounters + Sync,
+    objective: impl Fn(&T) -> f64 + Sync,
+    cancel: impl Fn() -> bool + Sync,
+    progress: impl Fn(&ScanProgress) + Sync,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    scan_engine(shape, budget, opts, init, eval, drain, objective, cancel, progress)
+}
+
+/// The engine behind every public scan entry point.
+///
+/// Always pulls via [`PlacementIter::next_chunk_delta`]; the plain
+/// wrappers simply discard the hint. A worker forwards a candidate's
+/// first-changed hint only when it also evaluated the candidate at the
+/// immediately preceding enumeration index — the hint is relative to
+/// that predecessor, and across a chunk boundary the worker's own
+/// previous candidate is some unrelated assignment (the evaluator's
+/// hint-free self-diff is always correct there, just wider).
+#[allow(clippy::too_many_arguments)]
+fn scan_engine<S, T, E>(
+    shape: &EnsembleShape,
+    budget: NodeBudget,
+    opts: &ScanOptions,
+    init: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, usize, &[usize], Option<usize>) -> Result<Option<T>, E> + Sync,
+    drain: impl Fn(&mut S) -> DeltaCounters + Sync,
+    objective: impl Fn(&T) -> f64 + Sync,
+    cancel: impl Fn() -> bool + Sync,
+    progress: impl Fn(&ScanProgress) + Sync,
+) -> Result<ScanOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+{
     let workers = opts.effective_workers();
     let chunk = opts.chunk.max(1);
     let feed = Mutex::new(Feed {
@@ -287,11 +385,15 @@ where
             feasible: 0,
             cancelled: false,
             error: None,
+            delta: DeltaCounters::default(),
         };
-        let mut batch: Vec<(usize, Vec<usize>)> = Vec::with_capacity(chunk);
+        let mut batch: Vec<(usize, Vec<usize>, Option<usize>)> = Vec::with_capacity(chunk);
         // This worker's contribution since it last folded into the feed.
         let mut batch_scanned = 0usize;
         let mut batch_best: Option<f64> = None;
+        // Enumeration index of the candidate this worker evaluated last;
+        // first-changed hints are valid only for its direct successor.
+        let mut last_index: Option<usize> = None;
         'pull: loop {
             batch.clear();
             {
@@ -316,14 +418,17 @@ where
                     out.cancelled = true;
                     break;
                 }
-                if feed.iter.next_chunk(&mut batch, chunk) == 0 {
+                if feed.iter.next_chunk_delta(&mut batch, chunk) == 0 {
                     break;
                 }
             }
-            for (index, assignment) in batch.drain(..) {
+            for (index, assignment, first_changed) in batch.drain(..) {
                 out.scanned += 1;
                 batch_scanned += 1;
-                match eval(&mut state, index, &assignment) {
+                let hint =
+                    first_changed.filter(|_| last_index.is_some_and(|last| last + 1 == index));
+                last_index = Some(index);
+                match eval(&mut state, index, &assignment, hint) {
                     Ok(Some(value)) => {
                         out.feasible += 1;
                         let obj = objective(&value);
@@ -342,6 +447,7 @@ where
                 }
             }
         }
+        out.delta = drain(&mut state);
         out
     };
 
@@ -371,6 +477,10 @@ where
     let scanned = outputs.iter().map(|o| o.scanned).sum();
     let feasible = outputs.iter().map(|o| o.feasible).sum();
     let cancelled = outputs.iter().any(|o| o.cancelled);
+    let mut delta = DeltaCounters::default();
+    for out in &outputs {
+        delta.absorb(out.delta);
+    }
     let results = if opts.top_k > 0 {
         let mut merged: Vec<(Rank, T)> =
             outputs.into_iter().flat_map(|o| o.top.expect("top-k mode").kept).collect();
@@ -384,7 +494,7 @@ where
         merged.sort_by_key(|h| h.index);
         merged
     };
-    Ok(ScanOutcome { results, scanned, feasible, cancelled, workers })
+    Ok(ScanOutcome { results, scanned, feasible, cancelled, workers, delta })
 }
 
 #[cfg(test)]
@@ -572,6 +682,52 @@ mod tests {
         let seen = seen.into_inner().unwrap();
         assert!(!seen.is_empty());
         assert!(*seen.last().unwrap() <= outcome.scanned);
+    }
+
+    #[test]
+    fn delta_hints_only_flow_to_direct_successors_and_counters_sum() {
+        for workers in [1usize, 2, 8] {
+            for chunk in [1usize, 2, 5] {
+                let hinted = AtomicUsize::new(0);
+                let outcome = scan_placements_delta(
+                    &shape(),
+                    budget(),
+                    &ScanOptions { workers, chunk, top_k: 0 },
+                    || None::<Vec<usize>>,
+                    |prev, _, a, hint| {
+                        if let Some(h) = hint {
+                            let p = prev.as_ref().expect("hint implies a predecessor");
+                            assert_eq!(p[..h], a[..h], "hint skipped a real change");
+                            hinted.fetch_add(1, Ordering::SeqCst);
+                        }
+                        *prev = Some(a.to_vec());
+                        Ok::<_, ()>(Some((a.to_vec(), toy_objective(a))))
+                    },
+                    |_| DeltaCounters { solve_hits: 1, solve_misses: 2, members_recomputed: 3 },
+                    |(_, obj)| *obj,
+                    || false,
+                )
+                .expect("scan");
+                // Results are still the full deterministic enumeration.
+                let expected = crate::enumerate::enumerate_placements(&shape(), 3, 32);
+                assert_eq!(outcome.results.len(), expected.len());
+                // One drain per spawned worker, summed into the outcome.
+                assert_eq!(outcome.delta.solve_hits, workers as u64);
+                assert_eq!(outcome.delta.solve_misses, 2 * workers as u64);
+                assert_eq!(outcome.delta.members_recomputed, 3 * workers as u64);
+                if workers == 1 {
+                    // A serial scan sees every candidate in order: every
+                    // candidate after the first carries a hint.
+                    assert_eq!(hinted.load(Ordering::SeqCst), expected.len() - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_scans_report_zero_delta_counters() {
+        let outcome = full_scan(2);
+        assert_eq!(outcome.delta, DeltaCounters::default());
     }
 
     #[test]

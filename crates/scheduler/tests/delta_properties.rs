@@ -1,0 +1,313 @@
+//! Property-based tests of the delta evaluation engine.
+//!
+//! The contract is the repo's established one: **bit-identity**. A
+//! `DeltaEvaluator` fed any sequence of assignments — enumeration
+//! order, random jumps, annealing-style single-component moves — must
+//! return exactly the floats a fresh from-scratch evaluation returns,
+//! for every candidate, under any solve-cache capacity (eviction may
+//! cost re-solves, never correctness). On top of that: occupancy-
+//! signature collisions must actually reuse solves (the point of the
+//! cache), and the delta-scoring scan must match the plain scan at any
+//! worker count.
+//!
+//! CI runs this file under `ENSEMBLE_SCAN_WORKERS={1,2,8}`: the
+//! scan-level property below builds its options from
+//! `ScanOptions::default()`, which resolves the worker count from the
+//! environment.
+
+use proptest::prelude::*;
+use runtime::{RuntimeResult, SimRunConfig, WorkloadMap};
+use scheduler::{
+    canonicalize, enumerate_placements, scan_placements, scan_placements_delta, DeltaEvaluator,
+    EnsembleShape, FastEvaluator, NodeBudget, ScanOptions,
+};
+
+/// Small-but-varied ensemble shapes: 1–3 members, 1–2 analyses each,
+/// core counts spanning the paper's co-location regimes.
+fn shape_strategy() -> impl Strategy<Value = EnsembleShape> {
+    (
+        1usize..=3,                               // members
+        prop::sample::select(vec![8u32, 16, 24]), // sim cores
+        1usize..=2,                               // analyses per member
+        prop::sample::select(vec![4u32, 8]),      // analysis cores
+    )
+        .prop_map(|(n, sim, k, ana)| EnsembleShape::uniform(n, sim, k, ana))
+}
+
+fn base_config(spec: ensemble_core::EnsembleSpec) -> SimRunConfig {
+    let mut base = SimRunConfig::paper(spec);
+    base.workloads = WorkloadMap::small_defaults();
+    base
+}
+
+/// Per-component core demands in flat order.
+fn flat_cores(shape: &EnsembleShape) -> Vec<u32> {
+    let mut v = Vec::new();
+    for (sim, anas) in &shape.members {
+        v.push(*sim);
+        v.extend(anas.iter().copied());
+    }
+    v
+}
+
+/// True when `assignment` fits the budget (the same check the annealing
+/// neighbourhood applies before scoring).
+fn feasible(assignment: &[usize], cores: &[u32], budget: NodeBudget) -> bool {
+    let mut load = vec![0u32; budget.max_nodes];
+    for (&node, &c) in assignment.iter().zip(cores) {
+        if node >= budget.max_nodes {
+            return false;
+        }
+        load[node] += c;
+        if load[node] > budget.cores_per_node {
+            return false;
+        }
+    }
+    true
+}
+
+/// Asserts one delta-scored result equals the from-scratch reference,
+/// float bits and all.
+fn assert_scores_match(
+    base: &SimRunConfig,
+    shape: &EnsembleShape,
+    delta: &mut DeltaEvaluator,
+    assignment: &[usize],
+) {
+    let got = delta.score(assignment).expect("delta score");
+    let want =
+        FastEvaluator::new(base).score(&shape.materialize(assignment)).expect("reference score");
+    assert_eq!(got.objective.to_bits(), want.objective.to_bits(), "{assignment:?}");
+    assert_eq!(got.ensemble_makespan.to_bits(), want.ensemble_makespan.to_bits(), "{assignment:?}");
+    assert_eq!(got.nodes_used, want.nodes_used, "{assignment:?}");
+    assert_eq!(got.eq4_satisfied, want.eq4_satisfied, "{assignment:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sequences of feasible assignments — arbitrary jumps, no
+    /// shared-prefix structure at all — score bit-identically to a
+    /// fresh from-scratch evaluation at every step.
+    #[test]
+    fn random_placement_sequences_are_bit_identical(
+        shape in shape_strategy(),
+        max_nodes in 1usize..=4,
+        raw in prop::collection::vec(prop::collection::vec(0usize..4, 1..=12), 1..=12),
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let cores = flat_cores(&shape);
+        let n = cores.len();
+        let sequence: Vec<Vec<usize>> = raw
+            .iter()
+            .map(|seed| (0..n).map(|i| seed[i % seed.len()] % max_nodes).collect())
+            .filter(|a: &Vec<usize>| feasible(a, &cores, budget))
+            .collect();
+        prop_assume!(!sequence.is_empty());
+        let base = base_config(shape.materialize(&sequence[0]));
+        let mut delta = DeltaEvaluator::new(&base, &shape);
+        for assignment in &sequence {
+            assert_scores_match(&base, &shape, &mut delta, assignment);
+        }
+    }
+
+    /// Annealing-style traces — single-component moves from a feasible
+    /// start, scored on the canonicalized assignment exactly as
+    /// `anneal_placement` does — are bit-identical at every move.
+    #[test]
+    fn annealing_move_traces_are_bit_identical(
+        shape in shape_strategy(),
+        max_nodes in 2usize..=4,
+        moves in prop::collection::vec((0usize..32, 0usize..4), 1..=40),
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let cores = flat_cores(&shape);
+        let n = cores.len();
+        // First-fit start, like the annealing warm start.
+        let mut current: Vec<usize> = Vec::with_capacity(n);
+        let mut load = vec![0u32; max_nodes];
+        for &c in &cores {
+            match (0..max_nodes).find(|&nd| load[nd] + c <= budget.cores_per_node) {
+                Some(nd) => {
+                    load[nd] += c;
+                    current.push(nd);
+                }
+                None => return Ok(()), // infeasible instance — skip
+            }
+        }
+        let base = base_config(shape.materialize(&current));
+        let mut delta = DeltaEvaluator::new(&base, &shape);
+        assert_scores_match(&base, &shape, &mut delta, &canonicalize(&current));
+        for &(idx, node) in &moves {
+            let mut candidate = current.clone();
+            candidate[idx % n] = node % max_nodes;
+            if !feasible(&candidate, &cores, budget) {
+                continue;
+            }
+            current = candidate;
+            assert_scores_match(&base, &shape, &mut delta, &canonicalize(&current));
+        }
+    }
+
+    /// A tiny (or disabled) solve cache never changes results: eviction
+    /// costs re-solves, not correctness.
+    #[test]
+    fn cache_eviction_never_changes_results(
+        shape in shape_strategy(),
+        max_nodes in 1usize..=4,
+        capacity in 0usize..=2,
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let placements = enumerate_placements(&shape, max_nodes, budget.cores_per_node);
+        prop_assume!(!placements.is_empty());
+        let base = base_config(shape.materialize(&placements[0]));
+        let mut tiny = DeltaEvaluator::with_cache_capacity(&base, &shape, capacity);
+        let mut roomy = DeltaEvaluator::new(&base, &shape);
+        for assignment in &placements {
+            let a = tiny.score(assignment).expect("tiny-cache score");
+            let b = roomy.score(assignment).expect("roomy-cache score");
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{assignment:?}");
+            assert_eq!(a.ensemble_makespan.to_bits(), b.ensemble_makespan.to_bits());
+            assert_eq!(a.eq4_satisfied, b.eq4_satisfied);
+            assert_scores_match(&base, &shape, &mut roomy, assignment);
+        }
+        // The bounded cache must actually be bounded.
+        assert!(tiny.cached_solves() <= capacity);
+    }
+
+    /// The delta-scoring scan reproduces the plain scan bit for bit —
+    /// same candidates, same order, same floats — at the worker count
+    /// `ENSEMBLE_SCAN_WORKERS` injects and at explicit 1/2/8, across
+    /// chunk sizes.
+    #[test]
+    fn delta_scan_matches_plain_scan_bitwise(
+        shape in shape_strategy(),
+        max_nodes in 1usize..=4,
+        chunk in 1usize..=8,
+    ) {
+        let budget = NodeBudget { max_nodes, cores_per_node: 32 };
+        let placements = enumerate_placements(&shape, max_nodes, budget.cores_per_node);
+        prop_assume!(!placements.is_empty());
+        let base = base_config(shape.materialize(&placements[0]));
+        let reference: Vec<(usize, u64)> = scan_placements(
+            &shape,
+            budget,
+            &ScanOptions { workers: 1, chunk, top_k: 0 },
+            || FastEvaluator::new(&base),
+            |evaluator: &mut FastEvaluator, _, a: &[usize]| -> RuntimeResult<Option<f64>> {
+                Ok(Some(evaluator.score(&shape.materialize(a))?.objective))
+            },
+            |obj| *obj,
+            || false,
+        )
+        .expect("plain scan")
+        .results
+        .into_iter()
+        .map(|h| (h.index, h.value.to_bits()))
+        .collect();
+        for workers in [0usize, 1, 2, 8] {
+            let outcome = scan_placements_delta(
+                &shape,
+                budget,
+                &ScanOptions { workers, chunk, top_k: 0 },
+                || DeltaEvaluator::new(&base, &shape),
+                |evaluator: &mut DeltaEvaluator,
+                 _,
+                 a: &[usize],
+                 hint: Option<usize>|
+                 -> RuntimeResult<Option<f64>> {
+                    Ok(Some(evaluator.score_delta(a, hint)?.objective))
+                },
+                DeltaEvaluator::take_counters,
+                |obj| *obj,
+                || false,
+            )
+            .expect("delta scan");
+            let got: Vec<(usize, u64)> =
+                outcome.results.iter().map(|h| (h.index, h.value.to_bits())).collect();
+            assert_eq!(got, reference, "workers={workers} chunk={chunk}");
+            // Every candidate's nodes were solved through the delta
+            // machinery (hit or miss, never silently skipped).
+            assert!(
+                outcome.delta.solve_hits + outcome.delta.solve_misses > 0,
+                "counters must reflect the scan"
+            );
+            assert!(outcome.delta.members_recomputed > 0);
+        }
+    }
+}
+
+#[test]
+fn signature_collisions_reuse_solves_across_member_identities() {
+    // Two identical members fully co-located: [0,0,1,1] then the
+    // node-swapped [1,1,0,0]. Every position changes, both nodes are
+    // touched — but each node's resident (workload, cores) sequence is
+    // one the cache has already solved (built from the *other* member's
+    // components), so the second score must be all hits.
+    let shape = EnsembleShape::uniform(2, 16, 1, 8);
+    let base = base_config(shape.materialize(&[0, 0, 1, 1]));
+    let mut delta = DeltaEvaluator::new(&base, &shape);
+
+    assert_scores_match(&base, &shape, &mut delta, &[0, 0, 1, 1]);
+    let after_first = delta.counters();
+    assert_eq!(after_first.solve_misses, 1, "node 1's occupancy collides with node 0's");
+    assert_eq!(after_first.solve_hits, 1, "…and is served from the cache");
+
+    assert_scores_match(&base, &shape, &mut delta, &[1, 1, 0, 0]);
+    let after_second = delta.counters();
+    assert_eq!(
+        after_second.solve_misses, after_first.solve_misses,
+        "no new solves: both occupancy signatures were already cached"
+    );
+    assert_eq!(after_second.solve_hits, 3, "both touched nodes served from cache");
+}
+
+#[test]
+fn unchanged_nodes_are_not_rescored() {
+    // Moving one analysis touches its old and new node only; a member
+    // co-located on an untouched node must not be recomputed.
+    let shape = EnsembleShape::uniform(3, 16, 1, 8);
+    let base = base_config(shape.materialize(&[0, 0, 1, 1, 2, 2]));
+    let mut delta = DeltaEvaluator::new(&base, &shape);
+    assert_scores_match(&base, &shape, &mut delta, &[0, 0, 1, 1, 2, 2]);
+    let before = delta.counters();
+    assert_eq!(before.members_recomputed, 3, "first score computes everyone");
+    // Move member 1's analysis from node 1 to node 0.
+    assert_scores_match(&base, &shape, &mut delta, &[0, 0, 1, 0, 2, 2]);
+    let after = delta.counters();
+    assert_eq!(
+        after.members_recomputed - before.members_recomputed,
+        2,
+        "members 0 and 1 share the touched nodes; member 2 must be served from cache"
+    );
+}
+
+#[test]
+fn errors_poison_the_delta_state_then_recover() {
+    // An infeasible candidate errors (node over capacity); the next
+    // feasible score must rebuild cleanly and stay bit-identical.
+    let shape = EnsembleShape::uniform(2, 16, 1, 8);
+    let base = base_config(shape.materialize(&[0, 0, 1, 1]));
+    let mut delta = DeltaEvaluator::new(&base, &shape);
+    assert_scores_match(&base, &shape, &mut delta, &[0, 0, 1, 1]);
+    // 16+8+16 = 40 cores on node 0 overflows the 32-core node.
+    assert!(delta.score(&[0, 0, 0, 1]).is_err(), "overloaded node must error");
+    for assignment in [[0, 0, 1, 1], [0, 1, 0, 1], [0, 1, 1, 0]] {
+        assert_scores_match(&base, &shape, &mut delta, &assignment);
+    }
+}
+
+#[test]
+fn conservative_hints_are_accepted() {
+    // A hint may point earlier than the first actual difference; the
+    // evaluator must still land on the identical result.
+    let shape = EnsembleShape::uniform(2, 16, 1, 8);
+    let base = base_config(shape.materialize(&[0, 0, 1, 1]));
+    let mut delta = DeltaEvaluator::new(&base, &shape);
+    delta.score(&[0, 0, 1, 1]).expect("seed score");
+    let got = delta.score_delta(&[0, 0, 1, 2], Some(0)).expect("hinted score");
+    let want =
+        FastEvaluator::new(&base).score(&shape.materialize(&[0, 0, 1, 2])).expect("reference");
+    assert_eq!(got.objective.to_bits(), want.objective.to_bits());
+    assert_eq!(got.ensemble_makespan.to_bits(), want.ensemble_makespan.to_bits());
+}

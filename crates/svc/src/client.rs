@@ -324,10 +324,7 @@ impl FailoverClient {
             return Ok(standby);
         }
         Err(last_err.unwrap_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::NotConnected,
-                "failover: no address answered",
-            )
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "failover: no address answered")
         }))
     }
 
@@ -575,8 +572,7 @@ mod tests {
             listener.local_addr().expect("local addr").to_string()
         };
         let (live, server) = scripted_server(vec![Response::Metrics { id: 1, rows: vec![] }]);
-        let mut client =
-            FailoverClient::new(vec![dead, live.to_string()], quick_policy(2));
+        let mut client = FailoverClient::new(vec![dead, live.to_string()], quick_policy(2));
         let response = client.request(&metrics_request(1)).expect("failover past dead address");
         assert!(matches!(response, Response::Metrics { id: 1, .. }), "got {response:?}");
         assert_eq!(client.current_addr(), live.to_string(), "settled on the live address");
@@ -588,10 +584,8 @@ mod tests {
         let (standby, standby_server) = scripted_server(vec![standby_refusal(2)]);
         let (primary, primary_server) =
             scripted_server(vec![Response::Metrics { id: 2, rows: vec![] }]);
-        let mut client = FailoverClient::new(
-            vec![standby.to_string(), primary.to_string()],
-            quick_policy(1),
-        );
+        let mut client =
+            FailoverClient::new(vec![standby.to_string(), primary.to_string()], quick_policy(1));
         let response = client.request(&metrics_request(2)).expect("rotate to primary");
         assert!(matches!(response, Response::Metrics { id: 2, .. }), "got {response:?}");
         assert_eq!(client.current_addr(), primary.to_string());
@@ -629,8 +623,7 @@ mod tests {
             // Dropping the stream here sends EOF before any response.
         });
         let (live, live_server) = scripted_server(vec![Response::Metrics { id: 4, rows: vec![] }]);
-        let mut client =
-            FailoverClient::new(vec![flaky, live.to_string()], quick_policy(1));
+        let mut client = FailoverClient::new(vec![flaky, live.to_string()], quick_policy(1));
         let response = client.request(&metrics_request(4)).expect("failover after EOF");
         assert!(matches!(response, Response::Metrics { id: 4, .. }), "got {response:?}");
         flaky_server.join().expect("flaky server");

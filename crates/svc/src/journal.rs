@@ -317,11 +317,7 @@ impl Journal {
         let parsed = parse_records(&existing);
         let quarantined = parsed.corrupt.len() as u64;
         if !parsed.corrupt.is_empty() {
-            match OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(quarantine_path(&config.path))
-            {
+            match OpenOptions::new().create(true).append(true).open(quarantine_path(&config.path)) {
                 Ok(mut q) => {
                     for line in &parsed.corrupt {
                         let _ = writeln!(q, "{line}");
@@ -1213,8 +1209,10 @@ mod tests {
         assert_eq!(replay.scores[0].0, "innocent");
         assert_eq!(replay.runs.len(), 1, "replay was not truncated at the corruption");
         let quarantine = std::fs::read_to_string(quarantine_path(&path)).unwrap();
-        assert!(quarantine.contains("wictim") || quarantine.contains("uictim"),
-            "the corrupt line landed in the quarantine file: {quarantine}");
+        assert!(
+            quarantine.contains("wictim") || quarantine.contains("uictim"),
+            "the corrupt line landed in the quarantine file: {quarantine}"
+        );
         cleanup(&path);
     }
 
@@ -1464,8 +1462,7 @@ mod tests {
         let path = temp_path("fsync-fault");
         let mut config = JournalConfig::new(&path);
         config.fsync = FsyncPolicy::PerRecord;
-        config.fault =
-            Some(SvcFaultPlan { fail_fsync_after: Some(0), ..SvcFaultPlan::default() });
+        config.fault = Some(SvcFaultPlan { fail_fsync_after: Some(0), ..SvcFaultPlan::default() });
         let (journal, _) = Journal::open(config).unwrap();
         for i in 0..5 {
             journal.append_score(&format!("k{i}"), &ranking(0.5));
@@ -1477,11 +1474,7 @@ mod tests {
             "every failed fsync is counted until the journal degrades"
         );
         assert!(stats.degraded, "repeated fsync failures degrade to read-only");
-        assert_eq!(
-            stats.appended,
-            u64::from(FSYNC_FAILURE_LIMIT),
-            "appends stop once degraded"
-        );
+        assert_eq!(stats.appended, u64::from(FSYNC_FAILURE_LIMIT), "appends stop once degraded");
         assert_eq!(stats.append_errors, 5 - u64::from(FSYNC_FAILURE_LIMIT));
         cleanup(&path);
     }
@@ -1523,13 +1516,21 @@ mod tests {
         journal.append_run(7, &run_result(7));
         let events = follower.poll().unwrap();
         assert_eq!(events.len(), 2);
-        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "k1"));
-        assert!(matches!(&events[1], FollowEvent::Record { record: JournalRecord::Run { job: 7, .. }, .. }));
+        assert!(
+            matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "k1")
+        );
+        assert!(matches!(
+            &events[1],
+            FollowEvent::Record { record: JournalRecord::Run { job: 7, .. }, .. }
+        ));
         assert!(follower.poll().unwrap().is_empty(), "nothing new: no events");
         journal.append_release(3);
         let events = follower.poll().unwrap();
         assert_eq!(events.len(), 1);
-        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Release { job: 3 }, .. }));
+        assert!(matches!(
+            &events[0],
+            FollowEvent::Record { record: JournalRecord::Release { job: 3 }, .. }
+        ));
         cleanup(&path);
     }
 
@@ -1552,7 +1553,9 @@ mod tests {
         drop(f);
         let events = follower.poll().unwrap();
         assert_eq!(events.len(), 1);
-        assert!(matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "split"));
+        assert!(
+            matches!(&events[0], FollowEvent::Record { record: JournalRecord::Score { key, .. }, .. } if key == "split")
+        );
         cleanup(&path);
     }
 
@@ -1576,11 +1579,8 @@ mod tests {
             events.iter().any(|e| matches!(e, FollowEvent::Reset)),
             "the follower noticed the rotation"
         );
-        let after_reset: Vec<&FollowEvent> = events
-            .iter()
-            .skip_while(|e| !matches!(e, FollowEvent::Reset))
-            .skip(1)
-            .collect();
+        let after_reset: Vec<&FollowEvent> =
+            events.iter().skip_while(|e| !matches!(e, FollowEvent::Reset)).skip(1).collect();
         assert!(
             after_reset.iter().any(|e| matches!(
                 e,

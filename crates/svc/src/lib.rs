@@ -10,10 +10,11 @@
 //!
 //! * **score** — ensemble shape + node budget → every canonical feasible
 //!   placement evaluated with the closed-form predictor
-//!   ([`scheduler::FastEvaluator`], no DES), ranked by `F(Pᵁ·ᴬ·ᴾ)`.
-//!   Results are memoized: `fast_score` is deterministic, so identical
-//!   queries are answered from the [`cache`] without touching the
-//!   predictor.
+//!   ([`scheduler::DeltaEvaluator`], no DES: incremental per-node
+//!   scoring, bit-identical to the from-scratch path), ranked by
+//!   `F(Pᵁ·ᴬ·ᴾ)`. Results are memoized: scoring is deterministic, so
+//!   identical queries are answered from the [`cache`] without touching
+//!   the predictor.
 //! * **run** — a fully placed spec → one simulated
 //!   [`runtime::EnsembleRunner`]-style execution, summarized per member.
 //!

@@ -253,7 +253,8 @@ fn replication_loop(stream: &mut TcpStream, shared: &Arc<ServerShared>, id: u64)
                 FollowEvent::Reset => obj(vec![("type", "repl-reset".into())]),
                 FollowEvent::Corrupt { .. } => obj(vec![("type", "repl-corrupt".into())]),
             };
-            let is_record = matches!(frame.get("type").and_then(Value::as_str), Some("repl-record"));
+            let is_record =
+                matches!(frame.get("type").and_then(Value::as_str), Some("repl-record"));
             if write_line(stream, &frame.to_json()).is_err() {
                 return; // standby gone
             }

@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 use ensemble_core::WarmupPolicy;
 use runtime::{SimRunConfig, WorkloadMap};
 use scheduler::{
-    scan_placements_observed, Admission, CoScheduler, CoschedConfig, FastEvaluator, NodeBudget,
-    PlacementDecision, Reservation, ScanOptions, ScanProgress,
+    scan_placements_delta_observed, Admission, CoScheduler, CoschedConfig, DeltaEvaluator,
+    NodeBudget, PlacementDecision, Reservation, ScanOptions, ScanProgress,
 };
 
 use crate::cache::ScoreCache;
@@ -865,6 +865,9 @@ impl Service {
             cache_misses: self.shared.cache.misses(),
             cache_entries: self.shared.cache.len(),
             candidates_scanned: s.candidates_scanned.load(Ordering::Relaxed),
+            delta_solve_hits: s.delta_solve_hits.load(Ordering::Relaxed),
+            delta_solve_misses: s.delta_solve_misses.load(Ordering::Relaxed),
+            delta_members_recomputed: s.delta_members_recomputed.load(Ordering::Relaxed),
             progress_frames_sent: s.progress_frames_sent.load(Ordering::Relaxed),
             run_index_entries: self.shared.runs.len(),
             journal_enabled: self.shared.journal.is_some(),
@@ -1611,18 +1614,22 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
     // (worker threads take turns), so one mutex around the emitter is
     // uncontended; non-opted requests pay nothing.
     let emitter = job.request.progress.map(|spec| Mutex::new(ProgressEmitter::new(spec, job)));
-    let outcome = scan_placements_observed(
+    // Delta scoring: per-worker evaluators re-solve only nodes whose
+    // occupancy changed between successive candidates — bit-identical
+    // to the from-scratch path, so cache keys and journal replays are
+    // unaffected.
+    let outcome = scan_placements_delta_observed(
         &score.shape,
         score.budget,
         &opts,
-        || FastEvaluator::new(&cfg),
-        |evaluator: &mut FastEvaluator,
+        || DeltaEvaluator::new(&cfg, &score.shape),
+        |evaluator: &mut DeltaEvaluator,
          _,
-         assignment: &[usize]|
+         assignment: &[usize],
+         hint: Option<usize>|
          -> Result<Option<RankedPlacement>, ExecError> {
-            let spec = score.shape.materialize(assignment);
             let fs = evaluator
-                .score(&spec)
+                .score_delta(assignment, hint)
                 .map_err(|e| ExecError::Invalid(format!("candidate {assignment:?}: {e}")))?;
             Ok(Some(RankedPlacement {
                 assignment: assignment.to_vec(),
@@ -1632,6 +1639,7 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
                 eq4_satisfied: fs.eq4_satisfied,
             }))
         },
+        DeltaEvaluator::take_counters,
         |p: &RankedPlacement| p.objective,
         || job.cancel.is_cancelled() || job.deadline_at.is_some_and(|at| Instant::now() >= at),
         |p: &ScanProgress| {
@@ -1641,6 +1649,12 @@ fn execute_score(shared: &Shared, job: &Job, score: &ScoreRequest) -> Result<Sco
         },
     )?;
     shared.stats.candidates_scanned.fetch_add(outcome.scanned as u64, Ordering::Relaxed);
+    shared.stats.delta_solve_hits.fetch_add(outcome.delta.solve_hits, Ordering::Relaxed);
+    shared.stats.delta_solve_misses.fetch_add(outcome.delta.solve_misses, Ordering::Relaxed);
+    shared
+        .stats
+        .delta_members_recomputed
+        .fetch_add(outcome.delta.members_recomputed, Ordering::Relaxed);
     if outcome.cancelled {
         // The scan stopped between chunks; report which trigger fired
         // (deadline beats cancel in `checkpoint`, matching the serial
@@ -2178,6 +2192,36 @@ mod tests {
             other => panic!("expected score result, got {other:?}"),
         }
         assert_eq!(svc.metrics().candidates_scanned, total, "hits add nothing");
+    }
+
+    #[test]
+    fn score_scans_report_delta_cache_counters() {
+        let svc = tiny_service(1, 4);
+        let m0 = svc.metrics();
+        assert_eq!(
+            (m0.delta_solve_hits, m0.delta_solve_misses, m0.delta_members_recomputed),
+            (0, 0, 0)
+        );
+        match svc.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { cached, .. } => assert!(!cached),
+            other => panic!("expected score result, got {other:?}"),
+        }
+        let m1 = svc.metrics();
+        assert!(m1.delta_solve_misses > 0, "an uncached scan must run solves");
+        assert!(
+            m1.delta_solve_hits > 0,
+            "the enumeration revisits occupancy signatures — some solves must be cache hits"
+        );
+        assert!(m1.delta_members_recomputed > 0);
+        // A score-cache hit runs no scan: counters must not move.
+        match svc.submit(small_score_request(2, 2, 16, 1, 8, 3)).unwrap().wait() {
+            Response::ScoreResult { cached, .. } => assert!(cached),
+            other => panic!("expected score result, got {other:?}"),
+        }
+        let m2 = svc.metrics();
+        assert_eq!(m2.delta_solve_hits, m1.delta_solve_hits);
+        assert_eq!(m2.delta_solve_misses, m1.delta_solve_misses);
+        assert_eq!(m2.delta_members_recomputed, m1.delta_members_recomputed);
     }
 
     #[test]

@@ -221,12 +221,13 @@ impl Standby {
         let follow_shared = Arc::clone(&shared);
         let source = config.source.clone();
         let heartbeat = config.heartbeat;
-        let follow_thread = std::thread::Builder::new()
-            .name("svc-standby-follow".into())
-            .spawn(move || match source {
-                StandbySource::File(path) => follow_file(&path, &follow_shared),
-                StandbySource::Primary { addr, local } => {
-                    follow_primary(&addr, &local, &follow_shared, heartbeat);
+        let follow_thread =
+            std::thread::Builder::new().name("svc-standby-follow".into()).spawn(move || {
+                match source {
+                    StandbySource::File(path) => follow_file(&path, &follow_shared),
+                    StandbySource::Primary { addr, local } => {
+                        follow_primary(&addr, &local, &follow_shared, heartbeat);
+                    }
                 }
             })?;
         let (addr, listen_thread) = match &config.serve_addr {
@@ -306,8 +307,7 @@ impl Standby {
     /// the path and `promote` flag are forced to the standby's.
     pub fn promote(self, mut config: SvcConfig) -> std::io::Result<Service> {
         let path = self.stop();
-        let mut journal =
-            config.journal.take().unwrap_or_else(|| JournalConfig::new(path.clone()));
+        let mut journal = config.journal.take().unwrap_or_else(|| JournalConfig::new(path.clone()));
         journal.path = path;
         journal.promote = true;
         config.journal = Some(journal);
@@ -439,10 +439,10 @@ fn stream_session(
                     };
                     let _ = writeln!(file, "{record_line}");
                     match decode_line(record_line.as_bytes()) {
-                        Some(record) => apply_event(shared, FollowEvent::Record {
-                            line: record_line.to_string(),
-                            record,
-                        }),
+                        Some(record) => apply_event(
+                            shared,
+                            FollowEvent::Record { line: record_line.to_string(), record },
+                        ),
                         None => shared.image.lock().expect("image lock").status.corrupt += 1,
                     }
                 }
@@ -458,8 +458,7 @@ fn stream_session(
                 Some("repl-hb") => {
                     let epoch = frame.get("epoch").and_then(Value::as_u64).unwrap_or(0);
                     let appended = frame.get("appended").and_then(Value::as_u64).unwrap_or(0);
-                    let degraded =
-                        frame.get("degraded").and_then(Value::as_u64).unwrap_or(0) != 0;
+                    let degraded = frame.get("degraded").and_then(Value::as_u64).unwrap_or(0) != 0;
                     {
                         let mut image = shared.image.lock().expect("image lock");
                         image.status.epoch = image.status.epoch.max(epoch);
@@ -547,18 +546,13 @@ fn standby_connection(mut stream: TcpStream, shared: &Arc<StandbyShared>) {
 }
 
 fn standby_answer(shared: &StandbyShared, line: &str) -> Response {
-    let id = Value::parse(line)
-        .ok()
-        .and_then(|v| v.get("id").and_then(Value::as_u64))
-        .unwrap_or(0);
+    let id = Value::parse(line).ok().and_then(|v| v.get("id").and_then(Value::as_u64)).unwrap_or(0);
     let request = match Request::from_json(line) {
         Ok(r) => r,
         Err(message) => return Response::Error { id, kind: ErrorKind::Malformed, message },
     };
     match request.body {
-        RequestBody::Metrics => {
-            Response::Metrics { id: request.id, rows: standby_rows(shared) }
-        }
+        RequestBody::Metrics => Response::Metrics { id: request.id, rows: standby_rows(shared) },
         RequestBody::Attach { job } => attach_from_image(shared, request.id, job),
         _ => Response::Error {
             id: request.id,

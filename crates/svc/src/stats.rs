@@ -93,6 +93,14 @@ pub struct SvcStats {
     /// score requests (cache hits add nothing; cancelled scans add only
     /// what they actually evaluated).
     pub candidates_scanned: AtomicU64,
+    /// Per-node interference solves served from the delta evaluator's
+    /// occupancy-signature cache across all score scans.
+    pub delta_solve_hits: AtomicU64,
+    /// Per-node interference solves the delta evaluator had to run.
+    pub delta_solve_misses: AtomicU64,
+    /// Members whose indicator terms the delta evaluator recomputed
+    /// (the rest were served from its per-member cache).
+    pub delta_members_recomputed: AtomicU64,
     /// Interim progress frames delivered to progress-opted clients.
     pub progress_frames_sent: AtomicU64,
     /// Submit→response latency distribution.
@@ -175,6 +183,12 @@ pub struct MetricsSnapshot {
     pub cache_entries: usize,
     /// Placement candidates evaluated by the scan engine, cumulative.
     pub candidates_scanned: u64,
+    /// Delta-evaluator per-node solves served from the signature cache.
+    pub delta_solve_hits: u64,
+    /// Delta-evaluator per-node solves actually run.
+    pub delta_solve_misses: u64,
+    /// Members the delta evaluator recomputed (vs served from cache).
+    pub delta_members_recomputed: u64,
     /// Interim progress frames delivered to progress-opted clients.
     pub progress_frames_sent: u64,
     /// Completed runs held in the attachable-job index.
@@ -304,6 +318,9 @@ impl MetricsSnapshot {
             ("cache_entries", self.cache_entries as f64),
             ("cache_hit_rate", self.cache_hit_rate()),
             ("candidates_scanned", self.candidates_scanned as f64),
+            ("delta_solve_hits", self.delta_solve_hits as f64),
+            ("delta_solve_misses", self.delta_solve_misses as f64),
+            ("delta_members_recomputed", self.delta_members_recomputed as f64),
             ("progress_frames_sent", self.progress_frames_sent as f64),
             ("run_index_entries", self.run_index_entries as f64),
             ("journal_enabled", f64::from(u8::from(self.journal_enabled))),
@@ -448,6 +465,9 @@ mod tests {
             cache_misses: 1,
             cache_entries: 1,
             candidates_scanned: 42,
+            delta_solve_hits: 9,
+            delta_solve_misses: 3,
+            delta_members_recomputed: 27,
             progress_frames_sent: 5,
             run_index_entries: 2,
             journal_enabled: true,
@@ -501,13 +521,16 @@ mod tests {
         };
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         let rows = snap.rows();
-        assert_eq!(rows.len(), 46);
+        assert_eq!(rows.len(), 49);
         let all = snap.all_rows();
-        assert_eq!(all.len(), 46 + 22, "eleven rows per tagged tenant");
+        assert_eq!(all.len(), 49 + 22, "eleven rows per tagged tenant");
         let csv = snap.to_csv();
         assert!(csv.starts_with("metric,value\n"));
         assert!(csv.contains("cache_hit_rate,0.75"));
         assert!(csv.contains("candidates_scanned,42"));
+        assert!(csv.contains("delta_solve_hits,9"));
+        assert!(csv.contains("delta_solve_misses,3"));
+        assert!(csv.contains("delta_members_recomputed,27"));
         assert!(csv.contains("progress_frames_sent,5"));
         assert!(csv.contains("requests_executed,7"));
         assert!(csv.contains("latency_p95_ms,4"));

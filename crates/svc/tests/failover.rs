@@ -94,11 +94,8 @@ fn crash_point_promotion_preserves_warm_cache_and_runs() {
     // Appends: score → admit(1) + score(2); run → admit(3) + run(4);
     // the journal crashes at append 4 leaving a torn fragment, so the
     // run record is the last durable line.
-    let fault = SvcFaultPlan {
-        crash_after_append: Some(4),
-        torn_tail: true,
-        ..SvcFaultPlan::default()
-    };
+    let fault =
+        SvcFaultPlan { crash_after_append: Some(4), torn_tail: true, ..SvcFaultPlan::default() };
     let primary = Service::start(config_with_journal(per_record_journal(&path, Some(fault))));
     match primary.submit(small_score_request(1, 2, 16, 1, 8, 3)).unwrap().wait() {
         Response::ScoreResult { cached, .. } => assert!(!cached),
@@ -112,9 +109,7 @@ fn crash_point_promotion_preserves_warm_cache_and_runs() {
     primary.shutdown();
 
     let standby = Standby::start(StandbyConfig::new(StandbySource::File(path.clone()))).unwrap();
-    wait_for("standby catch-up", Duration::from_secs(10), || {
-        standby.status().records_applied >= 4
-    });
+    wait_for("standby catch-up", Duration::from_secs(10), || standby.status().records_applied >= 4);
     let status = standby.status();
     assert_eq!(status.admits, 2);
     assert_eq!(status.scores, 1);
@@ -156,9 +151,7 @@ fn split_brain_deposed_primary_appends_are_fenced() {
     }
 
     let standby = Standby::start(StandbyConfig::new(StandbySource::File(path.clone()))).unwrap();
-    wait_for("standby catch-up", Duration::from_secs(10), || {
-        standby.status().records_applied >= 2
-    });
+    wait_for("standby catch-up", Duration::from_secs(10), || standby.status().records_applied >= 2);
     let promoted = standby
         .promote(SvcConfig { journal: None, ..config_with_journal(JournalConfig::new(&path)) })
         .unwrap();
@@ -202,11 +195,9 @@ fn network_standby_follows_through_a_dropped_stream_and_promotes() {
     // The first replication session drops after 2 record frames; the
     // standby must reconnect and restream to catch up.
     let fault = SvcFaultPlan { drop_stream_after: Some(2), ..SvcFaultPlan::default() };
-    let handle = serve(
-        "127.0.0.1:0",
-        config_with_journal(per_record_journal(&primary_path, Some(fault))),
-    )
-    .unwrap();
+    let handle =
+        serve("127.0.0.1:0", config_with_journal(per_record_journal(&primary_path, Some(fault))))
+            .unwrap();
     let addr = handle.addr().to_string();
     let mut client = SvcClient::connect(&addr).unwrap();
     match client.request(&small_score_request(1, 2, 16, 1, 8, 3)).unwrap() {
@@ -244,11 +235,8 @@ fn network_standby_follows_through_a_dropped_stream_and_promotes() {
         .unwrap()
     {
         Response::Metrics { rows, .. } => {
-            let applied = rows
-                .iter()
-                .find(|(k, _)| k == "standby_records_applied")
-                .map(|(_, v)| *v)
-                .unwrap();
+            let applied =
+                rows.iter().find(|(k, _)| k == "standby_records_applied").map(|(_, v)| *v).unwrap();
             assert!(applied >= 4.0, "standby metrics expose the applied count, got {applied}");
         }
         other => panic!("expected metrics, got {other:?}"),
@@ -257,11 +245,7 @@ fn network_standby_follows_through_a_dropped_stream_and_promotes() {
         Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Standby),
         other => panic!("a standby must refuse writes, got {other:?}"),
     }
-    assert_eq!(
-        makespan_bits(&ro.attach(7, 2).unwrap()),
-        original_bits,
-        "read-only attach matches"
-    );
+    assert_eq!(makespan_bits(&ro.attach(7, 2).unwrap()), original_bits, "read-only attach matches");
 
     // A failover client pointed at [standby, primary] rotates past the
     // read-only refusal and lands on the primary.
@@ -302,16 +286,11 @@ fn network_standby_follows_through_a_dropped_stream_and_promotes() {
 fn degraded_primary_is_detected_within_a_heartbeat() {
     let primary_path = temp_path("degraded-primary");
     let local_path = temp_path("degraded-local");
-    let fault = SvcFaultPlan {
-        crash_after_append: Some(4),
-        torn_tail: true,
-        ..SvcFaultPlan::default()
-    };
-    let handle = serve(
-        "127.0.0.1:0",
-        config_with_journal(per_record_journal(&primary_path, Some(fault))),
-    )
-    .unwrap();
+    let fault =
+        SvcFaultPlan { crash_after_append: Some(4), torn_tail: true, ..SvcFaultPlan::default() };
+    let handle =
+        serve("127.0.0.1:0", config_with_journal(per_record_journal(&primary_path, Some(fault))))
+            .unwrap();
     let addr = handle.addr().to_string();
     let mut client = SvcClient::connect(&addr).unwrap();
     match client.request(&small_score_request(1, 2, 16, 1, 8, 3)).unwrap() {
@@ -327,9 +306,7 @@ fn degraded_primary_is_detected_within_a_heartbeat() {
     }))
     .unwrap();
     let started = Instant::now();
-    wait_for("degraded primary declared dead", Duration::from_secs(5), || {
-        standby.primary_dead()
-    });
+    wait_for("degraded primary declared dead", Duration::from_secs(5), || standby.primary_dead());
     assert!(
         started.elapsed() < Duration::from_secs(2),
         "death by degraded heartbeat must not wait out the full timeout, took {:?}",
@@ -393,9 +370,8 @@ fn soak_generations_of_crash_and_promotion_conserve_the_run_index() {
         wait_for("soak standby catch-up", Duration::from_secs(20), || {
             standby.status().runs_indexed >= want
         });
-        let promoted = standby
-            .promote(config_with_journal(per_record_journal(&path, Some(fault))))
-            .unwrap();
+        let promoted =
+            standby.promote(config_with_journal(per_record_journal(&path, Some(fault)))).unwrap();
         for &(job, bits) in &expected {
             assert_eq!(
                 makespan_bits(&promoted.attach(job, job)),

@@ -84,6 +84,25 @@ fn big_space_total() -> u64 {
         as u64
 }
 
+/// A DES run long enough to hold a worker while other requests arrive.
+/// Unlike a score, its duration does not shrink as the scan path gets
+/// faster, so tests that need a busy worker stay deterministic.
+fn run_request(id: u64, steps: u64) -> Request {
+    Request {
+        id,
+        deadline: None,
+        progress: None,
+        tenant: None,
+        body: RequestBody::Run(svc::RunRequest {
+            spec: ensemble_core::ConfigId::C1_5.build(),
+            steps,
+            jitter: 0.0,
+            seed: 1,
+            workloads: Workloads::Small,
+        }),
+    }
+}
+
 fn metric(client: &mut SvcClient, name: &str) -> f64 {
     let req =
         Request { id: 0, deadline: None, progress: None, tenant: None, body: RequestBody::Metrics };
@@ -125,6 +144,14 @@ fn opted_score_streams_progress_frames_then_exactly_one_final() {
     // the same client gets its own answer (no leftover frames).
     let m = metric(&mut client, "progress_frames_sent");
     assert_eq!(m as usize, counts.len());
+    // The scan ran on the delta evaluator: its cache counters are
+    // visible over the wire alongside the legacy metrics.
+    assert!(metric(&mut client, "delta_solve_misses") >= 1.0, "a real scan runs solves");
+    assert!(
+        metric(&mut client, "delta_solve_hits") >= 1.0,
+        "a 4k-candidate sweep revisits node-occupancy signatures"
+    );
+    assert!(metric(&mut client, "delta_members_recomputed") >= 1.0);
     handle.shutdown();
 }
 
@@ -245,18 +272,21 @@ fn overload_sheds_progress_opted_requests_like_any_other() {
     // frames, no hang.
     let handle = server(1, 1);
     let addr = handle.addr();
-    let blocker = std::thread::spawn(move || {
-        let mut c = SvcClient::connect(addr).expect("connect blocker");
-        c.request(&medium_score_request(41)).expect("blocker result")
-    });
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while handle.metrics().in_flight == 0 {
-        assert!(Instant::now() < deadline, "worker never picked up the blocker");
-        std::thread::yield_now();
-    }
+    // Hold the single worker with a scan of the big space: reading its
+    // first progress frame proves it is in flight, and it stays in
+    // flight until this socket is dropped (watcher-disconnect cancels
+    // it) — no race against how fast the evaluator scores.
+    let blocker = TcpStream::connect(addr).expect("connect blocker");
+    let mut line = big_score_request(41).to_json();
+    line.push('\n');
+    (&blocker).write_all(line.as_bytes()).expect("send blocker");
+    let mut blocker_reader = BufReader::new(blocker.try_clone().expect("clone"));
+    let mut frame = String::new();
+    blocker_reader.read_line(&mut frame).expect("read first frame");
+    assert!(frame.contains("\"type\":\"progress\""), "blocker not in flight: {frame}");
     let queued = std::thread::spawn(move || {
         let mut c = SvcClient::connect(addr).expect("connect queued");
-        c.request(&medium_score_request(42)).expect("queued result")
+        c.request(&run_request(42, 100)).expect("queued result")
     });
     let deadline = Instant::now() + Duration::from_secs(10);
     while handle.metrics().queue_depth == 0 {
@@ -276,8 +306,11 @@ fn overload_sheds_progress_opted_requests_like_any_other() {
         other => panic!("expected overloaded, got {other:?}"),
     }
     assert_eq!(frames, 0, "a shed request must not stream progress");
-    assert!(matches!(blocker.join().expect("blocker"), Response::ScoreResult { .. }));
-    assert!(matches!(queued.join().expect("queued"), Response::ScoreResult { .. }));
+    // Release the worker: the abandoned blocker scan cancels, and the
+    // queued run gets its turn.
+    drop(blocker_reader);
+    drop(blocker);
+    assert!(matches!(queued.join().expect("queued"), Response::RunResult { .. }));
     handle.shutdown();
 }
 
